@@ -1,0 +1,201 @@
+//! Internal processor registers (IPRs), accessed with `MTPR` and `MFPR`.
+//!
+//! All IPRs are privileged state: `MTPR`/`MFPR` are privileged instructions
+//! on the base architecture. The paper's virtual VAX adds three registers —
+//! `MEMSIZE`, `KCALL`, and `IORESET` — which exist *only* on the virtual
+//! machine (they are emulated by the VMM and do not exist on real
+//! hardware; see paper Table 4).
+
+/// An internal processor register number.
+///
+/// Numbers match the VAX architecture where a real counterpart exists; the
+/// virtual-machine registers use the processor-specific space above 128.
+///
+/// # Example
+///
+/// ```
+/// use vax_arch::Ipr;
+///
+/// assert_eq!(Ipr::from_number(18), Some(Ipr::Ipl));
+/// assert!(Ipr::Kcall.is_vm_only());
+/// assert!(!Ipr::Ipl.is_vm_only());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Ipr {
+    /// Kernel stack pointer.
+    Ksp = 0,
+    /// Executive stack pointer.
+    Esp = 1,
+    /// Supervisor stack pointer.
+    Ssp = 2,
+    /// User stack pointer.
+    Usp = 3,
+    /// Interrupt stack pointer.
+    Isp = 4,
+    /// P0 page-table base register (virtual address in S space).
+    P0br = 8,
+    /// P0 page-table length register (number of PTEs).
+    P0lr = 9,
+    /// P1 page-table base register.
+    P1br = 10,
+    /// P1 page-table length register.
+    P1lr = 11,
+    /// System page-table base register (physical address).
+    Sbr = 12,
+    /// System page-table length register.
+    Slr = 13,
+    /// Process control block base (physical address).
+    Pcbb = 16,
+    /// System control block base (physical address).
+    Scbb = 17,
+    /// Interrupt priority level (mirrors `PSL<IPL>`).
+    Ipl = 18,
+    /// AST level.
+    Astlvl = 19,
+    /// Software interrupt request register (write-only).
+    Sirr = 20,
+    /// Software interrupt summary register.
+    Sisr = 21,
+    /// Interval clock control/status.
+    Iccs = 24,
+    /// Next interval count (reload value, negative count).
+    Nicr = 25,
+    /// Interval count register.
+    Icr = 26,
+    /// Time-of-day register.
+    Todr = 27,
+    /// Console receive control/status.
+    Rxcs = 32,
+    /// Console receive data buffer.
+    Rxdb = 33,
+    /// Console transmit control/status.
+    Txcs = 34,
+    /// Console transmit data buffer.
+    Txdb = 35,
+    /// Memory-management enable.
+    Mapen = 56,
+    /// Translation buffer invalidate all (write-only).
+    Tbia = 57,
+    /// Translation buffer invalidate single (write-only; datum is a VA).
+    Tbis = 58,
+    /// System identification.
+    Sid = 62,
+    /// **Virtual VAX only**: total memory size in bytes (read-only).
+    Memsize = 200,
+    /// **Virtual VAX only**: kernel-call register; writing it passes a
+    /// request block address to the VMM (start-I/O, management calls).
+    Kcall = 201,
+    /// **Virtual VAX only**: reset all virtual I/O devices (write-only).
+    Ioreset = 202,
+}
+
+impl Ipr {
+    /// Every register this simulator implements.
+    pub const ALL: [Ipr; 31] = [
+        Ipr::Ksp,
+        Ipr::Esp,
+        Ipr::Ssp,
+        Ipr::Usp,
+        Ipr::Isp,
+        Ipr::P0br,
+        Ipr::P0lr,
+        Ipr::P1br,
+        Ipr::P1lr,
+        Ipr::Sbr,
+        Ipr::Slr,
+        Ipr::Pcbb,
+        Ipr::Scbb,
+        Ipr::Ipl,
+        Ipr::Astlvl,
+        Ipr::Sirr,
+        Ipr::Sisr,
+        Ipr::Iccs,
+        Ipr::Nicr,
+        Ipr::Icr,
+        Ipr::Todr,
+        Ipr::Rxcs,
+        Ipr::Rxdb,
+        Ipr::Txcs,
+        Ipr::Txdb,
+        Ipr::Mapen,
+        Ipr::Tbia,
+        Ipr::Tbis,
+        Ipr::Sid,
+        Ipr::Memsize,
+        Ipr::Kcall,
+    ];
+
+    /// Decodes an IPR number, returning `None` for unimplemented numbers.
+    pub fn from_number(n: u32) -> Option<Ipr> {
+        Ipr::ALL
+            .iter()
+            .copied()
+            .chain([Ipr::Ioreset])
+            .find(|i| *i as u32 == n)
+    }
+
+    /// The register number used in `MTPR`/`MFPR` encodings.
+    pub fn number(self) -> u32 {
+        self as u32
+    }
+
+    /// True for the registers that exist only on the paper's virtual VAX.
+    pub fn is_vm_only(self) -> bool {
+        matches!(self, Ipr::Memsize | Ipr::Kcall | Ipr::Ioreset)
+    }
+
+    /// The per-mode stack-pointer register for an access mode.
+    pub fn stack_pointer(mode: crate::AccessMode) -> Ipr {
+        match mode {
+            crate::AccessMode::Kernel => Ipr::Ksp,
+            crate::AccessMode::Executive => Ipr::Esp,
+            crate::AccessMode::Supervisor => Ipr::Ssp,
+            crate::AccessMode::User => Ipr::Usp,
+        }
+    }
+}
+
+impl core::fmt::Display for Ipr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessMode;
+
+    #[test]
+    fn numbers_round_trip() {
+        for ipr in Ipr::ALL.iter().copied().chain([Ipr::Ioreset]) {
+            assert_eq!(Ipr::from_number(ipr.number()), Some(ipr));
+        }
+    }
+
+    #[test]
+    fn unknown_numbers_are_none() {
+        assert_eq!(Ipr::from_number(5), None);
+        assert_eq!(Ipr::from_number(999), None);
+    }
+
+    #[test]
+    fn vm_only_registers() {
+        assert!(Ipr::Memsize.is_vm_only());
+        assert!(Ipr::Kcall.is_vm_only());
+        assert!(Ipr::Ioreset.is_vm_only());
+        assert!(!Ipr::Sbr.is_vm_only());
+    }
+
+    #[test]
+    fn stack_pointers_match_mode_numbers() {
+        assert_eq!(Ipr::stack_pointer(AccessMode::Kernel), Ipr::Ksp);
+        assert_eq!(Ipr::stack_pointer(AccessMode::Executive), Ipr::Esp);
+        assert_eq!(Ipr::stack_pointer(AccessMode::Supervisor), Ipr::Ssp);
+        assert_eq!(Ipr::stack_pointer(AccessMode::User), Ipr::Usp);
+        for m in AccessMode::ALL {
+            assert_eq!(Ipr::stack_pointer(m).number(), m.bits());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! VAX access modes (protection rings).
+//!
+//! The VAX defines four access modes; smaller numeric values are *more*
+//! privileged. The paper's ring-compression technique (its Figure 3) maps
+//! four *virtual* modes onto the three least-privileged *real* modes,
+//! reserving real kernel mode for the VMM.
+
+/// One of the four VAX access modes, ordered from most to least privileged.
+///
+/// The numeric encoding matches the VAX `PSL<CUR_MOD>` field: kernel = 0,
+/// executive = 1, supervisor = 2, user = 3.
+///
+/// # Example
+///
+/// ```
+/// use vax_arch::AccessMode;
+///
+/// assert!(AccessMode::Kernel.is_more_privileged_than(AccessMode::User));
+/// assert_eq!(AccessMode::from_bits(2), AccessMode::Supervisor);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum AccessMode {
+    /// Most privileged mode; privileged instructions execute only here.
+    Kernel = 0,
+    /// Second most privileged mode (used by VMS for RMS and command interp).
+    Executive = 1,
+    /// Third mode (used by VMS for the command language interpreter).
+    Supervisor = 2,
+    /// Least privileged mode; ordinary application code.
+    User = 3,
+}
+
+impl AccessMode {
+    /// All four modes, most privileged first.
+    pub const ALL: [AccessMode; 4] = [
+        AccessMode::Kernel,
+        AccessMode::Executive,
+        AccessMode::Supervisor,
+        AccessMode::User,
+    ];
+
+    /// Decodes a two-bit mode field. Only the low two bits are examined.
+    pub fn from_bits(bits: u32) -> AccessMode {
+        match bits & 3 {
+            0 => AccessMode::Kernel,
+            1 => AccessMode::Executive,
+            2 => AccessMode::Supervisor,
+            _ => AccessMode::User,
+        }
+    }
+
+    /// The two-bit encoding of this mode as stored in the PSL.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// True if `self` is strictly more privileged than `other`.
+    ///
+    /// On the VAX, "more privileged" means a *smaller* mode number.
+    pub fn is_more_privileged_than(self, other: AccessMode) -> bool {
+        (self as u8) < (other as u8)
+    }
+
+    /// The less privileged (numerically larger) of two modes.
+    ///
+    /// `PROBE` uses this to combine its mode operand with `PSL<PRV_MOD>`:
+    /// the check is performed for the *less* privileged of the two.
+    pub fn least_privileged(self, other: AccessMode) -> AccessMode {
+        if (self as u8) >= (other as u8) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The more privileged (numerically smaller) of two modes.
+    pub fn most_privileged(self, other: AccessMode) -> AccessMode {
+        if (self as u8) <= (other as u8) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Short lowercase name as used in VAX documentation.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessMode::Kernel => "kernel",
+            AccessMode::Executive => "executive",
+            AccessMode::Supervisor => "supervisor",
+            AccessMode::User => "user",
+        }
+    }
+}
+
+impl Default for AccessMode {
+    /// The power-up mode of a VAX processor is kernel.
+    fn default() -> Self {
+        AccessMode::Kernel
+    }
+}
+
+impl core::fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trips() {
+        for m in AccessMode::ALL {
+            assert_eq!(AccessMode::from_bits(m.bits()), m);
+        }
+    }
+
+    #[test]
+    fn from_bits_masks_high_bits() {
+        assert_eq!(AccessMode::from_bits(0b100), AccessMode::Kernel);
+        assert_eq!(AccessMode::from_bits(0b111), AccessMode::User);
+    }
+
+    #[test]
+    fn privilege_ordering() {
+        assert!(AccessMode::Kernel.is_more_privileged_than(AccessMode::Executive));
+        assert!(AccessMode::Executive.is_more_privileged_than(AccessMode::Supervisor));
+        assert!(AccessMode::Supervisor.is_more_privileged_than(AccessMode::User));
+        assert!(!AccessMode::User.is_more_privileged_than(AccessMode::User));
+        assert!(!AccessMode::User.is_more_privileged_than(AccessMode::Kernel));
+    }
+
+    #[test]
+    fn least_and_most_privileged() {
+        use AccessMode::*;
+        assert_eq!(Kernel.least_privileged(User), User);
+        assert_eq!(User.least_privileged(Kernel), User);
+        assert_eq!(Executive.least_privileged(Executive), Executive);
+        assert_eq!(Kernel.most_privileged(User), Kernel);
+        assert_eq!(Supervisor.most_privileged(Executive), Executive);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AccessMode::Kernel.to_string(), "kernel");
+        assert_eq!(AccessMode::User.to_string(), "user");
+    }
+}

@@ -1,0 +1,565 @@
+//! The instruction set: opcodes, operand specifications, and the
+//! privilege/sensitivity classification used by the Popek–Goldberg
+//! analysis (paper Table 1).
+//!
+//! This simulator implements a representative VAX subset (99 opcodes)
+//! covering every instruction the paper discusses plus enough of the
+//! general instruction set to write operating systems and workloads.
+//! Encodings match the real VAX; the three instructions added by the
+//! paper (`WAIT`, `PROBEVMR`, `PROBEVMW`) live on the architecturally
+//! designated `0xFD` extended-opcode page.
+
+/// Operand data width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 8-bit byte.
+    Byte,
+    /// 16-bit word.
+    Word,
+    /// 32-bit longword.
+    Long,
+}
+
+impl DataType {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            DataType::Byte => 1,
+            DataType::Word => 2,
+            DataType::Long => 4,
+        }
+    }
+}
+
+/// How an instruction accesses one operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Operand value is read.
+    Read,
+    /// Operand location is written.
+    Write,
+    /// Operand location is read then written.
+    Modify,
+    /// The operand's *address* is the datum (no access performed).
+    Address,
+    /// A signed branch displacement of the given width follows in-line.
+    Branch,
+}
+
+/// One operand's specification: access kind plus data width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandSpec {
+    /// How the operand is accessed.
+    pub access: AccessType,
+    /// The operand's width.
+    pub dtype: DataType,
+}
+
+impl OperandSpec {
+    /// Shorthand constructor.
+    pub const fn new(access: AccessType, dtype: DataType) -> OperandSpec {
+        OperandSpec { access, dtype }
+    }
+}
+
+const fn rb() -> OperandSpec {
+    OperandSpec::new(AccessType::Read, DataType::Byte)
+}
+const fn rw() -> OperandSpec {
+    OperandSpec::new(AccessType::Read, DataType::Word)
+}
+const fn rl() -> OperandSpec {
+    OperandSpec::new(AccessType::Read, DataType::Long)
+}
+const fn wb() -> OperandSpec {
+    OperandSpec::new(AccessType::Write, DataType::Byte)
+}
+const fn ww() -> OperandSpec {
+    OperandSpec::new(AccessType::Write, DataType::Word)
+}
+const fn wl() -> OperandSpec {
+    OperandSpec::new(AccessType::Write, DataType::Long)
+}
+const fn ml() -> OperandSpec {
+    OperandSpec::new(AccessType::Modify, DataType::Long)
+}
+const fn ab() -> OperandSpec {
+    OperandSpec::new(AccessType::Address, DataType::Byte)
+}
+const fn al() -> OperandSpec {
+    OperandSpec::new(AccessType::Address, DataType::Long)
+}
+const fn bb() -> OperandSpec {
+    OperandSpec::new(AccessType::Branch, DataType::Byte)
+}
+const fn bw() -> OperandSpec {
+    OperandSpec::new(AccessType::Branch, DataType::Word)
+}
+
+/// The privileged machine state an instruction can touch without being
+/// privileged — the paper's Table 1 row labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensitiveData {
+    /// `PSL<CUR_MOD>`, the current access mode.
+    PslCur,
+    /// `PSL<PRV_MOD>`, the previous access mode.
+    PslPrv,
+    /// `PTE<M>`, the modify bit (implicitly written by memory writes).
+    PteM,
+    /// `PTE<PROT>`, the protection code (read by PROBE).
+    PteProt,
+}
+
+impl core::fmt::Display for SensitiveData {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SensitiveData::PslCur => f.write_str("PSL<CUR>"),
+            SensitiveData::PslPrv => f.write_str("PSL<PRV>"),
+            SensitiveData::PteM => f.write_str("PTE<M>"),
+            SensitiveData::PteProt => f.write_str("PTE<PROT>"),
+        }
+    }
+}
+
+/// Popek–Goldberg classification of an opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivilegeClass {
+    /// Neither privileged nor sensitive.
+    Innocuous,
+    /// Privileged: traps unless executed in kernel mode. All privileged
+    /// VAX instructions are also sensitive.
+    Privileged,
+    /// Sensitive but *not* privileged — the problematic class. Lists the
+    /// sensitive data items touched (paper Table 1).
+    SensitiveUnprivileged(&'static [SensitiveData]),
+}
+
+macro_rules! opcodes {
+    ($(($variant:ident, $code:expr, $mnemonic:expr, [$($spec:expr),*], $class:expr);)+) => {
+        /// An implemented VAX opcode.
+        ///
+        /// The discriminant is the encoding: plain opcodes are their single
+        /// byte; extended opcodes are `0xFD00 | second_byte`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u16)]
+        pub enum Opcode {
+            $(
+                #[doc = $mnemonic]
+                $variant = $code,
+            )+
+        }
+
+        impl Opcode {
+            /// Every implemented opcode.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$variant),+];
+
+            /// Decodes an opcode from its first byte and, when the first
+            /// byte is the `0xFD` extension prefix, its second byte.
+            /// Returns the opcode and its encoded length in bytes.
+            pub fn decode(b0: u8, b1: u8) -> Option<(Opcode, u32)> {
+                if b0 == 0xFD {
+                    let code = 0xFD00u16 | b1 as u16;
+                    match code {
+                        $($code => {
+                            if $code > 0xFF { Some((Opcode::$variant, 2)) } else { None }
+                        })+
+                        _ => None,
+                    }
+                } else {
+                    let code = b0 as u16;
+                    match code {
+                        $($code => {
+                            if $code <= 0xFF { Some((Opcode::$variant, 1)) } else { None }
+                        })+
+                        _ => None,
+                    }
+                }
+            }
+
+            /// The instruction mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $(Opcode::$variant => $mnemonic,)+
+                }
+            }
+
+            /// The operand specifications, in encoding order.
+            pub fn operands(self) -> &'static [OperandSpec] {
+                match self {
+                    $(Opcode::$variant => {
+                        const SPECS: &[OperandSpec] = &[$($spec),*];
+                        SPECS
+                    })+
+                }
+            }
+
+            /// The Popek–Goldberg classification.
+            pub fn privilege_class(self) -> PrivilegeClass {
+                match self {
+                    $(Opcode::$variant => $class,)+
+                }
+            }
+        }
+    };
+}
+
+use PrivilegeClass::{Innocuous, Privileged, SensitiveUnprivileged};
+
+opcodes! {
+    (Halt,    0x00, "HALT",    [], Privileged);
+    (Nop,     0x01, "NOP",     [], Innocuous);
+    (Rei,     0x02, "REI",     [],
+        SensitiveUnprivileged(&[SensitiveData::PslCur, SensitiveData::PslPrv]));
+    (Bpt,     0x03, "BPT",     [], Innocuous);
+    (Ret,     0x04, "RET",     [], Innocuous);
+    (Rsb,     0x05, "RSB",     [], Innocuous);
+    (Ldpctx,  0x06, "LDPCTX",  [], Privileged);
+    (Svpctx,  0x07, "SVPCTX",  [], Privileged);
+    (Prober,  0x0C, "PROBER",  [rb(), rw(), ab()],
+        SensitiveUnprivileged(&[SensitiveData::PslPrv, SensitiveData::PteProt]));
+    (Probew,  0x0D, "PROBEW",  [rb(), rw(), ab()],
+        SensitiveUnprivileged(&[SensitiveData::PslPrv, SensitiveData::PteProt]));
+    (Insque,  0x0E, "INSQUE",  [ab(), ab()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Remque,  0x0F, "REMQUE",  [ab(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Bsbb,    0x10, "BSBB",    [bb()], Innocuous);
+    (Brb,     0x11, "BRB",     [bb()], Innocuous);
+    (Bneq,    0x12, "BNEQ",    [bb()], Innocuous);
+    (Beql,    0x13, "BEQL",    [bb()], Innocuous);
+    (Bgtr,    0x14, "BGTR",    [bb()], Innocuous);
+    (Bleq,    0x15, "BLEQ",    [bb()], Innocuous);
+    (Jsb,     0x16, "JSB",     [ab()], Innocuous);
+    (Jmp,     0x17, "JMP",     [ab()], Innocuous);
+    (Bgeq,    0x18, "BGEQ",    [bb()], Innocuous);
+    (Blss,    0x19, "BLSS",    [bb()], Innocuous);
+    (Bgtru,   0x1A, "BGTRU",   [bb()], Innocuous);
+    (Blequ,   0x1B, "BLEQU",   [bb()], Innocuous);
+    (Bvc,     0x1C, "BVC",     [bb()], Innocuous);
+    (Bvs,     0x1D, "BVS",     [bb()], Innocuous);
+    (Bgequ,   0x1E, "BGEQU",   [bb()], Innocuous);
+    (Blssu,   0x1F, "BLSSU",   [bb()], Innocuous);
+    (Movc3,   0x28, "MOVC3",   [rw(), ab(), ab()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Bsbw,    0x30, "BSBW",    [bw()], Innocuous);
+    (Brw,     0x31, "BRW",     [bw()], Innocuous);
+    (Cvtwl,   0x32, "CVTWL",   [rw(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Cvtwb,   0x33, "CVTWB",   [rw(), wb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Movzwl,  0x3C, "MOVZWL",  [rw(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Ashl,    0x78, "ASHL",    [rb(), rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Movb,    0x90, "MOVB",    [rb(), wb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Cmpb,    0x91, "CMPB",    [rb(), rb()], Innocuous);
+    (Clrb,    0x94, "CLRB",    [wb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Tstb,    0x95, "TSTB",    [rb()], Innocuous);
+    (Incb,    0x96, "INCB",    [OperandSpec::new(AccessType::Modify, DataType::Byte)],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Decb,    0x97, "DECB",    [OperandSpec::new(AccessType::Modify, DataType::Byte)],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Cvtbl,   0x98, "CVTBL",   [rb(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Cvtbw,   0x99, "CVTBW",   [rb(), ww()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Movzbl,  0x9A, "MOVZBL",  [rb(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Movzbw,  0x9B, "MOVZBW",  [rb(), ww()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Movw,    0xB0, "MOVW",    [rw(), ww()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Cmpw,    0xB1, "CMPW",    [rw(), rw()], Innocuous);
+    (Clrw,    0xB4, "CLRW",    [ww()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Tstw,    0xB5, "TSTW",    [rw()], Innocuous);
+    (Chmk,    0xBC, "CHMK",    [rw()],
+        SensitiveUnprivileged(&[SensitiveData::PslCur, SensitiveData::PslPrv]));
+    (Chme,    0xBD, "CHME",    [rw()],
+        SensitiveUnprivileged(&[SensitiveData::PslCur, SensitiveData::PslPrv]));
+    (Chms,    0xBE, "CHMS",    [rw()],
+        SensitiveUnprivileged(&[SensitiveData::PslCur, SensitiveData::PslPrv]));
+    (Chmu,    0xBF, "CHMU",    [rw()],
+        SensitiveUnprivileged(&[SensitiveData::PslCur, SensitiveData::PslPrv]));
+    (Addl2,   0xC0, "ADDL2",   [rl(), ml()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Addl3,   0xC1, "ADDL3",   [rl(), rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Subl2,   0xC2, "SUBL2",   [rl(), ml()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Subl3,   0xC3, "SUBL3",   [rl(), rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Mull2,   0xC4, "MULL2",   [rl(), ml()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Mull3,   0xC5, "MULL3",   [rl(), rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Divl2,   0xC6, "DIVL2",   [rl(), ml()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Divl3,   0xC7, "DIVL3",   [rl(), rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Bisl2,   0xC8, "BISL2",   [rl(), ml()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Bisl3,   0xC9, "BISL3",   [rl(), rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Bicl2,   0xCA, "BICL2",   [rl(), ml()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Bicl3,   0xCB, "BICL3",   [rl(), rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Xorl2,   0xCC, "XORL2",   [rl(), ml()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Xorl3,   0xCD, "XORL3",   [rl(), rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Mnegl,   0xCE, "MNEGL",   [rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Casel,   0xCF, "CASEL",   [rl(), rl(), rl()], Innocuous);
+    (Movl,    0xD0, "MOVL",    [rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Cmpl,    0xD1, "CMPL",    [rl(), rl()], Innocuous);
+    (Mcoml,   0xD2, "MCOML",   [rl(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Bitl,    0xD3, "BITL",    [rl(), rl()], Innocuous);
+    (Clrl,    0xD4, "CLRL",    [wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Tstl,    0xD5, "TSTL",    [rl()], Innocuous);
+    (Incl,    0xD6, "INCL",    [ml()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Decl,    0xD7, "DECL",    [ml()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Mtpr,    0xDA, "MTPR",    [rl(), rl()], Privileged);
+    (Mfpr,    0xDB, "MFPR",    [rl(), wl()], Privileged);
+    (Movpsl,  0xDC, "MOVPSL",  [wl()],
+        SensitiveUnprivileged(&[SensitiveData::PslCur, SensitiveData::PslPrv]));
+    (Pushl,   0xDD, "PUSHL",   [rl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Moval,   0xDE, "MOVAL",   [al(), wl()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Pushal,  0xDF, "PUSHAL",  [al()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Bbs,     0xE0, "BBS",     [rl(), ab(), bb()], Innocuous);
+    (Bbc,     0xE1, "BBC",     [rl(), ab(), bb()], Innocuous);
+    (Bbss,    0xE2, "BBSS",    [rl(), ab(), bb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Bbcc,    0xE4, "BBCC",    [rl(), ab(), bb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Blbs,    0xE8, "BLBS",    [rl(), bb()], Innocuous);
+    (Blbc,    0xE9, "BLBC",    [rl(), bb()], Innocuous);
+    (Aoblss,  0xF2, "AOBLSS",  [rl(), ml(), bb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Aobleq,  0xF3, "AOBLEQ",  [rl(), ml(), bb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Sobgeq,  0xF4, "SOBGEQ",  [ml(), bb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Sobgtr,  0xF5, "SOBGTR",  [ml(), bb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Cvtlb,   0xF6, "CVTLB",   [rl(), wb()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Cvtlw,   0xF7, "CVTLW",   [rl(), ww()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    (Calls,   0xFB, "CALLS",   [rl(), ab()],
+        SensitiveUnprivileged(&[SensitiveData::PteM]));
+    // ---- Extended (0xFD) page: the paper's new instructions ----
+    (Wait,    0xFD01, "WAIT",  [], Privileged);
+    (Probevmr, 0xFD02, "PROBEVMR", [rb(), ab()], Privileged);
+    (Probevmw, 0xFD03, "PROBEVMW", [rb(), ab()], Privileged);
+}
+
+impl Opcode {
+    /// True if the opcode is privileged (traps outside kernel mode).
+    pub fn is_privileged(self) -> bool {
+        matches!(self.privilege_class(), PrivilegeClass::Privileged)
+    }
+
+    /// True if the opcode is sensitive *and* unprivileged on the standard
+    /// VAX — the set that violates the Popek–Goldberg requirement.
+    ///
+    /// Following the paper, instructions whose only sensitivity is the
+    /// implicit `PTE<M>` write are included (any memory write sets the
+    /// modify bit without a trap); the *control-visible* offenders are
+    /// CHMx, REI, MOVPSL, and PROBEx.
+    pub fn is_sensitive_unprivileged(self) -> bool {
+        matches!(
+            self.privilege_class(),
+            PrivilegeClass::SensitiveUnprivileged(_)
+        )
+    }
+
+    /// The sensitive data touched, if any.
+    pub fn sensitive_data(self) -> &'static [SensitiveData] {
+        match self.privilege_class() {
+            PrivilegeClass::SensitiveUnprivileged(d) => d,
+            _ => &[],
+        }
+    }
+
+    /// True if the *only* sensitivity is the implicit `PTE<M>` write.
+    pub fn only_pte_m_sensitive(self) -> bool {
+        let d = self.sensitive_data();
+        !d.is_empty() && d.iter().all(|s| *s == SensitiveData::PteM)
+    }
+
+    /// True for the control-state offenders the paper's Table 1 lists by
+    /// name: instructions that read or write `PSL<CUR>`, `PSL<PRV>`, or
+    /// `PTE<PROT>` without being privileged.
+    pub fn is_table1_instruction(self) -> bool {
+        self.sensitive_data()
+            .iter()
+            .any(|s| *s != SensitiveData::PteM)
+    }
+
+    /// Encoded length of the opcode itself (1, or 2 for `0xFD`-page).
+    pub fn encoded_len(self) -> u32 {
+        if (self as u16) > 0xFF {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The encoding bytes (one or two).
+    pub fn encoding(self) -> ([u8; 2], usize) {
+        let code = self as u16;
+        if code > 0xFF {
+            ([0xFD, (code & 0xFF) as u8], 2)
+        } else {
+            ([code as u8, 0], 1)
+        }
+    }
+
+    /// True for the four change-mode instructions; returns the target mode.
+    pub fn chm_target(self) -> Option<crate::AccessMode> {
+        match self {
+            Opcode::Chmk => Some(crate::AccessMode::Kernel),
+            Opcode::Chme => Some(crate::AccessMode::Executive),
+            Opcode::Chms => Some(crate::AccessMode::Supervisor),
+            Opcode::Chmu => Some(crate::AccessMode::User),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_round_trips_every_opcode() {
+        for &op in Opcode::ALL {
+            let (bytes, len) = op.encoding();
+            let (decoded, dlen) = Opcode::decode(bytes[0], bytes[1]).expect("decodable");
+            assert_eq!(decoded, op);
+            assert_eq!(dlen as usize, len);
+            assert_eq!(op.encoded_len() as usize, len);
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_decode_to_none() {
+        assert_eq!(Opcode::decode(0x40, 0), None); // ADDF2, unimplemented
+        assert_eq!(Opcode::decode(0xFD, 0x99), None);
+        assert_eq!(Opcode::decode(0xFD, 0x00), None);
+    }
+
+    #[test]
+    fn table1_instruction_set_matches_paper() {
+        // Paper Table 1 names CHMx, REI, MOVPSL, PROBEx as the
+        // control-visible sensitive unprivileged instructions.
+        let named: Vec<Opcode> = Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|o| o.is_table1_instruction())
+            .collect();
+        let expected = [
+            Opcode::Rei,
+            Opcode::Prober,
+            Opcode::Probew,
+            Opcode::Chmk,
+            Opcode::Chme,
+            Opcode::Chms,
+            Opcode::Chmu,
+            Opcode::Movpsl,
+        ];
+        for e in expected {
+            assert!(named.contains(&e), "{e} missing from Table 1 set");
+        }
+        assert_eq!(named.len(), expected.len(), "{named:?}");
+    }
+
+    #[test]
+    fn privileged_set_matches_architecture() {
+        let privileged: Vec<Opcode> = Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|o| o.is_privileged())
+            .collect();
+        let expected = [
+            Opcode::Halt,
+            Opcode::Ldpctx,
+            Opcode::Svpctx,
+            Opcode::Mtpr,
+            Opcode::Mfpr,
+            Opcode::Wait,
+            Opcode::Probevmr,
+            Opcode::Probevmw,
+        ];
+        assert_eq!(privileged.len(), expected.len());
+        for e in expected {
+            assert!(privileged.contains(&e));
+        }
+    }
+
+    #[test]
+    fn memory_writers_carry_pte_m_sensitivity() {
+        for &op in Opcode::ALL {
+            let writes_memory = op.operands().iter().any(|s| {
+                matches!(s.access, AccessType::Write | AccessType::Modify)
+            }) || matches!(op, Opcode::Pushl | Opcode::Pushal | Opcode::Calls | Opcode::Movc3);
+            if writes_memory && !op.is_privileged() && !op.is_table1_instruction() {
+                assert!(
+                    op.sensitive_data().contains(&SensitiveData::PteM),
+                    "{op} writes memory but lacks PTE<M> sensitivity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chm_targets() {
+        assert_eq!(Opcode::Chmk.chm_target(), Some(crate::AccessMode::Kernel));
+        assert_eq!(Opcode::Chmu.chm_target(), Some(crate::AccessMode::User));
+        assert_eq!(Opcode::Movl.chm_target(), None);
+    }
+
+    #[test]
+    fn extended_page_encodings() {
+        assert_eq!(Opcode::Wait.encoding(), ([0xFD, 0x01], 2));
+        assert_eq!(Opcode::Probevmr.encoding(), ([0xFD, 0x02], 2));
+        assert_eq!(Opcode::Probevmw.encoding(), ([0xFD, 0x03], 2));
+    }
+
+    #[test]
+    fn operand_specs_spot_checks() {
+        assert_eq!(Opcode::Movl.operands().len(), 2);
+        assert_eq!(Opcode::Prober.operands().len(), 3);
+        assert_eq!(Opcode::Rei.operands().len(), 0);
+        assert_eq!(Opcode::Movpsl.operands()[0].access, AccessType::Write);
+        assert_eq!(Opcode::Brb.operands()[0].access, AccessType::Branch);
+        assert_eq!(DataType::Byte.bytes(), 1);
+        assert_eq!(DataType::Word.bytes(), 2);
+        assert_eq!(DataType::Long.bytes(), 4);
+    }
+
+    #[test]
+    fn only_pte_m_classification() {
+        assert!(Opcode::Movl.only_pte_m_sensitive());
+        assert!(!Opcode::Rei.only_pte_m_sensitive());
+        assert!(!Opcode::Nop.only_pte_m_sensitive());
+    }
+}

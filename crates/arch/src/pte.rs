@@ -1,0 +1,462 @@
+//! Page-table entries and the four-bit VAX protection-code table.
+//!
+//! The fields the paper cares about are `PTE<V>` (valid), `PTE<PROT>`
+//! (protection), `PTE<M>` (modified), and `PTE<PFN>` (page frame number).
+//! The key architectural quirk (paper §3.2.1) is that *hardware checks the
+//! protection code even when the valid bit is clear*, which is what makes
+//! the VMM's "null PTE" trick work: a PTE that is invalid but permits
+//! all access always passes the protection check and then faults
+//! translation-not-valid, giving the VMM a clean fill point.
+
+use crate::mode::AccessMode;
+
+/// A VAX page-table-entry protection code.
+///
+/// Each code names the *least privileged* mode that may write and the least
+/// privileged mode that may read; write access implies read access. The
+/// numeric values are the real VAX encodings. Code `0b0001` is reserved on
+/// the VAX and is decoded here as [`Protection::Na`].
+///
+/// # Example
+///
+/// ```
+/// use vax_arch::{AccessMode, Protection};
+///
+/// // "Executive write, supervisor read" from the paper's example table.
+/// let p = Protection::Srew;
+/// assert!(!p.allows_read(AccessMode::User));
+/// assert!(p.allows_read(AccessMode::Supervisor));
+/// assert!(!p.allows_write(AccessMode::Supervisor));
+/// assert!(p.allows_write(AccessMode::Executive));
+/// assert!(p.allows_write(AccessMode::Kernel));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Protection {
+    /// No access for any mode.
+    Na = 0b0000,
+    /// Kernel write (kernel read).
+    Kw = 0b0010,
+    /// Kernel read only.
+    Kr = 0b0011,
+    /// All modes read and write.
+    Uw = 0b0100,
+    /// Executive write (kernel/executive read-write).
+    Ew = 0b0101,
+    /// Executive read, kernel write.
+    Erkw = 0b0110,
+    /// Executive read (kernel/executive read).
+    Er = 0b0111,
+    /// Supervisor write.
+    Sw = 0b1000,
+    /// Supervisor read, executive write.
+    Srew = 0b1001,
+    /// Supervisor read, kernel write.
+    Srkw = 0b1010,
+    /// Supervisor read.
+    Sr = 0b1011,
+    /// User read, supervisor write.
+    Ursw = 0b1100,
+    /// User read, executive write.
+    Urew = 0b1101,
+    /// User read, kernel write.
+    Urkw = 0b1110,
+    /// All modes read, none write.
+    Ur = 0b1111,
+}
+
+impl Protection {
+    /// All fifteen valid protection codes.
+    pub const ALL: [Protection; 15] = [
+        Protection::Na,
+        Protection::Kw,
+        Protection::Kr,
+        Protection::Uw,
+        Protection::Ew,
+        Protection::Erkw,
+        Protection::Er,
+        Protection::Sw,
+        Protection::Srew,
+        Protection::Srkw,
+        Protection::Sr,
+        Protection::Ursw,
+        Protection::Urew,
+        Protection::Urkw,
+        Protection::Ur,
+    ];
+
+    /// Decodes a four-bit protection field. The reserved code `0b0001`
+    /// decodes as [`Protection::Na`].
+    pub fn from_bits(bits: u32) -> Protection {
+        match bits & 0xf {
+            0b0010 => Protection::Kw,
+            0b0011 => Protection::Kr,
+            0b0100 => Protection::Uw,
+            0b0101 => Protection::Ew,
+            0b0110 => Protection::Erkw,
+            0b0111 => Protection::Er,
+            0b1000 => Protection::Sw,
+            0b1001 => Protection::Srew,
+            0b1010 => Protection::Srkw,
+            0b1011 => Protection::Sr,
+            0b1100 => Protection::Ursw,
+            0b1101 => Protection::Urew,
+            0b1110 => Protection::Urkw,
+            0b1111 => Protection::Ur,
+            _ => Protection::Na,
+        }
+    }
+
+    /// The four-bit encoding.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// The least privileged mode allowed to write, or `None` if no mode may.
+    pub fn write_mode(self) -> Option<AccessMode> {
+        use AccessMode::*;
+        match self {
+            Protection::Na | Protection::Kr | Protection::Er | Protection::Sr | Protection::Ur => {
+                None
+            }
+            Protection::Kw | Protection::Erkw | Protection::Srkw | Protection::Urkw => Some(Kernel),
+            Protection::Ew | Protection::Srew | Protection::Urew => Some(Executive),
+            Protection::Sw | Protection::Ursw => Some(Supervisor),
+            Protection::Uw => Some(User),
+        }
+    }
+
+    /// The least privileged mode allowed to read, or `None` if no mode may.
+    ///
+    /// Write access implies read access, so this is at least as permissive
+    /// as [`Protection::write_mode`].
+    pub fn read_mode(self) -> Option<AccessMode> {
+        use AccessMode::*;
+        match self {
+            Protection::Na => None,
+            Protection::Kw | Protection::Kr => Some(Kernel),
+            Protection::Ew | Protection::Erkw | Protection::Er => Some(Executive),
+            Protection::Sw | Protection::Srew | Protection::Srkw | Protection::Sr => {
+                Some(Supervisor)
+            }
+            Protection::Uw
+            | Protection::Ursw
+            | Protection::Urew
+            | Protection::Urkw
+            | Protection::Ur => Some(User),
+        }
+    }
+
+    /// True if `mode` may write pages carrying this protection.
+    pub fn allows_write(self, mode: AccessMode) -> bool {
+        self.write_mode()
+            .is_some_and(|least| mode == least || mode.is_more_privileged_than(least))
+    }
+
+    /// True if `mode` may read pages carrying this protection.
+    pub fn allows_read(self, mode: AccessMode) -> bool {
+        self.read_mode()
+            .is_some_and(|least| mode == least || mode.is_more_privileged_than(least))
+    }
+
+    /// True if `mode` may perform the given access.
+    pub fn allows(self, mode: AccessMode, write: bool) -> bool {
+        if write {
+            self.allows_write(mode)
+        } else {
+            self.allows_read(mode)
+        }
+    }
+
+    /// The paper's memory ring-compression translation (§4.3.1): any code
+    /// that limits read or write access to kernel mode is widened to extend
+    /// that access to executive mode. All other codes are unchanged.
+    ///
+    /// This is the translation the VMM applies when copying a VM's PTE
+    /// protection into a shadow PTE, and it is the source of the one
+    /// acknowledged imperfection: VM-executive code can then touch
+    /// VM-kernel-only pages (paper §5, §7.1).
+    pub fn ring_compressed(self) -> Protection {
+        match self {
+            Protection::Kw => Protection::Ew,
+            Protection::Kr => Protection::Er,
+            Protection::Erkw => Protection::Ew,
+            Protection::Srkw => Protection::Srew,
+            Protection::Urkw => Protection::Urew,
+            other => other,
+        }
+    }
+
+    /// Mnemonic as used in VAX documentation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protection::Na => "NA",
+            Protection::Kw => "KW",
+            Protection::Kr => "KR",
+            Protection::Uw => "UW",
+            Protection::Ew => "EW",
+            Protection::Erkw => "ERKW",
+            Protection::Er => "ER",
+            Protection::Sw => "SW",
+            Protection::Srew => "SREW",
+            Protection::Srkw => "SRKW",
+            Protection::Sr => "SR",
+            Protection::Ursw => "URSW",
+            Protection::Urew => "UREW",
+            Protection::Urkw => "URKW",
+            Protection::Ur => "UR",
+        }
+    }
+}
+
+impl core::fmt::Display for Protection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A VAX page-table entry.
+///
+/// Layout: bit 31 `V` (valid), bits 30:27 `PROT`, bit 26 `M` (modified),
+/// bits 20:0 `PFN`. The remaining bits are software-available and preserved.
+///
+/// # Example
+///
+/// ```
+/// use vax_arch::{Protection, Pte};
+///
+/// let pte = Pte::build(0x1234, Protection::Urkw, true, false);
+/// assert_eq!(pte.pfn(), 0x1234);
+/// assert!(pte.valid());
+/// assert!(!pte.modified());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(u32);
+
+impl Pte {
+    /// Valid bit.
+    pub const V: u32 = 1 << 31;
+    /// Modified bit.
+    pub const M: u32 = 1 << 26;
+    const PROT_SHIFT: u32 = 27;
+    const PROT_MASK: u32 = 0xf << Self::PROT_SHIFT;
+    const PFN_MASK: u32 = 0x001f_ffff;
+
+    /// The VMM's *null PTE* (paper §4.3.1): invalid, but permitting read
+    /// and write access to all modes, so that the hardware protection
+    /// check always succeeds and the reference faults translation-not-valid
+    /// into the VMM for on-demand shadow fill.
+    pub const NULL: Pte = Pte((Protection::Uw as u32) << Self::PROT_SHIFT);
+
+    /// Constructs a PTE from a raw longword.
+    pub fn from_raw(raw: u32) -> Pte {
+        Pte(raw)
+    }
+
+    /// Builds a PTE from its fields.
+    pub fn build(pfn: u32, prot: Protection, valid: bool, modified: bool) -> Pte {
+        let mut raw = (pfn & Self::PFN_MASK) | (prot.bits() << Self::PROT_SHIFT);
+        if valid {
+            raw |= Self::V;
+        }
+        if modified {
+            raw |= Self::M;
+        }
+        Pte(raw)
+    }
+
+    /// The raw longword.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// `PTE<V>`: true if the translation fields are valid.
+    pub fn valid(self) -> bool {
+        self.0 & Self::V != 0
+    }
+
+    /// Returns a copy with `PTE<V>` set or cleared.
+    pub fn with_valid(self, valid: bool) -> Pte {
+        if valid {
+            Pte(self.0 | Self::V)
+        } else {
+            Pte(self.0 & !Self::V)
+        }
+    }
+
+    /// `PTE<M>`: true if the page has been modified.
+    pub fn modified(self) -> bool {
+        self.0 & Self::M != 0
+    }
+
+    /// Returns a copy with `PTE<M>` set or cleared.
+    pub fn with_modified(self, modified: bool) -> Pte {
+        if modified {
+            Pte(self.0 | Self::M)
+        } else {
+            Pte(self.0 & !Self::M)
+        }
+    }
+
+    /// `PTE<PROT>`: the protection code.
+    pub fn protection(self) -> Protection {
+        Protection::from_bits(self.0 >> Self::PROT_SHIFT)
+    }
+
+    /// Returns a copy with the protection code replaced.
+    pub fn with_protection(self, prot: Protection) -> Pte {
+        Pte((self.0 & !Self::PROT_MASK) | (prot.bits() << Self::PROT_SHIFT))
+    }
+
+    /// `PTE<PFN>`: the page frame number.
+    pub fn pfn(self) -> u32 {
+        self.0 & Self::PFN_MASK
+    }
+
+    /// Returns a copy with the page frame number replaced.
+    pub fn with_pfn(self, pfn: u32) -> Pte {
+        Pte((self.0 & !Self::PFN_MASK) | (pfn & Self::PFN_MASK))
+    }
+}
+
+impl core::fmt::Display for Pte {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "PTE[pfn={:#x} prot={}{}{}]",
+            self.pfn(),
+            self.protection(),
+            if self.valid() { " V" } else { "" },
+            if self.modified() { " M" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessMode::*;
+
+    #[test]
+    fn protection_round_trips() {
+        for p in Protection::ALL {
+            assert_eq!(Protection::from_bits(p.bits()), p);
+        }
+    }
+
+    #[test]
+    fn reserved_code_decodes_as_na() {
+        assert_eq!(Protection::from_bits(0b0001), Protection::Na);
+    }
+
+    #[test]
+    fn write_implies_read_for_every_code_and_mode() {
+        for p in Protection::ALL {
+            for m in AccessMode::ALL {
+                if p.allows_write(m) {
+                    assert!(p.allows_read(m), "{p}: write without read for {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_privileged_modes_never_lose_access() {
+        for p in Protection::ALL {
+            for w in [false, true] {
+                // Walking from user up to kernel, access must be monotone.
+                let mut prev = p.allows(User, w);
+                for m in [Supervisor, Executive, Kernel] {
+                    let cur = p.allows(m, w);
+                    assert!(cur || !prev, "{p}: {m} lost access present below");
+                    prev = cur;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_table() {
+        // Paper §3.2.1: "Executive Mode Write, Supervisor Mode Read"
+        let p = Protection::Srew;
+        assert!(!p.allows_read(User) && !p.allows_write(User));
+        assert!(p.allows_read(Supervisor) && !p.allows_write(Supervisor));
+        assert!(p.allows_read(Executive) && p.allows_write(Executive));
+        assert!(p.allows_read(Kernel) && p.allows_write(Kernel));
+    }
+
+    #[test]
+    fn specific_codes() {
+        assert!(Protection::Kw.allows_write(Kernel));
+        assert!(!Protection::Kw.allows_read(Executive));
+        assert!(Protection::Uw.allows_write(User));
+        assert!(Protection::Ur.allows_read(User));
+        assert!(!Protection::Ur.allows_write(Kernel), "UR: no mode writes");
+        assert!(!Protection::Na.allows_read(Kernel));
+        assert!(Protection::Urkw.allows_read(User));
+        assert!(!Protection::Urkw.allows_write(User));
+        assert!(Protection::Urkw.allows_write(Kernel));
+    }
+
+    #[test]
+    fn ring_compression_extends_kernel_access_to_executive() {
+        for p in Protection::ALL {
+            let c = p.ring_compressed();
+            // Rule: compressed access for executive = union of the original
+            // kernel and executive access; all other modes unchanged.
+            for w in [false, true] {
+                assert_eq!(
+                    c.allows(Executive, w),
+                    p.allows(Kernel, w) || p.allows(Executive, w),
+                    "{p} -> {c} executive w={w}"
+                );
+                assert_eq!(c.allows(Kernel, w), p.allows(Kernel, w), "{p} kernel");
+                for m in [Supervisor, User] {
+                    assert_eq!(c.allows(m, w), p.allows(m, w), "{p} {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_compression_is_idempotent() {
+        for p in Protection::ALL {
+            assert_eq!(p.ring_compressed().ring_compressed(), p.ring_compressed());
+        }
+    }
+
+    #[test]
+    fn pte_fields_round_trip() {
+        let pte = Pte::build(0x1f_ffff, Protection::Erkw, true, true);
+        assert_eq!(pte.pfn(), 0x1f_ffff);
+        assert_eq!(pte.protection(), Protection::Erkw);
+        assert!(pte.valid());
+        assert!(pte.modified());
+
+        let pte2 = pte
+            .with_pfn(0x42)
+            .with_protection(Protection::Ur)
+            .with_valid(false)
+            .with_modified(false);
+        assert_eq!(pte2.pfn(), 0x42);
+        assert_eq!(pte2.protection(), Protection::Ur);
+        assert!(!pte2.valid());
+        assert!(!pte2.modified());
+    }
+
+    #[test]
+    fn null_pte_is_invalid_but_fully_accessible() {
+        let null = Pte::NULL;
+        assert!(!null.valid());
+        for m in AccessMode::ALL {
+            assert!(null.protection().allows_read(m));
+            assert!(null.protection().allows_write(m));
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Pte::NULL.to_string().is_empty());
+        assert!(!Protection::Urkw.to_string().is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! System Control Block (SCB) vector layout.
+//!
+//! The SCB is a page of longword vectors in physical memory, located by the
+//! `SCBB` internal processor register. Exceptions and interrupts transfer
+//! control through the vector for their event type. Offsets below follow
+//! the real VAX layout; the two vectors added by the paper's architecture
+//! (the modify fault and the VM-emulation trap) are placed in
+//! architecturally unused slots.
+
+/// An SCB vector: the byte offset of an event's dispatch longword.
+///
+/// # Example
+///
+/// ```
+/// use vax_arch::ScbVector;
+///
+/// assert_eq!(ScbVector::Chmk.offset(), 0x40);
+/// assert_eq!(ScbVector::for_chm_mode(vax_arch::AccessMode::Executive),
+///            ScbVector::Chme);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ScbVector {
+    /// Machine check (hardware error).
+    MachineCheck = 0x04,
+    /// Kernel stack not valid during exception processing.
+    KernelStackNotValid = 0x08,
+    /// Reserved/privileged instruction fault.
+    ReservedInstruction = 0x10,
+    /// Customer-reserved instruction (XFC).
+    CustomerReserved = 0x14,
+    /// Reserved operand fault.
+    ReservedOperand = 0x18,
+    /// Reserved addressing mode fault.
+    ReservedAddressingMode = 0x1C,
+    /// Access-control violation fault.
+    AccessViolation = 0x20,
+    /// Translation-not-valid (page) fault.
+    TranslationNotValid = 0x24,
+    /// Trace pending fault.
+    TracePending = 0x28,
+    /// Breakpoint (BPT) fault.
+    Breakpoint = 0x2C,
+    /// Arithmetic trap/fault.
+    Arithmetic = 0x34,
+    /// CHMK change-mode trap.
+    Chmk = 0x40,
+    /// CHME change-mode trap.
+    Chme = 0x44,
+    /// CHMS change-mode trap.
+    Chms = 0x48,
+    /// CHMU change-mode trap.
+    Chmu = 0x4C,
+    /// **Paper extension**: modify fault (write to a page with `PTE<M>`
+    /// clear on a machine running with modify faults enabled). The VAX
+    /// later adopted this as an optional base-architecture feature.
+    ModifyFault = 0x54,
+    /// **Paper extension**: VM-emulation trap. Only delivered on the real
+    /// machine (never inside a VM); carries the decoded-instruction packet.
+    VmEmulation = 0x58,
+    /// Software interrupt levels 1–15 occupy 0x84–0xBC; this is level 1.
+    SoftwareLevel1 = 0x84,
+    /// Interval timer interrupt.
+    IntervalTimer = 0xC0,
+    /// Console terminal receive interrupt.
+    ConsoleReceive = 0xF8,
+    /// Console terminal transmit interrupt.
+    ConsoleTransmit = 0xFC,
+    /// First device vector (our simulated disk controller uses this).
+    Device0 = 0x100,
+    /// Second device vector.
+    Device1 = 0x104,
+}
+
+impl ScbVector {
+    /// Byte offset of this vector within the SCB page.
+    pub fn offset(self) -> u32 {
+        self as u32
+    }
+
+    /// The vector for a software interrupt at the given level (1–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or greater than 15.
+    pub fn software(level: u8) -> u32 {
+        assert!((1..=15).contains(&level), "software interrupt level {level}");
+        0x80 + 4 * level as u32
+    }
+
+    /// The CHM vector for a target mode.
+    pub fn for_chm_mode(mode: crate::AccessMode) -> ScbVector {
+        match mode {
+            crate::AccessMode::Kernel => ScbVector::Chmk,
+            crate::AccessMode::Executive => ScbVector::Chme,
+            crate::AccessMode::Supervisor => ScbVector::Chms,
+            crate::AccessMode::User => ScbVector::Chmu,
+        }
+    }
+}
+
+impl core::fmt::Display for ScbVector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{self:?}@{:#x}", self.offset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessMode;
+
+    #[test]
+    fn chm_vectors_are_contiguous() {
+        assert_eq!(ScbVector::Chmk.offset(), 0x40);
+        assert_eq!(ScbVector::Chme.offset(), 0x44);
+        assert_eq!(ScbVector::Chms.offset(), 0x48);
+        assert_eq!(ScbVector::Chmu.offset(), 0x4C);
+        for m in AccessMode::ALL {
+            assert_eq!(
+                ScbVector::for_chm_mode(m).offset(),
+                0x40 + 4 * m.bits(),
+                "{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn software_vectors() {
+        assert_eq!(ScbVector::software(1), ScbVector::SoftwareLevel1.offset());
+        assert_eq!(ScbVector::software(15), 0xBC);
+    }
+
+    #[test]
+    #[should_panic(expected = "software interrupt level")]
+    fn software_level_zero_rejected() {
+        ScbVector::software(0);
+    }
+
+    #[test]
+    fn extension_vectors_do_not_collide_with_base_layout() {
+        let base = [
+            0x04u32, 0x08, 0x10, 0x14, 0x18, 0x1C, 0x20, 0x24, 0x28, 0x2C, 0x34, 0x40, 0x44,
+            0x48, 0x4C, 0xC0, 0xF8, 0xFC, 0x100, 0x104,
+        ];
+        for v in [ScbVector::ModifyFault, ScbVector::VmEmulation] {
+            assert!(!base.contains(&v.offset()), "{v} collides");
+            assert!(!(0x80..=0xBC).contains(&v.offset()), "{v} in software range");
+        }
+    }
+}

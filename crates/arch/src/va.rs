@@ -1,0 +1,205 @@
+//! Virtual-address decomposition: the P0, P1, and S regions.
+//!
+//! A VAX virtual address is 32 bits: bits 31:30 select the region
+//! (`00` = P0, `01` = P1, `10` = S, `11` = reserved), bits 29:9 are the
+//! virtual page number within the region, and bits 8:0 the byte within the
+//! 512-byte page (paper Figure 1).
+
+/// Bytes per VAX page.
+pub const PAGE_BYTES: u32 = 512;
+
+/// log2 of [`PAGE_BYTES`].
+pub const PAGE_SHIFT: u32 = 9;
+
+/// Base virtual address of the P1 region.
+pub const P1_BASE: u32 = 0x4000_0000;
+
+/// Base virtual address of the system (S) region.
+pub const S_BASE: u32 = 0x8000_0000;
+
+/// Base virtual address of the reserved region.
+pub const RESERVED_BASE: u32 = 0xC000_0000;
+
+/// One of the VAX virtual-address regions.
+///
+/// P0 ("program") grows upward from 0; P1 ("control", containing stacks)
+/// grows downward toward [`P1_BASE`]; S ("system") is shared by all
+/// processes and holds the operating system. The fourth quadrant is
+/// architecturally reserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// The per-process program region (addresses `0x0000_0000..0x4000_0000`).
+    P0,
+    /// The per-process control region (addresses `0x4000_0000..0x8000_0000`).
+    P1,
+    /// The shared system region (addresses `0x8000_0000..0xC000_0000`).
+    S,
+    /// The architecturally reserved quadrant (`0xC000_0000..`).
+    Reserved,
+}
+
+impl Region {
+    /// The region's base virtual address.
+    pub fn base(self) -> u32 {
+        match self {
+            Region::P0 => 0,
+            Region::P1 => P1_BASE,
+            Region::S => S_BASE,
+            Region::Reserved => RESERVED_BASE,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::P0 => "P0",
+            Region::P1 => "P1",
+            Region::S => "S",
+            Region::Reserved => "reserved",
+        }
+    }
+}
+
+impl core::fmt::Display for Region {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A VAX virtual address.
+///
+/// # Example
+///
+/// ```
+/// use vax_arch::{Region, VirtAddr};
+///
+/// let va = VirtAddr::new(0x8000_1234);
+/// assert_eq!(va.region(), Region::S);
+/// assert_eq!(va.vpn(), 0x1234 >> 9);
+/// assert_eq!(va.byte_offset(), 0x1234 & 0x1ff);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtAddr(pub u32);
+
+impl VirtAddr {
+    /// Wraps a raw 32-bit virtual address.
+    pub fn new(raw: u32) -> VirtAddr {
+        VirtAddr(raw)
+    }
+
+    /// The raw 32-bit address.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The region this address falls in.
+    pub fn region(self) -> Region {
+        match self.0 >> 30 {
+            0 => Region::P0,
+            1 => Region::P1,
+            2 => Region::S,
+            _ => Region::Reserved,
+        }
+    }
+
+    /// The virtual page number *within the region* (bits 29:9).
+    ///
+    /// For P1 this is the raw field; note that P1 page tables are indexed
+    /// by this VPN directly (the P1 base register is biased by convention
+    /// so that the highest P1 pages are at the end of the table).
+    pub fn vpn(self) -> u32 {
+        (self.0 & 0x3fff_ffff) >> PAGE_SHIFT
+    }
+
+    /// The byte offset within the page (bits 8:0).
+    pub fn byte_offset(self) -> u32 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+
+    /// The address rounded down to its page base.
+    pub fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_BYTES - 1))
+    }
+
+    /// Adds a byte offset with wrapping arithmetic (VAX addresses wrap).
+    pub fn wrapping_add(self, delta: u32) -> VirtAddr {
+        VirtAddr(self.0.wrapping_add(delta))
+    }
+}
+
+impl From<u32> for VirtAddr {
+    fn from(raw: u32) -> VirtAddr {
+        VirtAddr(raw)
+    }
+}
+
+impl core::fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl core::fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Number of pages needed to hold `bytes` bytes.
+pub fn pages_for(bytes: u32) -> u32 {
+    bytes.div_ceil(PAGE_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_boundaries() {
+        assert_eq!(VirtAddr::new(0).region(), Region::P0);
+        assert_eq!(VirtAddr::new(0x3fff_ffff).region(), Region::P0);
+        assert_eq!(VirtAddr::new(P1_BASE).region(), Region::P1);
+        assert_eq!(VirtAddr::new(0x7fff_ffff).region(), Region::P1);
+        assert_eq!(VirtAddr::new(S_BASE).region(), Region::S);
+        assert_eq!(VirtAddr::new(0xbfff_ffff).region(), Region::S);
+        assert_eq!(VirtAddr::new(RESERVED_BASE).region(), Region::Reserved);
+        assert_eq!(VirtAddr::new(u32::MAX).region(), Region::Reserved);
+    }
+
+    #[test]
+    fn vpn_and_offset() {
+        let va = VirtAddr::new(S_BASE + 3 * PAGE_BYTES + 17);
+        assert_eq!(va.vpn(), 3);
+        assert_eq!(va.byte_offset(), 17);
+        assert_eq!(va.page_base().raw(), S_BASE + 3 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn p1_vpn_keeps_region_relative_field() {
+        // The last P1 page has VPN 0x1fffff.
+        let va = VirtAddr::new(0x7fff_fe00);
+        assert_eq!(va.region(), Region::P1);
+        assert_eq!(va.vpn(), 0x1f_ffff);
+    }
+
+    #[test]
+    fn wrapping_add_wraps() {
+        assert_eq!(VirtAddr::new(u32::MAX).wrapping_add(1).raw(), 0);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(512), 1);
+        assert_eq!(pages_for(513), 2);
+    }
+
+    #[test]
+    fn region_bases() {
+        assert_eq!(Region::P0.base(), 0);
+        assert_eq!(Region::P1.base(), P1_BASE);
+        assert_eq!(Region::S.base(), S_BASE);
+        assert_eq!(Region::Reserved.base(), RESERVED_BASE);
+    }
+}

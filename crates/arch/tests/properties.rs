@@ -1,0 +1,116 @@
+//! Property-based tests on the architectural invariants.
+
+use proptest::prelude::*;
+use vax_arch::{AccessMode, Protection, Psl, Pte, VirtAddr, VmPsl};
+
+fn arb_mode() -> impl Strategy<Value = AccessMode> {
+    (0u32..4).prop_map(AccessMode::from_bits)
+}
+
+fn arb_protection() -> impl Strategy<Value = Protection> {
+    (0usize..Protection::ALL.len()).prop_map(|i| Protection::ALL[i])
+}
+
+proptest! {
+    /// Write access implies read access, for every code and mode.
+    #[test]
+    fn write_implies_read(p in arb_protection(), m in arb_mode()) {
+        if p.allows_write(m) {
+            prop_assert!(p.allows_read(m));
+        }
+    }
+
+    /// More privileged modes never have less access.
+    #[test]
+    fn privilege_is_monotone(p in arb_protection(), m in arb_mode(), w in any::<bool>()) {
+        if p.allows(m, w) {
+            for higher in AccessMode::ALL {
+                if higher.is_more_privileged_than(m) {
+                    prop_assert!(p.allows(higher, w), "{p} {higher} vs {m}");
+                }
+            }
+        }
+    }
+
+    /// The ring-compression law (paper §4.3.1): compressed access for
+    /// executive equals the union of kernel and executive access; all
+    /// other modes are untouched.
+    #[test]
+    fn compression_law(p in arb_protection(), w in any::<bool>()) {
+        let c = p.ring_compressed();
+        prop_assert_eq!(
+            c.allows(AccessMode::Executive, w),
+            p.allows(AccessMode::Kernel, w) || p.allows(AccessMode::Executive, w)
+        );
+        for m in [AccessMode::Kernel, AccessMode::Supervisor, AccessMode::User] {
+            prop_assert_eq!(c.allows(m, w), p.allows(m, w));
+        }
+        // Idempotent.
+        prop_assert_eq!(c.ring_compressed(), c);
+    }
+
+    /// PSL field accessors are independent: setting one field never
+    /// perturbs another.
+    #[test]
+    fn psl_fields_independent(
+        raw in any::<u32>(),
+        cur in arb_mode(),
+        prv in arb_mode(),
+        ipl in 0u8..=31,
+    ) {
+        let mut psl = Psl::from_raw(raw);
+        let c_before = psl.flag(Psl::C);
+        psl.set_cur_mode(cur);
+        psl.set_prv_mode(prv);
+        psl.set_ipl(ipl);
+        prop_assert_eq!(psl.cur_mode(), cur);
+        prop_assert_eq!(psl.prv_mode(), prv);
+        prop_assert_eq!(psl.ipl(), ipl);
+        prop_assert_eq!(psl.flag(Psl::C), c_before);
+    }
+
+    /// The VMPSL merge always hides PSL<VM> and takes modes/IPL from the
+    /// VMPSL, everything else from the real PSL.
+    #[test]
+    fn vmpsl_merge_invariants(
+        raw in any::<u32>(),
+        cur in arb_mode(),
+        prv in arb_mode(),
+        ipl in 0u8..=31,
+    ) {
+        let real = Psl::from_raw(raw);
+        let vmpsl = VmPsl::new(cur, prv).with_ipl(ipl);
+        let merged = vmpsl.merge_into(real);
+        prop_assert!(!merged.vm());
+        prop_assert_eq!(merged.cur_mode(), cur);
+        prop_assert_eq!(merged.prv_mode(), prv);
+        prop_assert_eq!(merged.ipl(), ipl);
+        prop_assert_eq!(merged.flag(Psl::C), real.flag(Psl::C));
+        prop_assert_eq!(merged.flag(Psl::N), real.flag(Psl::N));
+    }
+
+    /// PTE field round trips never disturb the other fields.
+    #[test]
+    fn pte_round_trip(pfn in 0u32..(1 << 21), p in arb_protection(), v in any::<bool>(), m in any::<bool>()) {
+        let pte = Pte::build(pfn, p, v, m);
+        prop_assert_eq!(pte.pfn(), pfn);
+        prop_assert_eq!(pte.protection(), p);
+        prop_assert_eq!(pte.valid(), v);
+        prop_assert_eq!(pte.modified(), m);
+        let flipped = pte.with_modified(!m);
+        prop_assert_eq!(flipped.pfn(), pfn);
+        prop_assert_eq!(flipped.protection(), p);
+        prop_assert_eq!(flipped.valid(), v);
+        prop_assert_eq!(flipped.modified(), !m);
+    }
+
+    /// Virtual-address decomposition reassembles exactly.
+    #[test]
+    fn va_decomposition(raw in any::<u32>()) {
+        let va = VirtAddr::new(raw);
+        let rebuilt = va.region().base() + (va.vpn() << 9) + va.byte_offset();
+        prop_assert_eq!(rebuilt, raw);
+        prop_assert_eq!(va.page_base().byte_offset(), 0);
+        prop_assert_eq!(va.page_base().vpn(), va.vpn());
+    }
+}

@@ -1,0 +1,583 @@
+//! The programmatic assembler: two-pass, label-based.
+
+use crate::operand::Operand;
+use vax_arch::{AccessType, Ipr, Opcode};
+
+/// An opaque label handle created by [`Asm::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(usize);
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(LabelId),
+    /// A label was bound twice.
+    DuplicateBind(LabelId),
+    /// Wrong number of operands for an opcode.
+    OperandCount {
+        /// The instruction.
+        op: Opcode,
+        /// Operands the opcode requires.
+        expected: usize,
+        /// Operands supplied.
+        got: usize,
+    },
+    /// A branch displacement did not fit its encoding.
+    BranchOutOfRange {
+        /// The instruction.
+        op: Opcode,
+        /// The displacement that did not fit.
+        displacement: i64,
+    },
+    /// `Operand::Branch` used for a general operand, or a general operand
+    /// used where the spec requires a branch displacement.
+    BranchOperandMisuse(Opcode),
+    /// Unknown mnemonic, bad operand syntax, etc. in the text front-end.
+    Parse(String),
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            AsmError::DuplicateBind(l) => write!(f, "label {l:?} bound twice"),
+            AsmError::OperandCount { op, expected, got } => {
+                write!(f, "{op} takes {expected} operands, got {got}")
+            }
+            AsmError::BranchOutOfRange { op, displacement } => {
+                write!(f, "{op} branch displacement {displacement} out of range")
+            }
+            AsmError::BranchOperandMisuse(op) => {
+                write!(f, "{op}: branch/general operand mismatch")
+            }
+            AsmError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Inst { op: Opcode, operands: Vec<Operand> },
+    Bind(LabelId),
+    Bytes(Vec<u8>),
+    LongLabel(LabelId),
+    Align(u32),
+    Space(u32),
+}
+
+/// An assembled program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Load (base) address the code was assembled for.
+    pub base: u32,
+    /// The machine code.
+    pub bytes: Vec<u8>,
+    labels: Vec<Option<u32>>,
+}
+
+impl Program {
+    /// The absolute address a label was bound to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was created by a different [`Asm`] instance.
+    pub fn addr(&self, label: LabelId) -> u32 {
+        self.labels[label.0].expect("label bound (checked during assembly)")
+    }
+
+    /// End address (base + length).
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+}
+
+/// The two-pass builder assembler. See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u32,
+    items: Vec<Item>,
+    label_count: usize,
+}
+
+impl Asm {
+    /// Creates an assembler targeting load address `base`.
+    pub fn new(base: u32) -> Asm {
+        Asm {
+            base,
+            items: Vec::new(),
+            label_count: 0,
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> LabelId {
+        let id = LabelId(self.label_count);
+        self.label_count += 1;
+        id
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError::DuplicateBind`] if already bound (detected at
+    /// [`Asm::assemble`] time for simplicity of the single-pass API).
+    pub fn bind(&mut self, label: LabelId) -> Result<(), AsmError> {
+        self.items.push(Item::Bind(label));
+        Ok(())
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here(&mut self) -> LabelId {
+        let l = self.label();
+        self.items.push(Item::Bind(l));
+        l
+    }
+
+    /// Emits an instruction.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError::OperandCount`] or [`AsmError::BranchOperandMisuse`] on
+    /// malformed use.
+    pub fn inst(&mut self, op: Opcode, operands: &[Operand]) -> Result<&mut Asm, AsmError> {
+        let specs = op.operands();
+        if specs.len() != operands.len() {
+            return Err(AsmError::OperandCount {
+                op,
+                expected: specs.len(),
+                got: operands.len(),
+            });
+        }
+        for (o, s) in operands.iter().zip(specs) {
+            let is_branch_operand = matches!(o, Operand::Branch(_));
+            let wants_branch = s.access == AccessType::Branch;
+            if is_branch_operand != wants_branch {
+                return Err(AsmError::BranchOperandMisuse(op));
+            }
+        }
+        self.items.push(Item::Inst {
+            op,
+            operands: operands.to_vec(),
+        });
+        Ok(self)
+    }
+
+    /// Emits raw bytes.
+    pub fn bytes(&mut self, data: &[u8]) -> &mut Asm {
+        self.items.push(Item::Bytes(data.to_vec()));
+        self
+    }
+
+    /// Emits a little-endian longword constant.
+    pub fn long(&mut self, v: u32) -> &mut Asm {
+        self.items.push(Item::Bytes(v.to_le_bytes().to_vec()));
+        self
+    }
+
+    /// Emits the absolute address of `label` as a longword (for vector
+    /// tables such as the SCB).
+    pub fn long_label(&mut self, label: LabelId) -> &mut Asm {
+        self.items.push(Item::LongLabel(label));
+        self
+    }
+
+    /// Pads with zero bytes to the next multiple of `alignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment` is not a power of two.
+    pub fn align(&mut self, alignment: u32) -> &mut Asm {
+        assert!(alignment.is_power_of_two());
+        self.items.push(Item::Align(alignment));
+        self
+    }
+
+    /// Reserves `n` zeroed bytes.
+    pub fn space(&mut self, n: u32) -> &mut Asm {
+        self.items.push(Item::Space(n));
+        self
+    }
+
+    fn item_len(&self, item: &Item, offset: u32) -> u32 {
+        match item {
+            Item::Inst { op, operands } => {
+                let mut len = op.encoded_len();
+                for (o, s) in operands.iter().zip(op.operands()) {
+                    len += o.encoded_len(*s);
+                }
+                len
+            }
+            Item::Bind(_) => 0,
+            Item::Bytes(b) => b.len() as u32,
+            Item::LongLabel(_) => 4,
+            Item::Align(a) => (a - (self.base + offset) % a) % a,
+            Item::Space(n) => *n,
+        }
+    }
+
+    /// Runs both passes and produces the program image.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AsmError`]; notably unbound labels and out-of-range branches.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        // Pass 1: bind labels.
+        let mut labels: Vec<Option<u32>> = vec![None; self.label_count];
+        let mut offset = 0u32;
+        for item in &self.items {
+            if let Item::Bind(l) = item {
+                if labels[l.0].is_some() {
+                    return Err(AsmError::DuplicateBind(*l));
+                }
+                labels[l.0] = Some(self.base + offset);
+            }
+            offset += self.item_len(item, offset);
+        }
+
+        let resolve = |l: LabelId| labels[l.0].ok_or(AsmError::UnboundLabel(l));
+
+        // Pass 2: emit.
+        let mut out: Vec<u8> = Vec::with_capacity(offset as usize);
+        for item in &self.items {
+            let offset = out.len() as u32;
+            match item {
+                Item::Bind(_) => {}
+                Item::Bytes(b) => out.extend_from_slice(b),
+                Item::LongLabel(l) => out.extend_from_slice(&resolve(*l)?.to_le_bytes()),
+                Item::Align(_) | Item::Space(_) => {
+                    let n = self.item_len(item, offset);
+                    out.extend(std::iter::repeat_n(0, n as usize));
+                }
+                Item::Inst { op, operands } => {
+                    let (enc, n) = op.encoding();
+                    out.extend_from_slice(&enc[..n]);
+                    for (o, s) in operands.iter().zip(op.operands()) {
+                        let e = o.encode(*s);
+                        let field_base = out.len();
+                        out.extend_from_slice(&e.bytes);
+                        if let Some((idx, width, l, kind)) = e.fixup {
+                            let target = resolve(l)? as i64;
+                            let field_pos = field_base + idx;
+                            // Displacement is relative to the PC *after*
+                            // the displacement field; absolute fixups take
+                            // the label address itself.
+                            let pc_after =
+                                self.base as i64 + field_pos as i64 + width as i64;
+                            let disp = match kind {
+                                crate::operand::FixupKind::Relative => target - pc_after,
+                                crate::operand::FixupKind::Absolute => target,
+                            };
+                            let ok = match width {
+                                1 => i8::try_from(disp)
+                                    .map(|d| out[field_pos] = d as u8)
+                                    .is_ok(),
+                                2 => i16::try_from(disp)
+                                    .map(|d| {
+                                        out[field_pos..field_pos + 2]
+                                            .copy_from_slice(&d.to_le_bytes())
+                                    })
+                                    .is_ok(),
+                                _ => u32::try_from(disp as u64 & 0xffff_ffff)
+                                    .map(|d| {
+                                        out[field_pos..field_pos + 4]
+                                            .copy_from_slice(&d.to_le_bytes())
+                                    })
+                                    .is_ok(),
+                            };
+                            if !ok {
+                                return Err(AsmError::BranchOutOfRange {
+                                    op: *op,
+                                    displacement: disp,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Program {
+            base: self.base,
+            bytes: out,
+            labels,
+        })
+    }
+
+    // ---- Sugar for common instructions (keeps vax-os readable) ----
+
+    /// `MOVL src, dst`
+    pub fn movl(&mut self, src: Operand, dst: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Movl, &[src, dst])
+    }
+
+    /// `PUSHL src`
+    pub fn pushl(&mut self, src: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Pushl, &[src])
+    }
+
+    /// `CLRL dst`
+    pub fn clrl(&mut self, dst: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Clrl, &[dst])
+    }
+
+    /// `CMPL a, b`
+    pub fn cmpl(&mut self, a: Operand, b: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Cmpl, &[a, b])
+    }
+
+    /// `ADDL2 add, sum`
+    pub fn addl2(&mut self, add: Operand, sum: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Addl2, &[add, sum])
+    }
+
+    /// `SUBL2 sub, dif`
+    pub fn subl2(&mut self, sub: Operand, dif: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Subl2, &[sub, dif])
+    }
+
+    /// `INCL dst`
+    pub fn incl(&mut self, dst: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Incl, &[dst])
+    }
+
+    /// `DECL dst`
+    pub fn decl(&mut self, dst: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Decl, &[dst])
+    }
+
+    /// `BRB label`
+    pub fn brb(&mut self, l: LabelId) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Brb, &[Operand::Branch(l)])
+    }
+
+    /// `BRW label`
+    pub fn brw(&mut self, l: LabelId) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Brw, &[Operand::Branch(l)])
+    }
+
+    /// `BEQL label`
+    pub fn beql(&mut self, l: LabelId) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Beql, &[Operand::Branch(l)])
+    }
+
+    /// `BNEQ label`
+    pub fn bneq(&mut self, l: LabelId) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Bneq, &[Operand::Branch(l)])
+    }
+
+    /// `JSB label` (PC-relative)
+    pub fn jsb(&mut self, l: LabelId) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Jsb, &[Operand::Label(l)])
+    }
+
+    /// `RSB`
+    pub fn rsb(&mut self) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Rsb, &[])
+    }
+
+    /// `CHMK #code`
+    pub fn chmk(&mut self, code: u32) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Chmk, &[Operand::Imm(code)])
+    }
+
+    /// `CHME #code`
+    pub fn chme(&mut self, code: u32) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Chme, &[Operand::Imm(code)])
+    }
+
+    /// `CHMS #code`
+    pub fn chms(&mut self, code: u32) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Chms, &[Operand::Imm(code)])
+    }
+
+    /// `REI`
+    pub fn rei(&mut self) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Rei, &[])
+    }
+
+    /// `HALT`
+    pub fn halt(&mut self) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Halt, &[])
+    }
+
+    /// `MTPR src, #reg`
+    pub fn mtpr(&mut self, src: Operand, reg: Ipr) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Mtpr, &[src, Operand::Imm(reg.number())])
+    }
+
+    /// `MFPR #reg, dst`
+    pub fn mfpr(&mut self, reg: Ipr, dst: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Mfpr, &[Operand::Imm(reg.number()), dst])
+    }
+
+    /// `MOVPSL dst`
+    pub fn movpsl(&mut self, dst: Operand) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Movpsl, &[dst])
+    }
+
+    /// `SOBGTR index, label`
+    pub fn sobgtr(&mut self, index: Operand, l: LabelId) -> Result<&mut Asm, AsmError> {
+        self.inst(Opcode::Sobgtr, &[index, Operand::Branch(l)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::Reg;
+    use vax_arch::Opcode;
+
+    #[test]
+    fn simple_loop_assembles() {
+        let mut a = Asm::new(0x2000);
+        let top = a.here();
+        a.inst(Opcode::Movl, &[Operand::Imm(3), Operand::Reg(Reg::R0)])
+            .unwrap();
+        a.sobgtr(Operand::Reg(Reg::R0), top).unwrap();
+        a.halt().unwrap();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.base, 0x2000);
+        assert_eq!(p.addr(top), 0x2000);
+        // MOVL #3, R0 = D0 03 50; SOBGTR R0, top = F5 50 disp; HALT = 00
+        assert_eq!(p.bytes[0], 0xD0);
+        assert_eq!(p.bytes[3], 0xF5);
+        // disp target 0x2000, pc after disp = 0x2000+6 -> -6
+        assert_eq!(p.bytes[5] as i8, -6);
+        assert_eq!(*p.bytes.last().unwrap(), 0x00);
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let mut a = Asm::new(0);
+        let end = a.label();
+        a.brb(end).unwrap();
+        a.inst(Opcode::Nop, &[]).unwrap();
+        a.bind(end).unwrap();
+        a.halt().unwrap();
+        let p = a.assemble().unwrap();
+        // BRB disp: target 3, pc after = 2 -> +1
+        assert_eq!(p.bytes, vec![0x11, 0x01, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.brb(l).unwrap();
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn duplicate_bind_is_an_error() {
+        let mut a = Asm::new(0);
+        let l = a.here();
+        a.bind(l).unwrap();
+        assert!(matches!(a.assemble(), Err(AsmError::DuplicateBind(_))));
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        let mut a = Asm::new(0);
+        assert!(matches!(
+            a.inst(Opcode::Movl, &[Operand::Imm(1)]),
+            Err(AsmError::OperandCount { .. })
+        ));
+    }
+
+    #[test]
+    fn branch_operand_misuse_checked() {
+        let mut a = Asm::new(0);
+        let l = a.here();
+        assert!(matches!(
+            a.inst(Opcode::Movl, &[Operand::Branch(l), Operand::Reg(Reg::R0)]),
+            Err(AsmError::BranchOperandMisuse(_))
+        ));
+        assert!(matches!(
+            a.inst(Opcode::Brb, &[Operand::Imm(0)]),
+            Err(AsmError::BranchOperandMisuse(_))
+        ));
+    }
+
+    #[test]
+    fn byte_branch_out_of_range_detected() {
+        let mut a = Asm::new(0);
+        let far = a.label();
+        a.brb(far).unwrap();
+        a.space(300);
+        a.bind(far).unwrap();
+        a.halt().unwrap();
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::BranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn word_branch_reaches_farther() {
+        let mut a = Asm::new(0);
+        let far = a.label();
+        a.brw(far).unwrap();
+        a.space(300);
+        a.bind(far).unwrap();
+        a.halt().unwrap();
+        assert!(a.assemble().is_ok());
+    }
+
+    #[test]
+    fn align_and_space_and_data() {
+        let mut a = Asm::new(0x100);
+        a.bytes(&[1, 2, 3]);
+        a.align(4);
+        let l = a.here();
+        a.long(0xAABBCCDD);
+        a.long_label(l);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.addr(l), 0x104);
+        assert_eq!(&p.bytes[4..8], &[0xDD, 0xCC, 0xBB, 0xAA]);
+        assert_eq!(&p.bytes[8..12], &[0x04, 0x01, 0, 0]);
+    }
+
+    #[test]
+    fn pc_relative_label_operand() {
+        let mut a = Asm::new(0x1000);
+        let data = a.label();
+        a.inst(
+            Opcode::Movl,
+            &[Operand::Label(data), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        a.halt().unwrap();
+        a.bind(data).unwrap();
+        a.long(42);
+        let p = a.assemble().unwrap();
+        // MOVL len: 1 + 5 (EF + disp32) + 1 (R0) = 7; HALT at 0x1007;
+        // data at 0x1008. disp = 0x1008 - (0x1000+1+1+4) = 2.
+        assert_eq!(p.addr(data), 0x1008);
+        assert_eq!(p.bytes[1], 0xEF);
+        assert_eq!(
+            i32::from_le_bytes(p.bytes[2..6].try_into().unwrap()),
+            2
+        );
+    }
+
+    #[test]
+    fn extended_opcode_emitted_with_prefix() {
+        let mut a = Asm::new(0);
+        a.inst(Opcode::Wait, &[]).unwrap();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.bytes, vec![0xFD, 0x01]);
+    }
+
+    #[test]
+    fn mtpr_sugar() {
+        let mut a = Asm::new(0);
+        a.mtpr(Operand::Imm(0), Ipr::Ipl).unwrap();
+        let p = a.assemble().unwrap();
+        // MTPR #0, #18 -> DA 00 12
+        assert_eq!(p.bytes, vec![0xDA, 0x00, 0x12]);
+    }
+}

@@ -1,0 +1,325 @@
+//! A disassembler for debugging machine-code images.
+
+use vax_arch::{AccessType, DataType, Opcode};
+
+/// One disassembled instruction (or data byte).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Address of the first byte.
+    pub addr: u32,
+    /// Length in bytes.
+    pub len: u32,
+    /// Rendered text, e.g. `movl #5, r0`.
+    pub text: String,
+}
+
+fn reg_name(n: u8) -> &'static str {
+    const NAMES: [&str; 16] = [
+        "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "ap", "fp",
+        "sp", "pc",
+    ];
+    NAMES[(n & 0xf) as usize]
+}
+
+fn take(bytes: &[u8], pos: &mut usize, n: usize) -> Option<u64> {
+    if *pos + n > bytes.len() {
+        return None;
+    }
+    let mut v = 0u64;
+    for i in 0..n {
+        v |= (bytes[*pos + i] as u64) << (8 * i);
+    }
+    *pos += n;
+    Some(v)
+}
+
+fn operand_text(
+    bytes: &[u8],
+    pos: &mut usize,
+    dtype: DataType,
+    access: AccessType,
+    base: u32,
+) -> Option<String> {
+    operand_text_depth(bytes, pos, dtype, access, base, 0)
+}
+
+fn operand_text_depth(
+    bytes: &[u8],
+    pos: &mut usize,
+    dtype: DataType,
+    access: AccessType,
+    base: u32,
+    depth: u8,
+) -> Option<String> {
+    if access == AccessType::Branch {
+        let w = if dtype == DataType::Byte { 1 } else { 2 };
+        let raw = take(bytes, pos, w)?;
+        let disp = if w == 1 {
+            raw as u8 as i8 as i64
+        } else {
+            raw as u16 as i16 as i64
+        };
+        let target = base as i64 + *pos as i64 + disp;
+        return Some(format!("{:#x}", target as u32));
+    }
+    let spec = take(bytes, pos, 1)? as u8;
+    let mode = spec >> 4;
+    let reg = spec & 0xf;
+    Some(match mode {
+        0..=3 => format!("#{}", spec & 0x3f),
+        4 => {
+            // Indexed: render the base operand, then [rx]. Nested index
+            // modes are reserved; stop runaway recursion defensively.
+            if depth > 0 {
+                return None;
+            }
+            let inner = operand_text_depth(bytes, pos, dtype, access, base, depth + 1)?;
+            format!("{inner}[{}]", reg_name(reg))
+        }
+        5 => reg_name(reg).to_string(),
+        6 => format!("({})", reg_name(reg)),
+        7 => format!("-({})", reg_name(reg)),
+        8 => {
+            if reg == 15 {
+                let w = dtype.bytes() as usize;
+                let v = take(bytes, pos, w)?;
+                format!("#{v:#x}")
+            } else {
+                format!("({})+", reg_name(reg))
+            }
+        }
+        9 => {
+            if reg == 15 {
+                let v = take(bytes, pos, 4)?;
+                format!("@#{v:#x}")
+            } else {
+                format!("@({})+", reg_name(reg))
+            }
+        }
+        0xA | 0xB => {
+            let d = take(bytes, pos, 1)? as u8 as i8;
+            let at = if mode == 0xB { "@" } else { "" };
+            if reg == 15 {
+                let target = base as i64 + *pos as i64 + d as i64;
+                format!("{at}{:#x}", target as u32)
+            } else {
+                format!("{at}{d}({})", reg_name(reg))
+            }
+        }
+        0xC | 0xD => {
+            let d = take(bytes, pos, 2)? as u16 as i16;
+            let at = if mode == 0xD { "@" } else { "" };
+            if reg == 15 {
+                let target = base as i64 + *pos as i64 + d as i64;
+                format!("{at}{:#x}", target as u32)
+            } else {
+                format!("{at}{d}({})", reg_name(reg))
+            }
+        }
+        0xE | 0xF => {
+            let d = take(bytes, pos, 4)? as u32 as i32;
+            let at = if mode == 0xF { "@" } else { "" };
+            if reg == 15 {
+                let target = base as i64 + *pos as i64 + d as i64;
+                format!("{at}{:#x}", target as u32)
+            } else {
+                format!("{at}{d}({})", reg_name(reg))
+            }
+        }
+        _ => return None, // indexed mode: unsupported
+    })
+}
+
+/// Disassembles a byte stream loaded at `base`.
+///
+/// Unknown opcodes and truncated operands are rendered as `.byte` lines so
+/// the stream always decodes fully.
+///
+/// # Example
+///
+/// ```
+/// let lines = vax_asm::disassemble(&[0xD0, 0x05, 0x50, 0x00], 0x1000);
+/// assert_eq!(lines[0].text, "movl #5, r0");
+/// assert_eq!(lines[1].text, "halt");
+/// ```
+pub fn disassemble(bytes: &[u8], base: u32) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let start = pos;
+        let b0 = bytes[pos];
+        let b1 = if pos + 1 < bytes.len() {
+            bytes[pos + 1]
+        } else {
+            0
+        };
+        let line = (|| -> Option<DisasmLine> {
+            let (op, oplen) = Opcode::decode(b0, b1)?;
+            let mut p = pos + oplen as usize;
+            let mut texts = Vec::new();
+            for spec in op.operands() {
+                texts.push(operand_text(
+                    bytes,
+                    &mut p,
+                    spec.dtype,
+                    spec.access,
+                    base,
+                )?);
+            }
+            let text = if texts.is_empty() {
+                op.mnemonic().to_lowercase()
+            } else {
+                format!("{} {}", op.mnemonic().to_lowercase(), texts.join(", "))
+            };
+            Some(DisasmLine {
+                addr: base + start as u32,
+                len: (p - start) as u32,
+                text,
+            })
+        })();
+        match line {
+            Some(l) => {
+                pos = start + l.len as usize;
+                out.push(l);
+            }
+            None => {
+                out.push(DisasmLine {
+                    addr: base + start as u32,
+                    len: 1,
+                    text: format!(".byte {:#04x}", b0),
+                });
+                pos = start + 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Asm;
+    use crate::operand::{Operand, Reg};
+
+    #[test]
+    fn round_trip_simple_program() {
+        let mut a = Asm::new(0x1000);
+        let top = a.here();
+        a.movl(Operand::Imm(5), Operand::Reg(Reg::R0)).unwrap();
+        a.inst(
+            Opcode::Addl2,
+            &[Operand::Deferred(Reg::R1), Operand::Reg(Reg::R2)],
+        )
+        .unwrap();
+        a.sobgtr(Operand::Reg(Reg::R0), top).unwrap();
+        a.halt().unwrap();
+        let p = a.assemble().unwrap();
+        let lines = disassemble(&p.bytes, p.base);
+        let texts: Vec<&str> = lines.iter().map(|l| l.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["movl #5, r0", "addl2 (r1), r2", "sobgtr r0, 0x1000", "halt"]
+        );
+    }
+
+    #[test]
+    fn unknown_bytes_become_data() {
+        let lines = disassemble(&[0x99, 0x00], 0);
+        assert_eq!(lines[0].text, ".byte 0x99");
+    }
+
+    #[test]
+    fn immediate_and_absolute_render() {
+        let mut a = Asm::new(0);
+        a.movl(Operand::Imm(0x1234), Operand::Abs(0x8000_0000))
+            .unwrap();
+        let p = a.assemble().unwrap();
+        let lines = disassemble(&p.bytes, 0);
+        assert_eq!(lines[0].text, "movl #0x1234, @#0x80000000");
+    }
+
+    #[test]
+    fn extended_opcode_decodes() {
+        let lines = disassemble(&[0xFD, 0x01], 0);
+        assert_eq!(lines[0].text, "wait");
+        assert_eq!(lines[0].len, 2);
+    }
+
+    #[test]
+    fn truncated_operand_degrades_to_bytes() {
+        // MOVL with missing operands.
+        let lines = disassemble(&[0xD0], 0);
+        assert_eq!(lines[0].text, ".byte 0xd0");
+    }
+}
+
+/// Renders an annotated listing: addresses, raw bytes, mnemonics, and
+/// symbol labels — the classic assembler listing format.
+///
+/// # Example
+///
+/// ```
+/// use std::collections::HashMap;
+/// let (p, syms) = vax_asm::assemble_text_with_symbols("
+///     start: movl #5, r0
+///            halt
+/// ", 0x1000)?;
+/// let text = vax_asm::listing(&p.bytes, p.base, &syms);
+/// assert!(text.contains("start:"));
+/// assert!(text.contains("movl #5, r0"));
+/// # Ok::<(), vax_asm::AsmError>(())
+/// ```
+pub fn listing(
+    bytes: &[u8],
+    base: u32,
+    symbols: &std::collections::HashMap<String, u32>,
+) -> String {
+    let mut by_addr: std::collections::BTreeMap<u32, Vec<&str>> = Default::default();
+    for (name, addr) in symbols {
+        by_addr.entry(*addr).or_default().push(name);
+    }
+    let mut out = String::new();
+    for line in disassemble(bytes, base) {
+        if let Some(names) = by_addr.get(&line.addr) {
+            for n in names {
+                out.push_str(&format!("{n}:\n"));
+            }
+        }
+        let start = (line.addr - base) as usize;
+        let raw: Vec<String> = bytes[start..start + line.len as usize]
+            .iter()
+            .map(|b| format!("{b:02X}"))
+            .collect();
+        out.push_str(&format!(
+            "  {:08X}  {:<24} {}\n",
+            line.addr,
+            raw.join(" "),
+            line.text
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod listing_tests {
+    use super::*;
+    use crate::text::assemble_text_with_symbols;
+
+    #[test]
+    fn listing_interleaves_symbols_and_bytes() {
+        let (p, syms) = assemble_text_with_symbols(
+            "
+            start:  movl #5, r0
+            loop:   sobgtr r0, loop
+                    halt
+            ",
+            0x2000,
+        )
+        .unwrap();
+        let l = listing(&p.bytes, p.base, &syms);
+        assert!(l.contains("start:\n"), "{l}");
+        assert!(l.contains("loop:\n"));
+        assert!(l.contains("D0 05 50"), "raw bytes shown: {l}");
+        assert!(l.contains("sobgtr r0, 0x2003"));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! A VAX-subset assembler and disassembler.
+//!
+//! The guest operating systems in this workspace (`vax-os`) are real VAX
+//! machine code produced by this assembler — that is what lets the same
+//! kernel image boot on the bare simulated machine and inside a virtual
+//! machine, reproducing the paper's equivalence property.
+//!
+//! Two front-ends are provided:
+//!
+//! * a programmatic **builder** ([`Asm`]) with labels, used by `vax-os`;
+//! * a **text** assembler ([`assemble_text`]) with conventional syntax,
+//!   used in examples and tests.
+//!
+//! A [`disassemble`] helper renders machine code back
+//! to mnemonics for debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use vax_asm::{Asm, Operand, Reg};
+//! use vax_arch::Opcode;
+//!
+//! let mut a = Asm::new(0x1000);
+//! let top = a.label();
+//! a.bind(top)?;
+//! a.inst(Opcode::Movl, &[Operand::Imm(5), Operand::Reg(Reg::R0)])?;
+//! a.inst(Opcode::Sobgtr, &[Operand::Reg(Reg::R0), Operand::Branch(top)])?;
+//! a.inst(Opcode::Halt, &[])?;
+//! let image = a.assemble()?;
+//! assert_eq!(image.bytes[0], 0xD0); // MOVL
+//! # Ok::<(), vax_asm::AsmError>(())
+//! ```
+
+pub mod builder;
+pub mod disasm;
+pub mod operand;
+pub mod text;
+
+pub use builder::{Asm, AsmError, LabelId, Program};
+pub use disasm::{disassemble, listing};
+pub use operand::{IndexBase, Operand, Reg};
+pub use text::{assemble_text, assemble_text_with_symbols};

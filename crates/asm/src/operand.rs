@@ -1,0 +1,393 @@
+//! Operand forms and their VAX specifier encodings.
+
+use crate::builder::LabelId;
+use vax_arch::{AccessType, DataType, OperandSpec};
+
+/// A VAX general register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    /// Argument pointer (R12).
+    Ap = 12,
+    /// Frame pointer (R13).
+    Fp = 13,
+    /// Stack pointer (R14).
+    Sp = 14,
+    /// Program counter (R15).
+    Pc = 15,
+}
+
+impl Reg {
+    /// Register number 0–15.
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a register number (low four bits).
+    pub fn from_number(n: u8) -> Reg {
+        match n & 0xf {
+            0 => Reg::R0,
+            1 => Reg::R1,
+            2 => Reg::R2,
+            3 => Reg::R3,
+            4 => Reg::R4,
+            5 => Reg::R5,
+            6 => Reg::R6,
+            7 => Reg::R7,
+            8 => Reg::R8,
+            9 => Reg::R9,
+            10 => Reg::R10,
+            11 => Reg::R11,
+            12 => Reg::Ap,
+            13 => Reg::Fp,
+            14 => Reg::Sp,
+            _ => Reg::Pc,
+        }
+    }
+
+    /// Conventional name (`r0`…`r11`, `ap`, `fp`, `sp`, `pc`).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 16] = [
+            "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "ap",
+            "fp", "sp", "pc",
+        ];
+        NAMES[self.number() as usize]
+    }
+}
+
+impl core::fmt::Display for Reg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The base of an indexed operand (`base[Rx]`): any addressable mode
+/// except literal, register, immediate, or another index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexBase {
+    /// `(Rn)[Rx]`
+    Deferred(Reg),
+    /// `(Rn)+[Rx]`
+    AutoInc(Reg),
+    /// `-(Rn)[Rx]`
+    AutoDec(Reg),
+    /// `@#addr[Rx]`
+    Abs(u32),
+    /// `disp(Rn)[Rx]`
+    Disp(i32, Reg),
+}
+
+/// An assembler-level operand.
+///
+/// [`Operand::Imm`] automatically selects the six-bit short-literal form
+/// when the value fits and the operand is a read; otherwise it emits the
+/// full immediate. [`Operand::Disp`] selects the shortest displacement
+/// encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Immediate constant (short literal or `I^#` immediate).
+    Imm(u32),
+    /// Register direct: `Rn`.
+    Reg(Reg),
+    /// Register deferred: `(Rn)`.
+    Deferred(Reg),
+    /// Autoincrement: `(Rn)+`.
+    AutoInc(Reg),
+    /// Autodecrement: `-(Rn)`.
+    AutoDec(Reg),
+    /// Absolute address: `@#addr`.
+    Abs(u32),
+    /// Displacement off a register: `disp(Rn)`.
+    Disp(i32, Reg),
+    /// Displacement deferred: `@disp(Rn)`.
+    DispDeferred(i32, Reg),
+    /// PC-relative reference to a label (longword displacement form).
+    Label(LabelId),
+    /// Immediate whose value is a label's absolute address: `#label`.
+    ImmLabel(LabelId),
+    /// Absolute reference to a label: `@#label`.
+    AbsLabel(LabelId),
+    /// Indexed: `base[Rx]` — effective address is the base address plus
+    /// `Rx` scaled by the operand width.
+    Indexed(IndexBase, Reg),
+    /// Branch-displacement reference to a label (only for branch operands).
+    Branch(LabelId),
+}
+
+/// How a label fixup field is to be resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FixupKind {
+    /// Displacement relative to the PC after the field.
+    Relative,
+    /// The label's absolute address.
+    Absolute,
+}
+
+/// Encoding of one operand: the bytes emitted after the opcode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct EncodedOperand {
+    pub bytes: Vec<u8>,
+    /// For label operands: (byte index of the field within `bytes`,
+    /// field width, label, resolution kind).
+    pub fixup: Option<(usize, u8, LabelId, FixupKind)>,
+}
+
+impl Operand {
+    /// The encoded size in bytes, given the operand's spec.
+    pub(crate) fn encoded_len(&self, spec: OperandSpec) -> u32 {
+        match self {
+            Operand::Imm(v) => {
+                if spec.access == AccessType::Read && *v < 64 {
+                    1
+                } else {
+                    1 + spec.dtype.bytes()
+                }
+            }
+            Operand::Reg(_) | Operand::Deferred(_) | Operand::AutoInc(_) | Operand::AutoDec(_) => {
+                1
+            }
+            Operand::Abs(_) => 5,
+            Operand::Disp(d, _) | Operand::DispDeferred(d, _) => {
+                if i8::try_from(*d).is_ok() {
+                    2
+                } else if i16::try_from(*d).is_ok() {
+                    3
+                } else {
+                    5
+                }
+            }
+            Operand::Label(_) => 5,
+            Operand::ImmLabel(_) => 1 + spec.dtype.bytes(),
+            Operand::AbsLabel(_) => 5,
+            Operand::Indexed(base, _) => {
+                1 + match base {
+                    IndexBase::Deferred(_) | IndexBase::AutoInc(_) | IndexBase::AutoDec(_) => 1,
+                    IndexBase::Abs(_) => 5,
+                    IndexBase::Disp(d, _) => {
+                        if i8::try_from(*d).is_ok() {
+                            2
+                        } else if i16::try_from(*d).is_ok() {
+                            3
+                        } else {
+                            5
+                        }
+                    }
+                }
+            }
+            Operand::Branch(_) => {
+                if spec.dtype == DataType::Byte {
+                    1
+                } else {
+                    2
+                }
+            }
+        }
+    }
+
+    /// Encodes the operand. Label displacements are zero-filled and
+    /// reported via `fixup` for the second pass.
+    pub(crate) fn encode(&self, spec: OperandSpec) -> EncodedOperand {
+        let mut bytes = Vec::new();
+        let mut fixup = None;
+        match self {
+            Operand::Imm(v) => {
+                if spec.access == AccessType::Read && *v < 64 {
+                    bytes.push(*v as u8); // short literal, mode 0-3
+                } else {
+                    bytes.push(0x8F); // (PC)+ = immediate
+                    let w = spec.dtype.bytes();
+                    bytes.extend_from_slice(&v.to_le_bytes()[..w as usize]);
+                }
+            }
+            Operand::Reg(r) => bytes.push(0x50 | r.number()),
+            Operand::Deferred(r) => bytes.push(0x60 | r.number()),
+            Operand::AutoDec(r) => bytes.push(0x70 | r.number()),
+            Operand::AutoInc(r) => bytes.push(0x80 | r.number()),
+            Operand::Abs(addr) => {
+                bytes.push(0x9F); // @(PC)+ = absolute
+                bytes.extend_from_slice(&addr.to_le_bytes());
+            }
+            Operand::Disp(d, r) | Operand::DispDeferred(d, r) => {
+                let deferred = matches!(self, Operand::DispDeferred(..));
+                if let Ok(b) = i8::try_from(*d) {
+                    bytes.push(if deferred { 0xB0 } else { 0xA0 } | r.number());
+                    bytes.push(b as u8);
+                } else if let Ok(w) = i16::try_from(*d) {
+                    bytes.push(if deferred { 0xD0 } else { 0xC0 } | r.number());
+                    bytes.extend_from_slice(&w.to_le_bytes());
+                } else {
+                    bytes.push(if deferred { 0xF0 } else { 0xE0 } | r.number());
+                    bytes.extend_from_slice(&d.to_le_bytes());
+                }
+            }
+            Operand::Label(l) => {
+                bytes.push(0xEF); // long displacement off PC
+                bytes.extend_from_slice(&[0; 4]);
+                fixup = Some((1, 4, *l, FixupKind::Relative));
+            }
+            Operand::ImmLabel(l) => {
+                bytes.push(0x8F); // (PC)+ = immediate
+                let w = spec.dtype.bytes() as usize;
+                bytes.extend(std::iter::repeat_n(0, w));
+                fixup = Some((1, w as u8, *l, FixupKind::Absolute));
+            }
+            Operand::AbsLabel(l) => {
+                bytes.push(0x9F); // @(PC)+ = absolute
+                bytes.extend_from_slice(&[0; 4]);
+                fixup = Some((1, 4, *l, FixupKind::Absolute));
+            }
+            Operand::Indexed(base, rx) => {
+                bytes.push(0x40 | rx.number());
+                match base {
+                    IndexBase::Deferred(r) => bytes.push(0x60 | r.number()),
+                    IndexBase::AutoDec(r) => bytes.push(0x70 | r.number()),
+                    IndexBase::AutoInc(r) => bytes.push(0x80 | r.number()),
+                    IndexBase::Abs(addr) => {
+                        bytes.push(0x9F);
+                        bytes.extend_from_slice(&addr.to_le_bytes());
+                    }
+                    IndexBase::Disp(d, r) => {
+                        if let Ok(b) = i8::try_from(*d) {
+                            bytes.push(0xA0 | r.number());
+                            bytes.push(b as u8);
+                        } else if let Ok(w) = i16::try_from(*d) {
+                            bytes.push(0xC0 | r.number());
+                            bytes.extend_from_slice(&w.to_le_bytes());
+                        } else {
+                            bytes.push(0xE0 | r.number());
+                            bytes.extend_from_slice(&d.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Operand::Branch(l) => {
+                let w = if spec.dtype == DataType::Byte { 1 } else { 2 };
+                bytes.extend(std::iter::repeat_n(0, w as usize));
+                fixup = Some((0, w, *l, FixupKind::Relative));
+            }
+        }
+        EncodedOperand { bytes, fixup }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vax_arch::AccessType;
+
+    fn spec(access: AccessType, dtype: DataType) -> OperandSpec {
+        OperandSpec::new(access, dtype)
+    }
+
+    #[test]
+    fn short_literal_for_small_read_immediates() {
+        let e = Operand::Imm(5).encode(spec(AccessType::Read, DataType::Long));
+        assert_eq!(e.bytes, vec![0x05]);
+    }
+
+    #[test]
+    fn full_immediate_for_large_values() {
+        let e = Operand::Imm(0x1234).encode(spec(AccessType::Read, DataType::Long));
+        assert_eq!(e.bytes, vec![0x8F, 0x34, 0x12, 0, 0]);
+        // Width follows the operand data type.
+        let e = Operand::Imm(0x64).encode(spec(AccessType::Read, DataType::Byte));
+        assert_eq!(e.bytes, vec![0x8F, 0x64]);
+    }
+
+    #[test]
+    fn register_modes() {
+        assert_eq!(
+            Operand::Reg(Reg::R3)
+                .encode(spec(AccessType::Write, DataType::Long))
+                .bytes,
+            vec![0x53]
+        );
+        assert_eq!(
+            Operand::Deferred(Reg::Sp)
+                .encode(spec(AccessType::Read, DataType::Long))
+                .bytes,
+            vec![0x6E]
+        );
+        assert_eq!(
+            Operand::AutoInc(Reg::R1)
+                .encode(spec(AccessType::Read, DataType::Long))
+                .bytes,
+            vec![0x81]
+        );
+        assert_eq!(
+            Operand::AutoDec(Reg::Sp)
+                .encode(spec(AccessType::Write, DataType::Long))
+                .bytes,
+            vec![0x7E]
+        );
+    }
+
+    #[test]
+    fn displacement_chooses_smallest_width() {
+        let e = Operand::Disp(4, Reg::R2).encode(spec(AccessType::Read, DataType::Long));
+        assert_eq!(e.bytes, vec![0xA2, 4]);
+        let e = Operand::Disp(-300, Reg::R2).encode(spec(AccessType::Read, DataType::Long));
+        assert_eq!(e.bytes[0], 0xC2);
+        assert_eq!(e.bytes.len(), 3);
+        let e = Operand::Disp(0x12345, Reg::R2).encode(spec(AccessType::Read, DataType::Long));
+        assert_eq!(e.bytes[0], 0xE2);
+        assert_eq!(e.bytes.len(), 5);
+    }
+
+    #[test]
+    fn absolute_mode() {
+        let e = Operand::Abs(0x8000_0040).encode(spec(AccessType::Read, DataType::Long));
+        assert_eq!(e.bytes, vec![0x9F, 0x40, 0x00, 0x00, 0x80]);
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let cases = [
+            Operand::Imm(3),
+            Operand::Imm(0x7777),
+            Operand::Reg(Reg::R9),
+            Operand::Deferred(Reg::R0),
+            Operand::AutoInc(Reg::R4),
+            Operand::AutoDec(Reg::Sp),
+            Operand::Abs(0x1234),
+            Operand::Disp(7, Reg::R1),
+            Operand::Disp(5000, Reg::R1),
+            Operand::DispDeferred(-9, Reg::Fp),
+        ];
+        for op in cases {
+            for access in [AccessType::Read, AccessType::Write, AccessType::Address] {
+                for dt in [DataType::Byte, DataType::Word, DataType::Long] {
+                    let s = spec(access, dt);
+                    assert_eq!(
+                        op.encoded_len(s) as usize,
+                        op.encode(s).bytes.len(),
+                        "{op:?} {access:?} {dt:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reg_names_round_trip() {
+        for n in 0..16u8 {
+            let r = Reg::from_number(n);
+            assert_eq!(r.number(), n);
+            assert!(!r.name().is_empty());
+        }
+        assert_eq!(Reg::Sp.name(), "sp");
+    }
+}

@@ -1,0 +1,436 @@
+//! The text front-end: conventional assembly syntax.
+//!
+//! ```text
+//! ; comments run to end of line
+//! start:  movl  #5, r0
+//! loop:   sobgtr r0, loop
+//!         mtpr  #0, #18        ; MTPR to IPL
+//!         .long 0xdeadbeef
+//!         .byte 1, 2, 3
+//!         .align 4
+//!         .space 16
+//!         halt
+//! ```
+//!
+//! Operand syntax: `#n` immediate, `rN`/`ap`/`fp`/`sp`/`pc` register,
+//! `(rN)` deferred, `(rN)+` autoincrement, `-(rN)` autodecrement, `@#addr`
+//! absolute, `disp(rN)` displacement, `@disp(rN)` displacement deferred,
+//! and a bare identifier for a label (branch or PC-relative as the
+//! instruction requires).
+
+use crate::builder::{Asm, AsmError, LabelId};
+use crate::operand::{Operand, Reg};
+use std::collections::HashMap;
+use vax_arch::{AccessType, Opcode};
+
+/// Assembles text at the given base address.
+///
+/// # Errors
+///
+/// [`AsmError::Parse`] for syntax problems, plus any builder error.
+///
+/// # Example
+///
+/// ```
+/// let p = vax_asm::assemble_text("
+///     start:  movl #5, r0
+///             sobgtr r0, start
+///             halt
+/// ", 0x1000)?;
+/// assert_eq!(p.bytes[0], 0xD0);
+/// # Ok::<(), vax_asm::AsmError>(())
+/// ```
+pub fn assemble_text(src: &str, base: u32) -> Result<crate::builder::Program, AsmError> {
+    assemble_text_with_symbols(src, base).map(|(p, _)| p)
+}
+
+/// Like [`assemble_text`], but also returns the symbol table: every label
+/// name mapped to its absolute address. Used by loaders that must place
+/// handler addresses into vector tables (e.g. a guest SCB).
+///
+/// # Errors
+///
+/// Same as [`assemble_text`].
+pub fn assemble_text_with_symbols(
+    src: &str,
+    base: u32,
+) -> Result<(crate::builder::Program, HashMap<String, u32>), AsmError> {
+    let mut asm = Asm::new(base);
+    let mut names: HashMap<String, LabelId> = HashMap::new();
+
+    let mut get_label = |asm: &mut Asm, name: &str| -> LabelId {
+        if let Some(l) = names.get(name) {
+            *l
+        } else {
+            let l = asm.label();
+            names.insert(name.to_string(), l);
+            l
+        }
+    };
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // Leading labels.
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !is_ident(name) {
+                break;
+            }
+            let l = get_label(&mut asm, name);
+            asm.bind(l)?;
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (mnemonic, args) = match rest.find(char::is_whitespace) {
+            Some(i) => (&rest[..i], rest[i..].trim()),
+            None => (rest, ""),
+        };
+        let err = |msg: String| AsmError::Parse(format!("line {}: {msg}", lineno + 1));
+
+        if let Some(directive) = mnemonic.strip_prefix('.') {
+            match directive.to_ascii_lowercase().as_str() {
+                "byte" => {
+                    let mut bytes = Vec::new();
+                    for a in split_args(args) {
+                        bytes.push(
+                            parse_num(&a).ok_or_else(|| err(format!("bad byte {a:?}")))? as u8,
+                        );
+                    }
+                    asm.bytes(&bytes);
+                }
+                "word" => {
+                    for a in split_args(args) {
+                        let v = parse_num(&a).ok_or_else(|| err(format!("bad word {a:?}")))?;
+                        asm.bytes(&(v as u16).to_le_bytes());
+                    }
+                }
+                "long" => {
+                    for a in split_args(args) {
+                        if let Some(v) = parse_num(&a) {
+                            asm.long(v);
+                        } else if is_ident(&a) {
+                            let l = get_label(&mut asm, &a);
+                            asm.long_label(l);
+                        } else {
+                            return Err(err(format!("bad long {a:?}")));
+                        }
+                    }
+                }
+                "align" => {
+                    let v = parse_num(args).ok_or_else(|| err("bad align".into()))?;
+                    if !v.is_power_of_two() {
+                        return Err(err(format!("alignment {v} not a power of two")));
+                    }
+                    asm.align(v);
+                }
+                "space" => {
+                    let v = parse_num(args).ok_or_else(|| err("bad space".into()))?;
+                    asm.space(v);
+                }
+                "ascii" | "asciz" => {
+                    let t = args.trim();
+                    let body = t
+                        .strip_prefix('"')
+                        .and_then(|b| b.strip_suffix('"'))
+                        .ok_or_else(|| err("string must be double-quoted".into()))?;
+                    // Minimal escapes: \n, \t, \0, \\ and \" .
+                    let mut bytes: Vec<u8> = Vec::with_capacity(body.len());
+                    let mut chars = body.bytes();
+                    while let Some(b) = chars.next() {
+                        if b == b'\\' {
+                            match chars.next() {
+                                Some(b'n') => bytes.push(b'\n'),
+                                Some(b't') => bytes.push(b'\t'),
+                                Some(b'0') => bytes.push(0),
+                                Some(other) => bytes.push(other),
+                                None => return Err(err("trailing backslash".into())),
+                            }
+                        } else {
+                            bytes.push(b);
+                        }
+                    }
+                    if directive.eq_ignore_ascii_case("asciz") {
+                        bytes.push(0);
+                    }
+                    asm.bytes(&bytes);
+                }
+                other => return Err(err(format!("unknown directive .{other}"))),
+            }
+            continue;
+        }
+
+        let op = lookup_mnemonic(mnemonic)
+            .ok_or_else(|| err(format!("unknown mnemonic {mnemonic:?}")))?;
+        let specs = op.operands();
+        let arg_list = split_args(args);
+        if arg_list.len() != specs.len() {
+            return Err(AsmError::OperandCount {
+                op,
+                expected: specs.len(),
+                got: arg_list.len(),
+            });
+        }
+        let mut operands = Vec::with_capacity(arg_list.len());
+        for (a, spec) in arg_list.iter().zip(specs) {
+            let o = if spec.access == AccessType::Branch {
+                if !is_ident(a) {
+                    return Err(err(format!("branch target must be a label, got {a:?}")));
+                }
+                Operand::Branch(get_label(&mut asm, a))
+            } else {
+                parse_operand(a, |n| get_label(&mut asm, n))
+                    .ok_or_else(|| err(format!("bad operand {a:?}")))?
+            };
+            operands.push(o);
+        }
+        asm.inst(op, &operands)?;
+    }
+    let program = asm.assemble()?;
+    let symbols = names
+        .into_iter()
+        .map(|(name, l)| {
+            let addr = program.addr(l);
+            (name, addr)
+        })
+        .collect();
+    Ok((program, symbols))
+}
+
+fn lookup_mnemonic(m: &str) -> Option<Opcode> {
+    let upper = m.to_ascii_uppercase();
+    Opcode::ALL.iter().copied().find(|o| o.mnemonic() == upper)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn split_args(args: &str) -> Vec<String> {
+    if args.trim().is_empty() {
+        return Vec::new();
+    }
+    args.split(',').map(|s| s.trim().to_string()).collect()
+}
+
+fn parse_num(s: &str) -> Option<u32> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<u32>().ok()?
+    };
+    Some(if neg { v.wrapping_neg() } else { v })
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    let lower = s.to_ascii_lowercase();
+    (0..16u8).map(Reg::from_number).find(|r| r.name() == lower)
+}
+
+fn parse_operand(s: &str, mut label: impl FnMut(&str) -> LabelId) -> Option<Operand> {
+    let s = s.trim();
+    // Indexed: base[rx].
+    if let Some(open) = s.find('[') {
+        let rx = parse_reg(s[open..].strip_prefix('[')?.strip_suffix(']')?)?;
+        use crate::operand::IndexBase;
+        let base = match parse_plain_operand(&s[..open])? {
+            Operand::Deferred(r) => IndexBase::Deferred(r),
+            Operand::AutoInc(r) => IndexBase::AutoInc(r),
+            Operand::AutoDec(r) => IndexBase::AutoDec(r),
+            Operand::Abs(a) => IndexBase::Abs(a),
+            Operand::Disp(d, r) => IndexBase::Disp(d, r),
+            _ => return None,
+        };
+        return Some(Operand::Indexed(base, rx));
+    }
+    // Label-bearing forms.
+    if let Some(imm) = s.strip_prefix("@#") {
+        if parse_num(imm).is_none() && is_ident(imm) {
+            return Some(Operand::AbsLabel(label(imm)));
+        }
+    } else if let Some(imm) = s.strip_prefix('#') {
+        if parse_num(imm).is_none() && is_ident(imm) {
+            return Some(Operand::ImmLabel(label(imm)));
+        }
+    }
+    if let Some(op) = parse_plain_operand(s) {
+        return Some(op);
+    }
+    if is_ident(s) {
+        return Some(Operand::Label(label(s)));
+    }
+    None
+}
+
+/// Parses the label-free operand forms.
+fn parse_plain_operand(s: &str) -> Option<Operand> {
+    let s = s.trim();
+    if let Some(imm) = s.strip_prefix("@#") {
+        return Some(Operand::Abs(parse_num(imm)?));
+    }
+    if let Some(imm) = s.strip_prefix('#') {
+        return Some(Operand::Imm(parse_num(imm)?));
+    }
+    if let Some(r) = parse_reg(s) {
+        return Some(Operand::Reg(r));
+    }
+    if let Some(body) = s.strip_prefix("-(") {
+        let r = parse_reg(body.strip_suffix(')')?)?;
+        return Some(Operand::AutoDec(r));
+    }
+    if let Some(body) = s.strip_suffix(")+") {
+        let r = parse_reg(body.strip_prefix('(')?)?;
+        return Some(Operand::AutoInc(r));
+    }
+    // disp(rn), @disp(rn), (rn), @(rn) forms.
+    let (deferred, body) = match s.strip_prefix('@') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    if let Some(open) = body.find('(') {
+        let disp_str = &body[..open];
+        let reg_str = body[open..].strip_prefix('(')?.strip_suffix(')')?;
+        let r = parse_reg(reg_str)?;
+        let disp = if disp_str.is_empty() {
+            0
+        } else {
+            parse_num(disp_str)? as i32
+        };
+        return Some(if deferred {
+            Operand::DispDeferred(disp, r)
+        } else if disp == 0 && disp_str.is_empty() {
+            Operand::Deferred(r)
+        } else {
+            Operand::Disp(disp, r)
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+
+    #[test]
+    fn assembles_loop_with_labels() {
+        let p = assemble_text(
+            "
+            ; count down from 5
+            start:  movl #5, r0
+            loop:   sobgtr r0, loop
+                    brb start
+                    halt
+            ",
+            0x1000,
+        )
+        .unwrap();
+        let texts: Vec<String> = disassemble(&p.bytes, p.base)
+            .into_iter()
+            .map(|l| l.text)
+            .collect();
+        assert_eq!(
+            texts,
+            vec!["movl #5, r0", "sobgtr r0, 0x1003", "brb 0x1000", "halt"]
+        );
+    }
+
+    #[test]
+    fn directives() {
+        let p = assemble_text(
+            "
+            .byte 1, 2
+            .align 4
+            v:  .long 0xdead, v
+            .space 2
+            .word 0x1234
+            ",
+            0,
+        )
+        .unwrap();
+        assert_eq!(&p.bytes[..4], &[1, 2, 0, 0]);
+        assert_eq!(&p.bytes[4..8], &[0xAD, 0xDE, 0, 0]);
+        assert_eq!(&p.bytes[8..12], &[4, 0, 0, 0]); // address of v
+        assert_eq!(&p.bytes[12..16], &[0, 0, 0x34, 0x12]);
+    }
+
+    #[test]
+    fn operand_forms() {
+        let p = assemble_text(
+            "movl 8(r2), r0\n movl (r3), r1\n movl (r4)+, r5\n movl r6, -(sp)\n movl @#0x80000000, r7\n movl @4(fp), r8\n",
+            0,
+        )
+        .unwrap();
+        let texts: Vec<String> = disassemble(&p.bytes, 0).into_iter().map(|l| l.text).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "movl 8(r2), r0",
+                "movl (r3), r1",
+                "movl (r4)+, r5",
+                "movl r6, -(sp)",
+                "movl @#0x80000000, r7",
+                "movl @4(fp), r8"
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_mnemonic_errors() {
+        assert!(matches!(
+            assemble_text("frobnicate r0", 0),
+            Err(AsmError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn operand_count_errors() {
+        assert!(matches!(
+            assemble_text("movl r0", 0),
+            Err(AsmError::OperandCount { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_numbers_and_hex() {
+        let p = assemble_text("movl #-1, r0", 0).unwrap();
+        // -1 won't fit a short literal; full immediate.
+        assert_eq!(p.bytes[1], 0x8F);
+        assert_eq!(&p.bytes[2..6], &[0xFF, 0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn branch_to_number_rejected() {
+        assert!(matches!(
+            assemble_text("brb 0x100", 0),
+            Err(AsmError::Parse(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod ascii_tests {
+    use super::*;
+
+    #[test]
+    fn ascii_and_asciz_directives() {
+        let p = assemble_text("msg: .asciz \"OK\"\n", 0x100).unwrap();
+        assert_eq!(p.bytes, vec![b'O', b'K', 0]);
+        let p = assemble_text(".ascii \"AB\"", 0).unwrap();
+        assert_eq!(p.bytes, vec![b'A', b'B']);
+        assert!(assemble_text(".ascii unquoted", 0).is_err());
+    }
+}

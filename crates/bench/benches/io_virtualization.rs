@@ -1,0 +1,54 @@
+//! E12 / paper §4.4.3: start-I/O (KCALL) versus emulated memory-mapped
+//! I/O.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vax_os::{build_image, run_in_vm, OsConfig, Workload};
+use vax_vmm::{IoStrategy, MonitorConfig, VmConfig};
+
+fn bench(c: &mut Criterion) {
+    let base = OsConfig {
+        nproc: 1,
+        workload: Workload::Transaction,
+        iterations: 80,
+        ..OsConfig::default()
+    };
+    let img_kcall = build_image(&base).unwrap();
+    let img_mmio = build_image(&OsConfig {
+        force_mmio: true,
+        ..base
+    })
+    .unwrap();
+    let mut g = c.benchmark_group("io_virtualization");
+    g.sample_size(10);
+    g.bench_function("start_io_kcall", |b| {
+        b.iter(|| {
+            let (out, _, _) = run_in_vm(
+                &img_kcall,
+                MonitorConfig::default(),
+                VmConfig::default(),
+                16_000_000_000,
+            );
+            assert!(out.completed);
+            out.cycles
+        })
+    });
+    g.bench_function("emulated_mmio", |b| {
+        b.iter(|| {
+            let (out, _, _) = run_in_vm(
+                &img_mmio,
+                MonitorConfig::default(),
+                VmConfig {
+                    io_strategy: IoStrategy::EmulatedMmio,
+                    ..VmConfig::default()
+                },
+                64_000_000_000,
+            );
+            assert!(out.completed);
+            out.cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

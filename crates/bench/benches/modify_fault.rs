@@ -1,0 +1,42 @@
+//! E13 / paper §4.4.2: the modify fault versus the read-only-shadow
+//! alternative on a write+probe mix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vax_os::{build_image, run_in_vm, OsConfig, Workload};
+use vax_vmm::{DirtyStrategy, MonitorConfig, VmConfig};
+
+fn bench(c: &mut Criterion) {
+    let img = build_image(&OsConfig {
+        nproc: 4,
+        workload: Workload::Mixed,
+        iterations: 100,
+        ..OsConfig::default()
+    })
+    .unwrap();
+    let mut g = c.benchmark_group("modify_fault");
+    g.sample_size(10);
+    for (label, strategy) in [
+        ("modify_fault", DirtyStrategy::ModifyFault),
+        ("read_only_shadow", DirtyStrategy::ReadOnlyShadow),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let (out, _, _) = run_in_vm(
+                    &img,
+                    MonitorConfig::default(),
+                    VmConfig {
+                        dirty_strategy: strategy,
+                        ..VmConfig::default()
+                    },
+                    16_000_000_000,
+                );
+                assert!(out.completed);
+                out.cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

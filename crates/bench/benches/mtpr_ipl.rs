@@ -1,0 +1,20 @@
+//! E9 / paper §7.3: the MTPR-to-IPL hot path, bare versus emulated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vax_bench::e9_mtpr_ipl;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mtpr_ipl");
+    g.sample_size(20);
+    g.bench_function("bare_vs_emulated_2000_ops", |b| {
+        b.iter(|| {
+            let r = e9_mtpr_ipl(2000);
+            assert!(r.ratio() > 5.0, "emulation must be much slower");
+            r.ratio()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E2/E13 companion: PROBE microcode fast path versus the PROBE-trap
+//! path, and raw simulator throughput on the probe-heavy guest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vax_os::{build_image, run_bare, run_in_vm, OsConfig, Workload};
+use vax_vmm::{MonitorConfig, VmConfig};
+
+fn bench(c: &mut Criterion) {
+    let img = build_image(&OsConfig {
+        nproc: 2,
+        workload: Workload::Probe,
+        iterations: 150,
+        ..OsConfig::default()
+    })
+    .unwrap();
+    let mut g = c.benchmark_group("probe");
+    g.sample_size(10);
+    g.bench_function("bare", |b| {
+        b.iter(|| {
+            let out = run_bare(&img, 8_000_000_000);
+            assert!(out.completed);
+            out.cycles
+        })
+    });
+    g.bench_function("vm", |b| {
+        b.iter(|| {
+            let (out, _, _) = run_in_vm(
+                &img,
+                MonitorConfig::default(),
+                VmConfig::default(),
+                16_000_000_000,
+            );
+            assert!(out.completed);
+            out.cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

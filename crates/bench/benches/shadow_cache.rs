@@ -1,0 +1,21 @@
+//! E10 / paper §7.2: shadow-table cache slots sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vax_bench::e10_shadow_cache;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadow_cache");
+    g.sample_size(10);
+    for slots in [1usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &s| {
+            b.iter(|| {
+                let p = e10_shadow_cache(6, s);
+                p.fills
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E8 / paper §7.3: the editing+transaction mix on bare hardware versus
+//! inside a VM (with and without the §7.2 shadow-table cache).
+//!
+//! Criterion measures *host wall time of the simulation*; the paper's
+//! performance ratio is in *simulated cycles*, reported by
+//! `cargo run -p vax-bench --bin tables -- --e8` (a VM exit handled by
+//! fast host code can be cheaper in wall time than the many simulated
+//! instructions it stands for, so the two metrics deliberately differ).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vax_os::{build_image, run_bare, run_in_vm, OsConfig, Workload};
+use vax_vmm::{MonitorConfig, ShadowConfig, VmConfig};
+
+fn config() -> OsConfig {
+    OsConfig {
+        nproc: 4,
+        workload: Workload::EditTrans,
+        iterations: 120,
+        quantum_ticks: 3,
+        tick_cycles: 2500,
+        ..OsConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let img = build_image(&config()).unwrap();
+    let mut g = c.benchmark_group("vm_vs_native");
+    g.sample_size(10);
+    g.bench_function("bare_hardware", |b| {
+        b.iter(|| {
+            let out = run_bare(&img, 8_000_000_000);
+            assert!(out.completed);
+            out.cycles
+        })
+    });
+    g.bench_function("vm_with_shadow_cache", |b| {
+        b.iter(|| {
+            let (out, _, _) = run_in_vm(
+                &img,
+                MonitorConfig::default(),
+                VmConfig {
+                    shadow: ShadowConfig {
+                        cache_slots: 8,
+                        ..ShadowConfig::default()
+                    },
+                    ..VmConfig::default()
+                },
+                32_000_000_000,
+            );
+            assert!(out.completed);
+            out.cycles
+        })
+    });
+    g.bench_function("vm_no_shadow_cache", |b| {
+        b.iter(|| {
+            let (out, _, _) = run_in_vm(
+                &img,
+                MonitorConfig::default(),
+                VmConfig::default(),
+                32_000_000_000,
+            );
+            assert!(out.completed);
+            out.cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

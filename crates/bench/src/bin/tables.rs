@@ -1,0 +1,77 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage: `cargo run -p vax-bench --bin tables [--t1 --t2 --t3 --t4
+//! --f1 --f2 --f3 --e8 --e9 --e10 --e11 --e12 --e13 --e14 --e15]`
+//! (no arguments = everything).
+
+use vax_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
+
+    let scans = if want("--t1") || want("--t3") || want("--t4") {
+        Some(e1_sensitivity())
+    } else {
+        None
+    };
+
+    if want("--t1") {
+        println!("{}", render_t1(scans.as_ref().unwrap()));
+    }
+    if want("--t2") {
+        println!("{}", render_t2());
+    }
+    if want("--t3") {
+        println!("{}", render_t3(scans.as_ref().unwrap()));
+    }
+    if want("--t4") {
+        println!("{}", render_t4(scans.as_ref().unwrap()));
+    }
+    if want("--f1") {
+        println!("{}", render_f1());
+    }
+    if want("--f2") {
+        println!("{}", render_f2());
+    }
+    if want("--f3") {
+        println!("{}", render_f3());
+    }
+    if want("--e8") {
+        println!("{}", render_e8(&e8_performance()));
+    }
+    if want("--e9") {
+        println!("{}", render_e9(&e9_mtpr_ipl(2000)));
+    }
+    if want("--e10") {
+        let points: Vec<_> = [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|s| e10_shadow_cache(6, s))
+            .collect();
+        println!("{}", render_e10(&points));
+    }
+    if want("--e11") {
+        let points: Vec<_> = [1u32, 4, 16].into_iter().map(e11_faults_per_switch).collect();
+        println!("{}", render_e11(&points));
+    }
+    if want("--e12") {
+        let (a, b) = e12_io();
+        println!("{}", render_e12(&a, &b));
+    }
+    if want("--e13") {
+        let (a, b) = e13_dirty();
+        println!("{}", render_e13(&a, &b));
+    }
+    if want("--e14") {
+        println!("{}", render_e14(&e14_wait()));
+    }
+    if want("--e15") {
+        println!("{}", render_e15(&e15_ring_leak()));
+    }
+    if want("--ablation-quantum") {
+        println!("{}", render_quantum(&ablation_quantum_sweep()));
+    }
+    if want("--ablation-scaling") {
+        println!("{}", render_scaling(&ablation_vm_scaling()));
+    }
+}

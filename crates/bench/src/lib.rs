@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Experiment drivers that regenerate every table and figure of the
+//! paper, plus the quantitative claims of §4.3.1, §7.2, and §7.3.
+//!
+//! Each `e*`/`t*`/`f*` function returns structured results; the `tables`
+//! binary renders them in the paper's shape, and the Criterion benches
+//! time the underlying simulations. EXPERIMENTS.md records paper-vs-
+//! measured values.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::*;

@@ -1,0 +1,66 @@
+//! Smoke tests: every experiment driver runs end to end with reduced
+//! parameters (the full sweeps run via the `tables` binary).
+
+use vax_bench::*;
+
+#[test]
+fn e10_cache_effect_is_directionally_right() {
+    let uncached = e10_shadow_cache(4, 1);
+    let cached = e10_shadow_cache(4, 4);
+    assert!(
+        cached.fills * 5 < uncached.fills,
+        "cached {} vs uncached {} fills",
+        cached.fills,
+        uncached.fills
+    );
+    assert!(cached.cycles < uncached.cycles);
+    assert!(cached.hits > 0);
+}
+
+#[test]
+fn e11_prefill_trades_faults_for_fills() {
+    let on_demand = e11_faults_per_switch(1);
+    let prefill = e11_faults_per_switch(8);
+    assert!(prefill.faults < on_demand.faults, "prefill reduces faults");
+    assert!(
+        prefill.fills > on_demand.fills,
+        "but translates far more PTEs"
+    );
+    assert!(
+        prefill.cycles > on_demand.cycles,
+        "and loses overall (paper 4.3.1): {} vs {}",
+        prefill.cycles,
+        on_demand.cycles
+    );
+}
+
+#[test]
+fn e12_start_io_beats_emulated_mmio() {
+    let (start_io, mmio) = e12_io();
+    assert_eq!(start_io.disk_ops, mmio.disk_ops, "same work");
+    assert!(start_io.traps_per_op < 2.0);
+    assert!(mmio.traps_per_op > 50.0);
+    assert!(mmio.cycles > 3 * start_io.cycles);
+}
+
+#[test]
+fn e13_read_only_shadow_costs_more() {
+    let (mf, ro) = e13_dirty();
+    assert_eq!(mf.probew_extra, 0);
+    assert!(ro.probew_extra > 100);
+    assert!(ro.cycles > mf.cycles);
+    assert_eq!(mf.modify_faults, ro.upgrades, "same dirty pages either way");
+}
+
+#[test]
+fn e8_mix_lands_in_the_papers_band() {
+    // The headline claim, asserted in CI (deterministic simulation).
+    let p = measure_perf(vax_os::Workload::EditTrans, 6, 300, 8);
+    let rel = p.relative_perf();
+    assert!(
+        (0.44..=0.52).contains(&rel),
+        "editing+transaction mix at {:.1}% (paper: 47-48%)",
+        100.0 * rel
+    );
+    assert!(p.work_matches);
+}

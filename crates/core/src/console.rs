@@ -1,0 +1,220 @@
+//! The virtual console (paper §5): "VAX systems may provide all or a
+//! subset of the console's command interface. We chose a subset adequate
+//! for booting and debugging a VM."
+//!
+//! Commands follow the classic VAX console syntax:
+//!
+//! ```text
+//! >>> EXAMINE 1000        ! display guest-physical memory
+//! >>> DEPOSIT 1000 DEADBEEF
+//! >>> BOOT 2000           ! start the VM at a guest-physical entry
+//! >>! HALT                ! stop the VM at the console
+//! >>> CONTINUE            ! resume a halted VM
+//! >>> EXAMINE /R 5        ! display a register (R0-R15 by number)
+//! ```
+//!
+//! Addresses and data are hexadecimal, as on the real console.
+
+use crate::monitor::{Monitor, VmId};
+use crate::vm::VmState;
+
+/// A parsed console command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsoleCommand {
+    /// `EXAMINE addr` — read a guest-physical longword.
+    Examine(u32),
+    /// `EXAMINE /R n` — read general register `n`.
+    ExamineReg(u8),
+    /// `DEPOSIT addr value` — write a guest-physical longword.
+    Deposit(u32, u32),
+    /// `BOOT addr` — architectural cold start at a guest-physical entry.
+    Boot(u32),
+    /// `HALT` — stop the VM at the console.
+    Halt,
+    /// `CONTINUE` — resume.
+    Continue,
+}
+
+/// Console errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsoleError {
+    /// The command line did not parse.
+    Syntax(String),
+    /// The address is outside the VM's memory.
+    BadAddress(u32),
+}
+
+impl core::fmt::Display for ConsoleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConsoleError::Syntax(s) => write!(f, "?SYNTAX: {s}"),
+            ConsoleError::BadAddress(a) => write!(f, "?ADDR: {a:08X} outside memory"),
+        }
+    }
+}
+
+impl std::error::Error for ConsoleError {}
+
+impl ConsoleCommand {
+    /// Parses one console command line.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsoleError::Syntax`] on malformed input.
+    pub fn parse(line: &str) -> Result<ConsoleCommand, ConsoleError> {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let bad = || ConsoleError::Syntax(line.trim().to_string());
+        let hex = |s: &str| u32::from_str_radix(s, 16).map_err(|_| bad());
+        match toks.as_slice() {
+            [cmd, "/R", n] if matches("EXAMINE", cmd) => {
+                let r: u8 = n.parse().map_err(|_| bad())?;
+                if r > 15 {
+                    return Err(bad());
+                }
+                Ok(ConsoleCommand::ExamineReg(r))
+            }
+            [cmd, addr] if matches("EXAMINE", cmd) => Ok(ConsoleCommand::Examine(hex(addr)?)),
+            [cmd, addr, value] if matches("DEPOSIT", cmd) => {
+                Ok(ConsoleCommand::Deposit(hex(addr)?, hex(value)?))
+            }
+            [cmd, addr] if matches("BOOT", cmd) => Ok(ConsoleCommand::Boot(hex(addr)?)),
+            [cmd] if matches("HALT", cmd) => Ok(ConsoleCommand::Halt),
+            [cmd] if matches("CONTINUE", cmd) => Ok(ConsoleCommand::Continue),
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// True if `input` is an unambiguous prefix of `full` (the VAX console
+/// accepts abbreviations: `E`, `EXA`, `EXAMINE` …).
+fn matches(full: &str, input: &str) -> bool {
+    !input.is_empty()
+        && input.len() <= full.len()
+        && full
+            .chars()
+            .zip(input.chars())
+            .all(|(a, b)| a == b.to_ascii_uppercase())
+}
+
+impl Monitor {
+    /// Executes one console command line against a VM and returns the
+    /// console's response text.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsoleError`] for malformed commands or bad addresses.
+    pub fn console_command(&mut self, id: VmId, line: &str) -> Result<String, ConsoleError> {
+        match ConsoleCommand::parse(line)? {
+            ConsoleCommand::Examine(addr) => {
+                let v = self
+                    .vm_read_phys_u32(id, addr)
+                    .ok_or(ConsoleError::BadAddress(addr))?;
+                Ok(format!("P {addr:08X} {v:08X}"))
+            }
+            ConsoleCommand::ExamineReg(r) => {
+                let v = self.vm(id).regs[r as usize];
+                Ok(format!("R{r:<2} {v:08X}"))
+            }
+            ConsoleCommand::Deposit(addr, value) => {
+                if self.vm(id).gpa_to_pa(addr).is_none() {
+                    return Err(ConsoleError::BadAddress(addr));
+                }
+                self.vm_write_phys(id, addr, &value.to_le_bytes());
+                Ok(format!("P {addr:08X} {value:08X}"))
+            }
+            ConsoleCommand::Boot(addr) => {
+                if self.vm(id).gpa_to_pa(addr).is_none() {
+                    return Err(ConsoleError::BadAddress(addr));
+                }
+                self.boot_vm(id, addr);
+                Ok(format!("%BOOT-I-STARTED, PC {addr:08X}"))
+            }
+            ConsoleCommand::Halt => {
+                self.halt_vm(id);
+                let pc = self.vm(id).regs[15];
+                Ok(format!("?06 HLT INST\n        PC = {pc:08X}"))
+            }
+            ConsoleCommand::Continue => {
+                if self.vm(id).state == VmState::ConsoleHalt {
+                    self.continue_vm(id);
+                    Ok("%CONT-I-RESUMED".to_string())
+                } else {
+                    Ok("%CONT-W-NOTHALTED".to_string())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{MonitorConfig, VmConfig};
+
+    #[test]
+    fn parse_full_and_abbreviated_commands() {
+        assert_eq!(
+            ConsoleCommand::parse("EXAMINE 1000"),
+            Ok(ConsoleCommand::Examine(0x1000))
+        );
+        assert_eq!(
+            ConsoleCommand::parse("e 1000"),
+            Ok(ConsoleCommand::Examine(0x1000))
+        );
+        assert_eq!(
+            ConsoleCommand::parse("dep 200 deadbeef"),
+            Ok(ConsoleCommand::Deposit(0x200, 0xDEAD_BEEF))
+        );
+        assert_eq!(ConsoleCommand::parse("b 2000"), Ok(ConsoleCommand::Boot(0x2000)));
+        assert_eq!(ConsoleCommand::parse("halt"), Ok(ConsoleCommand::Halt));
+        assert_eq!(ConsoleCommand::parse("c"), Ok(ConsoleCommand::Continue));
+        assert_eq!(
+            ConsoleCommand::parse("EXAMINE /R 5"),
+            Ok(ConsoleCommand::ExamineReg(5))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ConsoleCommand::parse("").is_err());
+        assert!(ConsoleCommand::parse("FROB 1").is_err());
+        assert!(ConsoleCommand::parse("EXAMINE xyz").is_err());
+        assert!(ConsoleCommand::parse("EXAMINE /R 16").is_err());
+        assert!(ConsoleCommand::parse("DEPOSIT 100").is_err());
+        assert!(ConsoleCommand::parse("EXAMINED 100").is_err(), "over-long");
+    }
+
+    #[test]
+    fn examine_deposit_boot_halt_continue_cycle() {
+        let mut mon = Monitor::new(MonitorConfig::default());
+        let vm = mon.create_vm("c", VmConfig::default());
+        // DEPOSIT a HALT instruction, BOOT to it, observe the halt.
+        mon.console_command(vm, "DEPOSIT 1000 00000000").unwrap(); // HALT opcode
+        let r = mon.console_command(vm, "EXAMINE 1000").unwrap();
+        assert!(r.ends_with("00000000"), "{r}");
+        mon.console_command(vm, "BOOT 1000").unwrap();
+        mon.run(100_000);
+        assert_eq!(mon.vm(vm).state, VmState::ConsoleHalt);
+        let r = mon.console_command(vm, "CONTINUE").unwrap();
+        assert_eq!(r, "%CONT-I-RESUMED");
+        assert_eq!(mon.vm(vm).state, VmState::Ready);
+        let r = mon.console_command(vm, "EXAMINE /R 15").unwrap();
+        assert!(r.starts_with("R15"), "{r}");
+    }
+
+    #[test]
+    fn bad_addresses_are_reported() {
+        let mut mon = Monitor::new(MonitorConfig::default());
+        let vm = mon.create_vm("c", VmConfig::default());
+        assert!(matches!(
+            mon.console_command(vm, "EXAMINE FFFFFFF0"),
+            Err(ConsoleError::BadAddress(_))
+        ));
+        assert!(matches!(
+            mon.console_command(vm, "BOOT FFFFFFF0"),
+            Err(ConsoleError::BadAddress(_))
+        ));
+        let e = ConsoleError::BadAddress(0x10);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! I/O virtualization (paper §4.4.3): the start-I/O `KCALL` design and
+//! the memory-mapped-emulation ablation it beat.
+//!
+//! # The KCALL request block
+//!
+//! The guest builds a request block in its physical memory and writes its
+//! address to the `KCALL` processor register (one trap total):
+//!
+//! | Offset | Field  | Meaning                                     |
+//! |--------|--------|---------------------------------------------|
+//! | +0     | FUNC   | 1 disk read, 2 disk write, 3 console write, 4 register uptime cell |
+//! | +4     | SECTOR | disk sector number                           |
+//! | +8     | BUFFER | guest-physical buffer address                |
+//! | +12    | LEN    | transfer length in bytes                     |
+//! | +16    | STATUS | written by the VMM: 1 done, ≥0x80000000 error |
+//!
+//! Disk transfers complete asynchronously: STATUS goes to 1 and a virtual
+//! interrupt (IPL 21, the guest's `Device0` vector) is delivered after
+//! the configured latency.
+//!
+//! # Emulated memory-mapped I/O (the ablation)
+//!
+//! The guest maps guest-physical frames at [`GUEST_IO_GPFN_BASE`]; the
+//! shadow PTEs for that window are kept invalid, so **every** CSR access
+//! traps. The VMM services each trap by briefly validating the mapping to
+//! the real bus device, single-stepping the VM, and invalidating again —
+//! one full trap round-trip per CSR touch, which is exactly the cost the
+//! paper rejected.
+
+use crate::monitor::Monitor;
+use crate::vm::VirtualIrq;
+use vax_arch::va::{VirtAddr, PAGE_SHIFT};
+use vax_arch::{Protection, Pte, ScbVector};
+use vax_cpu::StepEvent;
+
+/// First guest-physical frame of the emulated I/O window.
+pub const GUEST_IO_GPFN_BASE: u32 = 0x000F_0000;
+
+/// Pages in the emulated I/O window.
+pub const GUEST_IO_PAGES: u32 = 8;
+
+/// KCALL function: read a disk sector into guest memory.
+pub const KCALL_DISK_READ: u32 = 1;
+/// KCALL function: write guest memory to a disk sector.
+pub const KCALL_DISK_WRITE: u32 = 2;
+/// KCALL function: write bytes to the virtual console.
+pub const KCALL_CONSOLE_WRITE: u32 = 3;
+/// KCALL function: register the uptime cell (paper §5, "Time").
+pub const KCALL_SET_UPTIME_CELL: u32 = 4;
+
+/// The disk-controller GO|WRITE command (used by host-side disk loads).
+pub(crate) fn disk_write_cmd() -> u32 {
+    vax_dev::disk::CSR_GO | vax_dev::disk::FUNC_WRITE
+}
+
+/// Services a KCALL. Returns `false` only if the VM was halted.
+pub(crate) fn kcall(mon: &mut Monitor, idx: usize, req_gpa: u32) -> bool {
+    mon.charge(mon.config.costs.kcall);
+    mon.vms[idx].vm.stats.kcalls += 1;
+
+    let Some(func) = mon.read_gp(idx, req_gpa) else {
+        return halt(mon, idx, "KCALL request block unreadable");
+    };
+    let sector = mon.read_gp(idx, req_gpa + 4).unwrap_or(0);
+    let buffer = mon.read_gp(idx, req_gpa + 8).unwrap_or(0);
+    let len = mon.read_gp(idx, req_gpa + 12).unwrap_or(0);
+    let status_gpa = req_gpa + 16;
+
+    match func {
+        KCALL_DISK_READ | KCALL_DISK_WRITE => {
+            let nsec = mon.vms[idx].vm.vdisk.len() as u32;
+            if sector >= nsec || len > 512 {
+                let _ = mon.write_gp(idx, status_gpa, 0x8000_0001);
+                return true;
+            }
+            // Transfer now; completion (status + interrupt) after the
+            // latency, like a real controller with DMA.
+            let n = len.min(512);
+            if func == KCALL_DISK_READ {
+                let data = mon.vms[idx].vm.vdisk[sector as usize];
+                for i in (0..n).step_by(4) {
+                    let w = u32::from_le_bytes(data[i as usize..i as usize + 4].try_into().unwrap());
+                    if mon.write_gp(idx, buffer + i, w).is_none() {
+                        let _ = mon.write_gp(idx, status_gpa, 0x8000_0002);
+                        return true;
+                    }
+                }
+            } else {
+                let mut data = mon.vms[idx].vm.vdisk[sector as usize];
+                for i in (0..n).step_by(4) {
+                    let Some(w) = mon.read_gp(idx, buffer + i) else {
+                        let _ = mon.write_gp(idx, status_gpa, 0x8000_0002);
+                        return true;
+                    };
+                    data[i as usize..i as usize + 4].copy_from_slice(&w.to_le_bytes());
+                }
+                mon.vms[idx].vm.vdisk[sector as usize] = data;
+            }
+            let _ = mon.write_gp(idx, status_gpa, 0);
+            let at = mon.machine().cycles() + mon.config.vdisk_latency;
+            mon.vms[idx].vm.vdisk_pending = Some((
+                at,
+                VirtualIrq {
+                    ipl: 21,
+                    vector: ScbVector::Device0.offset() as u16,
+                },
+                status_gpa,
+            ));
+            true
+        }
+        KCALL_CONSOLE_WRITE => {
+            for i in 0..len {
+                let Some(w) = mon.read_gp(idx, buffer + (i & !3)) else {
+                    let _ = mon.write_gp(idx, status_gpa, 0x8000_0002);
+                    return true;
+                };
+                let b = (w >> (8 * (i & 3))) as u8;
+                mon.vms[idx].vm.console_out.push(b);
+            }
+            let _ = mon.write_gp(idx, status_gpa, 1);
+            true
+        }
+        KCALL_SET_UPTIME_CELL => {
+            mon.vms[idx].vm.uptime_cell = Some(buffer);
+            let _ = mon.write_gp(idx, status_gpa, 1);
+            true
+        }
+        _ => {
+            let _ = mon.write_gp(idx, status_gpa, 0x8000_0000);
+            true
+        }
+    }
+}
+
+fn halt(mon: &mut Monitor, idx: usize, why: &'static str) -> bool {
+    use crate::vm::VmState;
+    let vm = &mut mon.vms[idx].vm;
+    vm.state = VmState::ConsoleHalt;
+    let name = vm.name.clone();
+    vm.vmm_log.push(format!("{name} halted: {why}"));
+    false
+}
+
+impl Monitor {
+    /// If `va`'s guest PTE maps a frame in the emulated I/O window,
+    /// returns that guest frame number.
+    pub(crate) fn mmio_window_gpfn(&mut self, idx: usize, va: VirtAddr) -> Option<u32> {
+        let slot = &self.vms[idx];
+        let (gpte, _) = slot.shadow.guest_pte(&self.machine, &slot.vm, va).ok()?;
+        let gpfn = gpte.pfn();
+        (gpte.valid() && (GUEST_IO_GPFN_BASE..GUEST_IO_GPFN_BASE + GUEST_IO_PAGES)
+            .contains(&gpfn))
+        .then_some(gpfn)
+    }
+}
+
+/// Emulates one memory-mapped CSR access: validate the shadow mapping to
+/// the real device window, single-step the VM, and invalidate again so
+/// the next access traps too. Returns `true` to resume.
+pub(crate) fn emulate_mmio_access(
+    mon: &mut Monitor,
+    idx: usize,
+    va: VirtAddr,
+    gpfn: u32,
+) -> bool {
+    mon.charge(mon.config.costs.mmio_access);
+    mon.vms[idx].vm.stats.mmio_accesses += 1;
+
+    let Some(real_io_base) = mon.vms[idx].vm.real_io_base else {
+        return halt(mon, idx, "MMIO window without a real device");
+    };
+    let real_pfn = (real_io_base >> PAGE_SHIFT) + (gpfn - GUEST_IO_GPFN_BASE);
+    let Some(shadow_pa) = mon.vms[idx].shadow.shadow_pte_pa(va) else {
+        return halt(mon, idx, "MMIO access outside shadowed space");
+    };
+
+    // Temporarily validate the mapping straight at the real device.
+    let pte = Pte::build(real_pfn, Protection::Uw, true, true);
+    mon.machine.mem_mut().write_u32(shadow_pa, pte.raw()).unwrap();
+    mon.machine.mmu_mut().tlb_mut().invalidate_single(va);
+
+    let vmpsl = mon.vms[idx].vm.vmpsl;
+    mon.machine.enter_vm(vmpsl);
+    let ev = mon.machine.step();
+
+    // Invalidate again: the next CSR touch must trap.
+    mon.machine
+        .mem_mut()
+        .write_u32(shadow_pa, Pte::NULL.raw())
+        .unwrap();
+    mon.machine.mmu_mut().tlb_mut().invalidate_single(va);
+
+    match ev {
+        StepEvent::Ok => true,
+        StepEvent::VmExit(e) => mon.handle_exit(idx, e),
+        StepEvent::Halted(_) => halt(mon, idx, "halted during MMIO emulation"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_window_is_inside_guest_physical_space_but_outside_ram() {
+        // The window must be representable in a 21-bit PFN and must not
+        // collide with plausible RAM sizes (paper guests are megabytes).
+        const { assert!(GUEST_IO_GPFN_BASE + GUEST_IO_PAGES <= 1 << 21) };
+        const { assert!((GUEST_IO_GPFN_BASE << PAGE_SHIFT) >= 0x1000_0000) };
+    }
+}

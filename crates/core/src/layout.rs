@@ -1,0 +1,123 @@
+//! Physical-memory and address-space layout (paper Figure 2).
+//!
+//! The VMM shares the virtual address space with the VM: the guest owns S
+//! space below an installation-defined boundary, the VMM owns S space
+//! above it. Concretely, each VM gets a *real system page table* whose
+//! low entries are the guest's shadow S PTEs (initialized to the null
+//! PTE) and whose entries above the boundary map VMM-owned structures —
+//! most importantly the shadow P0/P1 process tables, which the paper's
+//! footnote 4 places in the VMM's virtual memory.
+
+use vax_arch::va::{PAGE_BYTES, PAGE_SHIFT, S_BASE};
+
+/// Default limit on a VM's S space, in pages (paper §5, "Virtual memory
+/// limits": the VMM may impose a smaller limit than the architecture's
+/// 1 GB).
+pub const DEFAULT_GUEST_S_PAGES: u32 = 4096; // 2 MiB of S space
+
+/// Default limit on a VM's P0 space, in pages.
+pub const DEFAULT_GUEST_P0_PAGES: u32 = 4096;
+
+/// Default limit on a VM's P1 space, in pages (counted from the top).
+pub const DEFAULT_GUEST_P1_PAGES: u32 = 512;
+
+/// The S-space VPN where the VMM region begins (the "installation-defined
+/// boundary" of Figure 2). Guests may use S VPNs below this.
+pub const VMM_BOUNDARY_VPN: u32 = DEFAULT_GUEST_S_PAGES;
+
+/// The boundary as a virtual address.
+pub const VMM_BOUNDARY_VA: u32 = S_BASE + (VMM_BOUNDARY_VPN << PAGE_SHIFT);
+
+/// A bump allocator over real page frames reserved for the VMM.
+///
+/// The VMM owns real memory exclusively (VMs get fixed, contiguous
+/// blocks; nothing is paged — paper §7.2 "leaving paging to the VMOS
+/// kept the VMM's memory manager simple").
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    next: u32,
+    limit: u32,
+}
+
+impl FrameAllocator {
+    /// Manages frames `[start, limit)`.
+    pub fn new(start_pfn: u32, limit_pfn: u32) -> FrameAllocator {
+        FrameAllocator {
+            next: start_pfn,
+            limit: limit_pfn,
+        }
+    }
+
+    /// Allocates `count` contiguous frames; returns the first PFN.
+    ///
+    /// # Panics
+    ///
+    /// Panics when real memory is exhausted — VM admission control must
+    /// size machines up front (fixed allocation, no paging).
+    pub fn alloc(&mut self, count: u32) -> u32 {
+        assert!(
+            self.next + count <= self.limit,
+            "VMM out of real memory: need {count} frames, {} left",
+            self.limit - self.next
+        );
+        let pfn = self.next;
+        self.next += count;
+        pfn
+    }
+
+    /// Frames still available.
+    pub fn remaining(&self) -> u32 {
+        self.limit - self.next
+    }
+}
+
+/// Frames needed to hold `entries` PTEs.
+pub fn table_frames(entries: u32) -> u32 {
+    (entries * 4).div_ceil(PAGE_BYTES)
+}
+
+/// Renders the Figure-2 address-space split for a given configuration.
+pub fn describe_shared_address_space(guest_s_pages: u32) -> String {
+    let boundary = S_BASE + (guest_s_pages << PAGE_SHIFT);
+    format!(
+        "P0 [0x00000000..0x40000000): VM program region (limit applies)\n\
+         P1 [0x40000000..0x80000000): VM control region (limit applies)\n\
+         S  [0x80000000..{boundary:#010x}): VM system space ({guest_s_pages} pages)\n\
+         S  [{boundary:#010x}..0xC0000000): VMM (shadow tables, kernel-protected)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_bumps_and_panics_when_exhausted() {
+        let mut a = FrameAllocator::new(10, 20);
+        assert_eq!(a.alloc(4), 10);
+        assert_eq!(a.alloc(1), 14);
+        assert_eq!(a.remaining(), 5);
+        let r = std::panic::catch_unwind(move || {
+            let mut a = a;
+            a.alloc(6)
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn table_frames_rounds_up() {
+        assert_eq!(table_frames(0), 0);
+        assert_eq!(table_frames(1), 1);
+        assert_eq!(table_frames(128), 1); // 128 PTEs = 512 bytes
+        assert_eq!(table_frames(129), 2);
+    }
+
+    #[test]
+    fn boundary_is_in_s_space() {
+        const { assert!(VMM_BOUNDARY_VA >= S_BASE) };
+        const { assert!(VMM_BOUNDARY_VA < 0xC000_0000) };
+        let d = describe_shared_address_space(DEFAULT_GUEST_S_PAGES);
+        assert!(d.contains("VMM"));
+        assert!(d.contains(&format!("{VMM_BOUNDARY_VA:#010x}")));
+    }
+}

@@ -1,0 +1,560 @@
+//! The virtual machine monitor proper: VM creation, the dispatch loop,
+//! world switching, and scheduling (round-robin with a WAIT handshake,
+//! paper §5).
+
+use crate::cost::VmmCosts;
+use crate::layout::FrameAllocator;
+use crate::shadow::{ShadowConfig, ShadowSet};
+use crate::vm::{DirtyStrategy, IoStrategy, Vm, VmState, VmStats, VirtualIrq, VirtualTimer};
+use std::collections::VecDeque;
+use vax_arch::{AccessMode, MachineVariant, Psl, ScbVector, VmPsl};
+use vax_cpu::{Machine, StepEvent, IO_BASE_PA};
+
+/// Identifies a VM within a [`Monitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VmId(pub(crate) usize);
+
+/// Maps a virtual access mode to the real mode it executes in — the
+/// paper's Figure 3. Virtual kernel and executive both map to real
+/// executive; real kernel is reserved to the VMM.
+pub fn compress_mode(virtual_mode: AccessMode) -> AccessMode {
+    match virtual_mode {
+        AccessMode::Kernel | AccessMode::Executive => AccessMode::Executive,
+        other => other,
+    }
+}
+
+/// Per-VM creation parameters.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Memory size in pages.
+    pub mem_pages: u32,
+    /// Shadow-table configuration (cache slots = the §7.2 knob).
+    pub shadow: ShadowConfig,
+    /// I/O virtualization strategy.
+    pub io_strategy: IoStrategy,
+    /// Dirty-bit strategy.
+    pub dirty_strategy: DirtyStrategy,
+    /// Virtual disk size in sectors.
+    pub vdisk_sectors: u32,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig {
+            mem_pages: 512, // 256 KiB
+            shadow: ShadowConfig::default(),
+            io_strategy: IoStrategy::StartIo,
+            dirty_strategy: DirtyStrategy::ModifyFault,
+            vdisk_sectors: 64,
+        }
+    }
+}
+
+/// Monitor-wide configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Real machine memory in bytes.
+    pub mem_bytes: u32,
+    /// Scheduling quantum in cycles.
+    pub quantum: u64,
+    /// WAIT timeout in cycles (paper §5 footnote: WAIT "times out after
+    /// some seconds, so every VM runs periodically").
+    pub wait_timeout: u64,
+    /// Virtual disk latency in cycles.
+    pub vdisk_latency: u64,
+    /// VMM software path costs.
+    pub costs: VmmCosts,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig {
+            mem_bytes: 8 * 1024 * 1024,
+            quantum: 50_000,
+            wait_timeout: 200_000,
+            vdisk_latency: 2_000,
+            costs: VmmCosts::default(),
+        }
+    }
+}
+
+pub(crate) struct VmSlot {
+    pub vm: Vm,
+    pub shadow: ShadowSet,
+}
+
+/// Why [`Monitor::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// The cycle budget was consumed.
+    BudgetExhausted,
+    /// Every VM is halted at its virtual console.
+    AllHalted,
+}
+
+/// The VAX security-kernel VMM.
+///
+/// Owns one modified-VAX [`Machine`] and any number of VMs. Real kernel
+/// mode is reserved to the VMM (here: host code); VMs execute in the
+/// outer three modes under ring compression.
+///
+/// # Example
+///
+/// See the crate-level documentation for a complete boot example.
+pub struct Monitor {
+    pub(crate) machine: Machine,
+    pub(crate) vms: Vec<VmSlot>,
+    pub(crate) current: Option<usize>,
+    pub(crate) config: MonitorConfig,
+    pub(crate) falloc: FrameAllocator,
+    pub(crate) next_io_base: u32,
+    /// Maps real device vectors to (vm index, guest vector).
+    pub(crate) real_vector_owner: Vec<(u16, usize, u16)>,
+    pub(crate) vmm_cycles: u64,
+    pub(crate) world_switches: u64,
+}
+
+impl Monitor {
+    /// Creates a monitor on a modified VAX with the given configuration.
+    pub fn new(config: MonitorConfig) -> Monitor {
+        let machine = Machine::new(MachineVariant::Modified, config.mem_bytes);
+        let total_frames = config.mem_bytes / 512;
+        Monitor {
+            machine,
+            vms: Vec::new(),
+            current: None,
+            config,
+            // Frame 0 is left unused so a zero PFN is never handed out.
+            falloc: FrameAllocator::new(1, total_frames),
+            next_io_base: IO_BASE_PA,
+            real_vector_owner: Vec::new(),
+            vmm_cycles: 0,
+            world_switches: 0,
+        }
+    }
+
+    /// Creates a VM. Its memory is a fixed contiguous block of real
+    /// memory presented as guest-physical pages `0..mem_pages` (paper §4).
+    pub fn create_vm(&mut self, name: &str, config: VmConfig) -> VmId {
+        let base = self.falloc.alloc(config.mem_pages);
+        let shadow = ShadowSet::new(&mut self.machine, &mut self.falloc, config.shadow);
+        let mut vm = Vm {
+            name: name.to_string(),
+            mem_base_pfn: base,
+            mem_pages: config.mem_pages,
+            regs: [0; 16],
+            psl_flags: Psl::new(),
+            vmpsl: VmPsl::new(AccessMode::Kernel, AccessMode::Kernel).with_ipl(31),
+            vsp: [0; 4],
+            vsp_is: 0,
+            v_is: false,
+            guest_scbb: 0,
+            guest_pcbb: 0,
+            guest_sbr: 0,
+            guest_slr: 0,
+            guest_p0br: 0,
+            guest_p0lr: 0,
+            guest_p1br: 0,
+            guest_p1lr: 0,
+            guest_mapen: false,
+            guest_astlvl: 4,
+            guest_sisr: 0,
+            guest_todr: 0,
+            vtimer: VirtualTimer::default(),
+            console_out: Vec::new(),
+            vmm_log: Vec::new(),
+            console_in: VecDeque::new(),
+            vdisk: vec![[0; 512]; config.vdisk_sectors as usize],
+            vdisk_pending: None,
+            uptime_cell: None,
+            real_io_base: None,
+            io_strategy: config.io_strategy,
+            dirty_strategy: config.dirty_strategy,
+            state: VmState::ConsoleHalt, // boots via the virtual console
+            pending_virqs: Vec::new(),
+            uptime_ticks: 0,
+            stats: VmStats::default(),
+        };
+        if config.io_strategy == IoStrategy::EmulatedMmio {
+            let base_pa = self.next_io_base;
+            self.next_io_base += 4096;
+            let vector = (ScbVector::Device0.offset() + 4 * self.vms.len() as u32) as u16;
+            let disk = vax_dev::SimDisk::new(
+                config.vdisk_sectors,
+                self.config.vdisk_latency,
+                21,
+                vector,
+            );
+            self.machine.bus_mut().attach(base_pa, 4096, Box::new(disk));
+            vm.real_io_base = Some(base_pa);
+            self.real_vector_owner
+                .push((vector, self.vms.len(), ScbVector::Device0.offset() as u16));
+        }
+        self.vms.push(VmSlot { vm, shadow });
+        VmId(self.vms.len() - 1)
+    }
+
+    /// The underlying machine (for inspection).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The underlying machine, mutable (loaders, tests).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// A VM's state (for inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale id.
+    pub fn vm(&self, id: VmId) -> &Vm {
+        &self.vms[id.0].vm
+    }
+
+    /// A VM's state, mutable (console input injection, tests).
+    pub fn vm_mut(&mut self, id: VmId) -> &mut Vm {
+        &mut self.vms[id.0].vm
+    }
+
+    /// A VM's statistics.
+    pub fn vm_stats(&self, id: VmId) -> VmStats {
+        self.vms[id.0].vm.stats
+    }
+
+    /// Cycles spent in VMM emulation paths so far.
+    pub fn vmm_cycles(&self) -> u64 {
+        self.vmm_cycles
+    }
+
+    /// VM-to-VM world switches performed so far.
+    pub fn world_switches(&self) -> u64 {
+        self.world_switches
+    }
+
+    /// Charges VMM path cycles against the machine clock and the current
+    /// VM's account.
+    pub(crate) fn charge(&mut self, cycles: u64) {
+        self.machine.add_cycles(cycles);
+        self.vmm_cycles += cycles;
+        if let Some(i) = self.current {
+            self.vms[i].vm.stats.vmm_cycles += cycles;
+        }
+    }
+
+    // ---- guest-physical access (loaders, console, KCALL) ----
+
+    /// Writes bytes into a VM's guest-physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the VM's memory.
+    pub fn vm_write_phys(&mut self, id: VmId, gpa: u32, data: &[u8]) {
+        let pa = self.vms[id.0]
+            .vm
+            .gpa_to_pa(gpa)
+            .expect("gpa within VM memory");
+        assert!(gpa as usize + data.len() <= self.vms[id.0].vm.mem_bytes() as usize);
+        self.machine.mem_mut().write_slice(pa, data).unwrap();
+    }
+
+    /// Reads a longword from guest-physical memory.
+    pub fn vm_read_phys_u32(&self, id: VmId, gpa: u32) -> Option<u32> {
+        let pa = self.vms[id.0].vm.gpa_to_pa(gpa)?;
+        self.machine.mem().read_u32(pa).ok()
+    }
+
+    /// Loads a sector image into a VM's virtual disk.
+    pub fn vm_load_disk(&mut self, id: VmId, sector: u32, data: &[u8]) {
+        let vm = &mut self.vms[id.0].vm;
+        match vm.io_strategy {
+            IoStrategy::StartIo => {
+                let s = &mut vm.vdisk[sector as usize];
+                s[..data.len()].copy_from_slice(data);
+            }
+            IoStrategy::EmulatedMmio => {
+                let base = vm.real_io_base.expect("mmio disk attached");
+                // Reach the device through its CSRs: simplest is to poke
+                // the backing store via a write sequence.
+                let mut sectorbuf = [0u8; 512];
+                sectorbuf[..data.len()].copy_from_slice(data);
+                self.machine.bus_mut().write(base + 4, sector).unwrap();
+                for (i, chunk) in sectorbuf.chunks(4).enumerate() {
+                    let _ = i;
+                    self.machine
+                        .bus_mut()
+                        .write(base + 8, u32::from_le_bytes(chunk.try_into().unwrap()))
+                        .unwrap();
+                }
+                self.machine
+                    .bus_mut()
+                    .write(base, crate::io::disk_write_cmd())
+                    .unwrap();
+                // Complete it immediately (host-side load).
+                let now = self.machine.cycles() + self.config.vdisk_latency + 1;
+                let _ = self.machine.bus_mut().tick(now);
+            }
+        }
+    }
+
+    /// Boots a VM: sets its virtual CPU to the architectural boot state
+    /// (kernel mode, IPL 31, translation off) with the PC at `entry`
+    /// (a guest-physical address) and marks it runnable — the virtual
+    /// console's BOOT command.
+    pub fn boot_vm(&mut self, id: VmId, entry: u32) {
+        let vm = &mut self.vms[id.0].vm;
+        vm.regs = [0; 16];
+        vm.regs[15] = entry;
+        vm.vmpsl = VmPsl::new(AccessMode::Kernel, AccessMode::Kernel).with_ipl(31);
+        vm.v_is = false;
+        vm.psl_flags = Psl::new();
+        vm.guest_mapen = false;
+        vm.state = VmState::Ready;
+    }
+
+    /// The virtual console HALT command.
+    pub fn halt_vm(&mut self, id: VmId) {
+        self.vms[id.0].vm.state = VmState::ConsoleHalt;
+    }
+
+    /// The virtual console CONTINUE command.
+    pub fn continue_vm(&mut self, id: VmId) {
+        if self.vms[id.0].vm.state == VmState::ConsoleHalt {
+            self.vms[id.0].vm.state = VmState::Ready;
+        }
+    }
+
+    /// Drains a VM's virtual console output.
+    pub fn vm_console_output(&mut self, id: VmId) -> Vec<u8> {
+        std::mem::take(&mut self.vms[id.0].vm.console_out)
+    }
+
+    // ---- scheduling ----
+
+    fn runnable(&mut self) -> Option<usize> {
+        let now = self.machine.cycles();
+        let n = self.vms.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.current.map_or(0, |c| (c + 1) % n);
+        for off in 0..n {
+            let i = (start + off) % n;
+            let vm = &mut self.vms[i].vm;
+            match vm.state {
+                VmState::Ready => return Some(i),
+                VmState::Idle { until } => {
+                    if vm.has_wake_event() || now >= until {
+                        vm.state = VmState::Ready;
+                        return Some(i);
+                    }
+                }
+                VmState::ConsoleHalt => {}
+            }
+        }
+        None
+    }
+
+    /// Earliest future event that could make an idle VM runnable.
+    fn next_wake(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for slot in &self.vms {
+            if let VmState::Idle { until } = slot.vm.state {
+                best = Some(best.map_or(until, |b: u64| b.min(until)));
+            }
+            if let Some((at, _, _)) = slot.vm.vdisk_pending {
+                best = Some(best.map_or(at, |b: u64| b.min(at)));
+            }
+        }
+        best
+    }
+
+    fn world_save(&mut self, idx: usize) {
+        let vm = &mut self.vms[idx].vm;
+        for i in 0..16 {
+            vm.regs[i] = self.machine.reg(i);
+        }
+        vm.psl_flags = self.machine.psl();
+    }
+
+    fn world_load(&mut self, idx: usize) {
+        let (sbr, slr, p0br, p0lr, p1br, p1lr) = {
+            let slot = &self.vms[idx];
+            slot.shadow.real_mmu_bases(&slot.vm)
+        };
+        let vm = &self.vms[idx].vm;
+        let mut psl = Psl::new();
+        psl.set_cur_mode(compress_mode(vm.vmpsl.cur_mode()));
+        psl.set_prv_mode(compress_mode(vm.vmpsl.prv_mode()));
+        for flag in [Psl::C, Psl::V, Psl::Z, Psl::N, Psl::T, Psl::IV] {
+            psl.set_flag(flag, vm.psl_flags.flag(flag));
+        }
+        let regs = vm.regs;
+        self.machine.set_psl(psl);
+        for (i, r) in regs.iter().enumerate() {
+            self.machine.set_reg(i, *r);
+        }
+        let mmu = self.machine.mmu_mut();
+        mmu.set_sbr(sbr);
+        mmu.set_slr(slr);
+        mmu.set_p0br(p0br);
+        mmu.set_p0lr(p0lr);
+        mmu.set_p1br(p1br);
+        mmu.set_p1lr(p1lr);
+        mmu.set_mapen(true);
+        mmu.tlb_mut().invalidate_all();
+    }
+
+    /// Refreshes the real MMU base registers after an emulation changed
+    /// the guest's memory-management state.
+    pub(crate) fn refresh_mmu(&mut self, idx: usize) {
+        let (sbr, slr, p0br, p0lr, p1br, p1lr) = {
+            let slot = &self.vms[idx];
+            slot.shadow.real_mmu_bases(&slot.vm)
+        };
+        let mmu = self.machine.mmu_mut();
+        mmu.set_sbr(sbr);
+        mmu.set_slr(slr);
+        mmu.set_p0br(p0br);
+        mmu.set_p0lr(p0lr);
+        mmu.set_p1br(p1br);
+        mmu.set_p1lr(p1lr);
+    }
+
+    fn resume(&mut self, idx: usize) {
+        let vmpsl = self.vms[idx].vm.vmpsl;
+        self.machine.enter_vm(vmpsl);
+    }
+
+    /// Refreshes the uptime cell the guest registered (paper §5, "Time").
+    fn publish_uptime(&mut self, idx: usize) {
+        let vm = &self.vms[idx].vm;
+        if let Some(cell) = vm.uptime_cell {
+            let ticks = (self.machine.cycles() / 10_000) as u32;
+            if let Some(pa) = vm.gpa_to_pa(cell) {
+                let _ = self.machine.mem_mut().write_u32(pa, ticks);
+            }
+        }
+    }
+
+    /// Completes a due virtual disk operation, if any.
+    fn complete_vdisk(&mut self, idx: usize) {
+        let now = self.machine.cycles();
+        let due = match self.vms[idx].vm.vdisk_pending {
+            Some((at, irq, status_gpa)) if now >= at => Some((irq, status_gpa)),
+            _ => None,
+        };
+        if let Some((irq, status_gpa)) = due {
+            self.vms[idx].vm.vdisk_pending = None;
+            if let Some(pa) = self.vms[idx].vm.gpa_to_pa(status_gpa) {
+                let _ = self.machine.mem_mut().write_u32(pa, 1);
+            }
+            self.vms[idx].vm.pend_virq(irq);
+        }
+    }
+
+    /// Runs VMs until `budget` machine cycles have elapsed or every VM
+    /// has halted.
+    pub fn run(&mut self, budget: u64) -> RunExit {
+        let deadline = self.machine.cycles() + budget;
+        loop {
+            if self.machine.cycles() >= deadline {
+                return RunExit::BudgetExhausted;
+            }
+            for i in 0..self.vms.len() {
+                self.complete_vdisk(i);
+            }
+            let Some(idx) = self.runnable() else {
+                // Nothing runnable: advance time to the next wake event.
+                match self.next_wake() {
+                    Some(at) if at < deadline => {
+                        let now = self.machine.cycles();
+                        self.machine.add_cycles(at.saturating_sub(now).max(1));
+                        continue;
+                    }
+                    _ => {
+                        return if self
+                            .vms
+                            .iter()
+                            .all(|s| s.vm.state == VmState::ConsoleHalt)
+                        {
+                            RunExit::AllHalted
+                        } else {
+                            RunExit::BudgetExhausted
+                        };
+                    }
+                }
+            };
+
+            // World switch if needed.
+            if self.current != Some(idx) {
+                if let Some(prev) = self.current {
+                    self.world_save(prev);
+                }
+                self.world_load(idx);
+                self.charge(self.config.costs.world_switch);
+                self.world_switches += 1;
+                self.current = Some(idx);
+            }
+            self.publish_uptime(idx);
+
+            let slice_start = self.machine.cycles();
+            let slice_end = (slice_start + self.config.quantum).min(deadline);
+            self.resume(idx);
+            let mut reschedule = false;
+            let mut timer_mark = slice_start;
+            while !reschedule && self.machine.cycles() < slice_end {
+                // Complete due virtual disk I/O so polling guests make
+                // progress within their slice.
+                self.complete_vdisk(idx);
+                // Advance the VM's interval clock by the cycles it just
+                // consumed — it runs only while the VM runs (paper §5).
+                let now = self.machine.cycles();
+                if self.vms[idx].vm.vtimer.advance(now - timer_mark) {
+                    self.vms[idx].vm.pend_virq(VirtualIrq {
+                        ipl: 24,
+                        vector: ScbVector::IntervalTimer.offset() as u16,
+                    });
+                    self.vms[idx].vm.uptime_ticks =
+                        self.vms[idx].vm.uptime_ticks.wrapping_add(1);
+                }
+                timer_mark = now;
+                // Virtual interrupt delivery point.
+                if let Some(irq) = self.vms[idx].vm.deliverable_virq() {
+                    self.deliver_virq(idx, irq);
+                }
+                match self.machine.step() {
+                    StepEvent::Ok => {}
+                    StepEvent::Halted(_) => {
+                        // Double faults at machine level cannot happen in
+                        // VM mode; treat defensively as a console halt.
+                        self.vms[idx].vm.state = VmState::ConsoleHalt;
+                        reschedule = true;
+                    }
+                    StepEvent::VmExit(exit) => {
+                        reschedule = !self.handle_exit(idx, exit);
+                        if !reschedule {
+                            self.resume(idx);
+                        }
+                    }
+                }
+            }
+            // Stop the VM clock: save context, advance its virtual timer
+            // by the cycles it consumed.
+            let ran = self.machine.cycles() - slice_start;
+            {
+                let vm = &mut self.vms[idx].vm;
+                vm.stats.cycles_run += ran;
+            }
+            // Leave VM mode while the VMM deliberates.
+            if self.machine.in_vm() {
+                let mut psl = self.machine.psl();
+                psl.set_vm(false);
+                self.machine.set_psl(psl);
+            }
+            self.world_save(idx);
+        }
+    }
+}

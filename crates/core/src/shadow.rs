@@ -1,0 +1,589 @@
+//! Shadow page tables (paper §4.3): the only tables the microcode sees.
+//!
+//! For every page in the VM's virtual address space there is a PTE in the
+//! VM's own page table and a corresponding *shadow* PTE that the VMM
+//! derives from it: the guest PFN translated to a real PFN and the guest
+//! protection code passed through [`Protection::ring_compressed`]. Shadow
+//! entries start as the *null PTE* (invalid but granting all access), so
+//! the first touch of a page always passes the hardware protection check
+//! and then faults translation-not-valid into the VMM, which fills the
+//! entry on demand (§4.3.1).
+//!
+//! The module also implements the §7.2 optimization: a cache of shadow
+//! process-table pairs keyed by guest PCBB, so that re-running a recently
+//! suspended guest process does not re-take a fill fault for every page
+//! it had touched. As the paper admits, this caching is not fully robust
+//! against a guest that edits a *switched-out* process's valid PTEs
+//! without a TB invalidate — real VAX operating systems do not do that.
+
+use crate::layout::{table_frames, FrameAllocator};
+use crate::vm::{DirtyStrategy, Vm};
+use vax_arch::va::{Region, VirtAddr, PAGE_BYTES, PAGE_SHIFT, S_BASE};
+use vax_arch::{AccessMode, Exception, Protection, Pte};
+use vax_cpu::Machine;
+
+/// Total number of P1 virtual pages (21-bit VPN space).
+const P1_VPNS: u32 = 1 << 21;
+
+/// Shadow-table configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ShadowConfig {
+    /// Guest S-space capacity in pages (the §5 "virtual memory limit").
+    pub s_capacity: u32,
+    /// Guest P0 capacity in pages.
+    pub p0_capacity: u32,
+    /// Guest P1 capacity in pages (topmost pages of P1).
+    pub p1_capacity: u32,
+    /// Number of cached shadow process-table pairs (§7.2). 1 reproduces
+    /// the unoptimized system: every context switch invalidates.
+    pub cache_slots: usize,
+    /// On a fill, also translate this many consecutive PTEs (1 = pure
+    /// on-demand). The §4.3.1 prefill ablation.
+    pub prefill_group: u32,
+}
+
+impl Default for ShadowConfig {
+    fn default() -> ShadowConfig {
+        ShadowConfig {
+            s_capacity: crate::layout::DEFAULT_GUEST_S_PAGES,
+            p0_capacity: crate::layout::DEFAULT_GUEST_P0_PAGES,
+            p1_capacity: crate::layout::DEFAULT_GUEST_P1_PAGES,
+            cache_slots: 1,
+            prefill_group: 1,
+        }
+    }
+}
+
+/// One cached shadow process-table pair.
+#[derive(Debug, Clone, Copy)]
+pub struct ShadowSlot {
+    /// Guest PCBB this slot currently shadows, if any.
+    pub key: Option<u32>,
+    /// Physical base of the shadow P0 table.
+    pub p0_pa: u32,
+    /// S-space VA the shadow P0 table is mapped at (real P0BR value).
+    pub p0_va: u32,
+    /// Physical base of the shadow P1 table.
+    pub p1_pa: u32,
+    /// S-space VA of the shadow P1 table start.
+    pub p1_va: u32,
+    /// LRU stamp.
+    pub last_used: u64,
+}
+
+/// What a fill attempt concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// Shadow updated; re-execute the faulting instruction.
+    Filled,
+    /// The guest's own tables fault this access: reflect to the guest.
+    Reflect(Exception),
+    /// The guest's tables reference memory outside the VM: halt it
+    /// (paper §5, "Hardware errors").
+    Halt(&'static str),
+}
+
+/// The complete shadow state for one VM.
+#[derive(Debug, Clone)]
+pub struct ShadowSet {
+    config: ShadowConfig,
+    /// Physical base of this VM's real system page table.
+    real_spt_pa: u32,
+    /// Total entries in the real SPT (guest window + VMM region).
+    real_spt_entries: u32,
+    /// Next free VMM-region VPN.
+    vmm_next_vpn: u32,
+    slots: Vec<ShadowSlot>,
+    active: usize,
+    clock: u64,
+}
+
+impl ShadowSet {
+    /// Allocates and initializes the shadow state for one VM: the real
+    /// SPT (guest window nulled) and `cache_slots` process-table pairs
+    /// mapped into the VMM region above the boundary.
+    pub fn new(machine: &mut Machine, falloc: &mut FrameAllocator, config: ShadowConfig) -> ShadowSet {
+        assert!(config.cache_slots >= 1);
+        assert!(config.prefill_group >= 1);
+        let p0_frames = table_frames(config.p0_capacity);
+        let p1_frames = table_frames(config.p1_capacity);
+        let vmm_region_pages = config.cache_slots as u32 * (p0_frames + p1_frames);
+        let spt_entries = config.s_capacity + vmm_region_pages;
+        let spt_frames = table_frames(spt_entries);
+        let spt_pfn = falloc.alloc(spt_frames);
+        let real_spt_pa = spt_pfn << PAGE_SHIFT;
+
+        let mut set = ShadowSet {
+            config,
+            real_spt_pa,
+            real_spt_entries: spt_entries,
+            vmm_next_vpn: config.s_capacity,
+            slots: Vec::with_capacity(config.cache_slots),
+            active: 0,
+            clock: 0,
+        };
+
+        // Guest S window: inaccessible until the guest sets SLR.
+        for vpn in 0..config.s_capacity {
+            set.write_real_spt(machine, vpn, Pte::build(0, Protection::Na, false, false));
+        }
+
+        for _ in 0..config.cache_slots {
+            let p0_pfn = falloc.alloc(p0_frames);
+            let p1_pfn = falloc.alloc(p1_frames);
+            let p0_va = set.map_vmm_frames(machine, p0_pfn, p0_frames);
+            let p1_va = set.map_vmm_frames(machine, p1_pfn, p1_frames);
+            let slot = ShadowSlot {
+                key: None,
+                p0_pa: p0_pfn << PAGE_SHIFT,
+                p0_va,
+                p1_pa: p1_pfn << PAGE_SHIFT,
+                p1_va,
+                last_used: 0,
+            };
+            null_fill(machine, slot.p0_pa, config.p0_capacity);
+            null_fill(machine, slot.p1_pa, config.p1_capacity);
+            set.slots.push(slot);
+        }
+        set
+    }
+
+    fn write_real_spt(&self, machine: &mut Machine, vpn: u32, pte: Pte) {
+        machine
+            .mem_mut()
+            .write_u32(self.real_spt_pa + 4 * vpn, pte.raw())
+            .expect("real SPT is VMM memory");
+    }
+
+    /// Maps `count` frames starting at `pfn` into the VMM region of this
+    /// VM's real SPT, kernel-protected; returns the S VA of the first.
+    fn map_vmm_frames(&mut self, machine: &mut Machine, pfn: u32, count: u32) -> u32 {
+        let first_vpn = self.vmm_next_vpn;
+        for i in 0..count {
+            let pte = Pte::build(pfn + i, Protection::Kw, true, true);
+            self.write_real_spt(machine, first_vpn + i, pte);
+        }
+        self.vmm_next_vpn += count;
+        S_BASE + (first_vpn << PAGE_SHIFT)
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> ShadowConfig {
+        self.config
+    }
+
+    /// Values for the real MMU base registers while this VM runs:
+    /// `(sbr, slr, p0br, p0lr, p1br, p1lr)`.
+    pub fn real_mmu_bases(&self, vm: &Vm) -> (u32, u32, u32, u32, u32, u32) {
+        let slot = &self.slots[self.active];
+        // While the guest runs with translation off, its "virtual"
+        // addresses are guest-physical: open the whole shadow P0 window
+        // so identity fills can happen on demand.
+        let p0lr = if vm.guest_mapen {
+            vm.guest_p0lr.min(self.config.p0_capacity)
+        } else {
+            self.config.p0_capacity
+        };
+        let p1_floor = P1_VPNS - self.config.p1_capacity;
+        let p1lr = vm.guest_p1lr.max(p1_floor);
+        // P1BR is biased so that entry for VPN v sits at p1br + 4v.
+        let p1br = slot.p1_va.wrapping_sub(4 * p1_floor);
+        (
+            self.real_spt_pa,
+            self.real_spt_entries,
+            slot.p0_va,
+            p0lr,
+            p1br,
+            p1lr,
+        )
+    }
+
+    /// Physical address of the shadow PTE covering `va`, or `None` if the
+    /// address is outside the shadowed capacity.
+    pub fn shadow_pte_pa(&self, va: VirtAddr) -> Option<u32> {
+        let vpn = va.vpn();
+        let slot = &self.slots[self.active];
+        match va.region() {
+            Region::S => (vpn < self.config.s_capacity).then(|| self.real_spt_pa + 4 * vpn),
+            Region::P0 => (vpn < self.config.p0_capacity).then(|| slot.p0_pa + 4 * vpn),
+            Region::P1 => {
+                let floor = P1_VPNS - self.config.p1_capacity;
+                (vpn >= floor).then(|| slot.p1_pa + 4 * (vpn - floor))
+            }
+            Region::Reserved => None,
+        }
+    }
+
+    /// Reads a shadow PTE.
+    pub fn read_shadow(&self, machine: &Machine, va: VirtAddr) -> Option<Pte> {
+        let pa = self.shadow_pte_pa(va)?;
+        Some(Pte::from_raw(machine.mem().read_u32(pa).expect("VMM memory")))
+    }
+
+    /// Resets the guest S window for a new guest SBR/SLR.
+    pub fn reset_guest_s(&mut self, machine: &mut Machine, guest_slr: u32) {
+        let usable = guest_slr.min(self.config.s_capacity);
+        for vpn in 0..usable {
+            self.write_real_spt(machine, vpn, Pte::NULL);
+        }
+        for vpn in usable..self.config.s_capacity {
+            self.write_real_spt(machine, vpn, Pte::build(0, Protection::Na, false, false));
+        }
+        machine.mmu_mut().tlb_mut().invalidate_all();
+    }
+
+    /// Invalidate the shadow PTE for one page (guest TBIS).
+    pub fn invalidate_single(&mut self, machine: &mut Machine, vm: &Vm, va: VirtAddr) {
+        if let Some(pa) = self.shadow_pte_pa(va) {
+            let pte = if va.region() == Region::S && va.vpn() >= vm.guest_slr {
+                Pte::build(0, Protection::Na, false, false)
+            } else {
+                Pte::NULL
+            };
+            machine.mem_mut().write_u32(pa, pte.raw()).expect("VMM memory");
+        }
+        machine.mmu_mut().tlb_mut().invalidate_single(va);
+    }
+
+    /// Invalidate everything (guest TBIA): the S window and every cached
+    /// process slot.
+    pub fn invalidate_all(&mut self, machine: &mut Machine, vm: &Vm) {
+        self.reset_guest_s(machine, vm.guest_slr);
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i];
+            null_fill(machine, slot.p0_pa, self.config.p0_capacity);
+            null_fill(machine, slot.p1_pa, self.config.p1_capacity);
+            self.slots[i].key = None;
+        }
+        machine.mmu_mut().tlb_mut().invalidate_all();
+    }
+
+    /// Clears the active slot's process tables (guest changed P0/P1 base
+    /// registers directly).
+    pub fn reset_active_process(&mut self, machine: &mut Machine) {
+        let slot = self.slots[self.active];
+        null_fill(machine, slot.p0_pa, self.config.p0_capacity);
+        null_fill(machine, slot.p1_pa, self.config.p1_capacity);
+        self.slots[self.active].key = None;
+        machine.mmu_mut().tlb_mut().invalidate_process();
+    }
+
+    /// Switches the active shadow process tables for a guest context
+    /// switch to the process whose PCB is at `pcbb` (§7.2 cache).
+    /// Returns `true` on a cache hit (previously valid shadow PTEs are
+    /// preserved and no refill faults will be taken for them).
+    pub fn switch_process(&mut self, machine: &mut Machine, pcbb: u32) -> bool {
+        self.clock += 1;
+        let hit = self.slots.iter().position(|s| s.key == Some(pcbb));
+        let (idx, hit) = match hit {
+            Some(i) => (i, true),
+            None => {
+                // Evict the least recently used slot.
+                let lru = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.last_used)
+                    .map(|(i, _)| i)
+                    .expect("at least one slot");
+                let slot = self.slots[lru];
+                null_fill(machine, slot.p0_pa, self.config.p0_capacity);
+                null_fill(machine, slot.p1_pa, self.config.p1_capacity);
+                self.slots[lru].key = Some(pcbb);
+                (lru, false)
+            }
+        };
+        self.slots[idx].last_used = self.clock;
+        self.active = idx;
+        // The real TLB's process half always goes: its entries are tagged
+        // by VA, not by address space.
+        machine.mmu_mut().tlb_mut().invalidate_process();
+        hit
+    }
+
+    /// Locates the guest PTE for `va` and reads it (public within the
+    /// crate for the PROBE and MMIO paths).
+    pub(crate) fn guest_pte(
+        &self,
+        machine: &Machine,
+        vm: &Vm,
+        va: VirtAddr,
+    ) -> Result<(Pte, u32), FillOutcome> {
+        if !vm.guest_mapen {
+            // Translation off in the guest: guest VAs are guest-physical.
+            if va.raw() < vm.mem_bytes() {
+                // Synthesize an identity PTE; there is no guest PTE to
+                // write back to (pa = 0 sentinel is never used because
+                // modify faults cannot occur: synthesized PTEs have M set).
+                return Ok((Pte::build(va.vpn(), Protection::Uw, true, true), 0));
+            }
+            return Err(FillOutcome::Halt("physical reference outside VM memory"));
+        }
+        let vpn = va.vpn();
+        let gpte_pa = match va.region() {
+            Region::S => {
+                if vpn >= vm.guest_slr {
+                    return Err(FillOutcome::Reflect(length_violation(va)));
+                }
+                match vm.gpa_to_pa(vm.guest_sbr + 4 * vpn) {
+                    Some(pa) => pa,
+                    None => return Err(FillOutcome::Halt("guest SPT outside VM memory")),
+                }
+            }
+            Region::P0 | Region::P1 => {
+                let (base, ok) = if va.region() == Region::P0 {
+                    (vm.guest_p0br, vpn < vm.guest_p0lr)
+                } else {
+                    (vm.guest_p1br, vpn >= vm.guest_p1lr)
+                };
+                if !ok {
+                    return Err(FillOutcome::Reflect(length_violation(va)));
+                }
+                let pte_sva = VirtAddr::new(base.wrapping_add(4 * vpn));
+                if pte_sva.region() != Region::S {
+                    return Err(FillOutcome::Halt("guest process PTE outside S space"));
+                }
+                // Walk the guest SPT in software for the PTE's page.
+                let s_vpn = pte_sva.vpn();
+                if s_vpn >= vm.guest_slr {
+                    return Err(FillOutcome::Reflect(Exception::AccessViolation {
+                        va,
+                        write: false,
+                        length: true,
+                        pte_ref: true,
+                    }));
+                }
+                let spte_pa = match vm.gpa_to_pa(vm.guest_sbr + 4 * s_vpn) {
+                    Some(pa) => pa,
+                    None => return Err(FillOutcome::Halt("guest SPT outside VM memory")),
+                };
+                let spte = Pte::from_raw(machine.mem().read_u32(spte_pa).expect("VM memory"));
+                if !spte.valid() {
+                    return Err(FillOutcome::Reflect(Exception::TranslationNotValid {
+                        va,
+                        write: false,
+                        pte_ref: true,
+                    }));
+                }
+                let Some(pfn) = vm.gpfn_to_pfn(spte.pfn()) else {
+                    return Err(FillOutcome::Halt("guest PTE page outside VM memory"));
+                };
+                (pfn << PAGE_SHIFT) | (pte_sva.raw() & (PAGE_BYTES - 1))
+            }
+            Region::Reserved => {
+                return Err(FillOutcome::Reflect(length_violation(va)));
+            }
+        };
+        let gpte = Pte::from_raw(machine.mem().read_u32(gpte_pa).expect("VM memory"));
+        Ok((gpte, gpte_pa))
+    }
+
+    /// Builds the shadow PTE value for a guest PTE, applying the ring
+    /// compression translation and the dirty-bit strategy.
+    fn shadow_value(&self, vm: &Vm, gpte: Pte) -> Result<Pte, FillOutcome> {
+        let Some(pfn) = vm.gpfn_to_pfn(gpte.pfn()) else {
+            return Err(FillOutcome::Halt("guest PTE maps nonexistent memory"));
+        };
+        let mut prot = gpte.protection().ring_compressed();
+        let mut modified = gpte.modified();
+        if vm.dirty_strategy == DirtyStrategy::ReadOnlyShadow && !gpte.modified() {
+            // Rejected alternative (§4.4.2): write-protect clean pages so
+            // the first write faults as an access violation.
+            prot = read_only_equivalent(prot);
+            modified = true; // hardware M-machinery disabled for this page
+        }
+        Ok(Pte::build(pfn, prot, true, modified))
+    }
+
+    /// Services a translation-not-valid exit for `va`: the on-demand fill
+    /// of §4.3.1 (plus the optional prefill-group ablation).
+    pub fn fill(&mut self, machine: &mut Machine, vm: &mut Vm, va: VirtAddr) -> FillOutcome {
+        let Some(shadow_pa) = self.shadow_pte_pa(va) else {
+            return FillOutcome::Reflect(length_violation(va));
+        };
+        let (gpte, _) = match self.guest_pte(machine, vm, va) {
+            Ok(x) => x,
+            Err(out) => return out,
+        };
+        if !gpte.valid() {
+            // The guest's own page fault.
+            vm.stats.guest_page_faults += 1;
+            return FillOutcome::Reflect(Exception::TranslationNotValid {
+                va,
+                write: false,
+                pte_ref: false,
+            });
+        }
+        let shadow = match self.shadow_value(vm, gpte) {
+            Ok(s) => s,
+            Err(out) => return out,
+        };
+        machine
+            .mem_mut()
+            .write_u32(shadow_pa, shadow.raw())
+            .expect("VMM memory");
+        machine.mmu_mut().tlb_mut().invalidate_single(va);
+        vm.stats.shadow_fills += 1;
+
+        // Prefill ablation: translate following PTEs of the same region.
+        for i in 1..self.config.prefill_group {
+            let next = VirtAddr::new(va.page_base().raw().wrapping_add(i * PAGE_BYTES));
+            if next.region() != va.region() {
+                break;
+            }
+            let Some(next_pa) = self.shadow_pte_pa(next) else {
+                break;
+            };
+            let Ok((gpte, _)) = self.guest_pte(machine, vm, next) else {
+                break;
+            };
+            if !gpte.valid() {
+                continue;
+            }
+            let Ok(shadow) = self.shadow_value(vm, gpte) else {
+                break;
+            };
+            machine
+                .mem_mut()
+                .write_u32(next_pa, shadow.raw())
+                .expect("VMM memory");
+            vm.stats.shadow_fills += 1;
+        }
+        FillOutcome::Filled
+    }
+
+    /// Services a modify-fault exit (§4.4.2): set `PTE<M>` in both the
+    /// shadow PTE and the VM's own PTE, so "the VM's page table accurately
+    /// reflects the state of modified pages".
+    pub fn modify_fault(&mut self, machine: &mut Machine, vm: &mut Vm, va: VirtAddr) -> FillOutcome {
+        let Some(shadow_pa) = self.shadow_pte_pa(va) else {
+            return FillOutcome::Reflect(length_violation(va));
+        };
+        let shadow = Pte::from_raw(machine.mem().read_u32(shadow_pa).expect("VMM memory"));
+        if !shadow.valid() {
+            // Race shape: fault on a page whose shadow went away; refill.
+            return self.fill(machine, vm, va);
+        }
+        machine
+            .mem_mut()
+            .write_u32(shadow_pa, shadow.with_modified(true).raw())
+            .expect("VMM memory");
+        let (gpte, gpte_pa) = match self.guest_pte(machine, vm, va) {
+            Ok(x) => x,
+            Err(out) => return out,
+        };
+        if gpte_pa != 0 {
+            machine
+                .mem_mut()
+                .write_u32(gpte_pa, gpte.with_modified(true).raw())
+                .expect("VM memory");
+        }
+        machine.mmu_mut().tlb_mut().invalidate_single(va);
+        vm.stats.modify_faults += 1;
+        FillOutcome::Filled
+    }
+
+    /// Services an access-violation exit under the ReadOnlyShadow
+    /// strategy: if the guest PTE actually permits the write, upgrade the
+    /// shadow protection and set the modify bits. Returns `Filled` when
+    /// upgraded, otherwise the exception to reflect.
+    pub fn write_upgrade(
+        &mut self,
+        machine: &mut Machine,
+        vm: &mut Vm,
+        va: VirtAddr,
+        real_mode: AccessMode,
+    ) -> FillOutcome {
+        let Some(shadow_pa) = self.shadow_pte_pa(va) else {
+            return FillOutcome::Reflect(length_violation(va));
+        };
+        let (gpte, gpte_pa) = match self.guest_pte(machine, vm, va) {
+            Ok(x) => x,
+            Err(out) => return out,
+        };
+        let true_prot = gpte.protection().ring_compressed();
+        if gpte.valid() && true_prot.allows_write(real_mode) {
+            let Some(pfn) = vm.gpfn_to_pfn(gpte.pfn()) else {
+                return FillOutcome::Halt("guest PTE maps nonexistent memory");
+            };
+            machine
+                .mem_mut()
+                .write_u32(shadow_pa, Pte::build(pfn, true_prot, true, true).raw())
+                .expect("VMM memory");
+            if gpte_pa != 0 {
+                machine
+                    .mem_mut()
+                    .write_u32(gpte_pa, gpte.with_modified(true).raw())
+                    .expect("VM memory");
+            }
+            machine.mmu_mut().tlb_mut().invalidate_single(va);
+            vm.stats.dirty_upgrades += 1;
+            return FillOutcome::Filled;
+        }
+        FillOutcome::Reflect(Exception::AccessViolation {
+            va,
+            write: true,
+            length: false,
+            pte_ref: false,
+        })
+    }
+}
+
+/// The guest-visible fault for an out-of-bounds reference.
+fn length_violation(va: VirtAddr) -> Exception {
+    Exception::AccessViolation {
+        va,
+        write: false,
+        length: true,
+        pte_ref: false,
+    }
+}
+
+/// The most permissive read-only code covering the readers of `prot`.
+fn read_only_equivalent(prot: Protection) -> Protection {
+    match prot.read_mode() {
+        None => Protection::Na,
+        Some(AccessMode::Kernel) => Protection::Kr,
+        Some(AccessMode::Executive) => Protection::Er,
+        Some(AccessMode::Supervisor) => Protection::Sr,
+        Some(AccessMode::User) => Protection::Ur,
+    }
+}
+
+/// Fills a table with the null PTE.
+fn null_fill(machine: &mut Machine, table_pa: u32, entries: u32) {
+    for i in 0..entries {
+        machine
+            .mem_mut()
+            .write_u32(table_pa + 4 * i, Pte::NULL.raw())
+            .expect("VMM memory");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_only_equivalents_preserve_readers() {
+        for p in Protection::ALL {
+            let ro = read_only_equivalent(p);
+            for m in AccessMode::ALL {
+                assert_eq!(ro.allows_read(m), p.allows_read(m), "{p} -> {ro} {m}");
+                assert!(!ro.allows_write(m), "{ro} must be read-only");
+            }
+        }
+    }
+
+    #[test]
+    fn length_violation_shape() {
+        let e = length_violation(VirtAddr::new(0x1234));
+        assert!(matches!(
+            e,
+            Exception::AccessViolation {
+                length: true,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,361 @@
+//! VMM edge cases and failure injection: bad guest state must degrade to
+//! a reflected exception or a console halt — never to VMM corruption or
+//! a panic.
+
+use vax_arch::{AccessMode, Psl};
+use vax_asm::assemble_text;
+use vax_vmm::{Monitor, MonitorConfig, RunExit, VmConfig, VmId, VmState};
+
+fn monitor() -> Monitor {
+    Monitor::new(MonitorConfig::default())
+}
+
+fn boot(mon: &mut Monitor, vm: VmId, src: &str) {
+    let p = assemble_text(src, 0x1000).expect("assembles");
+    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.boot_vm(vm, 0x1000);
+}
+
+#[test]
+fn rei_with_garbage_stack_is_reflected() {
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    // SCB at 0x200 with a reserved-operand handler that records and halts
+    // (the handler is the aligned label 4 bytes before the end:
+    // movl #1,r9 = D0 01 59; halt = 00).
+    let code = assemble_text(
+        "
+        start:
+            movl #0x5000, sp
+            mtpr #0x200, #17
+            pushl #0xFFFFFFFF       ; impossible PSL image (MBZ bits set)
+            pushl #0x1000
+            rei                     ; must reflect reserved operand
+        spin:
+            brb spin
+            .align 4
+        handler:
+            movl #1, r9
+            halt
+        ",
+        0x1000,
+    )
+    .unwrap();
+    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    let handler = 0x1000 + code.bytes.len() as u32 - 4;
+    mon.vm_write_phys(vm, 0x200 + 0x18, &handler.to_le_bytes());
+    mon.boot_vm(vm, 0x1000);
+    assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
+    assert_eq!(mon.vm(vm).regs[9], 1, "guest's own handler ran");
+    assert!(mon.vm_stats(vm).reflected >= 1);
+}
+
+#[test]
+fn vm_cannot_rei_into_virtual_kernel_from_user() {
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    let code = assemble_text(
+        "
+        start:
+            movl #0x5000, sp
+            mtpr #0x200, #17
+            movl #0x6000, r6
+            mtpr r6, #3
+            pushl #0x03C00000       ; to user mode
+            pushal user_code
+            rei
+        user_code:
+            pushl #0                ; kernel-mode PSL image
+            pushal user_code        ; privilege-escalation attempt
+            rei
+        spin:
+            brb spin
+            .align 4
+        handler:
+            movpsl r9               ; record the mode the handler runs in
+            halt
+        ",
+        0x1000,
+    )
+    .unwrap();
+    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    let handler = 0x1000 + code.bytes.len() as u32 - 3;
+    mon.vm_write_phys(vm, 0x200 + 0x18, &handler.to_le_bytes());
+    mon.boot_vm(vm, 0x1000);
+    assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
+    // The escalation was rejected: the reserved-operand handler ran in
+    // virtual kernel mode with previous mode user.
+    let psl = Psl::from_raw(mon.vm(vm).regs[9]);
+    assert_eq!(psl.prv_mode(), AccessMode::User, "faulted from user mode");
+    assert_eq!(mon.vm_stats(vm).rei, 2);
+}
+
+#[test]
+fn empty_scb_vector_halts_the_vm_cleanly() {
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    // CHMK with no SCB set up at all: vector reads 0 -> console halt.
+    boot(&mut mon, vm, "movl #0x5000, sp\n chmk #1\n halt");
+    mon.run(5_000_000);
+    assert_eq!(mon.vm(vm).state, VmState::ConsoleHalt);
+    assert!(
+        mon.vm(vm).vmm_log.iter().any(|l| l.contains("halted")),
+        "{:?}",
+        mon.vm(vm).vmm_log
+    );
+}
+
+#[test]
+fn runaway_guest_exhausts_budget_without_hanging_the_monitor() {
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    boot(&mut mon, vm, "top: brb top");
+    let start = std::time::Instant::now();
+    assert_eq!(mon.run(3_000_000), RunExit::BudgetExhausted);
+    assert!(start.elapsed().as_secs() < 30);
+    assert_eq!(mon.vm(vm).state, VmState::Ready, "still schedulable");
+}
+
+#[test]
+fn guest_console_input_via_rxdb() {
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    boot(
+        &mut mon,
+        vm,
+        "
+        poll:
+            mfpr #32, r0        ; RXCS
+            beql poll
+            mfpr #33, r2        ; RXDB
+            mfpr #33, r3        ; queue now empty -> 0
+            mfpr #32, r4
+            halt
+        ",
+    );
+    mon.vm_mut(vm).console_in.push_back(b'X');
+    mon.run(5_000_000);
+    assert_eq!(mon.vm(vm).regs[2], b'X' as u32);
+    assert_eq!(mon.vm(vm).regs[3], 0);
+    assert_eq!(mon.vm(vm).regs[4], 0, "RXCS clear after drain");
+}
+
+#[test]
+fn guest_software_interrupts_via_sirr() {
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    let code = assemble_text(
+        "
+        start:
+            movl #0x5000, sp
+            mtpr #0x5800, #4        ; virtual ISP
+            mtpr #0x200, #17
+            mtpr #31, #18           ; masked for now
+            mtpr #3, #20            ; SIRR: request level 3
+            mfpr #21, r2            ; SISR shows it pending
+            mtpr #0, #18            ; unmask: delivery happens here
+            halt
+        spin:
+            brb spin
+            .align 4
+        soft_handler:
+            movl #1, r9
+            mfpr #21, r3            ; cleared after delivery
+            rei
+        ",
+        0x1000,
+    )
+    .unwrap();
+    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    // Software level 3 vector = 0x8C; handler is 12 bytes before the end
+    // (movl #1,r9 = D0 01 59; mfpr #21, r3 = DB 15 53; rei = 02) -> 7
+    // bytes + rei... compute from the tail: handler starts at len-7.
+    let handler = 0x1000 + code.bytes.len() as u32 - 7;
+    assert_eq!(handler % 4, 0, "handler aligned");
+    mon.vm_write_phys(vm, 0x200 + 0x8C, &handler.to_le_bytes());
+    mon.boot_vm(vm, 0x1000);
+    assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
+    assert_eq!(mon.vm(vm).regs[2], 1 << 3, "pending while masked");
+    assert_eq!(mon.vm(vm).regs[9], 1, "delivered after unmask");
+    assert_eq!(mon.vm(vm).regs[3], 0, "summary bit cleared");
+}
+
+#[test]
+fn ioreset_cancels_pending_disk_completion() {
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    boot(
+        &mut mon,
+        vm,
+        "
+        start:
+            movl #1, @#0x300        ; disk read
+            clrl @#0x304
+            movl #0x2000, @#0x308
+            movl #512, @#0x30C
+            clrl @#0x310
+            mtpr #0x300, #201       ; start it
+            mtpr #0, #202           ; IORESET immediately
+            movl #2000, r2
+        spin:
+            sobgtr r2, spin
+            movl @#0x310, r3        ; status must still be 0
+            halt
+        ",
+    );
+    assert_eq!(mon.run(50_000_000), RunExit::AllHalted);
+    assert_eq!(mon.vm(vm).regs[3], 0, "completion cancelled by IORESET");
+    assert!(mon.vm(vm).vdisk_pending.is_none());
+}
+
+#[test]
+fn two_vms_get_comparable_service() {
+    let mut mon = monitor();
+    let a = mon.create_vm("a", VmConfig::default());
+    let b = mon.create_vm("b", VmConfig::default());
+    for vm in [a, b] {
+        boot(
+            &mut mon,
+            vm,
+            "
+            movl #60000, r2
+            clrl r3
+        top:
+            addl2 r2, r3
+            sobgtr r2, top
+            halt
+            ",
+        );
+    }
+    assert_eq!(mon.run(50_000_000), RunExit::AllHalted);
+    let ca = mon.vm_stats(a).cycles_run as f64;
+    let cb = mon.vm_stats(b).cycles_run as f64;
+    assert!(
+        (ca / cb - 1.0).abs() < 0.2,
+        "round-robin fairness: {ca} vs {cb}"
+    );
+}
+
+#[test]
+fn monitor_with_no_vms_returns_immediately() {
+    // Vacuously "all halted": nothing to run, no spinning.
+    let mut mon = monitor();
+    let start = std::time::Instant::now();
+    assert_eq!(mon.run(1_000_000), RunExit::AllHalted);
+    assert!(start.elapsed().as_millis() < 1000);
+}
+
+#[test]
+fn vm_memory_exhaustion_is_a_clean_panic_at_creation() {
+    // Admission control: the frame allocator panics when real memory
+    // cannot back the VM (fixed allocation, no paging — paper §7.2).
+    let result = std::panic::catch_unwind(|| {
+        let mut mon = Monitor::new(MonitorConfig {
+            mem_bytes: 1024 * 1024,
+            ..MonitorConfig::default()
+        });
+        for i in 0..64 {
+            mon.create_vm(&format!("vm{i}"), VmConfig::default());
+        }
+    });
+    assert!(result.is_err(), "out of real memory must be detected");
+}
+
+#[test]
+fn arithmetic_trap_in_vm_is_reflected_to_the_guest() {
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    let code = assemble_text(
+        "
+        start:
+            movl #0x5000, sp
+            mtpr #0x200, #17
+            movl #7, r2
+            divl2 #0, r2            ; divide by zero: reflected trap
+        spin:
+            brb spin
+            .align 4
+        arith_handler:
+            movl (sp)+, r9          ; trap type code
+            halt
+        ",
+        0x1000,
+    )
+    .unwrap();
+    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    // Arithmetic vector (0x34) -> handler (7 bytes from the end:
+    // movl (sp)+, r9 = D0 8E 59; halt = 00).
+    let handler = 0x1000 + code.bytes.len() as u32 - 4;
+    mon.vm_write_phys(vm, 0x200 + 0x34, &handler.to_le_bytes());
+    mon.boot_vm(vm, 0x1000);
+    assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
+    assert_eq!(mon.vm(vm).regs[9], 2, "integer divide-by-zero code");
+    assert_eq!(mon.vm(vm).regs[2], 7, "destination unchanged");
+}
+
+#[test]
+fn breakpoint_in_vm_is_reflected() {
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    let code = assemble_text(
+        "
+        start:
+            movl #0x5000, sp
+            mtpr #0x200, #17
+            bpt
+        spin:
+            brb spin
+            .align 4
+        bpt_handler:
+            movl #1, r9
+            halt
+        ",
+        0x1000,
+    )
+    .unwrap();
+    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    let handler = 0x1000 + code.bytes.len() as u32 - 4;
+    mon.vm_write_phys(vm, 0x200 + 0x2C, &handler.to_le_bytes());
+    mon.boot_vm(vm, 0x1000);
+    assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
+    assert_eq!(mon.vm(vm).regs[9], 1, "guest debugger hook ran");
+}
+
+#[test]
+fn virtual_ast_delivery_matches_bare_behavior() {
+    // The emulated REI performs the same ASTLVL check against the VM's
+    // virtual ASTLVL register.
+    let mut mon = monitor();
+    let vm = mon.create_vm("g", VmConfig::default());
+    let code = assemble_text(
+        "
+        start:
+            movl #0x5000, sp
+            mtpr #0x5800, #4
+            mtpr #0x200, #17
+            mtpr #3, #19            ; virtual ASTLVL = 3
+            movl #0x6000, r6
+            mtpr r6, #3
+            pushl #0x03C00000       ; user image, IPL 0
+            pushal user_code
+            rei                     ; AST software interrupt requested
+        user_code:
+            nop
+            nop
+        spin:
+            brb spin
+            .align 4
+        ast_handler:
+            movl #1, r9
+            halt
+        ",
+        0x1000,
+    )
+    .unwrap();
+    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    let handler = 0x1000 + code.bytes.len() as u32 - 4;
+    mon.vm_write_phys(vm, 0x200 + 0x88, &handler.to_le_bytes()); // level 2
+    mon.boot_vm(vm, 0x1000);
+    assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
+    assert_eq!(mon.vm(vm).regs[9], 1, "virtual AST delivered");
+}

@@ -1,0 +1,195 @@
+//! The memory-mapped I/O bus.
+//!
+//! The VAX's conventional ("typical but not architected", paper §4.4.3)
+//! I/O mechanism is control/status registers in a reserved region of
+//! physical address space, accessed with ordinary memory instructions. On
+//! the bare machine this bus serves the operating system directly; under
+//! the VMM it exists only for the *memory-mapped I/O emulation* ablation,
+//! because the paper replaces it with a start-I/O `KCALL` for VMs.
+
+use vax_mem::MemFault;
+
+/// First physical address of the I/O space.
+pub const IO_BASE_PA: u32 = 0x2000_0000;
+
+/// A device-raised interrupt request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrqRequest {
+    /// Interrupt priority level (device IPLs are 20–23 on the VAX).
+    pub ipl: u8,
+    /// SCB vector offset.
+    pub vector: u16,
+}
+
+/// A device on the memory-mapped bus.
+///
+/// Registers are longword-wide at longword offsets within the device's
+/// window. `tick` advances device time and may complete queued operations.
+pub trait MmioDevice {
+    /// Reads the CSR at `offset` bytes into the window.
+    fn read(&mut self, offset: u32) -> u32;
+    /// Writes the CSR at `offset`.
+    fn write(&mut self, offset: u32, value: u32);
+    /// Advances device time to absolute cycle `now`; returns an interrupt
+    /// request if an operation completed.
+    fn tick(&mut self, now: u64) -> Option<IrqRequest>;
+    /// Resets the device (bus init / IORESET).
+    fn reset(&mut self);
+}
+
+struct Slot {
+    base: u32,
+    len: u32,
+    device: Box<dyn MmioDevice>,
+}
+
+/// The bus: a set of device windows in I/O space.
+#[derive(Default)]
+pub struct Bus {
+    slots: Vec<Slot>,
+}
+
+impl Bus {
+    /// An empty bus.
+    pub fn new() -> Bus {
+        Bus::default()
+    }
+
+    /// Attaches a device at `[base, base+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is below [`IO_BASE_PA`] or overlaps an
+    /// existing window.
+    pub fn attach(&mut self, base: u32, len: u32, device: Box<dyn MmioDevice>) {
+        assert!(base >= IO_BASE_PA, "device window below I/O space");
+        for s in &self.slots {
+            assert!(
+                base + len <= s.base || s.base + s.len <= base,
+                "device windows overlap"
+            );
+        }
+        self.slots.push(Slot { base, len, device });
+    }
+
+    fn slot_for(&mut self, pa: u32) -> Option<(&mut Slot, u32)> {
+        self.slots
+            .iter_mut()
+            .find(|s| pa >= s.base && pa < s.base + s.len)
+            .map(|s| {
+                let off = pa - s.base;
+                (s, off)
+            })
+    }
+
+    /// Reads a CSR.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if no device claims `pa`.
+    pub fn read(&mut self, pa: u32) -> Result<u32, MemFault> {
+        match self.slot_for(pa) {
+            Some((s, off)) => Ok(s.device.read(off)),
+            None => Err(MemFault::NonExistent { pa }),
+        }
+    }
+
+    /// Writes a CSR.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if no device claims `pa`.
+    pub fn write(&mut self, pa: u32, value: u32) -> Result<(), MemFault> {
+        match self.slot_for(pa) {
+            Some((s, off)) => {
+                s.device.write(off, value);
+                Ok(())
+            }
+            None => Err(MemFault::NonExistent { pa }),
+        }
+    }
+
+    /// Ticks every device; returns any raised interrupt requests.
+    pub fn tick(&mut self, now: u64) -> Vec<IrqRequest> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.device.tick(now))
+            .collect()
+    }
+
+    /// Resets every device.
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            s.device.reset();
+        }
+    }
+
+    /// Number of attached devices.
+    pub fn device_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl core::fmt::Debug for Bus {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Bus")
+            .field("devices", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Scratch {
+        regs: [u32; 4],
+        ticked: u64,
+    }
+
+    impl MmioDevice for Scratch {
+        fn read(&mut self, offset: u32) -> u32 {
+            self.regs[(offset / 4) as usize]
+        }
+        fn write(&mut self, offset: u32, value: u32) {
+            self.regs[(offset / 4) as usize] = value;
+        }
+        fn tick(&mut self, now: u64) -> Option<IrqRequest> {
+            self.ticked = now;
+            None
+        }
+        fn reset(&mut self) {
+            self.regs = [0; 4];
+        }
+    }
+
+    #[test]
+    fn routing_and_unclaimed_addresses() {
+        let mut bus = Bus::new();
+        bus.attach(IO_BASE_PA, 16, Box::new(Scratch::default()));
+        bus.write(IO_BASE_PA + 4, 99).unwrap();
+        assert_eq!(bus.read(IO_BASE_PA + 4).unwrap(), 99);
+        assert!(matches!(
+            bus.read(IO_BASE_PA + 16),
+            Err(MemFault::NonExistent { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_windows_rejected() {
+        let mut bus = Bus::new();
+        bus.attach(IO_BASE_PA, 16, Box::new(Scratch::default()));
+        bus.attach(IO_BASE_PA + 8, 16, Box::new(Scratch::default()));
+    }
+
+    #[test]
+    fn reset_propagates() {
+        let mut bus = Bus::new();
+        bus.attach(IO_BASE_PA, 16, Box::new(Scratch::default()));
+        bus.write(IO_BASE_PA, 1).unwrap();
+        bus.reset();
+        assert_eq!(bus.read(IO_BASE_PA).unwrap(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Event counters, the raw material for every experiment table.
+
+/// Counts of architectural events since machine creation.
+///
+/// All counters are cumulative; use [`CpuCounters::delta`] to measure an
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuCounters {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Exceptions delivered (on-machine, through the SCB).
+    pub exceptions: u64,
+    /// Interrupts delivered (on-machine).
+    pub interrupts: u64,
+    /// CHMx instructions executed (including those trapped for emulation).
+    pub chm: u64,
+    /// REI instructions executed (including those trapped for emulation).
+    pub rei: u64,
+    /// MOVPSL instructions executed.
+    pub movpsl: u64,
+    /// PROBER/PROBEW instructions executed.
+    pub probe: u64,
+    /// PROBEVMR/PROBEVMW instructions executed.
+    pub probevm: u64,
+    /// MTPR-to-IPL executions (the paper's §7.3 hot path).
+    pub mtpr_ipl: u64,
+    /// Other MTPR/MFPR executions.
+    pub mtpr_other: u64,
+    /// VM-emulation traps delivered to the VMM.
+    pub vm_emulation_traps: u64,
+    /// Exceptions exiting VM mode to the VMM (memory faults etc.).
+    pub vm_exception_exits: u64,
+    /// Interrupts exiting VM mode to the VMM.
+    pub vm_interrupt_exits: u64,
+    /// LDPCTX/SVPCTX context switches.
+    pub context_switches: u64,
+    /// Device CSR reads+writes (memory-mapped I/O traffic).
+    pub device_csr_accesses: u64,
+}
+
+impl CpuCounters {
+    /// Component-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &CpuCounters) -> CpuCounters {
+        CpuCounters {
+            instructions: self.instructions - earlier.instructions,
+            exceptions: self.exceptions - earlier.exceptions,
+            interrupts: self.interrupts - earlier.interrupts,
+            chm: self.chm - earlier.chm,
+            rei: self.rei - earlier.rei,
+            movpsl: self.movpsl - earlier.movpsl,
+            probe: self.probe - earlier.probe,
+            probevm: self.probevm - earlier.probevm,
+            mtpr_ipl: self.mtpr_ipl - earlier.mtpr_ipl,
+            mtpr_other: self.mtpr_other - earlier.mtpr_other,
+            vm_emulation_traps: self.vm_emulation_traps - earlier.vm_emulation_traps,
+            vm_exception_exits: self.vm_exception_exits - earlier.vm_exception_exits,
+            vm_interrupt_exits: self.vm_interrupt_exits - earlier.vm_interrupt_exits,
+            context_switches: self.context_switches - earlier.context_switches,
+            device_csr_accesses: self.device_csr_accesses - earlier.device_csr_accesses,
+        }
+    }
+
+    /// Total exits from VM mode to the VMM.
+    pub fn vm_exits(&self) -> u64 {
+        self.vm_emulation_traps + self.vm_exception_exits + self.vm_interrupt_exits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_componentwise() {
+        let a = CpuCounters {
+            instructions: 10,
+            chm: 2,
+            ..Default::default()
+        };
+        let b = CpuCounters {
+            instructions: 25,
+            chm: 5,
+            rei: 1,
+            ..Default::default()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.instructions, 15);
+        assert_eq!(d.chm, 3);
+        assert_eq!(d.rei, 1);
+    }
+
+    #[test]
+    fn vm_exits_sums_sources() {
+        let c = CpuCounters {
+            vm_emulation_traps: 3,
+            vm_exception_exits: 4,
+            vm_interrupt_exits: 5,
+            ..Default::default()
+        };
+        assert_eq!(c.vm_exits(), 12);
+    }
+}

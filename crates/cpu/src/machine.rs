@@ -1,0 +1,817 @@
+//! The simulated processor: registers, PSL, IPRs, interval timer, console,
+//! stack banking, and the step loop.
+
+use crate::bus::{Bus, IrqRequest, IO_BASE_PA};
+use crate::counters::CpuCounters;
+use crate::event::{HaltReason, StepEvent, VmExit};
+use std::collections::VecDeque;
+use vax_arch::{
+    AccessMode, CostModel, Exception, Ipr, MachineVariant, Psl, ScbVector, VirtAddr, VmPsl,
+    PAGE_BYTES,
+};
+use vax_mem::{MemFault, Mmu, PhysMemory};
+
+/// The interval timer (ICCS/NICR/ICR).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct IntervalTimer {
+    pub iccs: u32,
+    pub nicr: i64,
+    pub icr: i64,
+}
+
+impl IntervalTimer {
+    pub const RUN: u32 = 1 << 0;
+    pub const XFR: u32 = 1 << 4;
+    pub const IE: u32 = 1 << 6;
+    pub const INT: u32 = 1 << 7;
+
+    fn write_iccs(&mut self, v: u32) {
+        if v & Self::XFR != 0 {
+            self.icr = self.nicr;
+        }
+        if v & Self::INT != 0 {
+            self.iccs &= !Self::INT; // write-1-to-clear
+        }
+        self.iccs = (self.iccs & Self::INT) | (v & (Self::RUN | Self::IE));
+    }
+
+    fn tick(&mut self, delta: u64) {
+        if self.iccs & Self::RUN != 0 && self.nicr < 0 {
+            self.icr += delta as i64;
+            if self.icr >= 0 {
+                self.iccs |= Self::INT;
+                self.icr = self.nicr;
+            }
+        }
+    }
+
+    fn interrupt_pending(&self) -> bool {
+        self.iccs & Self::INT != 0 && self.iccs & Self::IE != 0
+    }
+}
+
+/// The console terminal, modeled at the IPR level (RXCS/RXDB/TXCS/TXDB).
+///
+/// Transmit is always ready; output accumulates in a log the embedder can
+/// drain. Receive is fed by [`Machine::console_push_input`] and polled by
+/// the guest.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Console {
+    pub tx_log: Vec<u8>,
+    pub rx_queue: VecDeque<u8>,
+}
+
+/// Interrupt priority level of the interval timer.
+pub const TIMER_IPL: u8 = 24;
+
+/// The simulated VAX processor plus its memory and bus.
+///
+/// A [`Machine`] built with [`MachineVariant::Standard`] behaves like the
+/// base architecture; [`MachineVariant::Modified`] adds the paper's
+/// virtualization microcode. The VMM in `vax-vmm` drives a modified
+/// machine; guest operating systems from `vax-os` run on either.
+///
+/// # Example
+///
+/// ```
+/// use vax_cpu::{Machine, StepEvent};
+/// use vax_arch::MachineVariant;
+///
+/// // MOVL #5, R0; HALT — assembled by hand.
+/// let mut m = Machine::new(MachineVariant::Standard, 64 * 1024);
+/// m.mem_mut().write_slice(0x200, &[0xD0, 0x05, 0x50, 0x00])?;
+/// m.set_pc(0x200);
+/// assert_eq!(m.step(), StepEvent::Ok);
+/// assert_eq!(m.reg(0), 5);
+/// # Ok::<(), vax_mem::MemFault>(())
+/// ```
+pub struct Machine {
+    variant: MachineVariant,
+    pub(crate) costs: CostModel,
+    pub(crate) regs: [u32; 16],
+    pub(crate) psl: Psl,
+    pub(crate) vmpsl: VmPsl,
+    /// Stack pointers: indexes 0–3 are kernel…user, 4 is the interrupt
+    /// stack. The *active* pointer lives in `regs[14]`.
+    pub(crate) sp_bank: [u32; 5],
+    pub(crate) scbb: u32,
+    pub(crate) pcbb: u32,
+    pub(crate) sid: u32,
+    pub(crate) astlvl: u32,
+    pub(crate) sisr: u16,
+    todr: u32,
+    todr_acc: u64,
+    pub(crate) mmu: Mmu,
+    pub(crate) mem: PhysMemory,
+    pub(crate) bus: Bus,
+    pub(crate) console: Console,
+    pub(crate) timer: IntervalTimer,
+    pending_irqs: Vec<IrqRequest>,
+    /// Optional PC trace ring (debugging aid).
+    trace: Option<(VecDeque<u32>, usize)>,
+    pub(crate) cycles: u64,
+    pub(crate) counters: CpuCounters,
+    pub(crate) halted: bool,
+}
+
+impl Machine {
+    /// Creates a machine of the given variant with `mem_bytes` of RAM.
+    ///
+    /// The modified variant boots with modify faults enabled, as the
+    /// paper's VMM requires; the standard variant sets `PTE<M>` in
+    /// hardware.
+    pub fn new(variant: MachineVariant, mem_bytes: u32) -> Machine {
+        let mut mmu = Mmu::new();
+        mmu.set_modify_fault_enabled(variant.has_vm_extensions());
+        Machine {
+            variant,
+            costs: CostModel::default(),
+            regs: [0; 16],
+            psl: Psl::power_up(),
+            vmpsl: VmPsl::default(),
+            sp_bank: [0; 5],
+            scbb: 0,
+            pcbb: 0,
+            sid: match variant {
+                MachineVariant::Standard => 0x0100_0000,
+                MachineVariant::Modified => 0x0200_0000,
+            },
+            astlvl: 4,
+            sisr: 0,
+            todr: 0,
+            todr_acc: 0,
+            mmu,
+            mem: PhysMemory::new(mem_bytes),
+            bus: Bus::new(),
+            console: Console::default(),
+            timer: IntervalTimer::default(),
+            pending_irqs: Vec::new(),
+            trace: None,
+            cycles: 0,
+            counters: CpuCounters::default(),
+            halted: false,
+        }
+    }
+
+    /// The architecture variant.
+    pub fn variant(&self) -> MachineVariant {
+        self.variant
+    }
+
+    /// Replaces the cycle-cost model.
+    pub fn set_costs(&mut self, costs: CostModel) {
+        self.costs = costs;
+    }
+
+    /// The cycle-cost model in effect.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Cumulative simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Charges extra cycles (used by the VMM to account its software
+    /// path lengths on this machine's clock).
+    pub fn add_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> CpuCounters {
+        self.counters
+    }
+
+    /// General register `i` (0–15; 15 is the PC).
+    pub fn reg(&self, i: usize) -> u32 {
+        self.regs[i]
+    }
+
+    /// Sets general register `i`.
+    pub fn set_reg(&mut self, i: usize, v: u32) {
+        self.regs[i] = v;
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u32 {
+        self.regs[15]
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.regs[15] = pc;
+    }
+
+    /// The processor status longword.
+    pub fn psl(&self) -> Psl {
+        self.psl
+    }
+
+    /// Replaces the PSL, re-banking the stack pointer if the active stack
+    /// changed.
+    pub fn set_psl(&mut self, new: Psl) {
+        let old_idx = self.active_sp_index();
+        self.psl = new;
+        let new_idx = self.active_sp_index();
+        if old_idx != new_idx {
+            self.sp_bank[old_idx] = self.regs[14];
+            self.regs[14] = self.sp_bank[new_idx];
+        }
+    }
+
+    /// The `VMPSL` register (meaningful only on the modified variant).
+    pub fn vmpsl(&self) -> VmPsl {
+        self.vmpsl
+    }
+
+    /// Sets the `VMPSL` register.
+    pub fn set_vmpsl(&mut self, v: VmPsl) {
+        self.vmpsl = v;
+    }
+
+    /// Puts the processor in VM mode (`PSL<VM>` set) with the given VM
+    /// mode state. Only the VMM's dispatch path does this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a standard machine, which has no `PSL<VM>`.
+    pub fn enter_vm(&mut self, vmpsl: VmPsl) {
+        assert!(
+            self.variant.has_vm_extensions(),
+            "standard VAX has no VM mode"
+        );
+        self.vmpsl = vmpsl;
+        self.psl.set_vm(true);
+    }
+
+    /// True if the processor is running a VM (`PSL<VM>` set).
+    pub fn in_vm(&self) -> bool {
+        self.psl.vm()
+    }
+
+    fn active_sp_index(&self) -> usize {
+        if self.psl.flag(Psl::IS) {
+            4
+        } else {
+            self.psl.cur_mode() as usize
+        }
+    }
+
+    /// Reads the stack pointer for a mode (redirecting to `regs[14]` when
+    /// that mode's stack is active).
+    pub fn sp_for_mode(&self, mode: AccessMode) -> u32 {
+        if self.active_sp_index() == mode as usize {
+            self.regs[14]
+        } else {
+            self.sp_bank[mode as usize]
+        }
+    }
+
+    /// Sets the stack pointer for a mode.
+    pub fn set_sp_for_mode(&mut self, mode: AccessMode, v: u32) {
+        if self.active_sp_index() == mode as usize {
+            self.regs[14] = v;
+        } else {
+            self.sp_bank[mode as usize] = v;
+        }
+    }
+
+    /// The interrupt stack pointer.
+    pub fn isp(&self) -> u32 {
+        if self.active_sp_index() == 4 {
+            self.regs[14]
+        } else {
+            self.sp_bank[4]
+        }
+    }
+
+    /// Sets the interrupt stack pointer.
+    pub fn set_isp(&mut self, v: u32) {
+        if self.active_sp_index() == 4 {
+            self.regs[14] = v;
+        } else {
+            self.sp_bank[4] = v;
+        }
+    }
+
+    /// The system control block base (physical).
+    pub fn scbb(&self) -> u32 {
+        self.scbb
+    }
+
+    /// Sets the SCB base.
+    pub fn set_scbb(&mut self, pa: u32) {
+        self.scbb = pa;
+    }
+
+    /// The process control block base (physical).
+    pub fn pcbb(&self) -> u32 {
+        self.pcbb
+    }
+
+    /// Physical memory.
+    pub fn mem(&self) -> &PhysMemory {
+        &self.mem
+    }
+
+    /// Physical memory, mutable (for loaders and the VMM).
+    pub fn mem_mut(&mut self) -> &mut PhysMemory {
+        &mut self.mem
+    }
+
+    /// The MMU.
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// The MMU, mutable (for the VMM's shadow-table management).
+    pub fn mmu_mut(&mut self) -> &mut Mmu {
+        &mut self.mmu
+    }
+
+    /// The I/O bus, mutable (to attach devices).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// Queues a byte of console input.
+    pub fn console_push_input(&mut self, b: u8) {
+        self.console.rx_queue.push_back(b);
+    }
+
+    /// Drains and returns everything the guest wrote to the console.
+    pub fn console_take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.console.tx_log)
+    }
+
+    /// Peeks at console output without draining.
+    pub fn console_output(&self) -> &[u8] {
+        &self.console.tx_log
+    }
+
+    /// True once the processor has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Enables the PC trace ring, keeping the most recent `capacity`
+    /// instruction addresses — a debugging aid for guest crashes.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some((VecDeque::with_capacity(capacity), capacity));
+    }
+
+    /// The most recent instruction addresses (oldest first), if tracing
+    /// is enabled.
+    pub fn recent_pcs(&self) -> Vec<u32> {
+        self.trace
+            .as_ref()
+            .map(|(ring, _)| ring.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    // ---- virtual memory access (routing RAM vs. I/O space) ----
+
+    fn read_pa(&mut self, pa: u32, len: u32) -> Result<u32, MemFault> {
+        if pa >= IO_BASE_PA {
+            self.counters.device_csr_accesses += 1;
+            self.cycles += self.costs.device_csr;
+            self.bus.read(pa)
+        } else {
+            match len {
+                1 => self.mem.read_u8(pa).map(u32::from),
+                2 => self.mem.read_u16(pa).map(u32::from),
+                _ => self.mem.read_u32(pa),
+            }
+        }
+    }
+
+    fn write_pa(&mut self, pa: u32, value: u32, len: u32) -> Result<(), MemFault> {
+        if pa >= IO_BASE_PA {
+            self.counters.device_csr_accesses += 1;
+            self.cycles += self.costs.device_csr;
+            self.bus.write(pa, value)
+        } else {
+            match len {
+                1 => self.mem.write_u8(pa, value as u8),
+                2 => self.mem.write_u16(pa, value as u16),
+                _ => self.mem.write_u32(pa, value),
+            }
+        }
+    }
+
+    /// Reads `len ∈ {1,2,4}` bytes of virtual memory as `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MemFault`] from translation or the physical access.
+    pub fn read_virt(&mut self, va: VirtAddr, len: u32, mode: AccessMode) -> Result<u32, MemFault> {
+        self.cycles += self.costs.memory_reference;
+        if va.byte_offset() + len <= PAGE_BYTES {
+            let t = {
+                let Machine { mmu, mem, costs, .. } = self;
+                mmu.translate(mem, va, mode, false, costs)?
+            };
+            self.cycles += t.cycles;
+            self.read_pa(t.pa, len)
+        } else {
+            let mut v = 0u32;
+            for i in 0..len {
+                let t = {
+                    let Machine { mmu, mem, costs, .. } = self;
+                    mmu.translate(mem, va.wrapping_add(i), mode, false, costs)?
+                };
+                self.cycles += t.cycles;
+                v |= self.read_pa(t.pa, 1)? << (8 * i);
+            }
+            Ok(v)
+        }
+    }
+
+    /// Writes `len ∈ {1,2,4}` bytes of virtual memory as `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MemFault`]; page-crossing writes pre-translate all pages so a
+    /// fault leaves no partial write.
+    pub fn write_virt(
+        &mut self,
+        va: VirtAddr,
+        value: u32,
+        len: u32,
+        mode: AccessMode,
+    ) -> Result<(), MemFault> {
+        self.cycles += self.costs.memory_reference;
+        if va.byte_offset() + len <= PAGE_BYTES {
+            let t = {
+                let Machine { mmu, mem, costs, .. } = self;
+                mmu.translate(mem, va, mode, true, costs)?
+            };
+            self.cycles += t.cycles;
+            self.write_pa(t.pa, value, len)
+        } else {
+            let mut pas = [0u32; 4];
+            for i in 0..len {
+                let t = {
+                    let Machine { mmu, mem, costs, .. } = self;
+                    mmu.translate(mem, va.wrapping_add(i), mode, true, costs)?
+                };
+                self.cycles += t.cycles;
+                pas[i as usize] = t.pa;
+            }
+            for i in 0..len {
+                self.write_pa(pas[i as usize], (value >> (8 * i)) & 0xff, 1)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Pushes a longword on the *current* stack.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MemFault`] from the stack write; SP is left decremented only
+    /// on success.
+    pub fn push(&mut self, value: u32) -> Result<(), MemFault> {
+        let sp = self.regs[14].wrapping_sub(4);
+        self.write_virt(VirtAddr::new(sp), value, 4, self.psl.cur_mode())?;
+        self.regs[14] = sp;
+        Ok(())
+    }
+
+    /// Pops a longword from the *current* stack.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MemFault`] from the stack read.
+    pub fn pop(&mut self) -> Result<u32, MemFault> {
+        let v = self.read_virt(VirtAddr::new(self.regs[14]), 4, self.psl.cur_mode())?;
+        self.regs[14] = self.regs[14].wrapping_add(4);
+        Ok(v)
+    }
+
+    // ---- IPR access (used by MTPR/MFPR and by the VMM) ----
+
+    /// Reads an internal processor register as kernel-mode microcode does.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Exception::ReservedOperand)` for write-only registers or
+    /// registers that do not exist on this machine (e.g. the VM-only
+    /// MEMSIZE/KCALL on any real machine — paper Table 4).
+    pub fn read_ipr(&mut self, ipr: Ipr) -> Result<u32, Exception> {
+        use Ipr::*;
+        Ok(match ipr {
+            Ksp => self.sp_for_mode(AccessMode::Kernel),
+            Esp => self.sp_for_mode(AccessMode::Executive),
+            Ssp => self.sp_for_mode(AccessMode::Supervisor),
+            Usp => self.sp_for_mode(AccessMode::User),
+            Isp => self.isp(),
+            P0br => self.mmu.bases().2,
+            P0lr => self.mmu.bases().3,
+            P1br => self.mmu.bases().4,
+            P1lr => self.mmu.bases().5,
+            Sbr => self.mmu.bases().0,
+            Slr => self.mmu.bases().1,
+            Pcbb => self.pcbb,
+            Scbb => self.scbb,
+            Ipl => self.psl.ipl() as u32,
+            Astlvl => self.astlvl,
+            Sisr => self.sisr as u32,
+            Iccs => self.timer.iccs,
+            Nicr => self.timer.nicr as u32,
+            Icr => self.timer.icr as u32,
+            Todr => self.todr,
+            Rxcs => {
+                if self.console.rx_queue.is_empty() {
+                    0
+                } else {
+                    0x80
+                }
+            }
+            Rxdb => self.console.rx_queue.pop_front().map_or(0, u32::from),
+            Txcs => 0x80, // always ready
+            Txdb => 0,
+            Mapen => self.mmu.mapen() as u32,
+            Sid => self.sid,
+            Sirr | Tbia | Tbis => return Err(Exception::ReservedOperand),
+            Memsize | Kcall | Ioreset => return Err(Exception::ReservedOperand),
+        })
+    }
+
+    /// Writes an internal processor register as kernel-mode microcode
+    /// does, with all side effects (TLB invalidation, timer control, …).
+    ///
+    /// # Errors
+    ///
+    /// `Err(Exception::ReservedOperand)` for read-only registers or
+    /// registers absent on a real machine.
+    pub fn write_ipr(&mut self, ipr: Ipr, value: u32) -> Result<(), Exception> {
+        use Ipr::*;
+        match ipr {
+            Ksp => self.set_sp_for_mode(AccessMode::Kernel, value),
+            Esp => self.set_sp_for_mode(AccessMode::Executive, value),
+            Ssp => self.set_sp_for_mode(AccessMode::Supervisor, value),
+            Usp => self.set_sp_for_mode(AccessMode::User, value),
+            Isp => self.set_isp(value),
+            P0br => self.mmu.set_p0br(value),
+            P0lr => self.mmu.set_p0lr(value & 0x3f_ffff),
+            P1br => self.mmu.set_p1br(value),
+            P1lr => self.mmu.set_p1lr(value & 0x3f_ffff),
+            Sbr => self.mmu.set_sbr(value),
+            Slr => self.mmu.set_slr(value & 0x3f_ffff),
+            Pcbb => self.pcbb = value,
+            Scbb => self.scbb = value,
+            Ipl => self.psl.set_ipl((value & 0x1f) as u8),
+            Astlvl => self.astlvl = value & 7,
+            Sirr => {
+                let level = value & 0xf;
+                if level != 0 {
+                    self.sisr |= 1 << level;
+                }
+            }
+            Sisr => self.sisr = (value & 0xfffe) as u16,
+            Iccs => self.timer.write_iccs(value),
+            Nicr => self.timer.nicr = value as i32 as i64,
+            Icr => return Err(Exception::ReservedOperand),
+            Todr => self.todr = value,
+            Rxcs | Txcs => {} // interrupt enables unimplemented (polled I/O)
+            Rxdb => return Err(Exception::ReservedOperand),
+            Txdb => self.console.tx_log.push(value as u8),
+            Mapen => self.mmu.set_mapen(value & 1 != 0),
+            Tbia => self.mmu.tlb_mut().invalidate_all(),
+            Tbis => self.mmu.tlb_mut().invalidate_single(VirtAddr::new(value)),
+            Sid => return Err(Exception::ReservedOperand),
+            Memsize | Kcall | Ioreset => return Err(Exception::ReservedOperand),
+        }
+        Ok(())
+    }
+
+    // ---- interrupts ----
+
+    /// Latches a device interrupt request (also used by the VMM to model
+    /// virtual device completion on bare-metal runs).
+    pub fn raise_irq(&mut self, irq: IrqRequest) {
+        if !self.pending_irqs.contains(&irq) {
+            self.pending_irqs.push(irq);
+        }
+    }
+
+    /// The highest-priority deliverable interrupt, if any exceeds the
+    /// current IPL.
+    fn pending_interrupt(&self) -> Option<(u8, u16)> {
+        let mut best: Option<(u8, u16)> = None;
+        if self.timer.interrupt_pending() {
+            best = Some((TIMER_IPL, ScbVector::IntervalTimer.offset() as u16));
+        }
+        for irq in &self.pending_irqs {
+            if best.is_none_or(|(ipl, _)| irq.ipl > ipl) {
+                best = Some((irq.ipl, irq.vector));
+            }
+        }
+        // Software interrupts: highest set level in SISR.
+        if self.sisr != 0 {
+            let level = 15 - self.sisr.leading_zeros() as u8;
+            if best.is_none_or(|(ipl, _)| level > ipl) {
+                best = Some((level, ScbVector::software(level) as u16));
+            }
+        }
+        best.filter(|(ipl, _)| *ipl > self.psl.ipl())
+    }
+
+    /// Acknowledges (clears) the interrupt source just delivered.
+    fn acknowledge(&mut self, ipl: u8, vector: u16) {
+        if ipl == TIMER_IPL && vector == ScbVector::IntervalTimer.offset() as u16 {
+            self.timer.iccs &= !IntervalTimer::INT;
+        } else if ipl <= 15 {
+            self.sisr &= !(1 << ipl);
+        } else {
+            self.pending_irqs
+                .retain(|i| !(i.ipl == ipl && i.vector == vector));
+        }
+    }
+
+    // ---- the step loop ----
+
+    /// Executes one instruction (or delivers one interrupt/exception).
+    ///
+    /// On a bare machine this never returns [`StepEvent::VmExit`]; inside
+    /// a VM every trap/fault/interrupt surfaces as a `VmExit` for the
+    /// embedding VMM, with `PSL<VM>` cleared exactly as the paper's
+    /// microcode does.
+    pub fn step(&mut self) -> StepEvent {
+        if self.halted {
+            return StepEvent::Halted(HaltReason::HaltInstruction);
+        }
+
+        // Deliverable interrupt?
+        if let Some((ipl, vector)) = self.pending_interrupt() {
+            self.acknowledge(ipl, vector);
+            if self.psl.vm() {
+                self.psl.set_vm(false);
+                self.counters.vm_interrupt_exits += 1;
+                self.cycles += self.costs.exception_entry;
+                return StepEvent::VmExit(VmExit::Interrupt { ipl, vector });
+            }
+            self.counters.interrupts += 1;
+            return match self.deliver_interrupt(ipl, vector) {
+                Ok(()) => StepEvent::Ok,
+                Err(()) => self.halt_double_fault(),
+            };
+        }
+
+        if let Some((ring, cap)) = &mut self.trace {
+            if ring.len() == *cap {
+                ring.pop_front();
+            }
+            ring.push_back(self.regs[15]);
+        }
+        let cycles_before = self.cycles;
+        let event = self.execute_one();
+
+        // Advance time-based devices by the cycles actually consumed.
+        let now = self.cycles;
+        let delta = (now - cycles_before).max(1);
+        self.timer.tick(delta);
+        self.todr_acc += delta;
+        if self.todr_acc >= 100 {
+            self.todr = self.todr.wrapping_add(1);
+            self.todr_acc = 0;
+        }
+        for irq in self.bus.tick(now) {
+            self.raise_irq(irq);
+        }
+        event
+    }
+
+    /// Runs until halt, a VM exit, or `max_steps` instructions.
+    ///
+    /// Returns the final event ([`StepEvent::Ok`] when the budget ran out).
+    pub fn run(&mut self, max_steps: u64) -> StepEvent {
+        for _ in 0..max_steps {
+            match self.step() {
+                StepEvent::Ok => continue,
+                other => return other,
+            }
+        }
+        StepEvent::Ok
+    }
+
+    pub(crate) fn halt_double_fault(&mut self) -> StepEvent {
+        self.halted = true;
+        StepEvent::Halted(HaltReason::DoubleFault)
+    }
+}
+
+impl core::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Machine")
+            .field("variant", &self.variant)
+            .field("pc", &format_args!("{:#010x}", self.regs[15]))
+            .field("psl", &format_args!("{}", self.psl))
+            .field("cycles", &self.cycles)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_counts_and_interrupts() {
+        let mut t = IntervalTimer {
+            nicr: -10,
+            ..IntervalTimer::default()
+        };
+        t.write_iccs(IntervalTimer::RUN | IntervalTimer::IE | IntervalTimer::XFR);
+        assert_eq!(t.icr, -10);
+        for _ in 0..9 {
+            t.tick(1);
+        }
+        assert!(!t.interrupt_pending());
+        t.tick(1);
+        assert!(t.interrupt_pending());
+        assert_eq!(t.icr, -10, "reloaded");
+        // Write-1-to-clear.
+        t.write_iccs(IntervalTimer::INT | IntervalTimer::RUN | IntervalTimer::IE);
+        assert!(!t.interrupt_pending());
+    }
+
+    #[test]
+    fn stack_banking_follows_psl() {
+        let mut m = Machine::new(MachineVariant::Standard, 4096);
+        let mut psl = Psl::new();
+        psl.set_cur_mode(AccessMode::Kernel);
+        m.set_psl(psl);
+        m.set_reg(14, 0x1000); // KSP
+        let mut upsl = Psl::new();
+        upsl.set_cur_mode(AccessMode::User);
+        m.set_psl(upsl);
+        m.set_reg(14, 0x2000); // USP
+        assert_eq!(m.sp_for_mode(AccessMode::Kernel), 0x1000);
+        assert_eq!(m.sp_for_mode(AccessMode::User), 0x2000);
+        m.set_sp_for_mode(AccessMode::Kernel, 0x1500);
+        let mut kpsl = Psl::new();
+        kpsl.set_cur_mode(AccessMode::Kernel);
+        m.set_psl(kpsl);
+        assert_eq!(m.reg(14), 0x1500);
+    }
+
+    #[test]
+    fn ipr_round_trips() {
+        let mut m = Machine::new(MachineVariant::Modified, 4096);
+        m.write_ipr(Ipr::Sbr, 0x3000).unwrap();
+        assert_eq!(m.read_ipr(Ipr::Sbr).unwrap(), 0x3000);
+        m.write_ipr(Ipr::Ipl, 22).unwrap();
+        assert_eq!(m.read_ipr(Ipr::Ipl).unwrap(), 22);
+        assert_eq!(m.psl().ipl(), 22);
+        assert!(m.write_ipr(Ipr::Icr, 0).is_err());
+        assert!(m.read_ipr(Ipr::Tbia).is_err());
+        // VM-only registers do not exist on a real machine.
+        assert!(m.read_ipr(Ipr::Memsize).is_err());
+        assert!(m.write_ipr(Ipr::Kcall, 0).is_err());
+    }
+
+    #[test]
+    fn sirr_sets_software_interrupt_summary() {
+        let mut m = Machine::new(MachineVariant::Standard, 4096);
+        m.write_ipr(Ipr::Sirr, 3).unwrap();
+        m.write_ipr(Ipr::Sirr, 7).unwrap();
+        assert_eq!(m.read_ipr(Ipr::Sisr).unwrap(), (1 << 3) | (1 << 7));
+    }
+
+    #[test]
+    fn console_round_trip() {
+        let mut m = Machine::new(MachineVariant::Standard, 4096);
+        assert_eq!(m.read_ipr(Ipr::Rxcs).unwrap(), 0);
+        m.console_push_input(b'A');
+        assert_eq!(m.read_ipr(Ipr::Rxcs).unwrap(), 0x80);
+        assert_eq!(m.read_ipr(Ipr::Rxdb).unwrap(), b'A' as u32);
+        m.write_ipr(Ipr::Txdb, b'Z' as u32).unwrap();
+        assert_eq!(m.console_take_output(), b"Z");
+        assert!(m.console_output().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "standard VAX has no VM mode")]
+    fn enter_vm_rejected_on_standard() {
+        let mut m = Machine::new(MachineVariant::Standard, 4096);
+        m.enter_vm(VmPsl::default());
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut m = Machine::new(MachineVariant::Standard, 4096);
+        let mut psl = Psl::new();
+        psl.set_cur_mode(AccessMode::Kernel);
+        m.set_psl(psl);
+        m.set_reg(14, 0x800);
+        m.push(0x1234_5678).unwrap();
+        assert_eq!(m.reg(14), 0x7FC);
+        assert_eq!(m.pop().unwrap(), 0x1234_5678);
+        assert_eq!(m.reg(14), 0x800);
+    }
+}

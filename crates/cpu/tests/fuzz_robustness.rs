@@ -1,0 +1,115 @@
+//! Robustness fuzzing: the machine must never panic, whatever bytes it
+//! executes — random byte soup produces exceptions, halts, or progress,
+//! never a crash, on both architecture variants and inside a VM.
+
+use proptest::prelude::*;
+use vax_arch::{MachineVariant, Psl, VmPsl, AccessMode};
+use vax_cpu::{Machine, StepEvent};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_bytes_never_panic_bare(
+        code in proptest::collection::vec(any::<u8>(), 1..256),
+        variant in prop_oneof![Just(MachineVariant::Standard), Just(MachineVariant::Modified)],
+    ) {
+        let mut m = Machine::new(variant, 128 * 1024);
+        m.mem_mut().write_slice(0x1000, &code).unwrap();
+        // A plausible SCB full of valid handler addresses keeps exception
+        // delivery going instead of double-faulting instantly.
+        m.set_scbb(0x200);
+        for off in (0..0x140u32).step_by(4) {
+            m.mem_mut().write_u32(0x200 + off, 0x1000).unwrap();
+        }
+        let mut psl = Psl::new();
+        psl.set_ipl(31);
+        m.set_psl(psl);
+        m.set_reg(14, 0x8000);
+        m.set_isp(0x9000);
+        m.set_pc(0x1000);
+        for _ in 0..2000 {
+            match m.step() {
+                StepEvent::Ok => {}
+                StepEvent::Halted(_) => break,
+                StepEvent::VmExit(_) => unreachable!("not in VM mode"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_in_vm_mode(
+        code in proptest::collection::vec(any::<u8>(), 1..256),
+        vcur in 0u32..4,
+    ) {
+        let mut m = Machine::new(MachineVariant::Modified, 128 * 1024);
+        m.mem_mut().write_slice(0x1000, &code).unwrap();
+        let mut psl = Psl::new();
+        psl.set_cur_mode(AccessMode::Executive);
+        m.set_psl(psl);
+        m.set_reg(14, 0x8000);
+        m.set_pc(0x1000);
+        let vmpsl = VmPsl::new(AccessMode::from_bits(vcur), AccessMode::from_bits(vcur));
+        m.enter_vm(vmpsl);
+        for _ in 0..2000 {
+            match m.step() {
+                StepEvent::Ok => {}
+                StepEvent::Halted(_) => break,
+                StepEvent::VmExit(_) => {
+                    // Resume like a trivial VMM that skips everything.
+                    let pc = m.pc();
+                    m.set_pc(pc.wrapping_add(1));
+                    m.enter_vm(vmpsl);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With translation enabled and *garbage base registers*, random code
+    /// must still only fault, never panic — base registers are
+    /// software-controllable state.
+    #[test]
+    fn random_bytes_with_hostile_mmu_state_never_panic(
+        code in proptest::collection::vec(any::<u8>(), 1..128),
+        p0br in any::<u32>(),
+        p0lr in 0u32..0x40_0000,
+        p1br in any::<u32>(),
+        p1lr in 0u32..0x40_0000,
+        sbr in 0u32..0x4_0000,
+        slr in 0u32..0x1000,
+    ) {
+        let mut m = Machine::new(MachineVariant::Modified, 128 * 1024);
+        m.mem_mut().write_slice(0x1000, &code).unwrap();
+        m.set_scbb(0x200);
+        for off in (0..0x140u32).step_by(4) {
+            m.mem_mut().write_u32(0x200 + off, 0x1000).unwrap();
+        }
+        {
+            let mmu = m.mmu_mut();
+            mmu.set_p0br(p0br);
+            mmu.set_p0lr(p0lr);
+            mmu.set_p1br(p1br);
+            mmu.set_p1lr(p1lr);
+            mmu.set_sbr(sbr);
+            mmu.set_slr(slr);
+            mmu.set_mapen(true);
+        }
+        let mut psl = Psl::new();
+        psl.set_ipl(31);
+        m.set_psl(psl);
+        m.set_reg(14, 0x8000);
+        m.set_isp(0x9000);
+        m.set_pc(0x1000);
+        for _ in 0..1500 {
+            match m.step() {
+                StepEvent::Ok => {}
+                StepEvent::Halted(_) => break,
+                StepEvent::VmExit(_) => unreachable!("not in VM mode"),
+            }
+        }
+    }
+}

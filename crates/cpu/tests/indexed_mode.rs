@@ -1,0 +1,149 @@
+//! Indexed addressing mode (`base[Rx]`): encoding, decoding, and
+//! execution semantics, including operand-width scaling.
+
+use vax_arch::{MachineVariant, Psl};
+use vax_asm::{assemble_text, disassemble};
+use vax_cpu::{HaltReason, Machine, StepEvent};
+
+fn run(src: &str) -> Machine {
+    let p = assemble_text(src, 0x1000).expect("assembles");
+    let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
+    m.mem_mut().write_slice(0x1000, &p.bytes).unwrap();
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_reg(14, 0x8000);
+    m.set_pc(0x1000);
+    for _ in 0..100_000 {
+        match m.step() {
+            StepEvent::Ok => {}
+            StepEvent::Halted(HaltReason::HaltInstruction) => return m,
+            other => panic!("unexpected {other:?} at pc={:#x}", m.pc()),
+        }
+    }
+    panic!("did not halt");
+}
+
+#[test]
+fn longword_array_indexing() {
+    let m = run(
+        "
+        movl #100, @#0x3000
+        movl #200, @#0x3004
+        movl #300, @#0x3008
+        movl #2, r1
+        movl @#0x3000[r1], r2    ; element 2 (scaled by 4)
+        movl #0x3000, r3
+        movl #1, r1
+        movl (r3)[r1], r4        ; element 1 via register deferred
+        halt
+        ",
+    );
+    assert_eq!(m.reg(2), 300);
+    assert_eq!(m.reg(4), 200);
+}
+
+#[test]
+fn byte_indexing_scales_by_one() {
+    let m = run(
+        "
+        movl #0x44332211, @#0x3000
+        movl #3, r1
+        movb @#0x3000[r1], r2
+        halt
+        ",
+    );
+    assert_eq!(m.reg(2) & 0xff, 0x44, "byte 3 of the longword");
+}
+
+#[test]
+fn indexed_write_and_displacement_base() {
+    let m = run(
+        "
+        movl #0x3000, r5
+        movl #3, r1
+        movl #777, 8(r5)[r1]     ; 0x3000 + 8 + 3*4 = 0x3014
+        movl @#0x3014, r2
+        halt
+        ",
+    );
+    assert_eq!(m.reg(2), 777);
+}
+
+#[test]
+fn negative_index() {
+    let m = run(
+        "
+        movl #555, @#0x2FFC
+        movl #-1, r1
+        movl @#0x3000[r1], r2
+        halt
+        ",
+    );
+    assert_eq!(m.reg(2), 555, "index -1 steps back one element");
+}
+
+#[test]
+fn word_indexed_array_sum() {
+    let m = run(
+        "
+        movw #10, @#0x3000
+        movw #20, @#0x3002
+        movw #30, @#0x3004
+        clrl r2
+        clrl r1
+    top:
+        movw @#0x3000[r1], r3
+        addl2 r3, r2
+        aoblss #3, r1, top
+        halt
+        ",
+    );
+    assert_eq!(m.reg(2), 60, "word elements scaled by 2");
+}
+
+#[test]
+fn disassembler_round_trips_indexed_forms() {
+    let p = assemble_text(
+        "
+        movl @#0x3000[r1], r2
+        movl 8(r5)[r3], r2
+        movl (r4)[r0], r2
+        halt
+        ",
+        0x1000,
+    )
+    .unwrap();
+    let texts: Vec<String> = disassemble(&p.bytes, 0x1000)
+        .into_iter()
+        .map(|l| l.text)
+        .collect();
+    assert_eq!(
+        texts,
+        vec![
+            "movl @#0x3000[r1], r2",
+            "movl 8(r5)[r3], r2",
+            "movl (r4)[r0], r2",
+            "halt"
+        ]
+    );
+}
+
+#[test]
+fn pc_as_index_register_is_reserved() {
+    // Hand-encode MOVL 0x4F 0x64 0x52: index reg = PC -> reserved.
+    let mut m = Machine::new(MachineVariant::Standard, 64 * 1024);
+    m.mem_mut()
+        .write_slice(0x1000, &[0xD0, 0x4F, 0x64, 0x52, 0x00])
+        .unwrap();
+    m.set_scbb(0x200);
+    m.mem_mut().write_u32(0x200 + 0x1C, 0x2000).unwrap(); // reserved addr mode
+    m.mem_mut().write_u8(0x2000, 0x00).unwrap();
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_reg(14, 0x8000);
+    m.set_pc(0x1000);
+    m.step();
+    assert_eq!(m.pc(), 0x2000, "reserved addressing mode fault");
+}

@@ -1,0 +1,223 @@
+//! Semantics of the queue (INSQUE/REMQUE), bit-branch (BBx/BBSS/BBCC),
+//! and convert (CVTxx) instructions.
+
+use vax_arch::{MachineVariant, Psl};
+use vax_asm::assemble_text;
+use vax_cpu::{HaltReason, Machine, StepEvent};
+
+fn run(src: &str) -> Machine {
+    let p = assemble_text(src, 0x1000).expect("assembles");
+    let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
+    m.mem_mut().write_slice(0x1000, &p.bytes).unwrap();
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_reg(14, 0x8000);
+    m.set_pc(0x1000);
+    for _ in 0..100_000 {
+        match m.step() {
+            StepEvent::Ok => {}
+            StepEvent::Halted(HaltReason::HaltInstruction) => return m,
+            other => panic!("unexpected {other:?} at pc={:#x}", m.pc()),
+        }
+    }
+    panic!("did not halt");
+}
+
+#[test]
+fn insque_builds_a_queue_and_remque_drains_it() {
+    // Queue header at 0x3000 (self-linked = empty); entries at 0x3100,
+    // 0x3200.
+    let m = run(
+        "
+        start:
+            movl #0x3000, @#0x3000      ; header.flink = header
+            movl #0x3000, @#0x3004      ; header.blink = header
+            insque @#0x3100, @#0x3000   ; first entry: Z set
+            beql first_ok
+            halt
+        first_ok:
+            movl #1, r9
+            insque @#0x3200, @#0x3100   ; second, after the first
+            ; forward walk: header -> 0x3100 -> 0x3200 -> header
+            movl @#0x3000, r2
+            movl @#0x3100, r3
+            movl @#0x3200, r4
+            ; remove the first entry
+            remque @#0x3100, r5
+            ; now header -> 0x3200 -> header
+            movl @#0x3000, r6
+            movl @#0x3204, r7           ; 0x3200.blink
+            halt
+        ",
+    );
+    assert_eq!(m.reg(9), 1, "Z set on first insertion");
+    assert_eq!(m.reg(2), 0x3100, "header.flink");
+    assert_eq!(m.reg(3), 0x3200, "first.flink");
+    assert_eq!(m.reg(4), 0x3000, "second.flink wraps to header");
+    assert_eq!(m.reg(5), 0x3100, "REMQUE returns the removed address");
+    assert_eq!(m.reg(6), 0x3200, "header now links to the second entry");
+    assert_eq!(m.reg(7), 0x3000, "second.blink is the header");
+}
+
+#[test]
+fn remque_from_singleton_sets_z() {
+    let m = run(
+        "
+        start:
+            movl #0x3000, @#0x3000
+            movl #0x3000, @#0x3004
+            insque @#0x3100, @#0x3000
+            remque @#0x3100, r5
+            beql empty
+            halt
+        empty:
+            movl #1, r9
+            halt
+        ",
+    );
+    assert_eq!(m.reg(9), 1, "Z: queue empty after removal");
+}
+
+#[test]
+fn bbs_and_bbc_test_memory_bits() {
+    let m = run(
+        "
+        start:
+            movl #0x00010400, @#0x3000  ; bits 10 and 16 set
+            clrl r5
+            bbs #10, @#0x3000, b10
+            halt
+        b10:
+            bisl2 #1, r5
+            bbc #11, @#0x3000, b11
+            halt
+        b11:
+            bisl2 #2, r5
+            bbs #16, @#0x3000, b16      ; crosses into byte 2
+            halt
+        b16:
+            bisl2 #4, r5
+            halt
+        ",
+    );
+    assert_eq!(m.reg(5), 7);
+}
+
+#[test]
+fn bbss_and_bbcc_modify_the_bit() {
+    let m = run(
+        "
+        start:
+            clrl @#0x3000
+            clrl r5
+            bbss #3, @#0x3000, was_set  ; clear before: fall through, now set
+            bisl2 #1, r5
+            bbss #3, @#0x3000, was_set2 ; set now: branch
+            halt
+        was_set:
+            halt
+        was_set2:
+            bisl2 #2, r5
+            bbcc #3, @#0x3000, oops     ; set: falls through and clears
+            bisl2 #4, r5
+            bbcc #3, @#0x3000, was_clear ; clear now: branches
+            halt
+        was_clear:
+            bisl2 #8, r5
+            movl @#0x3000, r6
+            halt
+        oops:
+            halt
+        ",
+    );
+    assert_eq!(m.reg(5), 15);
+    assert_eq!(m.reg(6), 0, "bit cleared at the end");
+}
+
+#[test]
+fn converts_sign_extend_and_detect_overflow() {
+    let m = run(
+        "
+        movl #0x80, r0
+        cvtbl r0, r2            ; -128 sign-extended
+        movl #0x8000, r0
+        cvtwl r0, r3            ; -32768
+        movl #200, r0
+        cvtlb r0, r4            ; overflows a signed byte: V set
+        movpsl r5
+        movl #-2, r0
+        cvtlw r0, r6
+        halt
+        ",
+    );
+    assert_eq!(m.reg(2) as i32, -128);
+    assert_eq!(m.reg(3) as i32, -32768);
+    assert_eq!(m.reg(4) & 0xff, 200 & 0xff);
+    assert_ne!(m.reg(5) & 0b10, 0, "V set by the narrowing overflow");
+    assert_eq!(m.reg(6) & 0xffff, 0xFFFE, "-2 as a word");
+}
+
+#[test]
+fn movzbw_zero_extends_into_word() {
+    let m = run("movl #0xFFFFFF85, r0\n movzbw r0, r2\n halt");
+    assert_eq!(m.reg(2) & 0xffff, 0x85);
+}
+
+#[test]
+fn casel_dispatches_through_the_word_table() {
+    // CASEL r0, #0, #2 followed by a 3-entry displacement table. The
+    // assembler has no expression support, so the displacements are
+    // hand-computed: table base is the first word; each case target is
+    // `case_n - table`.
+    //
+    // Layout (base 0x1000):
+    //   0x1000: CASEL r0, #0, #2        (4 bytes: CF 50 00 02)
+    //   0x1004: .word d0, d1, d2        (6 bytes, table base = 0x1004)
+    //   0x100A: fallthrough: movl #99, r5 ; halt
+    //   case0 / case1 / case2 follow.
+    let src = "
+            casel r0, #0, #2
+            .word 16, 23, 30            ; case0/1/2 - 0x1004
+            movl #99, r5
+            halt
+        case0:
+            movl #10, r5
+            halt
+        case1:
+            movl #11, r5
+            halt
+        case2:
+            movl #12, r5
+            halt
+        ";
+    for (sel, expect) in [(0u32, 10u32), (1, 11), (2, 12), (3, 99), (100, 99)] {
+        let (mut p, syms) =
+            vax_asm::assemble_text_with_symbols(src, 0x1000).unwrap();
+        assert_eq!(p.bytes[0], 0xCF, "CASEL opcode");
+        // Patch the displacement table from the symbol addresses (the
+        // text assembler has no expression support).
+        let table = 0x1004u32;
+        for (i, case) in ["case0", "case1", "case2"].iter().enumerate() {
+            let disp = (syms[*case] - table) as u16;
+            let off = (table - 0x1000) as usize + 2 * i;
+            p.bytes[off..off + 2].copy_from_slice(&disp.to_le_bytes());
+        }
+        let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
+        m.mem_mut().write_slice(0x1000, &p.bytes).unwrap();
+        let mut psl = Psl::new();
+        psl.set_ipl(31);
+        m.set_psl(psl);
+        m.set_reg(0, sel);
+        m.set_reg(14, 0x8000);
+        m.set_pc(0x1000);
+        for _ in 0..100 {
+            match m.step() {
+                StepEvent::Ok => {}
+                StepEvent::Halted(HaltReason::HaltInstruction) => break,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(m.reg(5), expect, "selector {sel}");
+    }
+}

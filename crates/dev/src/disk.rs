@@ -1,0 +1,279 @@
+//! A programmed-I/O block-storage controller.
+//!
+//! Register window (longword registers):
+//!
+//! | Offset | Register | Meaning                                        |
+//! |--------|----------|------------------------------------------------|
+//! | +0     | CSR      | bit0 GO, bits2:1 FUNC (1=read, 2=write), bit6 IE, bit7 READY, bit15 ERR |
+//! | +4     | SECTOR   | sector number                                  |
+//! | +8     | DATA     | sequential port into the 512-byte sector buffer |
+//! | +12    | STATUS   | completed-operation count (diagnostics)        |
+//!
+//! A read: write SECTOR, write CSR=GO|FUNC_READ; wait for READY (poll or
+//! interrupt); read DATA 128 times. A write: write SECTOR, write DATA 128
+//! times, write CSR=GO|FUNC_WRITE; wait for READY. Every access is a bus
+//! CSR touch — deliberately chatty, like real pre-DMA controllers.
+
+use vax_cpu::{IrqRequest, MmioDevice};
+
+/// Bytes per sector (one VAX page).
+pub const SECTOR_BYTES: usize = 512;
+
+/// CSR bit: start the selected function.
+pub const CSR_GO: u32 = 1 << 0;
+/// CSR function field: read a sector into the buffer.
+pub const FUNC_READ: u32 = 1 << 1;
+/// CSR function field: write the buffer to a sector.
+pub const FUNC_WRITE: u32 = 2 << 1;
+/// CSR bit: interrupt enable.
+pub const CSR_IE: u32 = 1 << 6;
+/// CSR bit: controller ready.
+pub const CSR_READY: u32 = 1 << 7;
+/// CSR bit: error (bad sector).
+pub const CSR_ERR: u32 = 1 << 15;
+
+/// A simulated disk.
+///
+/// # Example
+///
+/// ```
+/// use vax_cpu::MmioDevice;
+/// use vax_dev::disk::{SimDisk, CSR_GO, CSR_READY, FUNC_READ};
+///
+/// let mut disk = SimDisk::new(64, 100, 21, 0x100);
+/// disk.load(3, b"boot!");
+/// disk.write(4, 3);             // SECTOR = 3
+/// disk.write(0, CSR_GO | FUNC_READ);
+/// assert_eq!(disk.read(0) & CSR_READY, 0, "busy until the delay elapses");
+/// disk.tick(0);    // anchors the 100-cycle latency
+/// disk.tick(100);  // completes
+/// assert_ne!(disk.read(0) & CSR_READY, 0);
+/// let first = disk.read(8);     // DATA port
+/// assert_eq!(&first.to_le_bytes(), b"boot");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimDisk {
+    sectors: Vec<[u8; SECTOR_BYTES]>,
+    buffer: [u8; SECTOR_BYTES],
+    buf_pos: usize,
+    csr: u32,
+    sector: u32,
+    completions: u32,
+    /// Latency not yet anchored to absolute time (set at GO).
+    pending: Option<u64>,
+    /// Absolute completion deadline once anchored by the first tick.
+    deadline: Option<u64>,
+    latency: u64,
+    ipl: u8,
+    vector: u16,
+}
+
+impl SimDisk {
+    /// Creates a disk with `sectors` zeroed sectors, a per-operation
+    /// `latency` in cycles, and the interrupt (ipl, vector) it raises.
+    pub fn new(sectors: u32, latency: u64, ipl: u8, vector: u16) -> SimDisk {
+        SimDisk {
+            sectors: vec![[0; SECTOR_BYTES]; sectors as usize],
+            buffer: [0; SECTOR_BYTES],
+            buf_pos: 0,
+            csr: CSR_READY,
+            sector: 0,
+            completions: 0,
+            pending: None,
+            deadline: None,
+            latency,
+            ipl,
+            vector,
+        }
+    }
+
+    /// Number of sectors.
+    pub fn sector_count(&self) -> u32 {
+        self.sectors.len() as u32
+    }
+
+    /// Loads data directly into a sector (host-side convenience for
+    /// preparing boot media).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sector is out of range or the data exceeds a sector.
+    pub fn load(&mut self, sector: u32, data: &[u8]) {
+        assert!(data.len() <= SECTOR_BYTES);
+        self.sectors[sector as usize][..data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a sector directly (host-side inspection).
+    pub fn peek(&self, sector: u32) -> &[u8; SECTOR_BYTES] {
+        &self.sectors[sector as usize]
+    }
+
+    /// Completed-operation count.
+    pub fn completions(&self) -> u32 {
+        self.completions
+    }
+
+    fn start(&mut self, func: u32) {
+        if self.sector as usize >= self.sectors.len() {
+            self.csr |= CSR_ERR | CSR_READY;
+            return;
+        }
+        self.csr &= !(CSR_READY | CSR_ERR);
+        match func {
+            FUNC_READ => { /* buffer filled at completion */ }
+            FUNC_WRITE => {
+                self.sectors[self.sector as usize] = self.buffer;
+            }
+            _ => {
+                self.csr |= CSR_ERR | CSR_READY;
+                return;
+            }
+        }
+        self.csr |= func; // remember the in-flight function
+        self.pending = Some(self.latency);
+        self.deadline = None;
+    }
+}
+
+impl MmioDevice for SimDisk {
+    fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0 => self.csr,
+            4 => self.sector,
+            8 => {
+                let p = self.buf_pos;
+                self.buf_pos = (self.buf_pos + 4) % SECTOR_BYTES;
+                u32::from_le_bytes(self.buffer[p..p + 4].try_into().unwrap())
+            }
+            12 => self.completions,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            0 => {
+                self.csr = (self.csr & (CSR_READY | CSR_ERR)) | (value & (CSR_IE | 0x6));
+                if value & CSR_GO != 0 {
+                    self.buf_pos = 0;
+                    self.start(value & 0x6);
+                }
+            }
+            4 => {
+                self.sector = value;
+                self.buf_pos = 0;
+            }
+            8 => {
+                let p = self.buf_pos;
+                self.buffer[p..p + 4].copy_from_slice(&value.to_le_bytes());
+                self.buf_pos = (self.buf_pos + 4) % SECTOR_BYTES;
+            }
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, now: u64) -> Option<IrqRequest> {
+        if let Some(latency) = self.pending.take() {
+            // Anchor the operation to absolute time on the first tick
+            // after GO.
+            self.deadline = Some(now + latency);
+        }
+        if let Some(deadline) = self.deadline {
+            if now >= deadline {
+                self.deadline = None;
+                if self.csr & 0x6 == FUNC_READ {
+                    self.buffer = self.sectors[self.sector as usize];
+                }
+                self.buf_pos = 0;
+                self.csr |= CSR_READY;
+                self.completions += 1;
+                if self.csr & CSR_IE != 0 {
+                    return Some(IrqRequest {
+                        ipl: self.ipl,
+                        vector: self.vector,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn reset(&mut self) {
+        self.csr = CSR_READY;
+        self.sector = 0;
+        self.buf_pos = 0;
+        self.pending = None;
+        self.deadline = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_after_latency() {
+        let mut d = SimDisk::new(8, 50, 21, 0x100);
+        d.load(2, b"sector two data");
+        d.write(4, 2);
+        d.write(0, CSR_GO | FUNC_READ);
+        assert_eq!(d.read(0) & CSR_READY, 0);
+        assert!(d.tick(10).is_none(), "anchors the deadline at 10+50");
+        assert!(d.tick(30).is_none());
+        assert_eq!(d.read(0) & CSR_READY, 0, "still busy");
+        assert!(d.tick(60).is_none(), "IE clear: completion, no irq");
+        assert_ne!(d.read(0) & CSR_READY, 0);
+        let w = d.read(8);
+        assert_eq!(&w.to_le_bytes(), b"sect");
+    }
+
+    #[test]
+    fn write_round_trip() {
+        let mut d = SimDisk::new(8, 10, 21, 0x100);
+        d.write(4, 5);
+        for chunk in b"abcdefgh".chunks(4) {
+            d.write(8, u32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        d.write(0, CSR_GO | FUNC_WRITE);
+        d.tick(0);
+        d.tick(20);
+        assert_eq!(&d.peek(5)[..8], b"abcdefgh");
+        assert_eq!(d.completions(), 1);
+    }
+
+    #[test]
+    fn interrupt_when_enabled() {
+        let mut d = SimDisk::new(8, 10, 21, 0x100);
+        d.write(4, 1);
+        d.write(0, CSR_GO | FUNC_READ | CSR_IE);
+        assert!(d.tick(0).is_none());
+        let irq = d.tick(15);
+        assert_eq!(
+            irq,
+            Some(IrqRequest {
+                ipl: 21,
+                vector: 0x100
+            })
+        );
+    }
+
+    #[test]
+    fn bad_sector_sets_error() {
+        let mut d = SimDisk::new(4, 10, 21, 0x100);
+        d.write(4, 99);
+        d.write(0, CSR_GO | FUNC_READ);
+        assert_ne!(d.read(0) & CSR_ERR, 0);
+        assert_ne!(d.read(0) & CSR_READY, 0, "still ready after error");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = SimDisk::new(4, 10, 21, 0x100);
+        d.write(4, 2);
+        d.write(0, CSR_GO | FUNC_READ);
+        d.reset();
+        assert_eq!(d.read(4), 0);
+        assert_ne!(d.read(0) & CSR_READY, 0);
+        assert!(d.tick(1000).is_none(), "no stale completion after reset");
+    }
+}

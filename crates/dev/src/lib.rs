@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Simulated I/O devices for the VAX bus.
+//!
+//! The paper's §4.4.3 observation — that emulating memory-mapped I/O
+//! registers is expensive and a start-I/O instruction is far cheaper — is
+//! reproduced with these devices: [`SimDisk`] is a programmed-I/O block
+//! controller whose every CSR touch costs a bus access (and, under a VMM
+//! emulating memory-mapped I/O, a trap), and the VMM-side virtual disk in
+//! `vax-vmm` offers the same storage behind a single `KCALL`.
+
+pub mod disk;
+pub mod printer;
+
+pub use disk::{SimDisk, SECTOR_BYTES};
+pub use printer::LinePrinter;

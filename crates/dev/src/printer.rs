@@ -1,0 +1,98 @@
+//! A byte-sink line printer.
+//!
+//! | Offset | Register | Meaning                              |
+//! |--------|----------|--------------------------------------|
+//! | +0     | CSR      | bit7 READY (always set)              |
+//! | +4     | DATA     | write a byte to print                |
+//! | +8     | COUNT    | bytes printed so far                 |
+
+use vax_cpu::{IrqRequest, MmioDevice};
+
+/// A simulated line printer that accumulates output for inspection.
+///
+/// # Example
+///
+/// ```
+/// use vax_cpu::MmioDevice;
+/// use vax_dev::LinePrinter;
+///
+/// let mut lp = LinePrinter::new();
+/// lp.write(4, b'h' as u32);
+/// lp.write(4, b'i' as u32);
+/// assert_eq!(lp.take_output(), b"hi");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinePrinter {
+    output: Vec<u8>,
+    count: u32,
+}
+
+impl LinePrinter {
+    /// A fresh printer with empty output.
+    pub fn new() -> LinePrinter {
+        LinePrinter::default()
+    }
+
+    /// Drains everything printed so far.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Peeks at the output without draining.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+}
+
+impl MmioDevice for LinePrinter {
+    fn read(&mut self, offset: u32) -> u32 {
+        match offset {
+            0 => 0x80, // always ready
+            8 => self.count,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32) {
+        if offset == 4 {
+            self.output.push(value as u8);
+            self.count += 1;
+        }
+    }
+
+    fn tick(&mut self, _now: u64) -> Option<IrqRequest> {
+        None
+    }
+
+    fn reset(&mut self) {
+        self.output.clear();
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_and_counts() {
+        let mut lp = LinePrinter::new();
+        for b in b"vax" {
+            lp.write(4, *b as u32);
+        }
+        assert_eq!(lp.read(8), 3);
+        assert_eq!(lp.read(0), 0x80);
+        assert_eq!(lp.output(), b"vax");
+        assert_eq!(lp.take_output(), b"vax");
+        assert!(lp.output().is_empty());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut lp = LinePrinter::new();
+        lp.write(4, 65);
+        lp.reset();
+        assert_eq!(lp.read(8), 0);
+        assert!(lp.output().is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Devices driven by real machine code over the memory-mapped bus.
+
+use vax_arch::{MachineVariant, Psl};
+use vax_cpu::{HaltReason, Machine, StepEvent, IO_BASE_PA};
+use vax_dev::{LinePrinter, SimDisk};
+
+fn run(m: &mut Machine, src: &str) {
+    let p = vax_asm::assemble_text(src, 0x1000).expect("assembles");
+    m.mem_mut().write_slice(0x1000, &p.bytes).unwrap();
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_reg(14, 0x8000);
+    m.set_pc(0x1000);
+    for _ in 0..1_000_000 {
+        match m.step() {
+            StepEvent::Ok => {}
+            StepEvent::Halted(HaltReason::HaltInstruction) => return,
+            other => panic!("unexpected {other:?} at pc={:#x}", m.pc()),
+        }
+    }
+    panic!("did not halt");
+}
+
+#[test]
+fn guest_code_prints_through_the_line_printer() {
+    let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
+    m.bus_mut()
+        .attach(IO_BASE_PA + 0x1000, 16, Box::new(LinePrinter::new()));
+    // Translation off: physical = virtual, but 0x20001000 is in I/O
+    // space, reachable directly.
+    run(
+        &mut m,
+        "
+        start:
+            movl #0x56, @#0x20001004    ; 'V'
+            movl #0x41, @#0x20001004    ; 'A'
+            movl #0x58, @#0x20001004    ; 'X'
+            movl @#0x20001008, r2       ; COUNT
+            movl @#0x20001000, r3       ; CSR: ready
+            halt
+        ",
+    );
+    assert_eq!(m.reg(2), 3);
+    assert_eq!(m.reg(3), 0x80);
+    // The printer output is inside the boxed device; verify via the
+    // counters instead: CSR traffic happened.
+    assert!(m.counters().device_csr_accesses >= 5);
+}
+
+#[test]
+fn disk_write_then_read_back_from_machine_code() {
+    let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
+    m.bus_mut().attach(
+        IO_BASE_PA,
+        4096,
+        Box::new(SimDisk::new(16, 100, 21, 0x100)),
+    );
+    run(
+        &mut m,
+        "
+        start:
+            ; write a recognizable pattern to sector 3
+            movl #3, @#0x20000004       ; SECTOR
+            movl #128, r3
+            movl #0xCAFE0000, r4
+        fill:
+            movl r4, @#0x20000008       ; DATA port
+            incl r4
+            sobgtr r3, fill
+            movl #5, @#0x20000000       ; GO | WRITE
+        poll1:
+            movl @#0x20000000, r3
+            bicl2 #0xFFFFFF7F, r3
+            beql poll1
+            ; read it back
+            movl #3, @#0x20000004
+            movl #3, @#0x20000000       ; GO | READ
+        poll2:
+            movl @#0x20000000, r3
+            bicl2 #0xFFFFFF7F, r3
+            beql poll2
+            movl @#0x20000008, r5       ; first word
+            movl @#0x20000008, r6       ; second word
+            halt
+        ",
+    );
+    assert_eq!(m.reg(5), 0xCAFE_0000);
+    assert_eq!(m.reg(6), 0xCAFE_0001);
+}
+
+#[test]
+fn disk_completion_interrupt_reaches_the_scb() {
+    let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
+    m.bus_mut().attach(
+        IO_BASE_PA,
+        4096,
+        Box::new(SimDisk::new(16, 100, 21, 0x100)),
+    );
+    // SCB vector 0x100 -> handler.
+    m.set_scbb(0x200);
+    let handler = vax_asm::assemble_text("h: movl #1, r9\n rei", 0x3000).unwrap();
+    m.mem_mut().write_slice(0x3000, &handler.bytes).unwrap();
+    m.mem_mut().write_u32(0x200 + 0x100, 0x3000).unwrap();
+    m.set_isp(0x7000);
+    run(
+        &mut m,
+        "
+        start:
+            movl #2, @#0x20000004
+            movl #0x43, @#0x20000000    ; GO | READ | IE
+            mtpr #0, #18                ; open up for the interrupt
+        spin:
+            tstl r9
+            beql spin
+            halt
+        ",
+    );
+    assert_eq!(m.reg(9), 1, "completion interrupt delivered");
+    assert!(m.counters().interrupts >= 1);
+}

@@ -1,0 +1,147 @@
+//! Memory-management fault descriptors.
+
+use vax_arch::{Exception, VirtAddr};
+
+/// A fault raised by the memory subsystem.
+///
+/// Converts losslessly into the architectural [`Exception`] the CPU
+/// delivers (see [`MemFault::to_exception`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// Protection denied the access, or the address failed the page-table
+    /// length check (`length`), possibly while referencing a process PTE
+    /// (`pte_ref`).
+    AccessViolation {
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// The access was a write.
+        write: bool,
+        /// True for a length (page-table bounds) violation.
+        length: bool,
+        /// True if the fault occurred referencing a process PTE.
+        pte_ref: bool,
+    },
+    /// The PTE's valid bit was clear (page fault).
+    TranslationNotValid {
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// The access was a write.
+        write: bool,
+        /// True if the fault occurred referencing a process PTE.
+        pte_ref: bool,
+    },
+    /// Write to a writable page with `PTE<M>` clear, on a machine running
+    /// with modify faults enabled (the paper's §4.4.2 extension).
+    ModifyFault {
+        /// Faulting virtual address.
+        va: VirtAddr,
+    },
+    /// Reference to physical memory that does not exist (machine check).
+    NonExistent {
+        /// The offending physical address.
+        pa: u32,
+    },
+}
+
+impl MemFault {
+    /// The architectural exception this fault raises.
+    pub fn to_exception(self) -> Exception {
+        match self {
+            MemFault::AccessViolation {
+                va,
+                write,
+                length,
+                pte_ref,
+            } => Exception::AccessViolation {
+                va,
+                write,
+                length,
+                pte_ref,
+            },
+            MemFault::TranslationNotValid { va, write, pte_ref } => {
+                Exception::TranslationNotValid { va, write, pte_ref }
+            }
+            MemFault::ModifyFault { va } => Exception::ModifyFault { va },
+            MemFault::NonExistent { pa } => Exception::MachineCheck { code: pa },
+        }
+    }
+
+    /// The faulting virtual address, when the fault has one.
+    pub fn va(self) -> Option<VirtAddr> {
+        match self {
+            MemFault::AccessViolation { va, .. }
+            | MemFault::TranslationNotValid { va, .. }
+            | MemFault::ModifyFault { va } => Some(va),
+            MemFault::NonExistent { .. } => None,
+        }
+    }
+}
+
+impl core::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemFault::AccessViolation {
+                va, write, length, ..
+            } => write!(
+                f,
+                "access violation at {va} ({}{})",
+                if *write { "write" } else { "read" },
+                if *length { ", length" } else { "" }
+            ),
+            MemFault::TranslationNotValid { va, write, .. } => write!(
+                f,
+                "translation not valid at {va} ({})",
+                if *write { "write" } else { "read" }
+            ),
+            MemFault::ModifyFault { va } => write!(f, "modify fault at {va}"),
+            MemFault::NonExistent { pa } => write!(f, "nonexistent memory at {pa:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_to_exception() {
+        let f = MemFault::TranslationNotValid {
+            va: VirtAddr::new(0x1200),
+            write: true,
+            pte_ref: false,
+        };
+        assert_eq!(
+            f.to_exception(),
+            Exception::TranslationNotValid {
+                va: VirtAddr::new(0x1200),
+                write: true,
+                pte_ref: false
+            }
+        );
+        assert_eq!(f.va(), Some(VirtAddr::new(0x1200)));
+
+        let nx = MemFault::NonExistent { pa: 0xffff };
+        assert_eq!(nx.to_exception(), Exception::MachineCheck { code: 0xffff });
+        assert_eq!(nx.va(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for f in [
+            MemFault::AccessViolation {
+                va: VirtAddr::new(0),
+                write: false,
+                length: true,
+                pte_ref: false,
+            },
+            MemFault::ModifyFault {
+                va: VirtAddr::new(0),
+            },
+            MemFault::NonExistent { pa: 0 },
+        ] {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

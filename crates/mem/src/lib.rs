@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! The VAX memory subsystem: physical memory, the translation buffer
+//! (TLB), and the page-table walker.
+//!
+//! Two behaviors of the base architecture are load-bearing for the paper's
+//! VMM design and are modeled exactly:
+//!
+//! 1. **Protection is checked before the valid bit** (paper §3.2.1). An
+//!    invalid PTE that grants access ("null PTE") passes the protection
+//!    check and then faults translation-not-valid — the hook for on-demand
+//!    shadow page-table fill.
+//! 2. **`PTE<M>` maintenance is switchable**: the base architecture sets
+//!    the modify bit in hardware on the first write; the modified
+//!    architecture instead raises the paper's new *modify fault*
+//!    (§4.4.2), letting the VMM propagate modified-bits into the VM's own
+//!    page tables.
+//!
+//! # Example
+//!
+//! ```
+//! use vax_arch::{AccessMode, CostModel, Protection, Pte};
+//! use vax_mem::{Mmu, PhysMemory};
+//!
+//! let mut mem = PhysMemory::new(64 * 1024);
+//! let mut mmu = Mmu::new();
+//!
+//! // Build a one-page system page table at physical 0x1000 mapping
+//! // S-space page 0 to physical page 4.
+//! mem.write_u32(0x1000, Pte::build(4, Protection::Uw, true, true).raw())?;
+//! mmu.set_sbr(0x1000);
+//! mmu.set_slr(1);
+//! mmu.set_mapen(true);
+//!
+//! let costs = CostModel::default();
+//! let t = mmu.translate(&mut mem, 0x8000_0005.into(), AccessMode::User, false, &costs)?;
+//! assert_eq!(t.pa, 4 * 512 + 5);
+//! # Ok::<(), vax_mem::MemFault>(())
+//! ```
+
+pub mod fault;
+pub mod mmu;
+pub mod phys;
+pub mod tlb;
+
+pub use fault::MemFault;
+pub use mmu::{MemCounters, Mmu, ProbeOutcome, Translation};
+pub use phys::PhysMemory;
+pub use tlb::{Tlb, TlbEntry};

@@ -1,0 +1,207 @@
+//! Simulated physical memory.
+
+use crate::fault::MemFault;
+use vax_arch::va::PAGE_BYTES;
+
+/// A bank of simulated physical memory.
+///
+/// Addresses are 32-bit physical byte addresses starting at 0. References
+/// beyond the configured size fail with [`MemFault::NonExistent`], which the
+/// CPU surfaces as a machine check — on the paper's virtual VAX, touching
+/// nonexistent memory is grounds for halting the VM (§5, "Hardware
+/// errors").
+///
+/// # Example
+///
+/// ```
+/// use vax_mem::PhysMemory;
+///
+/// let mut mem = PhysMemory::new(4096);
+/// mem.write_u32(0x10, 0xdead_beef)?;
+/// assert_eq!(mem.read_u32(0x10)?, 0xdead_beef);
+/// assert_eq!(mem.read_u16(0x10)?, 0xbeef); // little-endian
+/// # Ok::<(), vax_mem::MemFault>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysMemory {
+    bytes: Vec<u8>,
+}
+
+impl PhysMemory {
+    /// Allocates `size` bytes of zeroed memory, rounded up to a whole page.
+    pub fn new(size: u32) -> PhysMemory {
+        let rounded = size.div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        PhysMemory {
+            bytes: vec![0; rounded as usize],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Total size in pages.
+    pub fn pages(&self) -> u32 {
+        self.size() / PAGE_BYTES
+    }
+
+    /// True if the `len`-byte range starting at `pa` is backed by memory.
+    pub fn contains(&self, pa: u32, len: u32) -> bool {
+        (pa as u64) + (len as u64) <= self.bytes.len() as u64
+    }
+
+    fn check(&self, pa: u32, len: u32) -> Result<usize, MemFault> {
+        if self.contains(pa, len) {
+            Ok(pa as usize)
+        } else {
+            Err(MemFault::NonExistent { pa })
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if `pa` is beyond physical memory.
+    pub fn read_u8(&self, pa: u32) -> Result<u8, MemFault> {
+        let i = self.check(pa, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Reads a little-endian 16-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if the range extends beyond memory.
+    pub fn read_u16(&self, pa: u32) -> Result<u16, MemFault> {
+        let i = self.check(pa, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Reads a little-endian 32-bit longword.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if the range extends beyond memory.
+    pub fn read_u32(&self, pa: u32) -> Result<u32, MemFault> {
+        let i = self.check(pa, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if `pa` is beyond physical memory.
+    pub fn write_u8(&mut self, pa: u32, v: u8) -> Result<(), MemFault> {
+        let i = self.check(pa, 1)?;
+        self.bytes[i] = v;
+        Ok(())
+    }
+
+    /// Writes a little-endian 16-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if the range extends beyond memory.
+    pub fn write_u16(&mut self, pa: u32, v: u16) -> Result<(), MemFault> {
+        let i = self.check(pa, 2)?;
+        self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a little-endian 32-bit longword.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if the range extends beyond memory.
+    pub fn write_u32(&mut self, pa: u32, v: u32) -> Result<(), MemFault> {
+        let i = self.check(pa, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a slice into memory at `pa`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if the range extends beyond memory.
+    pub fn write_slice(&mut self, pa: u32, data: &[u8]) -> Result<(), MemFault> {
+        let i = self.check(pa, data.len() as u32)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `pa`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if the range extends beyond memory.
+    pub fn read_slice(&self, pa: u32, len: u32) -> Result<&[u8], MemFault> {
+        let i = self.check(pa, len)?;
+        Ok(&self.bytes[i..i + len as usize])
+    }
+
+    /// Zero-fills the `len`-byte range at `pa`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NonExistent`] if the range extends beyond memory.
+    pub fn zero_range(&mut self, pa: u32, len: u32) -> Result<(), MemFault> {
+        let i = self.check(pa, len)?;
+        self.bytes[i..i + len as usize].fill(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_rounds_to_pages() {
+        assert_eq!(PhysMemory::new(1).size(), PAGE_BYTES);
+        assert_eq!(PhysMemory::new(PAGE_BYTES + 1).pages(), 2);
+        assert_eq!(PhysMemory::new(0).size(), 0);
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut m = PhysMemory::new(4096);
+        m.write_u32(100, 0x0403_0201).unwrap();
+        assert_eq!(m.read_u8(100).unwrap(), 0x01);
+        assert_eq!(m.read_u8(103).unwrap(), 0x04);
+        assert_eq!(m.read_u16(101).unwrap(), 0x0302);
+        assert_eq!(m.read_u32(100).unwrap(), 0x0403_0201);
+    }
+
+    #[test]
+    fn nonexistent_reference_faults() {
+        let mut m = PhysMemory::new(512);
+        assert!(matches!(
+            m.read_u8(512),
+            Err(MemFault::NonExistent { pa: 512 })
+        ));
+        assert!(m.read_u32(510).is_err()); // straddles the end
+        assert!(m.write_u32(510, 0).is_err());
+        assert!(m.read_u32(508).is_ok());
+        // Wrap-around must not panic or succeed.
+        assert!(m.read_u32(u32::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn slices() {
+        let mut m = PhysMemory::new(512);
+        m.write_slice(8, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read_slice(8, 4).unwrap(), &[1, 2, 3, 4]);
+        m.zero_range(8, 2).unwrap();
+        assert_eq!(m.read_slice(8, 4).unwrap(), &[0, 0, 3, 4]);
+        assert!(m.write_slice(510, &[0; 4]).is_err());
+    }
+}

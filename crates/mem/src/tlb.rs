@@ -1,0 +1,235 @@
+//! The translation buffer (TLB).
+//!
+//! A direct-mapped cache of completed translations. Entries distinguish
+//! *process* (P0/P1) from *system* (S) translations because `LDPCTX` and
+//! guest context switches invalidate only the process half — the behavior
+//! whose cost the paper's §7.2 shadow-table caching attacks.
+
+use vax_arch::va::{Region, VirtAddr, PAGE_SHIFT};
+use vax_arch::Protection;
+
+/// One cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Tag: the virtual page base address.
+    pub tag: u32,
+    /// Physical page frame number.
+    pub pfn: u32,
+    /// Protection code from the PTE.
+    pub prot: Protection,
+    /// Cached `PTE<M>` state.
+    pub modified: bool,
+    /// Physical address of the backing PTE (for modify-bit writeback).
+    pub pte_pa: u32,
+    /// True for P0/P1 translations (flushed on context switch).
+    pub process: bool,
+}
+
+/// Direct-mapped translation buffer.
+///
+/// # Example
+///
+/// ```
+/// use vax_mem::{Tlb, TlbEntry};
+/// use vax_arch::Protection;
+///
+/// let mut tlb = Tlb::new(64);
+/// tlb.insert(TlbEntry {
+///     tag: 0x8000_0200,
+///     pfn: 7,
+///     prot: Protection::Urkw,
+///     modified: false,
+///     pte_pa: 0x1000,
+///     process: false,
+/// });
+/// assert!(tlb.lookup(0x8000_0200.into()).is_some());
+/// tlb.invalidate_all();
+/// assert!(tlb.lookup(0x8000_0200.into()).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<Option<TlbEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `slots` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power of two or is zero.
+    pub fn new(slots: usize) -> Tlb {
+        assert!(slots.is_power_of_two(), "TLB slots must be a power of two");
+        Tlb {
+            entries: vec![None; slots],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn index(&self, va: VirtAddr) -> usize {
+        ((va.raw() >> PAGE_SHIFT) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Looks up the translation for the page containing `va`, counting a
+    /// hit or miss.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
+        let idx = self.index(va);
+        match self.entries[idx] {
+            Some(e) if e.tag == va.page_base().raw() => {
+                self.hits += 1;
+                Some(e)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without disturbing hit/miss counters (used by PROBE).
+    pub fn peek(&self, va: VirtAddr) -> Option<TlbEntry> {
+        let idx = self.index(va);
+        self.entries[idx].filter(|e| e.tag == va.page_base().raw())
+    }
+
+    /// Inserts (or replaces) the entry for its page.
+    pub fn insert(&mut self, entry: TlbEntry) {
+        let idx = self.index(VirtAddr::new(entry.tag));
+        self.entries[idx] = Some(entry);
+    }
+
+    /// Marks the cached entry for `va` modified (after a modify-bit set).
+    pub fn set_modified(&mut self, va: VirtAddr) {
+        let idx = self.index(va);
+        if let Some(e) = &mut self.entries[idx] {
+            if e.tag == va.page_base().raw() {
+                e.modified = true;
+            }
+        }
+    }
+
+    /// TBIA: invalidate everything.
+    pub fn invalidate_all(&mut self) {
+        self.entries.fill(None);
+    }
+
+    /// TBIS: invalidate the single page containing `va`.
+    pub fn invalidate_single(&mut self, va: VirtAddr) {
+        let idx = self.index(va);
+        if let Some(e) = self.entries[idx] {
+            if e.tag == va.page_base().raw() {
+                self.entries[idx] = None;
+            }
+        }
+    }
+
+    /// Invalidates all process-space (P0/P1) entries, as LDPCTX does.
+    pub fn invalidate_process(&mut self) {
+        for e in &mut self.entries {
+            if e.is_some_and(|x| x.process) {
+                *e = None;
+            }
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+impl Default for Tlb {
+    /// A 256-entry TLB, roughly the size of the VAX 8800's per-half TB.
+    fn default() -> Tlb {
+        Tlb::new(256)
+    }
+}
+
+/// Helper: is a region a process region?
+pub fn is_process_region(region: Region) -> bool {
+    matches!(region, Region::P0 | Region::P1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: u32, process: bool) -> TlbEntry {
+        TlbEntry {
+            tag,
+            pfn: 1,
+            prot: Protection::Uw,
+            modified: false,
+            pte_pa: 0,
+            process,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut tlb = Tlb::new(16);
+        assert!(tlb.lookup(VirtAddr::new(0x200)).is_none());
+        tlb.insert(entry(0x200, true));
+        assert!(tlb.lookup(VirtAddr::new(0x250)).is_some()); // same page
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_evict() {
+        let mut tlb = Tlb::new(16);
+        tlb.insert(entry(0x200, true));
+        // Same index (16 slots * 512B span = 8 KiB alias distance).
+        tlb.insert(entry(0x200 + 16 * 512, true));
+        assert!(tlb.lookup(VirtAddr::new(0x200)).is_none());
+        assert!(tlb.lookup(VirtAddr::new(0x200 + 16 * 512)).is_some());
+    }
+
+    #[test]
+    fn invalidate_single_and_all() {
+        let mut tlb = Tlb::new(16);
+        tlb.insert(entry(0x200, true));
+        tlb.insert(entry(0x400, false));
+        tlb.invalidate_single(VirtAddr::new(0x2ff));
+        assert!(tlb.peek(VirtAddr::new(0x200)).is_none());
+        assert!(tlb.peek(VirtAddr::new(0x400)).is_some());
+        tlb.invalidate_all();
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_process_spares_system_entries() {
+        let mut tlb = Tlb::new(16);
+        tlb.insert(entry(0x200, true));
+        tlb.insert(entry(0x8000_0400, false));
+        tlb.invalidate_process();
+        assert!(tlb.peek(VirtAddr::new(0x200)).is_none());
+        assert!(tlb.peek(VirtAddr::new(0x8000_0400)).is_some());
+    }
+
+    #[test]
+    fn set_modified_updates_entry() {
+        let mut tlb = Tlb::new(16);
+        tlb.insert(entry(0x200, true));
+        tlb.set_modified(VirtAddr::new(0x210));
+        assert!(tlb.peek(VirtAddr::new(0x200)).unwrap().modified);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Tlb::new(7);
+    }
+}

@@ -1,0 +1,548 @@
+//! The guest kernel, written in VAX assembly.
+//!
+//! One kernel source serves both guest flavors:
+//!
+//! * **MiniVMS** uses all four access modes (user workloads CHMS into a
+//!   supervisor service, which CHMEs into an executive service, which
+//!   CHMKs into the kernel) — the stringent case the paper calls out
+//!   (§4, footnote: "VMS uses all four VAX access modes").
+//! * **MiniUltrix** uses two modes (kernel + user), like ULTRIX-32.
+//!
+//! The kernel is a real multiprogramming system: round-robin scheduling
+//! off the interval timer with SVPCTX/LDPCTX, demand page validation,
+//! a modify-fault handler (used on the bare modified VAX; inside a VM the
+//! VMM absorbs those faults), syscalls via CHMK, and a disk driver that
+//! probes the SID register at boot and selects the start-I/O `KCALL` path
+//! on a virtual VAX or the memory-mapped CSR path on bare hardware —
+//! exactly the "no more changes than expected for any new VAX model"
+//! accommodation the paper describes.
+
+use crate::layout::{self as l, kvar};
+
+/// Guest flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Flavor {
+    /// Four access modes, CHMS/CHME service layers.
+    #[default]
+    MiniVms,
+    /// Two access modes; CHME/CHMS vector to the kill handler.
+    MiniUltrix,
+}
+
+/// Per-process workload programs (see `workload.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Workload {
+    /// Pure integer arithmetic.
+    #[default]
+    Compute,
+    /// Interactive-editing mix: string moves, frequent syscalls, the
+    /// four-mode CHM chain, demand-page touches.
+    Editing,
+    /// Transaction processing: record updates (modify-bit churn) with
+    /// periodic disk commits.
+    Transaction,
+    /// Syscall-bound: tight yield loop (CHMK/REI heavy).
+    Syscall,
+    /// MTPR-to-IPL heavy (the paper's §7.3 hot path).
+    IplHeavy,
+    /// Page-touch sweep (shadow-fill / modify-fault stress).
+    Touch,
+    /// PROBE-heavy (argument validation stress).
+    Probe,
+    /// Process `i` runs workload `i mod 7` from the list above.
+    Mixed,
+    /// The paper's §7.3 benchmark mix: two interactive-editing processes
+    /// for every transaction-processing process.
+    EditTrans,
+    /// Queue-instruction heavy (INSQUE/REMQUE work queues, VMS-style).
+    Queue,
+}
+
+impl Workload {
+    /// The dispatch id the user program sees in R10.
+    pub fn id(self, proc: u32) -> u32 {
+        match self {
+            Workload::Compute => 0,
+            Workload::Editing => 1,
+            Workload::Transaction => 2,
+            Workload::Syscall => 3,
+            Workload::IplHeavy => 4,
+            Workload::Touch => 5,
+            Workload::Probe => 6,
+            Workload::Mixed => proc % 7,
+            Workload::EditTrans => if proc % 3 < 2 { 1 } else { 2 },
+            Workload::Queue => 7,
+        }
+    }
+}
+
+/// Guest operating system build parameters.
+#[derive(Debug, Clone)]
+pub struct OsConfig {
+    /// Guest flavor.
+    pub flavor: Flavor,
+    /// Number of processes (1..=16).
+    pub nproc: u32,
+    /// Workload selection.
+    pub workload: Workload,
+    /// Per-process workload iterations.
+    pub iterations: u32,
+    /// Scheduling quantum in timer ticks.
+    pub quantum_ticks: u32,
+    /// Timer tick length in cycles (NICR magnitude).
+    pub tick_cycles: u32,
+    /// Force the memory-mapped I/O driver even on a virtual VAX (the
+    /// §4.4.3 ablation).
+    pub force_mmio: bool,
+}
+
+impl Default for OsConfig {
+    fn default() -> OsConfig {
+        OsConfig {
+            flavor: Flavor::MiniVms,
+            nproc: 4,
+            workload: Workload::Mixed,
+            iterations: 40,
+            quantum_ticks: 4,
+            tick_cycles: 2000,
+            force_mmio: false,
+        }
+    }
+}
+
+/// Emits the kernel assembly source for a configuration.
+pub fn kernel_source(config: &OsConfig) -> String {
+    let scb = l::SCB_GPA;
+    let spt = l::SPT_GPA;
+    let slr = l::GUEST_SLR;
+    let boot_p0t_sva = 0x8000_0000u32 + l::BOOT_P0T_GPA;
+    let istack = 0x8000_0000 + l::ISTACK_TOP;
+    let boot_kstack = 0x8000_0000 + l::BOOT_KSTACK_TOP;
+    let pcb_base = l::PCB_BASE;
+    let pcb0 = l::pcb_gpa(0);
+    let kd = |off: u32| 0x8000_0000 + l::KDATA_GPA + off;
+    let v_ticks = kd(kvar::TICKS);
+    let v_curproc = kd(kvar::CURPROC);
+    let v_nproc = kd(kvar::NPROC);
+    let v_done = kd(kvar::DONE);
+    let v_is_vm = kd(kvar::IS_VM);
+    let v_uptime = kd(kvar::UPTIME);
+    let v_next = kd(kvar::NEXT);
+    let v_quant = kd(kvar::QUANT);
+    let v_pf = kd(kvar::PF_COUNT);
+    let v_mf = kd(kvar::MF_COUNT);
+    let v_sys = kd(kvar::SYS_COUNT);
+    let v_io = kd(kvar::IO_COUNT);
+    let v_force = kd(kvar::FORCE_MMIO);
+    let v_state = kd(kvar::STATE);
+    let v_ioflag = kd(kvar::IOFLAG);
+    let ioblk = |i: u32| kd(kvar::IOBLK + 4 * i);
+    let ioblk_gpa = l::KDATA_GPA + kvar::IOBLK;
+    let uptime_gpa = l::KDATA_GPA + kvar::UPTIME;
+    let quantum = config.quantum_ticks;
+    let neg_tick = (config.tick_cycles as i32).wrapping_neg() as u32;
+    let real_io = l::REAL_IO_SVA;
+    let vm_io = l::VM_IO_SVA;
+
+    let banner = match config.flavor {
+        Flavor::MiniVms => "MiniVMS V1.0",
+        Flavor::MiniUltrix => "MiniUltrix V1.0",
+    };
+    let mode_services = match config.flavor {
+        Flavor::MiniVms => "
+            .align 4
+        exec_svc:                    ; CHME entry (executive mode)
+            movl (sp)+, r7           ; change-mode code
+            chmk #9                  ; nested kernel nop
+            rei
+            .align 4
+        super_svc:                   ; CHMS entry (supervisor mode)
+            movl (sp)+, r7
+            chme #0                  ; nested executive call
+            rei
+            ".to_string(),
+        Flavor::MiniUltrix => String::new(),
+    };
+
+    format!(
+        "
+        ; ====================================================== boot ====
+        boot:                        ; entered at gpa {kernel:#x}, MAPEN off
+            mtpr #{scb:#x}, #17      ; SCBB
+            mtpr #{spt:#x}, #12      ; SBR
+            mtpr #{slr}, #13         ; SLR
+            mtpr #{boot_p0t_sva:#x}, #8  ; P0BR (boot identity map)
+            mtpr #64, #9             ; P0LR
+            mtpr #1, #56             ; MAPEN: next fetch via boot P0 map
+            jmp @#main               ; and onward in S space
+            .align 4
+        main:
+            movl #{boot_kstack:#x}, sp   ; kernel stacks live in S space
+            mtpr #{istack:#x}, #4    ; ISP (S space)
+            mfpr #62, r0             ; SID: which VAX is this?
+            cmpl r0, #0x03000000
+            bneq not_vm
+            movl #1, @#{v_is_vm:#x}
+            ; register the uptime cell with the VMM (KCALL func 4)
+            movl #4, @#{ioblk0:#x}
+            clrl @#{ioblk1:#x}
+            movl #{uptime_gpa:#x}, @#{ioblk2:#x}
+            clrl @#{ioblk3:#x}
+            clrl @#{ioblk4:#x}
+            mtpr #{ioblk_gpa:#x}, #201
+        not_vm:
+            ; boot banner through the console transmitter
+            moval banner, r0
+        ban_l:
+            movzbl (r0)+, r1
+            beql ban_done
+            mtpr r1, #35
+            brb ban_l
+        ban_done:
+            movl #{quantum}, @#{v_quant:#x}
+            mtpr #{neg_tick:#x}, #25 ; NICR
+            mtpr #0x51, #24          ; ICCS: RUN | IE | XFR
+            mtpr #{pcb0:#x}, #16     ; PCBB = process 0
+            ldpctx
+            rei                      ; into user mode, IPL 0
+
+        ; ================================================== scheduler ====
+            .align 4
+        pick_next:                   ; out r8 = next ready process
+            pushl r0
+            pushl r1
+            movl @#{v_curproc:#x}, r8
+            movl @#{v_nproc:#x}, r1
+        pn_loop:
+            incl r8
+            cmpl r8, @#{v_nproc:#x}
+            blss pn_chk
+            clrl r8
+        pn_chk:
+            ashl #2, r8, r0
+            addl2 #{v_state:#x}, r0
+            tstl (r0)
+            beql pn_out              ; 0 = ready
+            sobgtr r1, pn_loop
+            movl @#{v_curproc:#x}, r8
+        pn_out:
+            movl (sp)+, r1
+            movl (sp)+, r0
+            rsb
+
+            .align 4
+        timer:                       ; interval timer, IPL 24
+            pushl r7
+            pushl r8
+            mtpr #0xC1, #24          ; ack: clear INT, keep RUN|IE
+            incl @#{v_ticks:#x}
+            decl @#{v_quant:#x}
+            bgtr t_out
+            movl #{quantum}, @#{v_quant:#x}
+            jsb pick_next
+            cmpl r8, @#{v_curproc:#x}
+            beql t_out
+            movl r8, @#{v_next:#x}
+            movl (sp)+, r8           ; restore before SVPCTX saves them
+            movl (sp)+, r7
+            svpctx
+            movl @#{v_next:#x}, r0
+            movl r0, @#{v_curproc:#x}
+            ashl #7, r0, r1
+            addl2 #{pcb_base:#x}, r1
+            mtpr r1, #16
+            ldpctx
+            rei
+        t_out:
+            movl (sp)+, r8
+            movl (sp)+, r7
+            rei
+
+        ; =================================================== syscalls ====
+        ; ABI: code selects the service; args in R0-R2; R7/R8 are
+        ; kernel-clobbered; result in R0.
+            .align 4
+        syscall:
+            mtpr #31, #18            ; kernel runs at high IPL
+            incl @#{v_sys:#x}
+            movl (sp)+, r7           ; change-mode code
+            tstl r7
+            bneq s1
+            brw sys_yield
+        s1: cmpl r7, #1
+            bneq s2
+            mtpr r0, #35             ; putchar: TXDB
+            rei
+        s2: cmpl r7, #2
+            bneq s3
+            brw sys_exit
+        s3: cmpl r7, #3
+            bneq s4
+            brw sys_uptime
+        s4: cmpl r7, #4
+            bneq s5
+            brw sys_iplburst
+        s5: cmpl r7, #5
+            bneq s6
+            brw sys_probe
+        s6: cmpl r7, #6
+            bneq s7
+            brw sys_dwrite
+        s7: cmpl r7, #7
+            bneq s8
+            brw sys_dread
+        s8: rei                      ; nop service (code 9 etc.)
+
+            .align 4
+        sys_yield:
+            jsb pick_next
+            cmpl r8, @#{v_curproc:#x}
+            beql y_out
+            movl r8, @#{v_next:#x}
+            svpctx
+            movl @#{v_next:#x}, r0
+            movl r0, @#{v_curproc:#x}
+            ashl #7, r0, r1
+            addl2 #{pcb_base:#x}, r1
+            mtpr r1, #16
+            ldpctx
+        y_out:
+            rei
+
+            .align 4
+        sys_exit:
+            movl @#{v_curproc:#x}, r7
+            ashl #2, r7, r8
+            addl2 #{v_state:#x}, r8
+            movl #1, (r8)
+            incl @#{v_done:#x}
+            cmpl @#{v_done:#x}, @#{v_nproc:#x}
+            blss e_pick
+            mtpr #10, #35            ; final newline
+            halt                     ; system shutdown
+        e_pick:
+            jsb pick_next
+            movl r8, r0
+            movl r0, @#{v_curproc:#x}
+            ashl #7, r0, r1
+            addl2 #{pcb_base:#x}, r1
+            mtpr r1, #16
+            ldpctx
+            rei
+
+            .align 4
+        sys_uptime:                  ; paper (5): a VM reads the cell the
+            tstl @#{v_is_vm:#x}      ; VMM maintains instead of counting
+            beql u_bare              ; its own interrupts
+            movl @#{v_uptime:#x}, r0
+            rei
+        u_bare:
+            movl @#{v_ticks:#x}, r0
+            rei
+
+            .align 4
+        sys_iplburst:                ; r0 = iterations of the hot path
+        ib_l:
+            mtpr #24, #18
+            mtpr #31, #18
+            sobgtr r0, ib_l
+            rei
+
+            .align 4
+        sys_probe:                   ; r0 = count, r1 = user va
+        pb_l:
+            prober #3, #4, (r1)      ; validate as user (PSL<PRV>)
+            probew #3, #4, (r1)
+            sobgtr r0, pb_l
+            rei
+
+        ; ================================================ disk driver ====
+        ; r0 = sector, r1 = page-aligned 512-byte user buffer va.
+        ; R2-R4 are preserved (only R7/R8 are kernel-clobbered).
+            .align 4
+        sys_dwrite:
+            movl #1, @#{v_ioflag:#x}
+            brb disk_common
+            .align 4
+        sys_dread:
+            clrl @#{v_ioflag:#x}
+        disk_common:
+            pushl r2
+            pushl r3
+            pushl r4
+            incl @#{v_io:#x}
+            tstl (r1)                ; fault the buffer in
+            ; translate buffer va -> guest-physical (for KCALL)
+            ashl #-9, r1, r2
+            ashl #2, r2, r2
+            mfpr #8, r3
+            addl2 r3, r2
+            movl (r2), r2
+            bicl2 #0xFFE00000, r2    ; PTE<PFN>
+            ashl #9, r2, r2
+            movl r1, r3
+            bicl2 #0xFFFFFE00, r3
+            addl2 r3, r2             ; r2 = buffer gpa
+            tstl @#{v_is_vm:#x}
+            beql mmio_path
+            tstl @#{v_force:#x}
+            bneq mmio_path
+            ; ---- start-I/O path (KCALL, paper 4.4.3) ----
+            tstl @#{v_ioflag:#x}
+            beql k_rd
+            movl #2, @#{ioblk0:#x}
+            brb k_go
+        k_rd:
+            movl #1, @#{ioblk0:#x}
+        k_go:
+            movl r0, @#{ioblk1:#x}
+            movl r2, @#{ioblk2:#x}
+            movl #512, @#{ioblk3:#x}
+            clrl @#{ioblk4:#x}
+            mtpr #{ioblk_gpa:#x}, #201
+        k_poll:
+            tstl @#{ioblk4:#x}
+            beql k_poll
+            brb disk_out
+            ; ---- memory-mapped CSR path (bare hardware / ablation) ----
+        mmio_path:
+            movl #{real_io:#x}, r4
+            tstl @#{v_is_vm:#x}
+            beql mm_base
+            movl #{vm_io:#x}, r4
+        mm_base:
+            movl r0, 4(r4)           ; SECTOR
+            tstl @#{v_ioflag:#x}
+            beql mm_read
+            movl #128, r3
+            movl r1, r2
+        mm_wl:
+            movl (r2)+, 8(r4)        ; stream to the DATA port
+            sobgtr r3, mm_wl
+            movl #5, (r4)            ; CSR = GO | FUNC_WRITE
+            brb mm_poll
+        mm_read:
+            movl #3, (r4)            ; CSR = GO | FUNC_READ
+        mm_poll:
+            movl (r4), r3
+            bicl2 #0xFFFFFF7F, r3    ; READY?
+            beql mm_poll
+            tstl @#{v_ioflag:#x}
+            bneq disk_out
+            movl #128, r3
+            movl r1, r2
+        mm_rl:
+            movl 8(r4), (r2)+
+            sobgtr r3, mm_rl
+        disk_out:
+            movl (sp)+, r4
+            movl (sp)+, r3
+            movl (sp)+, r2
+            rei
+
+        ; ======================================== memory management ====
+            .align 4
+        pagefault:                   ; TNV: demand-validate user data pages
+            pushl r0
+            pushl r1
+            movl 12(sp), r0          ; faulting va
+            ashl #-9, r0, r1         ; vpn
+            cmpl r1, #16
+            blss pf_bad
+            cmpl r1, #47
+            bgequ pf_bad
+            ashl #2, r1, r1
+            mfpr #8, r0
+            addl2 r1, r0
+            bisl2 #0x80000000, (r0)  ; set PTE<V>
+            movl 12(sp), r1
+            mtpr r1, #58             ; TBIS
+            incl @#{v_pf:#x}
+            movl (sp)+, r1
+            movl (sp)+, r0
+            addl2 #8, sp             ; drop fault parameters
+            rei
+        pf_bad:
+            mtpr #70, #35            ; 'F'
+            halt
+
+            .align 4
+        modifyfault:                 ; bare modified VAX only: set PTE<M>
+            pushl r0
+            pushl r1
+            movl 8(sp), r0           ; faulting va
+            ashl #-9, r0, r1
+            ashl #2, r1, r1
+            mfpr #8, r0
+            addl2 r1, r0
+            bisl2 #0x04000000, (r0)
+            movl 8(sp), r1
+            mtpr r1, #58
+            incl @#{v_mf:#x}
+            movl (sp)+, r1
+            movl (sp)+, r0
+            addl2 #4, sp
+            rei
+
+        ; ==================================================== others ====
+            .align 4
+        dismiss:                     ; device completion: nothing to do,
+            rei                      ; the driver polls
+            .align 4
+        kill:                        ; unexpected exception
+            mtpr #33, #35            ; '!'
+            halt
+        {mode_services}
+            .align 4
+        banner:
+            .asciz \"{banner}\\n\"
+        ",
+        kernel = l::KERNEL_GPA,
+        ioblk0 = ioblk(0),
+        ioblk1 = ioblk(1),
+        ioblk2 = ioblk(2),
+        ioblk3 = ioblk(3),
+        ioblk4 = ioblk(4),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_assembles_for_both_flavors() {
+        for flavor in [Flavor::MiniVms, Flavor::MiniUltrix] {
+            let cfg = OsConfig {
+                flavor,
+                ..OsConfig::default()
+            };
+            let src = kernel_source(&cfg);
+            let (p, syms) =
+                vax_asm::assemble_text_with_symbols(&src, 0x8000_0000 + l::KERNEL_GPA)
+                    .expect("kernel assembles");
+            assert!(p.bytes.len() < 0x4000, "kernel fits its region");
+            for required in ["boot", "syscall", "timer", "pagefault", "modifyfault", "kill"] {
+                assert!(syms.contains_key(required), "{required} missing");
+            }
+            if flavor == Flavor::MiniVms {
+                assert!(syms.contains_key("exec_svc"));
+                assert!(syms.contains_key("super_svc"));
+            } else {
+                assert!(!syms.contains_key("exec_svc"));
+            }
+            // Every vectored handler must be longword aligned.
+            for h in ["main", "syscall", "timer", "pagefault", "modifyfault", "kill", "dismiss"] {
+                assert_eq!(syms[h] % 4, 0, "{h} unaligned");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_ids() {
+        assert_eq!(Workload::Compute.id(3), 0);
+        assert_eq!(Workload::Mixed.id(3), 3);
+        assert_eq!(Workload::Mixed.id(9), 2);
+        assert_eq!(Workload::Probe.id(0), 6);
+    }
+}

@@ -1,0 +1,164 @@
+//! Guest physical-memory layout shared by the kernel builder and loader.
+//!
+//! All addresses are guest-physical; with the guest's identity system
+//! page table enabled, S-space virtual address `0x8000_0000 + gpa` maps
+//! the same byte.
+
+/// Guest SCB page.
+pub const SCB_GPA: u32 = 0x0200;
+/// Boot-time P0 page table (identity map of the kernel pages, used only
+/// while turning translation on).
+pub const BOOT_P0T_GPA: u32 = 0x0600;
+/// Kernel variables page (see the `V_*` offsets).
+pub const KDATA_GPA: u32 = 0x0800;
+/// Guest system page table.
+pub const SPT_GPA: u32 = 0x1000;
+/// Kernel code.
+pub const KERNEL_GPA: u32 = 0x2000;
+/// Interrupt stack top.
+pub const ISTACK_TOP: u32 = 0x7000;
+/// Boot-time kernel stack top.
+pub const BOOT_KSTACK_TOP: u32 = 0x7800;
+/// Process control blocks, 128 bytes apiece.
+pub const PCB_BASE: u32 = 0x8000;
+/// Per-process P0 page tables, 512 bytes (128 entries) apiece.
+pub const P0T_BASE: u32 = 0x9000;
+/// Per-process stack block (0x400 bytes): kernel stack page then a page
+/// shared by the executive and supervisor stacks.
+pub const KSTACKS_BASE: u32 = 0xC000;
+/// Shared user program code.
+pub const USER_CODE_GPA: u32 = 0x1_0000;
+/// Per-process user data (32 pages = 0x4000 bytes each).
+pub const USER_DATA_BASE: u32 = 0x1_2000;
+/// Bytes of user data per process.
+pub const USER_DATA_STRIDE: u32 = 0x4000;
+
+/// Maximum process count the layout supports.
+pub const MAX_PROCS: u32 = 16;
+
+/// S-space VPN mapped to the real machine's I/O space (bare-metal disk).
+pub const REAL_IO_SVPN: u32 = 0x300;
+/// S-space VPN mapped to the virtual machine's emulated I/O window.
+pub const VM_IO_SVPN: u32 = 0x301;
+/// Guest SLR: S pages 0..=VM_IO_SVPN.
+pub const GUEST_SLR: u32 = VM_IO_SVPN + 1;
+
+/// Bare-metal disk CSR base as an S virtual address.
+pub const REAL_IO_SVA: u32 = 0x8000_0000 + (REAL_IO_SVPN << 9);
+/// Emulated-MMIO disk CSR base as an S virtual address.
+pub const VM_IO_SVA: u32 = 0x8000_0000 + (VM_IO_SVPN << 9);
+
+/// User-space virtual layout: code occupies P0 pages 0..16.
+pub const USER_CODE_VA: u32 = 0;
+/// Data occupies P0 pages 16..48 (va 0x2000..0x6000).
+pub const USER_DATA_VA: u32 = 0x2000;
+/// Pages 16..32 boot valid; 32..47 are demand-validated by the kernel.
+pub const USER_DEMAND_VA: u32 = 0x4000;
+/// Initial user stack pointer (grows down inside the last data page,
+/// P0 page 47).
+pub const USER_SP: u32 = 0x6000;
+/// P0LR for every process.
+pub const USER_P0LR: u32 = 48;
+
+/// Kernel variable offsets within the KDATA page.
+pub mod kvar {
+    /// Timer ticks since boot.
+    pub const TICKS: u32 = 0x00;
+    /// Currently running process index.
+    pub const CURPROC: u32 = 0x04;
+    /// Number of processes.
+    pub const NPROC: u32 = 0x08;
+    /// Processes that have exited.
+    pub const DONE: u32 = 0x0C;
+    /// 1 when running on a virtual VAX (detected via SID).
+    pub const IS_VM: u32 = 0x10;
+    /// Uptime cell the VMM refreshes (paper §5, "Time").
+    pub const UPTIME: u32 = 0x14;
+    /// Next process chosen by the scheduler.
+    pub const NEXT: u32 = 0x18;
+    /// Quantum countdown in ticks.
+    pub const QUANT: u32 = 0x1C;
+    /// Guest page faults serviced (demand validation).
+    pub const PF_COUNT: u32 = 0x20;
+    /// Modify faults serviced (bare modified VAX only).
+    pub const MF_COUNT: u32 = 0x24;
+    /// Syscalls serviced.
+    pub const SYS_COUNT: u32 = 0x28;
+    /// Disk operations completed.
+    pub const IO_COUNT: u32 = 0x2C;
+    /// 1 to force the memory-mapped I/O driver even on a virtual VAX
+    /// (the §4.4.3 ablation).
+    pub const FORCE_MMIO: u32 = 0x30;
+    /// Disk-driver direction flag (1 = write).
+    pub const IOFLAG: u32 = 0x34;
+    /// KCALL request block (5 longwords).
+    pub const IOBLK: u32 = 0x40;
+    /// Per-process state longwords (0 ready, 1 done), 16 entries.
+    pub const STATE: u32 = 0x80;
+}
+
+/// Address helpers (guest-physical).
+pub fn pcb_gpa(proc: u32) -> u32 {
+    PCB_BASE + proc * 128
+}
+
+/// Guest-physical address of a process's P0 page table.
+pub fn p0t_gpa(proc: u32) -> u32 {
+    P0T_BASE + proc * 512
+}
+
+/// Kernel stack top for a process.
+pub fn kstack_top(proc: u32) -> u32 {
+    KSTACKS_BASE + proc * 0x400 + 0x200
+}
+
+/// Executive stack top for a process.
+pub fn estack_top(proc: u32) -> u32 {
+    KSTACKS_BASE + proc * 0x400 + 0x400
+}
+
+/// Supervisor stack top for a process.
+pub fn sstack_top(proc: u32) -> u32 {
+    KSTACKS_BASE + proc * 0x400 + 0x300
+}
+
+/// First guest-physical byte of a process's user data.
+pub fn user_data_gpa(proc: u32) -> u32 {
+    USER_DATA_BASE + proc * USER_DATA_STRIDE
+}
+
+/// Guest memory pages needed for `nproc` processes.
+pub fn required_pages(nproc: u32) -> u32 {
+    user_data_gpa(nproc).div_ceil(512)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        const { assert!(SCB_GPA + 0x140 <= BOOT_P0T_GPA) };
+        const { assert!(BOOT_P0T_GPA + 0x100 <= KDATA_GPA) };
+        const { assert!(KDATA_GPA + 0x200 <= SPT_GPA) };
+        const { assert!(SPT_GPA + GUEST_SLR * 4 <= KERNEL_GPA) };
+        const { assert!(KERNEL_GPA + 0x4000 <= ISTACK_TOP) }; // 16 KiB code
+        const { assert!(BOOT_KSTACK_TOP <= PCB_BASE) };
+        assert!(pcb_gpa(MAX_PROCS) <= P0T_BASE);
+        assert!(p0t_gpa(MAX_PROCS) <= KSTACKS_BASE);
+        assert!(kstack_top(MAX_PROCS - 1) + 0x200 <= USER_CODE_GPA);
+        const { assert!(USER_CODE_GPA + 0x2000 <= USER_DATA_BASE) };
+    }
+
+    #[test]
+    fn required_pages_scales() {
+        assert!(required_pages(1) >= 0x14000 / 512);
+        assert_eq!(required_pages(4) * 512, user_data_gpa(4));
+    }
+
+    #[test]
+    fn io_vpns_beyond_memory() {
+        // 16 procs * 16 KiB of data ends well below the I/O S pages.
+        assert!(required_pages(MAX_PROCS) < REAL_IO_SVPN);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Guest operating systems for the simulated VAX: **MiniVMS** (four
+//! access modes) and **MiniUltrix** (two modes), plus the workload
+//! programs and run drivers used throughout the evaluation.
+//!
+//! The same bootable image runs unchanged on the bare modified VAX and
+//! inside a virtual machine under `vax-vmm` — the paper's equivalence
+//! property — with exactly the accommodations the paper lists for the
+//! virtual VAX (SID-based detection, `KCALL` start-I/O, the VMM-
+//! maintained uptime cell).
+//!
+//! # Example
+//!
+//! ```
+//! use vax_os::{build_image, run_bare, OsConfig, Workload};
+//!
+//! let image = build_image(&OsConfig {
+//!     nproc: 2,
+//!     workload: Workload::Compute,
+//!     iterations: 10,
+//!     ..OsConfig::default()
+//! })?;
+//! let out = run_bare(&image, 20_000_000);
+//! assert!(out.completed);
+//! assert_eq!(out.kernel.done, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod image;
+pub mod kernel;
+pub mod layout;
+pub mod runner;
+pub mod workload;
+
+pub use image::{build_image, BuildError, GuestImage};
+pub use kernel::{Flavor, OsConfig, Workload};
+pub use runner::{boot_in_monitor, run_bare, run_in_vm, KernelCounters, RunOutcome};
+pub use workload::user_source;

@@ -1,0 +1,190 @@
+//! User-mode workload programs.
+//!
+//! One shared program image serves every process: it dispatches on the
+//! workload id in R10 (placed in the PCB by the loader) with the
+//! iteration count in R6. All programs finish with the exit syscall.
+
+use crate::kernel::Flavor;
+
+/// Emits the user program source (assembled at P0 virtual address 0).
+pub fn user_source(flavor: Flavor) -> String {
+    // The four-mode CHM chain exists only on MiniVMS (ULTRIX-32 uses two
+    // modes, paper §4 footnote 6).
+    let chain = match flavor {
+        Flavor::MiniVms => "chms #0",
+        Flavor::MiniUltrix => "chmk #9",
+    };
+    format!(
+        "
+        entry:                       ; r10 = workload id, r6 = iterations
+            cmpl r10, #1
+            bneq d1
+            brw w_editing
+        d1: cmpl r10, #2
+            bneq d2
+            brw w_transaction
+        d2: cmpl r10, #3
+            bneq d3
+            brw w_syscall
+        d3: cmpl r10, #4
+            bneq d4
+            brw w_ipl
+        d4: cmpl r10, #5
+            bneq d5
+            brw w_touch
+        d5: cmpl r10, #6
+            bneq d6
+            brw w_probe
+        d6: cmpl r10, #7
+            bneq d7
+            brw w_queue
+        d7: ; fall through: compute
+
+        ; -- pure integer arithmetic ------------------------------------
+        w_compute:
+            clrl r2
+            movl r6, r3
+        wc_l:
+            addl2 r3, r2
+            xorl2 #0x5A5A, r2
+            ashl #1, r2, r2
+            mull2 r3, r2
+            sobgtr r3, wc_l
+            chmk #2
+
+        ; -- interactive editing mix ------------------------------------
+        ; MOVC3 clobbers R0-R5, so the loop counter lives in R9.
+        w_editing:
+            movl r6, r9
+        we_l:
+            movc3 #64, @#0x2100, @#0x2180
+            movc3 #64, @#0x2180, @#0x2100
+            bicl3 #0xFFFFFFF0, r9, r2
+            bneq we_nosys
+            movl #46, r0
+            chmk #1                  ; '.'
+            {chain}                  ; mode-chain service call
+            chmk #3                  ; read uptime
+        we_nosys:
+            bicl3 #0xFFFFFFF0, r9, r2
+            ashl #9, r2, r2
+            addl2 #0x4000, r2        ; touch the demand-paged region
+            movb r9, (r2)
+            bicl3 #0xFFFFFFE0, r9, r2
+            ashl #9, r2, r2
+            addl2 #0x2000, r2        ; sweep the 32-page data region too
+            movb r9, (r2)
+            sobgtr r9, we_l
+            chmk #2
+
+        ; -- transaction processing -------------------------------------
+        ; Records rotate across eight pages (realistic working set).
+        w_transaction:
+            movl r6, r3
+        wt_l:
+            bicl3 #0xFFFFFFF8, r3, r2
+            ashl #9, r2, r2
+            addl2 #0x2400, r2        ; record base: 0x2400 + (r3&7)*512
+            incl (r2)                ; update record fields
+            addl2 r3, 4(r2)
+            movl (r2), r4
+            movl r4, 8(r2)
+            bicl3 #0xFFFFFFF8, r3, r2
+            bneq wt_nosync
+            bicl3 #0xFFFFFFFC, r3, r0
+            incl r0                  ; sector 1..4
+            movl #0x2400, r1
+            chmk #6                  ; commit to disk
+        wt_nosync:
+            ; touch the demand region too
+            bicl3 #0xFFFFFFF8, r3, r2
+            ashl #9, r2, r2
+            addl2 #0x4000, r2
+            movb r3, (r2)
+            sobgtr r3, wt_l
+            chmk #2
+
+        ; -- syscall-bound ----------------------------------------------
+        w_syscall:
+            movl r6, r3
+        ws_l:
+            chmk #0                  ; yield
+            sobgtr r3, ws_l
+            chmk #2
+
+        ; -- MTPR-to-IPL heavy ------------------------------------------
+        w_ipl:
+            movl r6, r3
+        wi_l:
+            movl #8, r0
+            chmk #4                  ; 8 IPL toggles in the kernel
+            sobgtr r3, wi_l
+            chmk #2
+
+        ; -- page-touch sweep -------------------------------------------
+        w_touch:
+            movl r6, r3
+        wto_l:
+            movl #0x2000, r2
+        wto_i:
+            movb r3, (r2)
+            addl2 #512, r2
+            cmpl r2, #0x5E00
+            blss wto_i
+            sobgtr r3, wto_l
+            chmk #2
+
+        ; -- PROBE heavy ------------------------------------------------
+        w_probe:
+            movl r6, r3
+        wp_l:
+            movl #16, r0
+            movl #0x2200, r1
+            chmk #5
+            sobgtr r3, wp_l
+            chmk #2
+
+        ; -- queue-instruction heavy (VMS-style work queues) -------------
+        w_queue:
+            movl #0x2600, @#0x2600   ; self-linked header = empty queue
+            movl #0x2600, @#0x2604
+            movl r6, r3
+        wq_l:
+            insque @#0x2700, @#0x2600
+            bneq wq_bad              ; Z must be set: first entry
+            insque @#0x2800, @#0x2700
+            remque @#0x2800, r2
+            remque @#0x2700, r2
+            beql wq_ok               ; Z: queue empty again
+        wq_bad:
+            movl #63, r0             ; '?' marks a queue invariant failure
+            chmk #1
+        wq_ok:
+            sobgtr r3, wq_l
+            chmk #2
+        "
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_program_assembles() {
+        for flavor in [Flavor::MiniVms, Flavor::MiniUltrix] {
+            let (p, syms) = vax_asm::assemble_text_with_symbols(&user_source(flavor), 0)
+                .expect("user program assembles");
+            assert!(p.bytes.len() < 16 * 512, "fits the code pages");
+            assert_eq!(syms["entry"], 0, "entry at P0 va 0");
+        }
+    }
+
+    #[test]
+    fn vms_flavor_uses_the_mode_chain() {
+        let vms = user_source(Flavor::MiniVms);
+        assert!(vms.contains("chms #0"));
+        let ultrix = user_source(Flavor::MiniUltrix);
+        assert!(!ultrix.contains("chms"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Image-level checks: the generated kernels disassemble cleanly, the
+//! SCB points at aligned handlers, and the page tables obey the layout.
+
+use vax_arch::{Protection, Pte, ScbVector};
+use vax_os::{build_image, layout, Flavor, OsConfig};
+
+#[test]
+fn kernel_and_user_code_disassemble_without_gaps() {
+    for flavor in [Flavor::MiniVms, Flavor::MiniUltrix] {
+        let img = build_image(&OsConfig {
+            flavor,
+            ..OsConfig::default()
+        })
+        .unwrap();
+        for (gpa, label) in [
+            (layout::KERNEL_GPA, "kernel"),
+            (layout::USER_CODE_GPA, "user"),
+        ] {
+            let bytes = &img
+                .segments
+                .iter()
+                .find(|(g, _)| *g == gpa)
+                .expect("segment present")
+                .1;
+            let base = if gpa == layout::KERNEL_GPA {
+                0x8000_0000 + gpa
+            } else {
+                0
+            };
+            // Code ends where the banner string data begins (kernel) or
+            // at the image end (user program).
+            let code_end = if gpa == layout::KERNEL_GPA {
+                (img.symbols["banner"] - base) as usize
+            } else {
+                bytes.len()
+            };
+            let lines = vax_asm::disassemble(&bytes[..code_end], base);
+            // Alignment padding (zero bytes) decodes as HALT — fine; what
+            // must never appear is an undecodable byte.
+            let bad: Vec<_> = lines
+                .iter()
+                .filter(|l| l.text.starts_with(".byte"))
+                .collect();
+            assert!(
+                bad.is_empty(),
+                "{flavor:?} {label}: undecodable bytes {bad:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scb_vectors_are_aligned_kernel_addresses() {
+    let img = build_image(&OsConfig::default()).unwrap();
+    let scb = &img
+        .segments
+        .iter()
+        .find(|(g, _)| *g == layout::SCB_GPA)
+        .unwrap()
+        .1;
+    let kernel_base = 0x8000_0000 + layout::KERNEL_GPA;
+    let kernel_end = kernel_base + 0x4000;
+    for off in (0..scb.len()).step_by(4) {
+        let v = u32::from_le_bytes(scb[off..off + 4].try_into().unwrap());
+        assert_eq!(v % 4, 0, "vector {off:#x} unaligned: {v:#x}");
+        assert!(
+            (kernel_base..kernel_end).contains(&v),
+            "vector {off:#x} outside kernel: {v:#x}"
+        );
+    }
+    // Spot-check the important ones against the symbol table.
+    for (vector, symbol) in [
+        (ScbVector::Chmk.offset(), "syscall"),
+        (ScbVector::IntervalTimer.offset(), "timer"),
+        (ScbVector::TranslationNotValid.offset(), "pagefault"),
+        (ScbVector::ModifyFault.offset(), "modifyfault"),
+    ] {
+        let v = u32::from_le_bytes(
+            scb[vector as usize..vector as usize + 4].try_into().unwrap(),
+        );
+        assert_eq!(v, img.symbols[symbol], "{symbol}");
+    }
+}
+
+#[test]
+fn guest_page_tables_obey_the_layout_contract() {
+    let nproc = 5;
+    let img = build_image(&OsConfig {
+        nproc,
+        ..OsConfig::default()
+    })
+    .unwrap();
+    // SPT: every in-memory page identity-mapped; I/O vpns special.
+    let spt = &img
+        .segments
+        .iter()
+        .find(|(g, _)| *g == layout::SPT_GPA)
+        .unwrap()
+        .1;
+    let pte_at = |vpn: u32| {
+        Pte::from_raw(u32::from_le_bytes(
+            spt[(vpn * 4) as usize..(vpn * 4 + 4) as usize].try_into().unwrap(),
+        ))
+    };
+    for vpn in 0..img.mem_pages {
+        let pte = pte_at(vpn);
+        assert!(pte.valid(), "S vpn {vpn}");
+        assert_eq!(pte.pfn(), vpn, "identity");
+        assert!(pte.modified(), "premodified to avoid kernel modify faults");
+    }
+    assert_eq!(
+        pte_at(layout::REAL_IO_SVPN).pfn(),
+        vax_cpu::IO_BASE_PA >> 9,
+        "bare-metal I/O window"
+    );
+    assert_eq!(
+        pte_at(layout::VM_IO_SVPN).pfn(),
+        vax_vmm::GUEST_IO_GPFN_BASE,
+        "virtual-machine I/O window"
+    );
+
+    // Per-process P0 tables: code read-only for user; boot-valid data
+    // with M clear; demand region invalid; distinct frames per process.
+    for proc in 0..nproc {
+        let p0t = &img
+            .segments
+            .iter()
+            .find(|(g, _)| *g == layout::p0t_gpa(proc))
+            .unwrap()
+            .1;
+        let pte_at = |vpn: u32| {
+            Pte::from_raw(u32::from_le_bytes(
+                p0t[(vpn * 4) as usize..(vpn * 4 + 4) as usize]
+                    .try_into()
+                    .unwrap(),
+            ))
+        };
+        assert_eq!(pte_at(0).protection(), Protection::Ur, "code is UR");
+        assert!(pte_at(0).valid());
+        let data = pte_at(16);
+        assert!(data.valid() && !data.modified(), "data valid, M clear");
+        assert_eq!(data.protection(), Protection::Uw);
+        assert_eq!(
+            data.pfn(),
+            layout::user_data_gpa(proc) >> 9,
+            "per-process frames"
+        );
+        assert!(!pte_at(40).valid(), "demand region starts invalid");
+        assert!(pte_at(47).valid(), "stack page valid");
+    }
+}
+
+#[test]
+fn pcbs_use_s_space_stacks_and_user_entry() {
+    let img = build_image(&OsConfig::default()).unwrap();
+    let pcb = &img
+        .segments
+        .iter()
+        .find(|(g, _)| *g == layout::pcb_gpa(0))
+        .unwrap()
+        .1;
+    let word = |off: usize| u32::from_le_bytes(pcb[off..off + 4].try_into().unwrap());
+    assert!(word(0) >= 0x8000_0000, "KSP is an S address");
+    assert!(word(4) >= 0x8000_0000, "ESP is an S address");
+    assert!(word(8) >= 0x8000_0000, "SSP is an S address");
+    assert_eq!(word(12), layout::USER_SP);
+    assert_eq!(word(72), layout::USER_CODE_VA, "PC = user entry");
+    assert_eq!(word(84), layout::USER_P0LR);
+}

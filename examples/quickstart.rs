@@ -1,0 +1,75 @@
+//! Quickstart: boot MiniVMS on the bare simulated VAX, then boot the
+//! *same image* inside a virtual machine under the security-kernel VMM,
+//! and compare.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vax_os::{build_image, run_bare, run_in_vm, OsConfig, Workload};
+use vax_vmm::{MonitorConfig, ShadowConfig, VmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A MiniVMS guest: four processes running the paper's benchmark mix
+    // (interactive editing + transaction processing).
+    let config = OsConfig {
+        nproc: 4,
+        workload: Workload::EditTrans,
+        iterations: 200,
+        ..OsConfig::default()
+    };
+    let image = build_image(&config)?;
+    println!(
+        "built MiniVMS image: {} segments, {} pages of guest memory\n",
+        image.segments.len(),
+        image.mem_pages
+    );
+
+    // 1. Bare hardware: the guest OS runs directly on the modified VAX.
+    let bare = run_bare(&image, 8_000_000_000);
+    println!("=== bare modified VAX ===");
+    println!("completed: {}", bare.completed);
+    println!("cycles:    {}", bare.cycles);
+    println!("kernel:    {:?}", bare.kernel);
+    println!("console:   {:?}\n", String::from_utf8_lossy(&bare.console));
+
+    // 2. The same image as a virtual machine.
+    let (vm, monitor, id) = run_in_vm(
+        &image,
+        MonitorConfig::default(),
+        VmConfig {
+            shadow: ShadowConfig {
+                cache_slots: 8, // the paper's §7.2 optimization
+                ..ShadowConfig::default()
+            },
+            ..VmConfig::default()
+        },
+        32_000_000_000,
+    );
+    println!("=== virtual VAX under the VMM ===");
+    println!("completed: {}", vm.completed);
+    println!("cycles:    {}", vm.cycles);
+    println!("kernel:    {:?}", vm.kernel);
+    println!("console:   {:?}", String::from_utf8_lossy(&vm.console));
+    let stats = monitor.vm_stats(id);
+    println!(
+        "VMM work:  {} emulation traps ({} CHM, {} REI, {} MTPR-IPL), \
+         {} shadow fills, {} kcalls",
+        stats.emulation_traps, stats.chm, stats.rei, stats.mtpr_ipl,
+        stats.shadow_fills, stats.kcalls
+    );
+
+    // 3. The paper's two headline checks.
+    println!("\n=== comparison ===");
+    println!(
+        "identical console output: {}",
+        if bare.console == vm.console { "YES" } else { "NO" }
+    );
+    println!(
+        "identical guest-visible work: {}",
+        if bare.kernel.syscalls == vm.kernel.syscalls { "YES" } else { "NO" }
+    );
+    println!(
+        "VM performance relative to bare hardware: {:.1}% (paper: 47-48%)",
+        100.0 * bare.cycles as f64 / vm.cycles as f64
+    );
+    Ok(())
+}

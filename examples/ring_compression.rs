@@ -1,0 +1,110 @@
+//! Ring compression in action (paper §4.1–§4.3, Figure 3): a guest walks
+//! down through all four *virtual* access modes while the real machine
+//! only ever uses three, and the one acknowledged imperfection — the
+//! executive/kernel memory boundary — is demonstrated live.
+//!
+//! Run with: `cargo run --release --example ring_compression`
+
+use vax_arch::{AccessMode, Protection, Psl, Pte};
+use vax_vmm::{compress_mode, Monitor, MonitorConfig, VmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Figure 3: the mode mapping\n");
+    for m in AccessMode::ALL {
+        println!("  virtual {:<11} ->  real {}", m.name(), compress_mode(m).name());
+    }
+    println!("  (real kernel mode is reserved to the VMM)\n");
+
+    println!("protection-code compression (kernel access extended to executive):\n");
+    for p in Protection::ALL {
+        let c = p.ring_compressed();
+        if c != p {
+            println!("  {:<5} -> {}", p.name(), c.name());
+        }
+    }
+
+    // A guest that records MOVPSL in every virtual mode: kernel ->
+    // executive -> supervisor -> user, each reached by REI, then climbs
+    // back with the CHM chain.
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    let vm = monitor.create_vm("rings", VmConfig::default());
+    let src = "
+        start:
+            movl #0x5000, sp
+            mtpr #0x200, #17         ; SCBB
+            mtpr #0, #18
+            movl #0x5800, r6
+            mtpr r6, #1              ; ESP
+            movl #0x6000, r6
+            mtpr r6, #2              ; SSP
+            movl #0x6800, r6
+            mtpr r6, #3              ; USP
+            movpsl r2                ; virtual kernel
+            pushl #0x01400000        ; PSL image: executive
+            pushal in_exec
+            rei
+        in_exec:
+            movpsl r3                ; virtual executive
+            pushl #0x02800000        ; PSL image: supervisor
+            pushal in_super
+            rei
+        in_super:
+            movpsl r4                ; virtual supervisor
+            pushl #0x03C00000        ; PSL image: user
+            pushal in_user
+            rei
+        in_user:
+            movpsl r5                ; virtual user
+            chmk #0                  ; climb straight back to the kernel
+        spin:
+            brb spin
+            .align 4
+        back_in_kernel:
+            movpsl r6
+            halt
+        ";
+    let p = vax_asm::assemble_text(src, 0x1000)?;
+    monitor.vm_write_phys(vm, 0x1000, &p.bytes);
+    // CHMK vector -> back_in_kernel (the aligned label before the final
+    // three bytes: MOVPSL r6 (DC 56) then HALT).
+    let handler = 0x1000 + p.bytes.len() as u32 - 3;
+    monitor.vm_write_phys(vm, 0x200 + 0x40, &handler.to_le_bytes());
+    monitor.boot_vm(vm, 0x1000);
+    monitor.run(10_000_000);
+
+    println!("\nthe VM's own view of its modes (MOVPSL at each stage):\n");
+    let guest = monitor.vm(vm);
+    for (reg, stage) in [
+        (2, "boot"),
+        (3, "after REI #1"),
+        (4, "after REI #2"),
+        (5, "after REI #3"),
+        (6, "after CHMK"),
+    ] {
+        let psl = Psl::from_raw(guest.regs[reg]);
+        println!(
+            "  {stage:<14} cur={:<11} prv={:<11} (PSL<VM> visible: {})",
+            psl.cur_mode().name(),
+            psl.prv_mode().name(),
+            psl.vm()
+        );
+    }
+    println!("\nfour distinct virtual modes observed; the real machine used");
+    println!("only executive, supervisor, and user the whole time.\n");
+
+    // The acknowledged leak (paper §4.3.1): compress a kernel-only
+    // protection code and check who can reach it.
+    let kw = Protection::Kw.ring_compressed();
+    println!("the one imperfection: a VM kernel-only page ({} after", Protection::Kw);
+    println!("compression -> {kw}) is accessible from virtual executive mode:");
+    for m in AccessMode::ALL {
+        println!(
+            "  virtual {:<11} read: {:<7} write: {}",
+            m.name(),
+            kw.allows_read(compress_mode(m)),
+            kw.allows_write(compress_mode(m)),
+        );
+    }
+    let _ = Pte::NULL; // the other half of the §4.3 machinery
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! `vaxrun` — assemble a VAX assembly file and run it on the simulated
+//! machine, bare or inside a virtual machine under the VMM.
+//!
+//! ```console
+//! $ vaxrun program.s                 # bare modified VAX, kernel mode
+//! $ vaxrun --vm program.s           # as a virtual machine guest
+//! $ vaxrun --list program.s         # print the listing, don't run
+//! $ vaxrun --base 2000 program.s    # load address (hex, default 1000)
+//! $ vaxrun --trace program.s        # dump the last PCs on exit
+//! ```
+//!
+//! The program runs in kernel mode with translation off (addresses are
+//! physical), console output goes through TXDB, and execution ends at
+//! HALT or after `--max-cycles`.
+
+use std::process::ExitCode;
+use vax_arch::{MachineVariant, Psl};
+use vax_cpu::{HaltReason, Machine, StepEvent};
+use vax_vmm::{Monitor, MonitorConfig, RunExit, VmConfig, VmState};
+
+struct Options {
+    path: String,
+    vm: bool,
+    list: bool,
+    trace: bool,
+    base: u32,
+    max_cycles: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vaxrun [--vm] [--list] [--trace] [--base HEX] [--max-cycles N] FILE.s"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        path: String::new(),
+        vm: false,
+        list: false,
+        trace: false,
+        base: 0x1000,
+        max_cycles: 1_000_000_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--vm" => opts.vm = true,
+            "--list" => opts.list = true,
+            "--trace" => opts.trace = true,
+            "--base" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.base = u32::from_str_radix(&v, 16).map_err(|_| usage())?;
+            }
+            "--max-cycles" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.max_cycles = v.parse().map_err(|_| usage())?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            f if !f.starts_with('-') && opts.path.is_empty() => opts.path = f.to_string(),
+            _ => return Err(usage()),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let source = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vaxrun: {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let (program, symbols) = match vax_asm::assemble_text_with_symbols(&source, opts.base) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("vaxrun: {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.list {
+        print!("{}", vax_asm::listing(&program.bytes, program.base, &symbols));
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.vm {
+        let mut monitor = Monitor::new(MonitorConfig::default());
+        let vm = monitor.create_vm("vaxrun", VmConfig::default());
+        monitor.vm_write_phys(vm, program.base, &program.bytes);
+        monitor.boot_vm(vm, program.base);
+        let exit = monitor.run(opts.max_cycles);
+        let out = monitor.vm_console_output(vm);
+        print!("{}", String::from_utf8_lossy(&out));
+        let guest = monitor.vm(vm);
+        eprintln!("-- vaxrun: {exit:?}, state {:?}", guest.state);
+        for (i, chunk) in guest.regs.chunks(4).enumerate() {
+            eprintln!(
+                "-- R{:<2} {:08X} {:08X} {:08X} {:08X}",
+                i * 4,
+                chunk[0],
+                chunk[1],
+                chunk[2],
+                chunk[3]
+            );
+        }
+        for l in &guest.vmm_log {
+            eprintln!("-- vmm: {l}");
+        }
+        return if exit == RunExit::AllHalted && guest.state == VmState::ConsoleHalt {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut m = Machine::new(MachineVariant::Modified, 2 * 1024 * 1024);
+    if opts.trace {
+        m.enable_trace(16);
+    }
+    if m
+        .mem_mut()
+        .write_slice(program.base, &program.bytes)
+        .is_err()
+    {
+        eprintln!("vaxrun: program does not fit at {:#x}", program.base);
+        return ExitCode::FAILURE;
+    }
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_reg(14, 0x8000);
+    m.set_pc(program.base);
+    let mut status = ExitCode::FAILURE;
+    while m.cycles() < opts.max_cycles {
+        match m.step() {
+            StepEvent::Ok => {}
+            StepEvent::Halted(HaltReason::HaltInstruction) => {
+                status = ExitCode::SUCCESS;
+                break;
+            }
+            other => {
+                eprintln!("-- vaxrun: stopped: {other:?} at pc={:#010x}", m.pc());
+                break;
+            }
+        }
+    }
+    print!("{}", String::from_utf8_lossy(&m.console_take_output()));
+    eprintln!("-- vaxrun: {} cycles, {} instructions", m.cycles(), m.counters().instructions);
+    for (i, r) in (0..16).map(|i| (i, m.reg(i))).collect::<Vec<_>>().chunks(4).enumerate() {
+        let row: Vec<String> = r.iter().map(|(_, v)| format!("{v:08X}")).collect();
+        eprintln!("-- R{:<2} {}", i * 4, row.join(" "));
+    }
+    if opts.trace {
+        let pcs: Vec<String> = m.recent_pcs().iter().map(|p| format!("{p:#x}")).collect();
+        eprintln!("-- trace: {}", pcs.join(" "));
+    }
+    status
+}

@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+//! Umbrella crate re-exporting the full VAX virtualization stack.
+pub use vax_arch as arch;
+pub use vax_asm as asm;
+pub use vax_cpu as cpu;
+pub use vax_dev as dev;
+pub use vax_mem as mem;
+pub use vax_os as os;
+pub use vax_vmm as vmm;

@@ -1,0 +1,172 @@
+//! Property-based equivalence: random innocuous programs must compute
+//! exactly the same register file on a standard VAX, a bare modified
+//! VAX, and inside a virtual machine — Popek–Goldberg's *equivalence*
+//! property, fuzzed.
+
+use proptest::prelude::*;
+use vax_arch::{MachineVariant, Psl};
+use vax_asm::{Asm, Operand, Reg};
+use vax_cpu::{HaltReason, Machine, StepEvent};
+use vax_arch::Opcode;
+use vax_vmm::{Monitor, MonitorConfig, VmConfig};
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    MovImm(u8, u32),
+    Add(u8, u8),
+    Sub(u8, u8),
+    Xor(u8, u8),
+    Bis(u8, u8),
+    Bic(u8, u8),
+    Mul(u8, u8),
+    Ash(i8, u8),
+    Neg(u8),
+    Com(u8),
+    Inc(u8),
+    Dec(u8),
+    Movpsl(u8),
+    StoreLoad(u8, u8, u32),
+    CvtRound(u8),
+    IndexedStoreLoad(u8, u8, u32),
+    BitSetTest(u8, u32),
+}
+
+fn arb_reg() -> impl Strategy<Value = u8> {
+    0u8..10
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (arb_reg(), any::<u32>()).prop_map(|(r, v)| Step::MovImm(r, v)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Step::Add(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Step::Sub(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Step::Xor(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Step::Bis(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Step::Bic(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Step::Mul(a, b)),
+        (-31i8..31, arb_reg()).prop_map(|(c, r)| Step::Ash(c, r)),
+        arb_reg().prop_map(Step::Neg),
+        arb_reg().prop_map(Step::Com),
+        arb_reg().prop_map(Step::Inc),
+        arb_reg().prop_map(Step::Dec),
+        arb_reg().prop_map(Step::Movpsl),
+        (arb_reg(), arb_reg(), 0u32..32).prop_map(|(s, d, slot)| Step::StoreLoad(s, d, slot)),
+        arb_reg().prop_map(Step::CvtRound),
+        (arb_reg(), arb_reg(), 0u32..8).prop_map(|(s, d, i)| Step::IndexedStoreLoad(s, d, i)),
+        (arb_reg(), 0u32..24).prop_map(|(d, bit)| Step::BitSetTest(d, bit)),
+    ]
+}
+
+fn emit(steps: &[Step]) -> Vec<u8> {
+    let mut a = Asm::new(0x1000);
+    let r = |n: u8| Operand::Reg(Reg::from_number(n));
+    for s in steps {
+        let _ = match *s {
+            Step::MovImm(d, v) => a.movl(Operand::Imm(v), r(d)).unwrap(),
+            Step::Add(s1, d) => a.inst(Opcode::Addl2, &[r(s1), r(d)]).unwrap(),
+            Step::Sub(s1, d) => a.inst(Opcode::Subl2, &[r(s1), r(d)]).unwrap(),
+            Step::Xor(s1, d) => a.inst(Opcode::Xorl2, &[r(s1), r(d)]).unwrap(),
+            Step::Bis(s1, d) => a.inst(Opcode::Bisl2, &[r(s1), r(d)]).unwrap(),
+            Step::Bic(s1, d) => a.inst(Opcode::Bicl2, &[r(s1), r(d)]).unwrap(),
+            Step::Mul(s1, d) => a.inst(Opcode::Mull2, &[r(s1), r(d)]).unwrap(),
+            Step::Ash(c, d) => a
+                .inst(Opcode::Ashl, &[Operand::Imm(c as u32), r(d), r(d)])
+                .unwrap(),
+            Step::Neg(d) => a.inst(Opcode::Mnegl, &[r(d), r(d)]).unwrap(),
+            Step::Com(d) => a.inst(Opcode::Mcoml, &[r(d), r(d)]).unwrap(),
+            Step::Inc(d) => a.incl(r(d)).unwrap(),
+            Step::Dec(d) => a.decl(r(d)).unwrap(),
+            Step::Movpsl(d) => a.movpsl(r(d)).unwrap(),
+            Step::StoreLoad(s1, d, slot) => {
+                let addr = 0x3000 + 4 * slot;
+                a.movl(r(s1), Operand::Abs(addr)).unwrap();
+                a.movl(Operand::Abs(addr), r(d)).unwrap()
+            }
+            Step::CvtRound(d) => {
+                // Narrow to a byte and sign-extend back.
+                a.inst(Opcode::Cvtlb, &[r(d), r(d)]).unwrap();
+                a.inst(Opcode::Cvtbl, &[r(d), r(d)]).unwrap()
+            }
+            Step::IndexedStoreLoad(s1, d, i) => {
+                // r11 = index; store/load through @#0x3800[r11].
+                use vax_asm::IndexBase;
+                a.movl(Operand::Imm(i), Operand::Reg(Reg::R11)).unwrap();
+                a.movl(r(s1), Operand::Indexed(IndexBase::Abs(0x3800), Reg::R11))
+                    .unwrap();
+                a.movl(Operand::Indexed(IndexBase::Abs(0x3800), Reg::R11), r(d))
+                    .unwrap()
+            }
+            Step::BitSetTest(d, bit) => {
+                // BBSS on scratch memory, recording the branch outcome.
+                let taken = a.label();
+                let done = a.label();
+                a.inst(
+                    Opcode::Bbss,
+                    &[
+                        Operand::Imm(bit),
+                        Operand::Abs(0x3900),
+                        Operand::Branch(taken),
+                    ],
+                )
+                .unwrap();
+                a.movl(Operand::Imm(1), r(d)).unwrap();
+                a.brb(done).unwrap();
+                a.bind(taken).unwrap();
+                a.movl(Operand::Imm(2), r(d)).unwrap();
+                a.bind(done).unwrap();
+                &mut a
+            }
+        };
+    }
+    a.halt().unwrap();
+    a.assemble().unwrap().bytes
+}
+
+/// Runs the program on a bare machine in kernel mode, translation off.
+fn run_machine(variant: MachineVariant, code: &[u8]) -> [u32; 10] {
+    let mut m = Machine::new(variant, 256 * 1024);
+    m.mem_mut().write_slice(0x1000, code).unwrap();
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_reg(14, 0x8000);
+    m.set_pc(0x1000);
+    loop {
+        match m.step() {
+            StepEvent::Ok => {}
+            StepEvent::Halted(HaltReason::HaltInstruction) => break,
+            other => panic!("unexpected {other:?} at pc={:#x}", m.pc()),
+        }
+    }
+    std::array::from_fn(|i| m.reg(i))
+}
+
+/// Runs the program as a VM guest.
+fn run_vm(code: &[u8]) -> [u32; 10] {
+    let mut mon = Monitor::new(MonitorConfig::default());
+    let vm = mon.create_vm("fuzz", VmConfig::default());
+    mon.vm_write_phys(vm, 0x1000, code);
+    mon.boot_vm(vm, 0x1000);
+    let exit = mon.run(200_000_000);
+    assert_eq!(exit, vax_vmm::RunExit::AllHalted, "guest must halt");
+    std::array::from_fn(|i| mon.vm(vm).regs[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The equivalence property, fuzzed: identical register files on all
+    /// three machines. MOVPSL is the one expected difference in *source*
+    /// (the mode fields come from VMPSL in a VM) — but because the VM
+    /// boots in virtual kernel mode at IPL 31 matching the bare machines'
+    /// state, even MOVPSL results must agree.
+    #[test]
+    fn random_programs_compute_identically(steps in proptest::collection::vec(arb_step(), 1..60)) {
+        let code = emit(&steps);
+        let standard = run_machine(MachineVariant::Standard, &code);
+        let modified = run_machine(MachineVariant::Modified, &code);
+        let vm = run_vm(&code);
+        prop_assert_eq!(standard, modified, "standard vs modified bare");
+        prop_assert_eq!(modified, vm, "bare vs virtual machine");
+    }
+}

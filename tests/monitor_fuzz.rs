@@ -1,0 +1,55 @@
+//! Monitor-level robustness fuzzing: arbitrary guest code run under the
+//! real VMM must never panic the monitor — every malformed guest action
+//! ends in a reflected exception, a console halt, or budget exhaustion.
+
+use proptest::prelude::*;
+use vax_vmm::{Monitor, MonitorConfig, VmConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn random_guest_code_never_panics_the_vmm(
+        code in proptest::collection::vec(any::<u8>(), 1..512),
+        scb_junk in any::<u32>(),
+    ) {
+        let mut mon = Monitor::new(MonitorConfig::default());
+        let vm = mon.create_vm("fuzz", VmConfig::default());
+        mon.vm_write_phys(vm, 0x1000, &code);
+        // A semi-plausible guest SCB so reflections sometimes "succeed"
+        // into more garbage rather than always console-halting.
+        for off in (0..0x140u32).step_by(4) {
+            mon.vm_write_phys(vm, 0x200 + off, &scb_junk.to_le_bytes());
+        }
+        mon.boot_vm(vm, 0x1000);
+        mon.run(2_000_000);
+        // Reaching here without panic is the property; drain state for
+        // good measure.
+        let _ = mon.vm_console_output(vm);
+        let _ = mon.vm_stats(vm);
+    }
+
+    /// Guests hammering privileged registers with random values.
+    #[test]
+    fn random_mtpr_storm_never_panics_the_vmm(
+        regs in proptest::collection::vec((0u32..256, any::<u32>()), 1..40),
+    ) {
+        use vax_asm::{Asm, Operand};
+        use vax_arch::Opcode;
+        let mut a = Asm::new(0x1000);
+        for (regno, value) in &regs {
+            a.inst(
+                Opcode::Mtpr,
+                &[Operand::Imm(*value), Operand::Imm(*regno)],
+            )
+            .unwrap();
+        }
+        a.halt().unwrap();
+        let p = a.assemble().unwrap();
+        let mut mon = Monitor::new(MonitorConfig::default());
+        let vm = mon.create_vm("storm", VmConfig::default());
+        mon.vm_write_phys(vm, 0x1000, &p.bytes);
+        mon.boot_vm(vm, 0x1000);
+        mon.run(4_000_000);
+    }
+}

@@ -1,0 +1,211 @@
+//! Whole-system integrity: the guest OS's durable effects (disk
+//! contents, memory state, counters) must be identical bare versus
+//! virtualized, and guest misbehavior must be contained.
+
+use vax_arch::MachineVariant;
+use vax_cpu::{HaltReason, Machine, StepEvent};
+use vax_dev::SimDisk;
+use vax_os::{build_image, layout, run_bare, run_in_vm, Flavor, OsConfig, Workload};
+use vax_vmm::{MonitorConfig, VmConfig};
+
+#[test]
+fn transaction_disk_contents_match_bare_vs_vm() {
+    let cfg = OsConfig {
+        nproc: 1,
+        workload: Workload::Transaction,
+        iterations: 64,
+        ..OsConfig::default()
+    };
+    let img = build_image(&cfg).unwrap();
+
+    // Bare: capture the sectors from the bus device.
+    let mem_bytes = (img.mem_pages * 512).max(256 * 1024);
+    let mut m = Machine::new(MachineVariant::Modified, mem_bytes);
+    m.bus_mut().attach(
+        vax_cpu::IO_BASE_PA,
+        4096,
+        Box::new(SimDisk::new(64, 2_000, 21, 0x100)),
+    );
+    for (gpa, bytes) in &img.segments {
+        m.mem_mut().write_slice(*gpa, bytes).unwrap();
+    }
+    let mut psl = vax_arch::Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_pc(img.entry);
+    loop {
+        match m.step() {
+            StepEvent::Ok => {}
+            StepEvent::Halted(HaltReason::HaltInstruction) => break,
+            other => panic!("bare run died: {other:?}"),
+        }
+    }
+    // The transaction workload commits its record to sectors 1..=4; read
+    // them back through the device by issuing reads host-side.
+    let bare_sectors: Vec<Vec<u8>> = (1..=4)
+        .map(|s| {
+            let mut out = Vec::new();
+            m.bus_mut().write(vax_cpu::IO_BASE_PA + 4, s).unwrap();
+            m.bus_mut().write(vax_cpu::IO_BASE_PA, 3).unwrap(); // GO|READ
+            let now = m.cycles();
+            let _ = m.bus_mut().tick(now);
+            let _ = m.bus_mut().tick(now + 1_000_000);
+            for _ in 0..128 {
+                out.extend_from_slice(
+                    &m.bus_mut().read(vax_cpu::IO_BASE_PA + 8).unwrap().to_le_bytes(),
+                );
+            }
+            out
+        })
+        .collect();
+
+    // VM: the virtual disk is directly inspectable.
+    let (out, mon, vm) = run_in_vm(
+        &img,
+        MonitorConfig::default(),
+        VmConfig::default(),
+        16_000_000_000,
+    );
+    assert!(out.completed);
+    for (i, bare) in bare_sectors.iter().enumerate() {
+        let vm_sector = &mon.vm(vm).vdisk[i + 1];
+        assert_eq!(
+            bare.as_slice(),
+            vm_sector.as_slice(),
+            "sector {} differs between bare and VM runs",
+            i + 1
+        );
+    }
+    // And the committed record is the workload's final state.
+    assert_ne!(mon.vm(vm).vdisk[1][0], 0, "something was committed");
+}
+
+#[test]
+fn uptime_syscall_returns_progressing_time_both_ways() {
+    // The editing workload calls the uptime syscall; verify the uptime
+    // cell mechanism works in a VM (paper §5: the VMOS reads the cell
+    // the VMM maintains).
+    let cfg = OsConfig {
+        nproc: 1,
+        workload: Workload::Editing,
+        iterations: 64,
+        ..OsConfig::default()
+    };
+    let img = build_image(&cfg).unwrap();
+    let (out, mon, vm) = run_in_vm(
+        &img,
+        MonitorConfig::default(),
+        VmConfig::default(),
+        16_000_000_000,
+    );
+    assert!(out.completed);
+    assert!(
+        mon.vm(vm).uptime_cell.is_some(),
+        "MiniVMS registered its uptime cell via KCALL"
+    );
+    let published = mon
+        .vm_read_phys_u32(vm, layout::KDATA_GPA + layout::kvar::UPTIME)
+        .unwrap();
+    assert!(published > 0, "the VMM published a nonzero uptime");
+
+    // Bare: the same syscall path counts the guest's own ticks.
+    let bare = run_bare(&img, 8_000_000_000);
+    assert!(bare.completed);
+    assert!(bare.kernel.ticks > 0);
+}
+
+#[test]
+fn miniultrix_runs_identically_with_two_modes() {
+    let cfg = OsConfig {
+        flavor: Flavor::MiniUltrix,
+        nproc: 2,
+        workload: Workload::Editing,
+        iterations: 64,
+        ..OsConfig::default()
+    };
+    let img = build_image(&cfg).unwrap();
+    let bare = run_bare(&img, 8_000_000_000);
+    let (vm, mon, id) = run_in_vm(
+        &img,
+        MonitorConfig::default(),
+        VmConfig::default(),
+        16_000_000_000,
+    );
+    assert!(bare.completed && vm.completed);
+    assert_eq!(bare.console, vm.console);
+    assert_eq!(bare.kernel.syscalls, vm.kernel.syscalls);
+    // ULTRIX-32 uses two modes: no CHME/CHMS traffic at all. The CHM
+    // count is the CHMK syscalls exactly (each trapped once).
+    let stats = mon.vm_stats(id);
+    assert_eq!(
+        stats.chm,
+        u64::from(vm.kernel.syscalls),
+        "every CHM is a CHMK on MiniUltrix"
+    );
+}
+
+#[test]
+fn demand_paging_counts_match_exactly() {
+    // The touch workload sweeps the demand region: guest page-fault
+    // counts (serviced by the guest kernel) must be identical bare vs VM
+    // and equal per process.
+    let cfg = OsConfig {
+        nproc: 3,
+        workload: Workload::Editing,
+        iterations: 80,
+        ..OsConfig::default()
+    };
+    let img = build_image(&cfg).unwrap();
+    let bare = run_bare(&img, 8_000_000_000);
+    let (vm, mon, id) = run_in_vm(
+        &img,
+        MonitorConfig::default(),
+        VmConfig::default(),
+        16_000_000_000,
+    );
+    assert!(bare.completed && vm.completed);
+    assert_eq!(bare.kernel.page_faults, vm.kernel.page_faults);
+    assert!(bare.kernel.page_faults > 0, "demand pages were touched");
+    // The VMM's view agrees with the guest's: each reflected TNV with an
+    // invalid guest PTE is one guest page fault.
+    assert_eq!(
+        mon.vm_stats(id).guest_page_faults,
+        u64::from(vm.kernel.page_faults)
+    );
+}
+
+#[test]
+fn user_access_beyond_p0lr_is_killed_by_the_guest() {
+    // A hand-patched user program that dereferences past P0LR: the guest
+    // kernel's kill handler must run ('!' on the console), not the VMM's.
+    let cfg = OsConfig {
+        nproc: 1,
+        workload: Workload::Compute,
+        iterations: 4,
+        ..OsConfig::default()
+    };
+    let mut img = build_image(&cfg).unwrap();
+    // Overwrite the user program: read from P0 va 0x20000 (vpn 256,
+    // way past P0LR=48) then exit.
+    let evil = vax_asm::assemble_text("movl @#0x20000, r2\n chmk #2", 0).unwrap();
+    for (gpa, bytes) in &mut img.segments {
+        if *gpa == layout::USER_CODE_GPA {
+            bytes[..evil.bytes.len()].copy_from_slice(&evil.bytes);
+        }
+    }
+    let bare = run_bare(&img, 8_000_000_000);
+    assert!(bare.completed, "kill handler halts the machine");
+    assert!(
+        bare.console.contains(&b'!'),
+        "guest kill handler reported: {:?}",
+        String::from_utf8_lossy(&bare.console)
+    );
+    let (vm, _, _) = run_in_vm(
+        &img,
+        MonitorConfig::default(),
+        VmConfig::default(),
+        16_000_000_000,
+    );
+    assert!(vm.completed);
+    assert_eq!(bare.console, vm.console, "identical containment");
+}

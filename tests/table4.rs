@@ -1,0 +1,318 @@
+//! Paper Table 4: the full summary of VAX architecture changes, asserted
+//! row by row on all three machines — standard VAX, modified VAX (bare),
+//! and the virtual VAX.
+
+use vax_arch::{
+    AccessMode, Ipr, MachineVariant, Opcode, Protection, Psl, Pte, ScbVector, VmPsl,
+};
+use vax_cpu::{scan_sensitivity, Machine, ScanOutcome};
+use vax_vmm::{Monitor, MonitorConfig, VmConfig};
+
+fn outcome(variant: MachineVariant, in_vm: bool, op: Opcode) -> ScanOutcome {
+    scan_sensitivity(variant, in_vm)
+        .into_iter()
+        .find(|f| f.opcode == op)
+        .expect("opcode scanned")
+        .outcome
+}
+
+/// Rows 1–2: LDPCTX, SVPCTX, MTPR, MFPR, HALT — privileged on the
+/// standard VAX; VM-emulation trap from VM-kernel mode on the modified
+/// VAX.
+#[test]
+fn row_privileged_instructions() {
+    for op in [Opcode::Ldpctx, Opcode::Svpctx, Opcode::Mtpr, Opcode::Mfpr, Opcode::Halt] {
+        assert_eq!(
+            outcome(MachineVariant::Standard, false, op),
+            ScanOutcome::PrivilegedTrap,
+            "{op}: standard VAX, user mode"
+        );
+        assert_eq!(
+            outcome(MachineVariant::Modified, true, op),
+            ScanOutcome::VmEmulationTrap,
+            "{op}: modified VAX, VM-kernel mode"
+        );
+    }
+}
+
+/// Row: CHM — traps to the new mode on a standard VAX; VM-emulation trap
+/// when PSL<VM> is set.
+#[test]
+fn row_chm() {
+    for op in [Opcode::Chmk, Opcode::Chme, Opcode::Chms, Opcode::Chmu] {
+        assert!(matches!(
+            outcome(MachineVariant::Standard, false, op),
+            ScanOutcome::OtherTrap(_)
+        ));
+        assert_eq!(
+            outcome(MachineVariant::Modified, true, op),
+            ScanOutcome::VmEmulationTrap
+        );
+    }
+}
+
+/// Row: REI — executes on a standard VAX; VM-emulation trap in a VM.
+#[test]
+fn row_rei() {
+    assert_eq!(
+        outcome(MachineVariant::Standard, false, Opcode::Rei),
+        ScanOutcome::Retired
+    );
+    assert_eq!(
+        outcome(MachineVariant::Modified, true, Opcode::Rei),
+        ScanOutcome::VmEmulationTrap
+    );
+}
+
+/// Row: MOVPSL — returns the PSL on a standard VAX; in VM mode returns
+/// the composite of VMPSL and PSL *without trapping*.
+#[test]
+fn row_movpsl() {
+    assert_eq!(
+        outcome(MachineVariant::Standard, false, Opcode::Movpsl),
+        ScanOutcome::Retired
+    );
+    assert_eq!(
+        outcome(MachineVariant::Modified, true, Opcode::Movpsl),
+        ScanOutcome::Retired,
+        "MOVPSL must not trap in VM mode (microcode merge)"
+    );
+}
+
+/// Row: write to an unmodified page — the standard processor sets
+/// PTE<M>; the modified processor takes a modify fault.
+#[test]
+fn row_modify_fault() {
+    for (variant, expect_fault) in [
+        (MachineVariant::Standard, false),
+        (MachineVariant::Modified, true),
+    ] {
+        let mut m = Machine::new(variant, 64 * 1024);
+        let spt = 0x1000;
+        m.mem_mut()
+            .write_u32(spt, Pte::build(16, Protection::Uw, true, false).raw())
+            .unwrap();
+        m.mmu_mut().set_sbr(spt);
+        m.mmu_mut().set_slr(1);
+        m.mmu_mut().set_mapen(true);
+        let result = m.write_virt(0x8000_0000.into(), 1, 4, AccessMode::Kernel);
+        if expect_fault {
+            assert!(
+                matches!(result, Err(vax_mem::MemFault::ModifyFault { .. })),
+                "{variant}: expected a modify fault"
+            );
+        } else {
+            assert!(result.is_ok(), "{variant}: hardware sets PTE<M>");
+            assert!(Pte::from_raw(m.mem().read_u32(spt).unwrap()).modified());
+        }
+    }
+}
+
+/// Rows: VMPSL and PSL<VM> — exist on the modified VAX; PSL<VM> is never
+/// visible to software.
+#[test]
+fn row_vmpsl_and_vm_bit() {
+    let mut m = Machine::new(MachineVariant::Modified, 64 * 1024);
+    m.enter_vm(VmPsl::new(AccessMode::Kernel, AccessMode::User).with_ipl(20));
+    assert!(m.in_vm());
+    assert_eq!(m.vmpsl().cur_mode(), AccessMode::Kernel);
+    assert_eq!(m.psl().raw_visible() & Psl::VM, 0);
+
+    // A standard machine panics on any attempt to enter VM mode.
+    let result = std::panic::catch_unwind(|| {
+        let mut s = Machine::new(MachineVariant::Standard, 4096);
+        s.enter_vm(VmPsl::default());
+    });
+    assert!(result.is_err(), "standard VAX has no VM mode");
+}
+
+/// Row: PROBEVMx — privileged-instruction trap on the standard VAX;
+/// returns accessibility on the modified VAX; reflected as an
+/// unimplemented instruction inside a VM (no self-virtualization).
+#[test]
+fn row_probevm() {
+    assert_eq!(
+        outcome(MachineVariant::Standard, false, Opcode::Probevmr),
+        ScanOutcome::PrivilegedTrap
+    );
+    assert_eq!(
+        outcome(MachineVariant::Modified, true, Opcode::Probevmr),
+        ScanOutcome::VmEmulationTrap,
+        "trapped for the VMM, which reflects it as unimplemented"
+    );
+}
+
+/// Row: WAIT — privileged-instruction trap on real machines; gives up
+/// the processor inside a VM.
+#[test]
+fn row_wait() {
+    assert_eq!(
+        outcome(MachineVariant::Standard, false, Opcode::Wait),
+        ScanOutcome::PrivilegedTrap
+    );
+    // Bare modified VAX, kernel mode: still a trap (Table 4: "no change").
+    let mut m = Machine::new(MachineVariant::Modified, 64 * 1024);
+    m.mem_mut().write_slice(0x1000, &[0xFD, 0x01]).unwrap();
+    m.set_scbb(0x200);
+    m.mem_mut()
+        .write_u32(0x200 + ScbVector::ReservedInstruction.offset(), 0x2000)
+        .unwrap();
+    m.mem_mut().write_u8(0x2000, 0x00).unwrap();
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_reg(14, 0x8000);
+    m.set_pc(0x1000);
+    m.step();
+    assert_eq!(m.pc(), 0x2000, "WAIT trapped through the SCB");
+
+    // In a VM it parks the VM.
+    let mut mon = Monitor::new(MonitorConfig::default());
+    let vm = mon.create_vm("w", VmConfig::default());
+    let p = vax_asm::assemble_text("wait\n halt", 0x1000).unwrap();
+    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.boot_vm(vm, 0x1000);
+    mon.run(100_000);
+    assert!(mon.vm_stats(vm).waits >= 1, "WAIT gave up the processor");
+}
+
+/// Rows: MEMSIZE / KCALL / IORESET — don't exist on real machines, exist
+/// on the virtual VAX.
+#[test]
+fn row_vm_only_registers() {
+    let mut m = Machine::new(MachineVariant::Modified, 64 * 1024);
+    assert!(m.read_ipr(Ipr::Memsize).is_err(), "absent on real machines");
+    assert!(m.write_ipr(Ipr::Kcall, 0).is_err());
+    assert!(m.write_ipr(Ipr::Ioreset, 0).is_err());
+
+    // Inside a VM, MFPR MEMSIZE works.
+    let mut mon = Monitor::new(MonitorConfig::default());
+    let vm = mon.create_vm("m", VmConfig::default());
+    let p = vax_asm::assemble_text("mfpr #200, r2\n halt", 0x1000).unwrap();
+    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.boot_vm(vm, 0x1000);
+    mon.run(1_000_000);
+    assert_eq!(mon.vm(vm).regs[2], 512 * 512);
+}
+
+/// Row: virtual address space limits — the VMM imposes a smaller S limit
+/// (paper §5); beyond it the guest sees a length violation.
+#[test]
+fn row_address_space_limit() {
+    let mut mon = Monitor::new(MonitorConfig::default());
+    let vm = mon.create_vm("l", VmConfig::default());
+    // A guest whose SLR claims far more than the VMM's capacity gets it
+    // clamped to the shadow capacity.
+    let p = vax_asm::assemble_text(
+        "
+        mtpr #0x4000, #12
+        mtpr #0x100000, #13     ; ask for 1M S pages
+        mfpr #13, r2            ; read back the (clamped) SLR
+        halt
+        ",
+        0x1000,
+    )
+    .unwrap();
+    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.boot_vm(vm, 0x1000);
+    mon.run(1_000_000);
+    let cap = vax_vmm::ShadowConfig::default().s_capacity;
+    assert_eq!(mon.vm(vm).regs[2], cap, "SLR clamped to the VMM's limit");
+}
+
+/// Row: memory reference under ring compression — executive mode can
+/// touch kernel-protected pages in a VM (verified live in
+/// crates/core/tests; verified at the protection-table level here).
+#[test]
+fn row_ring_compression_leak() {
+    for p in [Protection::Kw, Protection::Kr, Protection::Erkw] {
+        let c = p.ring_compressed();
+        assert!(
+            c.allows_read(AccessMode::Executive),
+            "{p}: executive gains access under compression"
+        );
+        assert_eq!(
+            c.allows_read(AccessMode::User),
+            p.allows_read(AccessMode::User),
+            "{p}: user boundary preserved"
+        );
+        assert_eq!(
+            c.allows_read(AccessMode::Supervisor),
+            p.allows_read(AccessMode::Supervisor),
+            "{p}: supervisor boundary preserved"
+        );
+    }
+}
+
+/// Row: timer — on the virtual VAX, interrupts arrive only while the VM
+/// runs; the VMM maintains the uptime cell instead.
+#[test]
+fn row_timer_and_uptime() {
+    let mut mon = Monitor::new(MonitorConfig::default());
+    let a = mon.create_vm("t", VmConfig::default());
+    // Register an uptime cell at gpa 0x3000, then spin a while.
+    let p = vax_asm::assemble_text(
+        "
+        start:
+            movl #4, @#0x300        ; KCALL block: func 4
+            movl #0x3000, @#0x308   ; cell gpa
+            mtpr #0x300, #201
+            movl #20000, r2
+        top:
+            sobgtr r2, top
+            halt
+        ",
+        0x1000,
+    )
+    .unwrap();
+    mon.vm_write_phys(a, 0x1000, &p.bytes);
+    mon.boot_vm(a, 0x1000);
+    mon.run(4_000_000);
+    let uptime = mon.vm_read_phys_u32(a, 0x3000).unwrap();
+    assert!(uptime > 0, "the VMM published uptime into guest memory");
+}
+
+/// Row: I/O — the virtual VAX starts I/O by writing the KCALL register
+/// (covered extensively in tests/equivalence.rs; asserted here at the
+/// trap level).
+#[test]
+fn row_io_kcall() {
+    let mut mon = Monitor::new(MonitorConfig::default());
+    let vm = mon.create_vm("io", VmConfig::default());
+    let p = vax_asm::assemble_text(
+        "
+        movl #1, @#0x300        ; read sector 0
+        clrl @#0x304
+        movl #0x2000, @#0x308
+        movl #512, @#0x30C
+        clrl @#0x310
+        mtpr #0x300, #201
+        halt
+        ",
+        0x1000,
+    )
+    .unwrap();
+    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.boot_vm(vm, 0x1000);
+    mon.run(1_000_000);
+    assert_eq!(mon.vm_stats(vm).kcalls, 1, "one trap for the whole I/O");
+}
+
+/// Row: console — the virtual VAX console supports the boot/halt/
+/// examine/deposit/continue subset.
+#[test]
+fn row_virtual_console() {
+    let mut mon = Monitor::new(MonitorConfig::default());
+    let vm = mon.create_vm("c", VmConfig::default());
+    // DEPOSIT a tiny program through the console interface, BOOT it.
+    let p = vax_asm::assemble_text("movl @#0x2000, r2\n halt", 0x1000).unwrap();
+    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x2000, &0xFEEDu32.to_le_bytes()); // DEPOSIT
+    assert_eq!(mon.vm_read_phys_u32(vm, 0x2000), Some(0xFEED)); // EXAMINE
+    mon.boot_vm(vm, 0x1000); // BOOT
+    mon.run(1_000_000);
+    assert_eq!(mon.vm(vm).regs[2], 0xFEED);
+    assert_eq!(mon.vm(vm).state, vax_vmm::VmState::ConsoleHalt); // HALT
+    mon.continue_vm(vm); // CONTINUE
+    assert_eq!(mon.vm(vm).state, vax_vmm::VmState::Ready);
+}

@@ -1,0 +1,90 @@
+//! End-to-end tests of the `vaxrun` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_program(dir: &std::path::Path, name: &str, src: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(src.as_bytes()).unwrap();
+    path
+}
+
+const HELLO: &str = r#"
+start:  moval msg, r0
+loop:   movzbl (r0)+, r1
+        beql done
+        mtpr r1, #35
+        brb loop
+done:   halt
+        .align 4
+msg:    .asciz "hi there\n"
+"#;
+
+#[test]
+fn vaxrun_executes_bare_and_in_vm() {
+    let dir = std::env::temp_dir().join("vaxrun_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_program(&dir, "hello.s", HELLO);
+
+    for extra in [&[][..], &["--vm"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+            .args(extra)
+            .arg(&prog)
+            .output()
+            .expect("vaxrun runs");
+        assert!(
+            out.status.success(),
+            "args {extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            "hi there\n",
+            "args {extra:?}"
+        );
+    }
+}
+
+#[test]
+fn vaxrun_listing_mode() {
+    let dir = std::env::temp_dir().join("vaxrun_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_program(&dir, "list.s", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .arg("--list")
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("start:"), "{text}");
+    assert!(text.contains("movzbl (r0)+, r1"), "{text}");
+}
+
+#[test]
+fn vaxrun_reports_assembly_errors() {
+    let dir = std::env::temp_dir().join("vaxrun_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_program(&dir, "bad.s", "frobnicate r0\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown mnemonic"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn vaxrun_usage_on_bad_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .arg("--bogus")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
