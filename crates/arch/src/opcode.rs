@@ -184,6 +184,7 @@ macro_rules! opcodes {
             }
 
             /// The operand specifications, in encoding order.
+            #[inline]
             pub fn operands(self) -> &'static [OperandSpec] {
                 match self {
                     $(Opcode::$variant => {
@@ -194,6 +195,7 @@ macro_rules! opcodes {
             }
 
             /// The Popek–Goldberg classification.
+            #[inline]
             pub fn privilege_class(self) -> PrivilegeClass {
                 match self {
                     $(Opcode::$variant => $class,)+
@@ -367,6 +369,7 @@ opcodes! {
 
 impl Opcode {
     /// True if the opcode is privileged (traps outside kernel mode).
+    #[inline]
     pub fn is_privileged(self) -> bool {
         matches!(self.privilege_class(), PrivilegeClass::Privileged)
     }

@@ -106,37 +106,44 @@ impl Psl {
     }
 
     /// The raw longword value.
+    #[inline]
     pub fn raw(self) -> u32 {
         self.0
     }
 
     /// The raw value with `PSL<VM>` masked off, as any software read
     /// (MOVPSL, exception push) must present it.
+    #[inline]
     pub fn raw_visible(self) -> u32 {
         self.0 & !Self::VM
     }
 
     /// Current access mode (`PSL<CUR_MOD>`).
+    #[inline]
     pub fn cur_mode(self) -> AccessMode {
         AccessMode::from_bits(self.0 >> Self::CUR_SHIFT)
     }
 
     /// Sets the current access mode.
+    #[inline]
     pub fn set_cur_mode(&mut self, mode: AccessMode) {
         self.0 = (self.0 & !Self::CUR_MASK) | (mode.bits() << Self::CUR_SHIFT);
     }
 
     /// Previous access mode (`PSL<PRV_MOD>`).
+    #[inline]
     pub fn prv_mode(self) -> AccessMode {
         AccessMode::from_bits(self.0 >> Self::PRV_SHIFT)
     }
 
     /// Sets the previous access mode.
+    #[inline]
     pub fn set_prv_mode(&mut self, mode: AccessMode) {
         self.0 = (self.0 & !Self::PRV_MASK) | (mode.bits() << Self::PRV_SHIFT);
     }
 
     /// Interrupt priority level, 0–31.
+    #[inline]
     pub fn ipl(self) -> u8 {
         ((self.0 & Self::IPL_MASK) >> Self::IPL_SHIFT) as u8
     }
@@ -146,17 +153,20 @@ impl Psl {
     /// # Panics
     ///
     /// Panics if `ipl > 31`.
+    #[inline]
     pub fn set_ipl(&mut self, ipl: u8) {
         assert!(ipl <= 31, "IPL out of range: {ipl}");
         self.0 = (self.0 & !Self::IPL_MASK) | ((ipl as u32) << Self::IPL_SHIFT);
     }
 
     /// True if the given flag bit(s) are all set.
+    #[inline]
     pub fn flag(self, mask: u32) -> bool {
         self.0 & mask == mask
     }
 
     /// Sets or clears the given flag bit(s).
+    #[inline]
     pub fn set_flag(&mut self, mask: u32, value: bool) {
         if value {
             self.0 |= mask;
@@ -166,6 +176,7 @@ impl Psl {
     }
 
     /// True if the processor is executing a virtual machine (`PSL<VM>`).
+    #[inline]
     pub fn vm(self) -> bool {
         self.flag(Self::VM)
     }
@@ -174,11 +185,13 @@ impl Psl {
     ///
     /// In the paper's design only the VMM's dispatch path sets this bit and
     /// only exception/interrupt microcode clears it.
+    #[inline]
     pub fn set_vm(&mut self, value: bool) {
         self.set_flag(Self::VM, value);
     }
 
     /// Sets the N, Z, V, C condition codes from explicit booleans.
+    #[inline]
     pub fn set_nzvc(&mut self, n: bool, z: bool, v: bool, c: bool) {
         self.set_flag(Self::N, n);
         self.set_flag(Self::Z, z);
@@ -187,6 +200,7 @@ impl Psl {
     }
 
     /// Sets N and Z from a signed 32-bit result, clearing V; C unchanged.
+    #[inline]
     pub fn set_nz_from(&mut self, value: u32) {
         self.set_flag(Self::N, (value as i32) < 0);
         self.set_flag(Self::Z, value == 0);

@@ -25,19 +25,22 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("sim_throughput");
     g.throughput(Throughput::Elements(instructions));
-    g.bench_function("compute_loop", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineVariant::Standard, 64 * 1024);
-            m.mem_mut().write_slice(0x1000, &program.bytes).unwrap();
-            let mut psl = Psl::new();
-            psl.set_ipl(31);
-            m.set_psl(psl);
-            m.set_pc(0x1000);
-            while m.step() == StepEvent::Ok {}
-            assert_eq!(m.counters().instructions, instructions);
-            m.reg(3)
-        })
-    });
+    for (name, decode_cache) in [("compute_loop", true), ("compute_loop_nocache", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineVariant::Standard, 64 * 1024);
+                m.set_decode_cache_enabled(decode_cache);
+                m.mem_mut().write_slice(0x1000, &program.bytes).unwrap();
+                let mut psl = Psl::new();
+                psl.set_ipl(31);
+                m.set_psl(psl);
+                m.set_pc(0x1000);
+                while m.step() == StepEvent::Ok {}
+                assert_eq!(m.counters().instructions, instructions);
+                m.reg(3)
+            })
+        });
+    }
     g.finish();
 }
 

@@ -162,7 +162,7 @@ impl Monitor {
             VmExit::Emulation(info) => {
                 self.vms[idx].vm.stats.emulation_traps += 1;
                 self.charge(self.config.costs.dispatch);
-                self.emulate(idx, info)
+                self.emulate(idx, *info)
             }
             VmExit::Exception(e) => {
                 self.charge(self.config.costs.dispatch);

@@ -111,10 +111,22 @@ impl Bus {
 
     /// Ticks every device; returns any raised interrupt requests.
     pub fn tick(&mut self, now: u64) -> Vec<IrqRequest> {
-        self.slots
-            .iter_mut()
-            .filter_map(|s| s.device.tick(now))
-            .collect()
+        let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Ticks every device, appending raised interrupt requests (deduped
+    /// against existing entries) to `out`. Allocation-free when nothing
+    /// fires — this runs once per instruction step.
+    pub fn tick_into(&mut self, now: u64, out: &mut Vec<IrqRequest>) {
+        for s in &mut self.slots {
+            if let Some(irq) = s.device.tick(now) {
+                if !out.contains(&irq) {
+                    out.push(irq);
+                }
+            }
+        }
     }
 
     /// Resets every device.

@@ -36,6 +36,10 @@ pub struct CpuCounters {
     pub context_switches: u64,
     /// Device CSR reads+writes (memory-mapped I/O traffic).
     pub device_csr_accesses: u64,
+    /// Translation-buffer hits (from the MMU's TLB).
+    pub tlb_hits: u64,
+    /// Translation-buffer misses (from the MMU's TLB).
+    pub tlb_misses: u64,
 }
 
 impl CpuCounters {
@@ -57,12 +61,24 @@ impl CpuCounters {
             vm_interrupt_exits: self.vm_interrupt_exits - earlier.vm_interrupt_exits,
             context_switches: self.context_switches - earlier.context_switches,
             device_csr_accesses: self.device_csr_accesses - earlier.device_csr_accesses,
+            tlb_hits: self.tlb_hits - earlier.tlb_hits,
+            tlb_misses: self.tlb_misses - earlier.tlb_misses,
         }
     }
 
     /// Total exits from VM mode to the VMM.
     pub fn vm_exits(&self) -> u64 {
         self.vm_emulation_traps + self.vm_exception_exits + self.vm_interrupt_exits
+    }
+
+    /// TLB hit fraction in `[0, 1]` (0 before any lookup).
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
     }
 }
 

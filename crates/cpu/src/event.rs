@@ -68,8 +68,11 @@ pub struct VmTrapInfo {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VmExit {
     /// A sensitive instruction trapped for emulation, with its decoded
-    /// packet (the paper's VM-emulation trap).
-    Emulation(VmTrapInfo),
+    /// packet (the paper's VM-emulation trap). Boxed so the common
+    /// [`StepEvent::Ok`] stays pointer-sized: `step` returns an event
+    /// per instruction, and an inline packet would put ~70 bytes of
+    /// dead weight on that hot path.
+    Emulation(Box<VmTrapInfo>),
     /// An exception that the VMM must handle (shadow fill, modify fault)
     /// or reflect into the VM.
     Exception(Exception),

@@ -12,29 +12,36 @@ impl Machine {
     /// Fetch–decode–execute one instruction, handling aborts.
     pub(crate) fn execute_one(&mut self) -> StepEvent {
         let pc_start = self.pc();
-        let decoded = match self.decode_instruction() {
-            Ok(d) => d,
-            Err(abort) => return self.handle_abort(abort, pc_start, pc_start),
+        let mut decoded = self
+            .decode_scratch
+            .take()
+            .unwrap_or_else(|| Box::new(crate::decode::Decoded::empty()));
+        let event = match self.decode_instruction(&mut decoded) {
+            Err(abort) => self.handle_abort(abort, pc_start, pc_start),
+            Ok(()) => {
+                let next_pc = decoded.next_pc;
+                match self.execute(&decoded) {
+                    Ok(crate::exec::ExecOutcome::Retired) => {
+                        self.counters.instructions += 1;
+                        self.cycles += self.costs.base_instruction;
+                        StepEvent::Ok
+                    }
+                    Ok(crate::exec::ExecOutcome::Halt) => {
+                        self.halted = true;
+                        StepEvent::Halted(crate::event::HaltReason::HaltInstruction)
+                    }
+                    Ok(crate::exec::ExecOutcome::VmTrap(info)) => {
+                        self.counters.vm_emulation_traps += 1;
+                        self.cycles += self.costs.vm_emulation_trap;
+                        self.psl.set_vm(false);
+                        StepEvent::VmExit(VmExit::Emulation(info))
+                    }
+                    Err(abort) => self.handle_abort(abort, pc_start, next_pc),
+                }
+            }
         };
-        let next_pc = decoded.next_pc;
-        match self.execute(decoded) {
-            Ok(crate::exec::ExecOutcome::Retired) => {
-                self.counters.instructions += 1;
-                self.cycles += self.costs.base_instruction;
-                StepEvent::Ok
-            }
-            Ok(crate::exec::ExecOutcome::Halt) => {
-                self.halted = true;
-                StepEvent::Halted(crate::event::HaltReason::HaltInstruction)
-            }
-            Ok(crate::exec::ExecOutcome::VmTrap(info)) => {
-                self.counters.vm_emulation_traps += 1;
-                self.cycles += self.costs.vm_emulation_trap;
-                self.psl.set_vm(false);
-                StepEvent::VmExit(VmExit::Emulation(info))
-            }
-            Err(abort) => self.handle_abort(abort, pc_start, next_pc),
-        }
+        self.decode_scratch = Some(decoded);
+        event
     }
 
     /// Routes an abort: out to the VMM when in VM mode, otherwise through

@@ -19,37 +19,42 @@ pub(crate) enum ExecOutcome {
     Halt,
     /// A VM-emulation trap for the VMM (PSL<VM> still set; the step loop
     /// clears it).
-    VmTrap(VmTrapInfo),
+    VmTrap(Box<VmTrapInfo>),
 }
 
 /// Saved register values for rollback if a commit-phase write faults.
-struct Saved(Vec<(u8, u32)>);
+struct Saved(crate::decode::RegUpdates);
 
 impl Machine {
+    #[inline]
     fn begin_commit(&mut self, d: &Decoded) -> Saved {
-        let mut saved = Vec::with_capacity(d.reg_updates.len());
-        for (r, _) in &d.reg_updates {
-            saved.push((*r, self.reg(*r as usize)));
+        let mut saved = crate::decode::RegUpdates::new();
+        // Most instructions have no register side effects; skip the
+        // commit walk entirely for them.
+        if !d.reg_updates.is_empty() {
+            for (r, _) in &d.reg_updates {
+                saved.push((*r, self.reg(*r as usize)));
+            }
+            self.commit_reg_updates(d);
         }
-        self.commit_reg_updates(d);
         Saved(saved)
     }
 
     fn rollback(&mut self, saved: Saved) {
-        for (r, v) in saved.0.into_iter().rev() {
-            self.set_reg(r as usize, v);
+        for (r, v) in saved.0.iter().rev() {
+            self.set_reg(*r as usize, *v);
         }
     }
 
-    fn make_vm_trap(&self, d: &Decoded) -> VmTrapInfo {
-        VmTrapInfo {
+    fn make_vm_trap(&self, d: &Decoded) -> Box<VmTrapInfo> {
+        Box::new(VmTrapInfo {
             opcode: d.op,
             pc: d.pc_start,
             next_pc: d.next_pc,
             vm_psl: self.vmpsl.merge_into(self.psl),
             operands: d.operands.iter().map(|o| o.to_operand_value()).collect(),
-            reg_side_effects: d.reg_updates.clone(),
-        }
+            reg_side_effects: d.reg_updates.to_vec(),
+        })
     }
 
     fn set_nzvc(&mut self, n: bool, z: bool, v: bool, c: bool) {
@@ -70,7 +75,7 @@ impl Machine {
 
     /// Executes a decoded instruction. Commits on success; leaves the
     /// machine at the instruction boundary on `Err`.
-    pub(crate) fn execute(&mut self, d: Decoded) -> Result<ExecOutcome, Abort> {
+    pub(crate) fn execute(&mut self, d: &Decoded) -> Result<ExecOutcome, Abort> {
         use Opcode::*;
         let op = d.op;
         let cur_mode = self.psl.cur_mode();
@@ -576,7 +581,7 @@ impl Machine {
 
     fn exec_arith(
         &mut self,
-        d: Decoded,
+        d: &Decoded,
         op: Opcode,
         cur_mode: AccessMode,
     ) -> Result<ExecOutcome, Abort> {
@@ -683,7 +688,7 @@ impl Machine {
         Ok(ExecOutcome::Retired)
     }
 
-    fn exec_probe(&mut self, d: Decoded, op: Opcode, in_vm: bool) -> Result<ExecOutcome, Abort> {
+    fn exec_probe(&mut self, d: &Decoded, op: Opcode, in_vm: bool) -> Result<ExecOutcome, Abort> {
         self.counters.probe += 1;
         self.cycles += self.costs.probe_fast;
         let write = op == Opcode::Probew;
@@ -731,7 +736,7 @@ impl Machine {
         Ok(ExecOutcome::Retired)
     }
 
-    fn exec_probevm(&mut self, d: Decoded, op: Opcode) -> Result<ExecOutcome, Abort> {
+    fn exec_probevm(&mut self, d: &Decoded, op: Opcode) -> Result<ExecOutcome, Abort> {
         self.counters.probevm += 1;
         self.cycles += self.costs.probevm;
         let write = op == Opcode::Probevmw;
@@ -765,7 +770,7 @@ impl Machine {
         Ok(ExecOutcome::Retired)
     }
 
-    fn exec_mtpr(&mut self, d: Decoded) -> Result<ExecOutcome, Abort> {
+    fn exec_mtpr(&mut self, d: &Decoded) -> Result<ExecOutcome, Abort> {
         let value = d.operands[0].value();
         let regno = d.operands[1].value();
         let Some(ipr) = Ipr::from_number(regno) else {
@@ -784,7 +789,7 @@ impl Machine {
         Ok(ExecOutcome::Retired)
     }
 
-    fn exec_mfpr(&mut self, d: Decoded, cur_mode: AccessMode) -> Result<ExecOutcome, Abort> {
+    fn exec_mfpr(&mut self, d: &Decoded, cur_mode: AccessMode) -> Result<ExecOutcome, Abort> {
         let regno = d.operands[0].value();
         let Some(ipr) = Ipr::from_number(regno) else {
             return Err(Exception::ReservedOperand.into());
@@ -804,7 +809,7 @@ impl Machine {
         Ok(ExecOutcome::Retired)
     }
 
-    fn exec_calls(&mut self, d: Decoded, cur_mode: AccessMode) -> Result<ExecOutcome, Abort> {
+    fn exec_calls(&mut self, d: &Decoded, cur_mode: AccessMode) -> Result<ExecOutcome, Abort> {
         let numarg = d.operands[0].value() & 0xff;
         let DecOp::Addr(dst) = d.operands[1] else {
             unreachable!()
@@ -842,7 +847,7 @@ impl Machine {
         Ok(ExecOutcome::Retired)
     }
 
-    fn exec_ret(&mut self, d: Decoded) -> Result<ExecOutcome, Abort> {
+    fn exec_ret(&mut self, d: &Decoded) -> Result<ExecOutcome, Abort> {
         let _ = d;
         // Unwind from FP.
         self.set_reg(14, self.reg(13));
@@ -869,7 +874,7 @@ impl Machine {
         Ok(ExecOutcome::Retired)
     }
 
-    fn exec_ldpctx(&mut self, d: Decoded) -> Result<ExecOutcome, Abort> {
+    fn exec_ldpctx(&mut self, d: &Decoded) -> Result<ExecOutcome, Abort> {
         self.counters.context_switches += 1;
         self.cycles += self.costs.context_switch;
         let pcb = self.pcbb;
@@ -906,6 +911,7 @@ impl Machine {
         self.mmu.set_p1br(p1br);
         self.mmu.set_p1lr(p1lr & 0x3f_ffff);
         self.mmu.tlb_mut().invalidate_process();
+        self.icache.invalidate_all();
         // Push the saved PSL and PC for the REI that completes the switch.
         self.push(psl).map_err(Abort::Fault)?;
         self.push(pc).map_err(Abort::Fault)?;
@@ -913,7 +919,7 @@ impl Machine {
         Ok(ExecOutcome::Retired)
     }
 
-    fn exec_svpctx(&mut self, d: Decoded) -> Result<ExecOutcome, Abort> {
+    fn exec_svpctx(&mut self, d: &Decoded) -> Result<ExecOutcome, Abort> {
         self.counters.context_switches += 1;
         self.cycles += self.costs.context_switch;
         let _ = self.begin_commit(&d);

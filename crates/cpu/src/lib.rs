@@ -50,11 +50,15 @@ pub mod decode;
 pub mod event;
 pub mod except;
 pub mod exec;
+pub mod fixedvec;
+pub mod icache;
 pub mod machine;
 pub mod sensitivity;
 
 pub use bus::{Bus, IrqRequest, MmioDevice, IO_BASE_PA};
 pub use counters::CpuCounters;
+pub use fixedvec::FixedVec;
+pub use icache::DecodeCacheStats;
 pub use event::{HaltReason, OperandLoc, OperandValue, StepEvent, VmExit, VmTrapInfo};
 pub use machine::{Machine, TIMER_IPL};
 pub use sensitivity::{scan_sensitivity, ScanOutcome, SensitivityFinding};

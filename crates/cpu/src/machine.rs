@@ -3,6 +3,7 @@
 
 use crate::bus::{Bus, IrqRequest, IO_BASE_PA};
 use crate::counters::CpuCounters;
+use crate::icache::{DecodeCache, DecodeCacheStats};
 use crate::event::{HaltReason, StepEvent, VmExit};
 use std::collections::VecDeque;
 use vax_arch::{
@@ -103,10 +104,17 @@ pub struct Machine {
     todr_acc: u64,
     pub(crate) mmu: Mmu,
     pub(crate) mem: PhysMemory,
+    /// Decoded-instruction cache, keyed by opcode physical address.
+    pub(crate) icache: DecodeCache,
+    pub(crate) icache_enabled: bool,
     pub(crate) bus: Bus,
     pub(crate) console: Console,
     pub(crate) timer: IntervalTimer,
     pending_irqs: Vec<IrqRequest>,
+    /// Reusable decode output buffer: [`crate::decode::Decoded`] is a
+    /// couple hundred bytes, so it lives in one heap slot for the life of
+    /// the machine instead of being re-zeroed and moved every step.
+    pub(crate) decode_scratch: Option<Box<crate::decode::Decoded>>,
     /// Optional PC trace ring (debugging aid).
     trace: Option<(VecDeque<u32>, usize)>,
     pub(crate) cycles: u64,
@@ -142,10 +150,13 @@ impl Machine {
             todr_acc: 0,
             mmu,
             mem: PhysMemory::new(mem_bytes),
+            icache: DecodeCache::new(),
+            icache_enabled: true,
             bus: Bus::new(),
             console: Console::default(),
             timer: IntervalTimer::default(),
             pending_irqs: Vec::new(),
+            decode_scratch: Some(Box::new(crate::decode::Decoded::empty())),
             trace: None,
             cycles: 0,
             counters: CpuCounters::default(),
@@ -179,9 +190,43 @@ impl Machine {
         self.cycles += n;
     }
 
-    /// Event counters.
+    /// Event counters. TLB hit/miss totals are folded in from the MMU at
+    /// read time; they are identical with the decode cache on or off,
+    /// because the cached path replays every i-stream translation.
     pub fn counters(&self) -> CpuCounters {
-        self.counters
+        let mut c = self.counters;
+        c.tlb_hits = self.mmu.tlb().hits();
+        c.tlb_misses = self.mmu.tlb().misses();
+        c
+    }
+
+    /// Enables or disables the decoded-instruction cache. Disabling
+    /// drops all entries and write-tracking state; cycle counts and
+    /// [`Machine::counters`] are unaffected either way.
+    pub fn set_decode_cache_enabled(&mut self, on: bool) {
+        self.icache_enabled = on;
+        if !on {
+            self.icache.invalidate_all();
+            self.mem.clear_all_code_pages();
+        }
+    }
+
+    /// Whether the decoded-instruction cache is enabled.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.icache_enabled
+    }
+
+    /// Drops every decoded-instruction cache entry. Embedders (the VMM)
+    /// call this after rewriting guest page tables or memory images
+    /// outside the machine's own store paths.
+    pub fn invalidate_decode_cache(&mut self) {
+        self.icache.invalidate_all();
+    }
+
+    /// Decode-cache hit/miss statistics (diagnostic; not part of the
+    /// architectural counters).
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.icache.stats()
     }
 
     /// General register `i` (0–15; 15 is the PC).
@@ -416,14 +461,21 @@ impl Machine {
             self.cycles += t.cycles;
             self.read_pa(t.pa, len)
         } else {
+            // At most two pages are involved; translate each once and
+            // split the access at the boundary. Per-byte `read_pa` calls
+            // are kept so device CSR accounting still sees every byte.
+            let split = PAGE_BYTES - va.byte_offset();
+            let (pa0, pa1) = {
+                let Machine { mmu, mem, costs, .. } = self;
+                let t0 = mmu.translate(mem, va, mode, false, costs)?;
+                let t1 = mmu.translate(mem, va.wrapping_add(split), mode, false, costs)?;
+                self.cycles += t0.cycles + t1.cycles;
+                (t0.pa, t1.pa)
+            };
             let mut v = 0u32;
             for i in 0..len {
-                let t = {
-                    let Machine { mmu, mem, costs, .. } = self;
-                    mmu.translate(mem, va.wrapping_add(i), mode, false, costs)?
-                };
-                self.cycles += t.cycles;
-                v |= self.read_pa(t.pa, 1)? << (8 * i);
+                let pa = if i < split { pa0 + i } else { pa1 + (i - split) };
+                v |= self.read_pa(pa, 1)? << (8 * i);
             }
             Ok(v)
         }
@@ -451,17 +503,19 @@ impl Machine {
             self.cycles += t.cycles;
             self.write_pa(t.pa, value, len)
         } else {
-            let mut pas = [0u32; 4];
+            // Translate both pages before writing any byte so a fault on
+            // the second page leaves no partial write.
+            let split = PAGE_BYTES - va.byte_offset();
+            let (pa0, pa1) = {
+                let Machine { mmu, mem, costs, .. } = self;
+                let t0 = mmu.translate(mem, va, mode, true, costs)?;
+                let t1 = mmu.translate(mem, va.wrapping_add(split), mode, true, costs)?;
+                self.cycles += t0.cycles + t1.cycles;
+                (t0.pa, t1.pa)
+            };
             for i in 0..len {
-                let t = {
-                    let Machine { mmu, mem, costs, .. } = self;
-                    mmu.translate(mem, va.wrapping_add(i), mode, true, costs)?
-                };
-                self.cycles += t.cycles;
-                pas[i as usize] = t.pa;
-            }
-            for i in 0..len {
-                self.write_pa(pas[i as usize], (value >> (8 * i)) & 0xff, 1)?;
+                let pa = if i < split { pa0 + i } else { pa1 + (i - split) };
+                self.write_pa(pa, (value >> (8 * i)) & 0xff, 1)?;
             }
             Ok(())
         }
@@ -555,12 +609,30 @@ impl Machine {
             Ssp => self.set_sp_for_mode(AccessMode::Supervisor, value),
             Usp => self.set_sp_for_mode(AccessMode::User, value),
             Isp => self.set_isp(value),
-            P0br => self.mmu.set_p0br(value),
-            P0lr => self.mmu.set_p0lr(value & 0x3f_ffff),
-            P1br => self.mmu.set_p1br(value),
-            P1lr => self.mmu.set_p1lr(value & 0x3f_ffff),
-            Sbr => self.mmu.set_sbr(value),
-            Slr => self.mmu.set_slr(value & 0x3f_ffff),
+            P0br => {
+                self.mmu.set_p0br(value);
+                self.icache.invalidate_all();
+            }
+            P0lr => {
+                self.mmu.set_p0lr(value & 0x3f_ffff);
+                self.icache.invalidate_all();
+            }
+            P1br => {
+                self.mmu.set_p1br(value);
+                self.icache.invalidate_all();
+            }
+            P1lr => {
+                self.mmu.set_p1lr(value & 0x3f_ffff);
+                self.icache.invalidate_all();
+            }
+            Sbr => {
+                self.mmu.set_sbr(value);
+                self.icache.invalidate_all();
+            }
+            Slr => {
+                self.mmu.set_slr(value & 0x3f_ffff);
+                self.icache.invalidate_all();
+            }
             Pcbb => self.pcbb = value,
             Scbb => self.scbb = value,
             Ipl => self.psl.set_ipl((value & 0x1f) as u8),
@@ -579,9 +651,26 @@ impl Machine {
             Rxcs | Txcs => {} // interrupt enables unimplemented (polled I/O)
             Rxdb => return Err(Exception::ReservedOperand),
             Txdb => self.console.tx_log.push(value as u8),
-            Mapen => self.mmu.set_mapen(value & 1 != 0),
-            Tbia => self.mmu.tlb_mut().invalidate_all(),
-            Tbis => self.mmu.tlb_mut().invalidate_single(VirtAddr::new(value)),
+            Mapen => {
+                self.mmu.set_mapen(value & 1 != 0);
+                self.icache.invalidate_all();
+            }
+            Tbia => {
+                self.mmu.tlb_mut().invalidate_all();
+                self.icache.invalidate_all();
+            }
+            Tbis => {
+                // Targeted decode-cache invalidation needs the physical
+                // page; the TLB entry (peeked before it is dropped)
+                // provides it. With no entry the mapping is unknown —
+                // invalidate everything to stay conservative.
+                let va = VirtAddr::new(value);
+                match self.mmu.tlb().peek(va) {
+                    Some(e) => self.icache.invalidate_page(e.pfn),
+                    None => self.icache.invalidate_all(),
+                }
+                self.mmu.tlb_mut().invalidate_single(va);
+            }
             Sid => return Err(Exception::ReservedOperand),
             Memsize | Kcall | Ioreset => return Err(Exception::ReservedOperand),
         }
@@ -601,6 +690,10 @@ impl Machine {
     /// The highest-priority deliverable interrupt, if any exceeds the
     /// current IPL.
     fn pending_interrupt(&self) -> Option<(u8, u16)> {
+        // Fast path for the instruction loop: nothing latched anywhere.
+        if self.pending_irqs.is_empty() && self.sisr == 0 && !self.timer.interrupt_pending() {
+            return None;
+        }
         let mut best: Option<(u8, u16)> = None;
         if self.timer.interrupt_pending() {
             best = Some((TIMER_IPL, ScbVector::IntervalTimer.offset() as u16));
@@ -679,9 +772,10 @@ impl Machine {
             self.todr = self.todr.wrapping_add(1);
             self.todr_acc = 0;
         }
-        for irq in self.bus.tick(now) {
-            self.raise_irq(irq);
-        }
+        let Machine {
+            bus, pending_irqs, ..
+        } = self;
+        bus.tick_into(now, pending_irqs);
         event
     }
 

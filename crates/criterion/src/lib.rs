@@ -1,0 +1,254 @@
+//! A small, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the criterion API its benches use:
+//! `Criterion`, `benchmark_group` (with `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `finish`), `Bencher::iter`,
+//! `Throughput`, `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple adaptive wall-clock
+//! loop: warm up, grow the iteration count until the sample takes at
+//! least ~50 ms, then report mean time per iteration (and throughput
+//! when configured). No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records mean wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || iters >= 1 << 20 {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter_ns = if b.iters == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    };
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            "  thrpt: {:.0} elem/s",
+            n as f64 / (per_iter_ns / 1_000_000_000.0)
+        ),
+        Throughput::Bytes(n) => format!(
+            "  thrpt: {:.0} B/s",
+            n as f64 / (per_iter_ns / 1_000_000_000.0)
+        ),
+    });
+    println!(
+        "{name:<40} time: {}{}",
+        fmt_time(per_iter_ns),
+        rate.unwrap_or_default()
+    );
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(None, &id.into().id, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into().id, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.id, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        let mut total = 0u64;
+        g.bench_function("sum", |b| {
+            b.iter(|| {
+                total = total.wrapping_add(black_box(1));
+                total
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(3) + 4));
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

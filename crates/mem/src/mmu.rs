@@ -101,6 +101,7 @@ impl Mmu {
     }
 
     /// True if translation is enabled.
+    #[inline]
     pub fn mapen(&self) -> bool {
         self.mapen
     }
@@ -453,9 +454,10 @@ impl Mmu {
         })
     }
 
-    /// Reads `len ∈ {1,2,4}` bytes at a virtual address, splitting
-    /// page-crossing accesses byte-wise (the VAX permits unaligned
-    /// references).
+    /// Reads `len ∈ {1,2,4}` bytes at a virtual address. A reference
+    /// crossing a page boundary (the VAX permits unaligned accesses)
+    /// touches at most two pages; each is translated once and the
+    /// access is split at the boundary.
     ///
     /// # Errors
     ///
@@ -478,14 +480,19 @@ impl Mmu {
             };
             Ok((v, t.cycles))
         } else {
+            let split = PAGE_BYTES - va.byte_offset();
+            let t0 = self.translate(mem, va, mode, false, costs)?;
+            let t1 = self.translate(mem, va.wrapping_add(split), mode, false, costs)?;
             let mut v = 0u32;
-            let mut cycles = 0u64;
             for i in 0..len {
-                let t = self.translate(mem, va.wrapping_add(i), mode, false, costs)?;
-                v |= (mem.read_u8(t.pa)? as u32) << (8 * i);
-                cycles += t.cycles;
+                let pa = if i < split {
+                    t0.pa + i
+                } else {
+                    t1.pa + (i - split)
+                };
+                v |= (mem.read_u8(pa)? as u32) << (8 * i);
             }
-            Ok((v, cycles))
+            Ok((v, t0.cycles + t1.cycles))
         }
     }
 
@@ -514,19 +521,20 @@ impl Mmu {
             }
             Ok(t.cycles)
         } else {
-            // Pre-translate every page (so a fault on the second page
-            // leaves no partial write), then commit.
-            let mut cycles = 0u64;
-            let mut pas = [0u32; 4];
+            // Translate both pages up front (so a fault on the second
+            // page leaves no partial write), then commit.
+            let split = PAGE_BYTES - va.byte_offset();
+            let t0 = self.translate(mem, va, mode, true, costs)?;
+            let t1 = self.translate(mem, va.wrapping_add(split), mode, true, costs)?;
             for i in 0..len {
-                let t = self.translate(mem, va.wrapping_add(i), mode, true, costs)?;
-                pas[i as usize] = t.pa;
-                cycles += t.cycles;
+                let pa = if i < split {
+                    t0.pa + i
+                } else {
+                    t1.pa + (i - split)
+                };
+                mem.write_u8(pa, (value >> (8 * i)) as u8)?;
             }
-            for i in 0..len {
-                mem.write_u8(pas[i as usize], (value >> (8 * i)) as u8)?;
-            }
-            Ok(cycles)
+            Ok(t0.cycles + t1.cycles)
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Simulated physical memory.
 
 use crate::fault::MemFault;
-use vax_arch::va::PAGE_BYTES;
+use vax_arch::va::{PAGE_BYTES, PAGE_SHIFT};
 
 /// A bank of simulated physical memory.
 ///
@@ -22,10 +22,28 @@ use vax_arch::va::PAGE_BYTES;
 /// assert_eq!(mem.read_u16(0x10)?, 0xbeef); // little-endian
 /// # Ok::<(), vax_mem::MemFault>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PhysMemory {
     bytes: Vec<u8>,
+    /// Pages whose contents back decoded-instruction-cache entries. A
+    /// write to a marked page is recorded in `dirty_code` so the CPU can
+    /// invalidate the stale cache entries before its next decode
+    /// (self-modifying code, DMA, VMM pokes — anything that mutates
+    /// physical memory funnels through the write methods below).
+    code_pages: Vec<bool>,
+    /// Marked pages written since the last [`PhysMemory::take_dirty_code_pages`].
+    dirty_code: Vec<u32>,
 }
+
+/// Equality is over memory *contents*; the decode-cache bookkeeping is
+/// transparent (two memories holding the same bytes are equal).
+impl PartialEq for PhysMemory {
+    fn eq(&self, other: &PhysMemory) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for PhysMemory {}
 
 impl PhysMemory {
     /// Allocates `size` bytes of zeroed memory, rounded up to a whole page.
@@ -33,6 +51,8 @@ impl PhysMemory {
         let rounded = size.div_ceil(PAGE_BYTES) * PAGE_BYTES;
         PhysMemory {
             bytes: vec![0; rounded as usize],
+            code_pages: vec![false; (rounded >> PAGE_SHIFT) as usize],
+            dirty_code: Vec::new(),
         }
     }
 
@@ -57,6 +77,60 @@ impl PhysMemory {
         } else {
             Err(MemFault::NonExistent { pa })
         }
+    }
+
+    /// Records a write over `[pa, pa+len)` against the code-page marks.
+    #[inline]
+    fn note_write(&mut self, pa: u32, len: u32) {
+        let first = pa >> PAGE_SHIFT;
+        let last = (pa + len - 1) >> PAGE_SHIFT;
+        for pfn in first..=last {
+            if self.code_pages[pfn as usize] {
+                self.dirty_code.push(pfn);
+            }
+        }
+    }
+
+    // ---- decode-cache write tracking ----
+
+    /// Marks a page as backing decoded-instruction-cache entries; later
+    /// writes to it are reported by [`PhysMemory::take_dirty_code_pages`].
+    pub fn note_code_page(&mut self, pfn: u32) {
+        self.code_pages[pfn as usize] = true;
+    }
+
+    /// Clears a page's code mark (after its cache entries are dropped).
+    pub fn clear_code_page(&mut self, pfn: u32) {
+        self.code_pages[pfn as usize] = false;
+    }
+
+    /// Clears every code mark and pending dirty notice.
+    pub fn clear_all_code_pages(&mut self) {
+        self.code_pages.fill(false);
+        self.dirty_code.clear();
+    }
+
+    /// True if any marked code page has been written since the last drain.
+    #[inline]
+    pub fn has_dirty_code(&self) -> bool {
+        !self.dirty_code.is_empty()
+    }
+
+    /// Drains the set of marked pages written since the last call (may
+    /// contain duplicates; empty drains allocate nothing).
+    pub fn take_dirty_code_pages(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.dirty_code)
+    }
+
+    /// The bytes from `pa` through the end of its physical page — the
+    /// borrow-friendly handle the CPU's I-stream fast path parses
+    /// instruction bytes from after translating the fetch page once.
+    pub fn page_tail(&self, pa: u32) -> Option<&[u8]> {
+        if !self.contains(pa, 1) {
+            return None;
+        }
+        let end = (((pa >> PAGE_SHIFT) + 1) << PAGE_SHIFT).min(self.size());
+        Some(&self.bytes[pa as usize..end as usize])
     }
 
     /// Reads one byte.
@@ -101,6 +175,7 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if `pa` is beyond physical memory.
     pub fn write_u8(&mut self, pa: u32, v: u8) -> Result<(), MemFault> {
         let i = self.check(pa, 1)?;
+        self.note_write(pa, 1);
         self.bytes[i] = v;
         Ok(())
     }
@@ -112,6 +187,7 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if the range extends beyond memory.
     pub fn write_u16(&mut self, pa: u32, v: u16) -> Result<(), MemFault> {
         let i = self.check(pa, 2)?;
+        self.note_write(pa, 2);
         self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
         Ok(())
     }
@@ -123,6 +199,7 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if the range extends beyond memory.
     pub fn write_u32(&mut self, pa: u32, v: u32) -> Result<(), MemFault> {
         let i = self.check(pa, 4)?;
+        self.note_write(pa, 4);
         self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
         Ok(())
     }
@@ -134,6 +211,9 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if the range extends beyond memory.
     pub fn write_slice(&mut self, pa: u32, data: &[u8]) -> Result<(), MemFault> {
         let i = self.check(pa, data.len() as u32)?;
+        if !data.is_empty() {
+            self.note_write(pa, data.len() as u32);
+        }
         self.bytes[i..i + data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -155,6 +235,9 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if the range extends beyond memory.
     pub fn zero_range(&mut self, pa: u32, len: u32) -> Result<(), MemFault> {
         let i = self.check(pa, len)?;
+        if len > 0 {
+            self.note_write(pa, len);
+        }
         self.bytes[i..i + len as usize].fill(0);
         Ok(())
     }
@@ -193,6 +276,54 @@ mod tests {
         assert!(m.read_u32(508).is_ok());
         // Wrap-around must not panic or succeed.
         assert!(m.read_u32(u32::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn code_page_write_tracking() {
+        let mut m = PhysMemory::new(4 * PAGE_BYTES);
+        m.note_code_page(1);
+        // Writes to unmarked pages are not reported.
+        m.write_u32(0, 7).unwrap();
+        assert!(!m.has_dirty_code());
+        // Any write flavor touching a marked page is.
+        m.write_u8(PAGE_BYTES, 1).unwrap();
+        assert!(m.has_dirty_code());
+        assert_eq!(m.take_dirty_code_pages(), vec![1]);
+        assert!(!m.has_dirty_code());
+        // A straddling write reports both touched pages.
+        m.note_code_page(2);
+        m.write_u32(2 * PAGE_BYTES - 2, 0xffff_ffff).unwrap();
+        assert_eq!(m.take_dirty_code_pages(), vec![1, 2]);
+        // Clearing the mark stops reporting.
+        m.clear_code_page(1);
+        m.write_u16(PAGE_BYTES + 8, 3).unwrap();
+        assert!(!m.has_dirty_code());
+        m.write_slice(2 * PAGE_BYTES, &[1, 2, 3]).unwrap();
+        m.zero_range(2 * PAGE_BYTES, 4).unwrap();
+        assert_eq!(m.take_dirty_code_pages(), vec![2, 2]);
+        m.clear_all_code_pages();
+        m.write_u8(2 * PAGE_BYTES, 9).unwrap();
+        assert!(!m.has_dirty_code());
+    }
+
+    #[test]
+    fn equality_ignores_tracking_state() {
+        let mut a = PhysMemory::new(PAGE_BYTES);
+        let b = PhysMemory::new(PAGE_BYTES);
+        a.note_code_page(0);
+        a.write_u8(0, 0).unwrap(); // dirty notice, same contents
+        assert_eq!(a, b);
+        a.write_u8(0, 1).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn page_tail_spans_to_page_end() {
+        let m = PhysMemory::new(2 * PAGE_BYTES);
+        assert_eq!(m.page_tail(0).unwrap().len(), PAGE_BYTES as usize);
+        assert_eq!(m.page_tail(10).unwrap().len(), (PAGE_BYTES - 10) as usize);
+        assert_eq!(m.page_tail(2 * PAGE_BYTES - 1).unwrap().len(), 1);
+        assert!(m.page_tail(2 * PAGE_BYTES).is_none());
     }
 
     #[test]

@@ -72,16 +72,26 @@ impl Tlb {
         ((va.raw() >> PAGE_SHIFT) as usize) & (self.entries.len() - 1)
     }
 
+    /// Direct-mapped probe: the slot index for `va`, but only when that
+    /// slot currently holds the entry for `va`'s page (index + tag
+    /// compare in one place).
+    fn slot(&self, va: VirtAddr) -> Option<usize> {
+        let idx = self.index(va);
+        match self.entries[idx] {
+            Some(e) if e.tag == va.page_base().raw() => Some(idx),
+            _ => None,
+        }
+    }
+
     /// Looks up the translation for the page containing `va`, counting a
     /// hit or miss.
     pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
-        let idx = self.index(va);
-        match self.entries[idx] {
-            Some(e) if e.tag == va.page_base().raw() => {
+        match self.slot(va) {
+            Some(idx) => {
                 self.hits += 1;
-                Some(e)
+                self.entries[idx]
             }
-            _ => {
+            None => {
                 self.misses += 1;
                 None
             }
@@ -89,9 +99,9 @@ impl Tlb {
     }
 
     /// Peeks without disturbing hit/miss counters (used by PROBE).
+    #[inline]
     pub fn peek(&self, va: VirtAddr) -> Option<TlbEntry> {
-        let idx = self.index(va);
-        self.entries[idx].filter(|e| e.tag == va.page_base().raw())
+        self.slot(va).and_then(|idx| self.entries[idx])
     }
 
     /// Inserts (or replaces) the entry for its page.
@@ -102,9 +112,8 @@ impl Tlb {
 
     /// Marks the cached entry for `va` modified (after a modify-bit set).
     pub fn set_modified(&mut self, va: VirtAddr) {
-        let idx = self.index(va);
-        if let Some(e) = &mut self.entries[idx] {
-            if e.tag == va.page_base().raw() {
+        if let Some(idx) = self.slot(va) {
+            if let Some(e) = &mut self.entries[idx] {
                 e.modified = true;
             }
         }
@@ -117,11 +126,8 @@ impl Tlb {
 
     /// TBIS: invalidate the single page containing `va`.
     pub fn invalidate_single(&mut self, va: VirtAddr) {
-        let idx = self.index(va);
-        if let Some(e) = self.entries[idx] {
-            if e.tag == va.page_base().raw() {
-                self.entries[idx] = None;
-            }
+        if let Some(idx) = self.slot(va) {
+            self.entries[idx] = None;
         }
     }
 
@@ -142,6 +148,16 @@ impl Tlb {
     /// Lifetime miss count.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Fraction of lookups that hit, in `[0, 1]` (0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 
     /// Number of currently valid entries.
@@ -231,5 +247,15 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
         Tlb::new(7);
+    }
+
+    #[test]
+    fn hit_rate_tracks_lookups() {
+        let mut tlb = Tlb::new(16);
+        assert_eq!(tlb.hit_rate(), 0.0);
+        tlb.insert(entry(0x200, true));
+        assert!(tlb.lookup(VirtAddr::new(0x210)).is_some());
+        assert!(tlb.lookup(VirtAddr::new(0x400)).is_none());
+        assert_eq!(tlb.hit_rate(), 0.5);
     }
 }

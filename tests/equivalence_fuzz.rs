@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use vax_arch::{MachineVariant, Psl};
 use vax_asm::{Asm, Operand, Reg};
-use vax_cpu::{HaltReason, Machine, StepEvent};
+use vax_cpu::{CpuCounters, HaltReason, Machine, StepEvent};
 use vax_arch::Opcode;
 use vax_vmm::{Monitor, MonitorConfig, VmConfig};
 
@@ -122,9 +122,15 @@ fn emit(steps: &[Step]) -> Vec<u8> {
     a.assemble().unwrap().bytes
 }
 
-/// Runs the program on a bare machine in kernel mode, translation off.
-fn run_machine(variant: MachineVariant, code: &[u8]) -> [u32; 10] {
+/// Runs the program on a bare machine in kernel mode, translation off,
+/// with the decode cache on or off; returns the full observable outcome.
+fn run_machine_full(
+    variant: MachineVariant,
+    code: &[u8],
+    decode_cache: bool,
+) -> ([u32; 10], u64, CpuCounters) {
     let mut m = Machine::new(variant, 256 * 1024);
+    m.set_decode_cache_enabled(decode_cache);
     m.mem_mut().write_slice(0x1000, code).unwrap();
     let mut psl = Psl::new();
     psl.set_ipl(31);
@@ -138,7 +144,16 @@ fn run_machine(variant: MachineVariant, code: &[u8]) -> [u32; 10] {
             other => panic!("unexpected {other:?} at pc={:#x}", m.pc()),
         }
     }
-    std::array::from_fn(|i| m.reg(i))
+    (
+        std::array::from_fn(|i| m.reg(i)),
+        m.cycles(),
+        m.counters(),
+    )
+}
+
+/// Runs the program on a bare machine with the decode cache enabled.
+fn run_machine(variant: MachineVariant, code: &[u8]) -> [u32; 10] {
+    run_machine_full(variant, code, true).0
 }
 
 /// Runs the program as a VM guest.
@@ -168,5 +183,20 @@ proptest! {
         let vm = run_vm(&code);
         prop_assert_eq!(standard, modified, "standard vs modified bare");
         prop_assert_eq!(modified, vm, "bare vs virtual machine");
+    }
+
+    /// The decode cache's determinism contract, fuzzed: with the cache
+    /// on vs. off, every program must produce the identical register
+    /// file, cycle count, and event counters — bit for bit.
+    #[test]
+    fn decode_cache_is_invisible(steps in proptest::collection::vec(arb_step(), 1..60)) {
+        let code = emit(&steps);
+        for variant in [MachineVariant::Standard, MachineVariant::Modified] {
+            let cached = run_machine_full(variant, &code, true);
+            let bytewise = run_machine_full(variant, &code, false);
+            prop_assert_eq!(cached.0, bytewise.0, "registers, {:?}", variant);
+            prop_assert_eq!(cached.1, bytewise.1, "cycles, {:?}", variant);
+            prop_assert_eq!(cached.2, bytewise.2, "counters, {:?}", variant);
+        }
     }
 }
