@@ -521,9 +521,14 @@ mod tests {
     #[test]
     fn memory_writers_carry_pte_m_sensitivity() {
         for &op in Opcode::ALL {
-            let writes_memory = op.operands().iter().any(|s| {
-                matches!(s.access, AccessType::Write | AccessType::Modify)
-            }) || matches!(op, Opcode::Pushl | Opcode::Pushal | Opcode::Calls | Opcode::Movc3);
+            let writes_memory = op
+                .operands()
+                .iter()
+                .any(|s| matches!(s.access, AccessType::Write | AccessType::Modify))
+                || matches!(
+                    op,
+                    Opcode::Pushl | Opcode::Pushal | Opcode::Calls | Opcode::Movc3
+                );
             if writes_memory && !op.is_privileged() && !op.is_table1_instruction() {
                 assert!(
                     op.sensitive_data().contains(&SensitiveData::PteM),

@@ -326,7 +326,11 @@ impl VmPsl {
 
 impl core::fmt::Display for VmPsl {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "VMPSL[cur={} prv={} ipl={}]", self.cur, self.prv, self.ipl)
+        write!(
+            f,
+            "VMPSL[cur={} prv={} ipl={}]",
+            self.cur, self.prv, self.ipl
+        )
     }
 }
 

@@ -84,7 +84,10 @@ impl ScbVector {
     ///
     /// Panics if `level` is 0 or greater than 15.
     pub fn software(level: u8) -> u32 {
-        assert!((1..=15).contains(&level), "software interrupt level {level}");
+        assert!(
+            (1..=15).contains(&level),
+            "software interrupt level {level}"
+        );
         0x80 + 4 * level as u32
     }
 
@@ -140,12 +143,15 @@ mod tests {
     #[test]
     fn extension_vectors_do_not_collide_with_base_layout() {
         let base = [
-            0x04u32, 0x08, 0x10, 0x14, 0x18, 0x1C, 0x20, 0x24, 0x28, 0x2C, 0x34, 0x40, 0x44,
-            0x48, 0x4C, 0xC0, 0xF8, 0xFC, 0x100, 0x104,
+            0x04u32, 0x08, 0x10, 0x14, 0x18, 0x1C, 0x20, 0x24, 0x28, 0x2C, 0x34, 0x40, 0x44, 0x48,
+            0x4C, 0xC0, 0xF8, 0xFC, 0x100, 0x104,
         ];
         for v in [ScbVector::ModifyFault, ScbVector::VmEmulation] {
             assert!(!base.contains(&v.offset()), "{v} collides");
-            assert!(!(0x80..=0xBC).contains(&v.offset()), "{v} in software range");
+            assert!(
+                !(0x80..=0xBC).contains(&v.offset()),
+                "{v} in software range"
+            );
         }
     }
 }

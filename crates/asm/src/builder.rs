@@ -265,16 +265,13 @@ impl Asm {
                             // Displacement is relative to the PC *after*
                             // the displacement field; absolute fixups take
                             // the label address itself.
-                            let pc_after =
-                                self.base as i64 + field_pos as i64 + width as i64;
+                            let pc_after = self.base as i64 + field_pos as i64 + width as i64;
                             let disp = match kind {
                                 crate::operand::FixupKind::Relative => target - pc_after,
                                 crate::operand::FixupKind::Absolute => target,
                             };
                             let ok = match width {
-                                1 => i8::try_from(disp)
-                                    .map(|d| out[field_pos] = d as u8)
-                                    .is_ok(),
+                                1 => i8::try_from(disp).map(|d| out[field_pos] = d as u8).is_ok(),
                                 2 => i16::try_from(disp)
                                     .map(|d| {
                                         out[field_pos..field_pos + 2]
@@ -545,11 +542,8 @@ mod tests {
     fn pc_relative_label_operand() {
         let mut a = Asm::new(0x1000);
         let data = a.label();
-        a.inst(
-            Opcode::Movl,
-            &[Operand::Label(data), Operand::Reg(Reg::R0)],
-        )
-        .unwrap();
+        a.inst(Opcode::Movl, &[Operand::Label(data), Operand::Reg(Reg::R0)])
+            .unwrap();
         a.halt().unwrap();
         a.bind(data).unwrap();
         a.long(42);
@@ -558,10 +552,7 @@ mod tests {
         // data at 0x1008. disp = 0x1008 - (0x1000+1+1+4) = 2.
         assert_eq!(p.addr(data), 0x1008);
         assert_eq!(p.bytes[1], 0xEF);
-        assert_eq!(
-            i32::from_le_bytes(p.bytes[2..6].try_into().unwrap()),
-            2
-        );
+        assert_eq!(i32::from_le_bytes(p.bytes[2..6].try_into().unwrap()), 2);
     }
 
     #[test]

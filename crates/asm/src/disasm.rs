@@ -15,8 +15,8 @@ pub struct DisasmLine {
 
 fn reg_name(n: u8) -> &'static str {
     const NAMES: [&str; 16] = [
-        "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "ap", "fp",
-        "sp", "pc",
+        "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "ap", "fp", "sp",
+        "pc",
     ];
     NAMES[(n & 0xf) as usize]
 }
@@ -158,13 +158,7 @@ pub fn disassemble(bytes: &[u8], base: u32) -> Vec<DisasmLine> {
             let mut p = pos + oplen as usize;
             let mut texts = Vec::new();
             for spec in op.operands() {
-                texts.push(operand_text(
-                    bytes,
-                    &mut p,
-                    spec.dtype,
-                    spec.access,
-                    base,
-                )?);
+                texts.push(operand_text(bytes, &mut p, spec.dtype, spec.access, base)?);
             }
             let text = if texts.is_empty() {
                 op.mnemonic().to_lowercase()

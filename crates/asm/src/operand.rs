@@ -61,8 +61,8 @@ impl Reg {
     /// Conventional name (`r0`…`r11`, `ap`, `fp`, `sp`, `pc`).
     pub fn name(self) -> &'static str {
         const NAMES: [&str; 16] = [
-            "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "ap",
-            "fp", "sp", "pc",
+            "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "ap", "fp",
+            "sp", "pc",
         ];
         NAMES[self.number() as usize]
     }
@@ -156,9 +156,7 @@ impl Operand {
                     1 + spec.dtype.bytes()
                 }
             }
-            Operand::Reg(_) | Operand::Deferred(_) | Operand::AutoInc(_) | Operand::AutoDec(_) => {
-                1
-            }
+            Operand::Reg(_) | Operand::Deferred(_) | Operand::AutoInc(_) | Operand::AutoDec(_) => 1,
             Operand::Abs(_) => 5,
             Operand::Disp(d, _) | Operand::DispDeferred(d, _) => {
                 if i8::try_from(*d).is_ok() {

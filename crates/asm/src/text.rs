@@ -100,7 +100,7 @@ pub fn assemble_text_with_symbols(
                     let mut bytes = Vec::new();
                     for a in split_args(args) {
                         bytes.push(
-                            parse_num(&a).ok_or_else(|| err(format!("bad byte {a:?}")))? as u8,
+                            parse_num(&a).ok_or_else(|| err(format!("bad byte {a:?}")))? as u8
                         );
                     }
                     asm.bytes(&bytes);
@@ -210,7 +210,9 @@ fn lookup_mnemonic(m: &str) -> Option<Opcode> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -374,7 +376,10 @@ mod tests {
             0,
         )
         .unwrap();
-        let texts: Vec<String> = disassemble(&p.bytes, 0).into_iter().map(|l| l.text).collect();
+        let texts: Vec<String> = disassemble(&p.bytes, 0)
+            .into_iter()
+            .map(|l| l.text)
+            .collect();
         assert_eq!(
             texts,
             vec![

@@ -9,7 +9,9 @@ use vax_cpu::{Machine, StepEvent};
 fn machine_running(program: &vax_asm::Program, decode_cache: bool) -> Machine {
     let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
     m.set_decode_cache_enabled(decode_cache);
-    m.mem_mut().write_slice(program.base, &program.bytes).unwrap();
+    m.mem_mut()
+        .write_slice(program.base, &program.bytes)
+        .unwrap();
     let mut psl = Psl::new();
     psl.set_ipl(31);
     m.set_psl(psl);

@@ -1,30 +1,70 @@
 //! Headless simulator-throughput benchmark.
 //!
-//! Runs the compute-loop workload with the decode cache on and off,
-//! prints a short report, and writes `BENCH_sim_throughput.json` to the
-//! current directory (simulated instructions per host second for both
-//! configurations, their ratio, decode-cache statistics, and the TLB
-//! hit rate).
+//! Three workloads, one report (`BENCH_sim_throughput.json`):
+//!
+//! * `compute_loop_imm32` — the decode-cache stress kernel, run bare with
+//!   translation off. No address translation happens, so its TLB hit
+//!   rate is reported as `null`, not a misleading `0.0`.
+//! * `mapped_loop` — the same machine with a host-built system page
+//!   table and translation on, touching a multi-page buffer so the TLB
+//!   actually works for a living and the hit rate is a real number.
+//! * `vm_mtpr_ipl` — an MTPR-to-IPL loop run as a guest under the VMM
+//!   with exit tracing enabled: reports the VM-exit breakdown and the
+//!   measured emulation cost against the bare-machine cost of the same
+//!   instruction (the paper's §7.3 "10–12× native" comparison).
 //!
 //! Usage: `cargo run --release -p vax-bench --bin sim_throughput`
 
 use std::time::Instant;
-use vax_arch::{MachineVariant, Psl};
+use vax_arch::{MachineVariant, Protection, Psl, Pte};
 use vax_cpu::{DecodeCacheStats, Machine, StepEvent};
+use vax_vmm::{ExitCause, Monitor, MonitorConfig, RunExit, VmConfig};
 
 const LOOP_ITERS: u32 = 200_000;
+const MAPPED_OUTER: u32 = 2_000;
+const MAPPED_PAGES: u32 = 16;
+const MTPR_ITERS: u32 = 2_000;
+
+/// S-space base virtual address.
+const S_BASE: u32 = 0x8000_0000;
+/// VAX page size.
+const PAGE: u32 = 512;
 
 struct Measurement {
     instrs_per_sec: f64,
+    instructions: u64,
     simulated_cycles: u64,
-    tlb_hit_rate: f64,
+    tlb_hit_rate: Option<f64>,
     cache_stats: DecodeCacheStats,
 }
 
-fn run_once(program: &vax_asm::Program, instructions: u64, decode_cache: bool) -> Measurement {
-    let mut m = Machine::new(MachineVariant::Standard, 64 * 1024);
+/// Builds an identity-mapped system page table at `spt_pa` covering
+/// `pages` pages and turns translation on, so S-space VA `S_BASE + x`
+/// resolves to PA `x` through real single-level translation.
+fn enable_identity_s_map(m: &mut Machine, spt_pa: u32, pages: u32) {
+    for vpn in 0..pages {
+        let pte = Pte::build(vpn, Protection::Kw, true, true);
+        m.mem_mut().write_u32(spt_pa + 4 * vpn, pte.raw()).unwrap();
+    }
+    let mmu = m.mmu_mut();
+    mmu.set_sbr(spt_pa);
+    mmu.set_slr(pages);
+    mmu.set_mapen(true);
+}
+
+fn run_once(program: &vax_asm::Program, decode_cache: bool, mapped: bool) -> Measurement {
+    let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
     m.set_decode_cache_enabled(decode_cache);
-    m.mem_mut().write_slice(program.base, &program.bytes).unwrap();
+    let load_pa = if mapped {
+        program.base - S_BASE
+    } else {
+        program.base
+    };
+    m.mem_mut().write_slice(load_pa, &program.bytes).unwrap();
+    if mapped {
+        // SPT parked at 128 KiB, above everything the workload touches.
+        enable_identity_s_map(&mut m, 0x20000, 256);
+    }
     let mut psl = Psl::new();
     psl.set_ipl(31);
     m.set_psl(psl);
@@ -33,11 +73,11 @@ fn run_once(program: &vax_asm::Program, instructions: u64, decode_cache: bool) -
     while m.step() == StepEvent::Ok {}
     let elapsed = start.elapsed();
     let counters = m.counters();
-    assert_eq!(counters.instructions, instructions, "workload must retire fully");
     Measurement {
-        instrs_per_sec: instructions as f64 / elapsed.as_secs_f64(),
+        instrs_per_sec: counters.instructions as f64 / elapsed.as_secs_f64(),
+        instructions: counters.instructions,
         simulated_cycles: m.cycles(),
-        tlb_hit_rate: counters.tlb_hit_rate(),
+        tlb_hit_rate: counters.tlb_hit_rate_opt(),
         cache_stats: m.decode_cache_stats(),
     }
 }
@@ -46,14 +86,14 @@ fn run_once(program: &vax_asm::Program, instructions: u64, decode_cache: bool) -
 /// the same host-CPU conditions, returning the best of each.
 fn best_alternating(
     program: &vax_asm::Program,
-    instructions: u64,
     n: u32,
+    mapped: bool,
 ) -> (Measurement, Measurement) {
     let (ons, offs): (Vec<Measurement>, Vec<Measurement>) = (0..n)
         .map(|_| {
             (
-                run_once(program, instructions, true),
-                run_once(program, instructions, false),
+                run_once(program, true, mapped),
+                run_once(program, false, mapped),
             )
         })
         .unzip();
@@ -65,11 +105,95 @@ fn best_alternating(
     (best(ons), best(offs))
 }
 
+/// Simulated cycles a bare (unvirtualized) machine spends on one run of
+/// `program` in kernel mode.
+fn bare_cycles(program: &vax_asm::Program) -> u64 {
+    let mut m = Machine::new(MachineVariant::Standard, 64 * 1024);
+    m.mem_mut()
+        .write_slice(program.base, &program.bytes)
+        .unwrap();
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_pc(program.base);
+    while m.step() == StepEvent::Ok {}
+    m.cycles()
+}
+
+struct VmMtprReport {
+    emulation_traps: u64,
+    exception_exits: u64,
+    interrupt_exits: u64,
+    decode_cache_invalidations: u64,
+    mtpr_ipl_exits: u64,
+    mtpr_ipl_mean_cost: f64,
+    mtpr_ipl_p99_cost: u64,
+    mtpr_ipl_bare_cost: f64,
+    mtpr_ipl_ratio: f64,
+}
+
+/// Runs the MTPR-to-IPL loop as a VMM guest with exit tracing on and the
+/// same loop (plus its empty-control skeleton) bare, isolating the per-
+/// instruction virtualized and native costs.
+fn run_vm_mtpr() -> VmMtprReport {
+    let mtpr_loop = format!(
+        "
+            movl #{MTPR_ITERS}, r2
+        top:
+            mtpr #10, #18
+            sobgtr r2, top
+            halt
+        "
+    );
+    let skeleton = format!(
+        "
+            movl #{MTPR_ITERS}, r2
+        top:
+            sobgtr r2, top
+            halt
+        "
+    );
+    let guest = vax_asm::assemble_text(&mtpr_loop, 0x1000).unwrap();
+    let with_mtpr = bare_cycles(&guest);
+    let without = bare_cycles(&vax_asm::assemble_text(&skeleton, 0x1000).unwrap());
+    let bare_cost = (with_mtpr - without) as f64 / MTPR_ITERS as f64;
+
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    monitor.enable_obs(4096);
+    let vm = monitor.create_vm("mtpr_bench", VmConfig::default());
+    monitor.vm_write_phys(vm, guest.base, &guest.bytes);
+    monitor.boot_vm(vm, guest.base);
+    let exit = monitor.run(500_000_000);
+    assert_eq!(exit, RunExit::AllHalted, "guest must halt cleanly");
+
+    let counters = monitor.machine().counters();
+    let dc = monitor.machine().decode_cache_stats();
+    let obs = monitor.obs().expect("tracing enabled");
+    let h = obs.histogram(ExitCause::EmulMtprIpl);
+    assert_eq!(h.count(), MTPR_ITERS as u64, "every MTPR must trap");
+    let mean = h.mean();
+    VmMtprReport {
+        emulation_traps: counters.vm_emulation_traps,
+        exception_exits: counters.vm_exception_exits,
+        interrupt_exits: counters.vm_interrupt_exits,
+        decode_cache_invalidations: dc.invalidations,
+        mtpr_ipl_exits: h.count(),
+        mtpr_ipl_mean_cost: mean,
+        mtpr_ipl_p99_cost: h.quantile(0.99),
+        mtpr_ipl_bare_cost: bare_cost,
+        mtpr_ipl_ratio: mean / bare_cost,
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x:.6}"))
+}
+
 fn main() {
     // A long-immediate compute kernel: three-operand forms with 32-bit
     // immediates are the CISC encodings whose bytewise decode cost the
     // template cache amortizes (6-8 bytes per instruction).
-    let program = vax_asm::assemble_text(
+    let compute = vax_asm::assemble_text(
         &format!(
             "
                 movl #{LOOP_ITERS}, r2
@@ -89,22 +213,83 @@ fn main() {
     .unwrap();
     // 6 instructions per iteration + the 2-instruction prologue (HALT
     // does not retire).
-    let instructions = LOOP_ITERS as u64 * 6 + 2;
+    let compute_instructions = LOOP_ITERS as u64 * 6 + 2;
 
-    let (on, off) = best_alternating(&program, instructions, 6);
+    // The same machine with translation ON: walk a multi-page buffer so
+    // every reference goes through the TLB.
+    let mapped = vax_asm::assemble_text(
+        &format!(
+            "
+                movl #{MAPPED_OUTER}, r2
+            top:
+                movl #{data_base:#x}, r6
+                movl #{MAPPED_PAGES}, r7
+            inner:
+                movl (r6), r8
+                addl2 #{PAGE}, r6
+                sobgtr r7, inner
+                sobgtr r2, top
+                halt
+            ",
+            data_base = S_BASE + 0x8000,
+        ),
+        S_BASE + 0x1000,
+    )
+    .unwrap();
+
+    let (on, off) = best_alternating(&compute, 6, false);
+    assert_eq!(
+        on.instructions, compute_instructions,
+        "workload must retire fully"
+    );
     assert_eq!(
         on.simulated_cycles, off.simulated_cycles,
         "decode cache must not change simulated time"
     );
+    assert_eq!(
+        on.tlb_hit_rate, None,
+        "translation-off run has no TLB traffic"
+    );
     let speedup = on.instrs_per_sec / off.instrs_per_sec;
 
-    println!("sim_throughput: compute loop, {instructions} simulated instructions");
+    let (mon, moff) = best_alternating(&mapped, 6, true);
+    assert_eq!(
+        mon.simulated_cycles, moff.simulated_cycles,
+        "decode cache must not change simulated time"
+    );
+    let mapped_rate = mon
+        .tlb_hit_rate
+        .expect("mapped workload must exercise the TLB");
+    let mapped_speedup = mon.instrs_per_sec / moff.instrs_per_sec;
+
+    let vm = run_vm_mtpr();
+
+    println!("sim_throughput: compute loop, {compute_instructions} simulated instructions");
     println!("  decode cache on:  {:>12.0} instrs/sec", on.instrs_per_sec);
-    println!("  decode cache off: {:>12.0} instrs/sec", off.instrs_per_sec);
+    println!(
+        "  decode cache off: {:>12.0} instrs/sec",
+        off.instrs_per_sec
+    );
     println!("  speedup:          {speedup:>12.2}x");
     println!(
-        "  cache hits/misses: {}/{}  tlb hit rate: {:.4}",
-        on.cache_stats.hits, on.cache_stats.misses, on.tlb_hit_rate
+        "  cache hits/misses: {}/{}  tlb hit rate: n/a (translation off)",
+        on.cache_stats.hits, on.cache_stats.misses
+    );
+    println!("mapped loop, {} simulated instructions", mon.instructions);
+    println!(
+        "  decode cache on:  {:>12.0} instrs/sec",
+        mon.instrs_per_sec
+    );
+    println!("  speedup:          {mapped_speedup:>12.2}x");
+    println!("  tlb hit rate:     {mapped_rate:>12.4}");
+    println!("vm mtpr-ipl loop, {} exits traced", vm.mtpr_ipl_exits);
+    println!(
+        "  exits: {} emulation / {} exception / {} interrupt",
+        vm.emulation_traps, vm.exception_exits, vm.interrupt_exits
+    );
+    println!(
+        "  mtpr-ipl cost: {:.1} cycles virtualized vs {:.1} bare = {:.1}x",
+        vm.mtpr_ipl_mean_cost, vm.mtpr_ipl_bare_cost, vm.mtpr_ipl_ratio
     );
 
     let json = format!(
@@ -113,15 +298,37 @@ fn main() {
          \"instrs_per_sec_cache_on\": {:.0},\n  \"instrs_per_sec_cache_off\": {:.0},\n  \
          \"speedup\": {:.3},\n  \
          \"decode_cache_hits\": {},\n  \"decode_cache_misses\": {},\n  \
-         \"tlb_hit_rate\": {:.6}\n}}\n",
-        instructions,
+         \"tlb_hit_rate\": {},\n  \
+         \"mapped_loop\": {{\n    \"simulated_instructions\": {},\n    \
+         \"simulated_cycles\": {},\n    \"instrs_per_sec_cache_on\": {:.0},\n    \
+         \"speedup\": {:.3},\n    \"tlb_hit_rate\": {}\n  }},\n  \
+         \"vm_mtpr_ipl\": {{\n    \"vm_exits\": {{\n      \"emulation_traps\": {},\n      \
+         \"exception_exits\": {},\n      \"interrupt_exits\": {}\n    }},\n    \
+         \"decode_cache_invalidations\": {},\n    \"mtpr_ipl_exits\": {},\n    \
+         \"mtpr_ipl_mean_cost_cycles\": {:.2},\n    \"mtpr_ipl_p99_cost_cycles\": {},\n    \
+         \"mtpr_ipl_bare_cost_cycles\": {:.2},\n    \"mtpr_ipl_ratio\": {:.2}\n  }}\n}}\n",
+        compute_instructions,
         on.simulated_cycles,
         on.instrs_per_sec,
         off.instrs_per_sec,
         speedup,
         on.cache_stats.hits,
         on.cache_stats.misses,
-        on.tlb_hit_rate,
+        json_opt(on.tlb_hit_rate),
+        mon.instructions,
+        mon.simulated_cycles,
+        mon.instrs_per_sec,
+        mapped_speedup,
+        json_opt(mon.tlb_hit_rate),
+        vm.emulation_traps,
+        vm.exception_exits,
+        vm.interrupt_exits,
+        vm.decode_cache_invalidations,
+        vm.mtpr_ipl_exits,
+        vm.mtpr_ipl_mean_cost,
+        vm.mtpr_ipl_p99_cost,
+        vm.mtpr_ipl_bare_cost,
+        vm.mtpr_ipl_ratio,
     );
     std::fs::write("BENCH_sim_throughput.json", json).expect("write BENCH_sim_throughput.json");
     println!("wrote BENCH_sim_throughput.json");

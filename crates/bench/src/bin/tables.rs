@@ -51,7 +51,10 @@ fn main() {
         println!("{}", render_e10(&points));
     }
     if want("--e11") {
-        let points: Vec<_> = [1u32, 4, 16].into_iter().map(e11_faults_per_switch).collect();
+        let points: Vec<_> = [1u32, 4, 16]
+            .into_iter()
+            .map(e11_faults_per_switch)
+            .collect();
         println!("{}", render_e11(&points));
     }
     if want("--e12") {

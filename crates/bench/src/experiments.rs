@@ -3,9 +3,7 @@
 use vax_arch::{AccessMode, MachineVariant, Psl};
 use vax_cpu::{scan_sensitivity, Machine, SensitivityFinding, StepEvent};
 use vax_os::{build_image, run_bare, run_in_vm, OsConfig, RunOutcome, Workload};
-use vax_vmm::{
-    DirtyStrategy, IoStrategy, Monitor, MonitorConfig, ShadowConfig, VmConfig,
-};
+use vax_vmm::{DirtyStrategy, IoStrategy, Monitor, MonitorConfig, ShadowConfig, VmConfig};
 
 /// E1 / Table 1: the Popek–Goldberg scan of the standard VAX from user
 /// mode, plus the same scan inside a VM on the modified VAX.
@@ -58,7 +56,12 @@ fn perf_config(workload: Workload, nproc: u32, iterations: u32) -> OsConfig {
 
 /// Runs one workload bare and in a VM (with `cache_slots` shadow slots)
 /// and returns the pair.
-pub fn measure_perf(workload: Workload, nproc: u32, iterations: u32, cache_slots: usize) -> PerfPoint {
+pub fn measure_perf(
+    workload: Workload,
+    nproc: u32,
+    iterations: u32,
+    cache_slots: usize,
+) -> PerfPoint {
     let cfg = perf_config(workload, nproc, iterations);
     let img = build_image(&cfg).expect("image builds");
     let bare = run_bare(&img, 8_000_000_000);

@@ -135,16 +135,28 @@ pub fn render_e8(r: &E8Results) -> String {
     let mut out = String::new();
     out.push_str("E8 / paper 7.3: VM performance relative to bare hardware\n");
     out.push_str("(paper: 47-48% for the editing+transaction mix, with the 7.2 cache)\n\n");
-    out.push_str("  workload                                  bare cycles     VM cycles   relative\n");
-    out.push_str("  ----------------------------------------  -----------  ------------  --------\n");
-    for p in r.per_workload.iter().chain([&r.mix_uncached, &r.mix_cached]) {
+    out.push_str(
+        "  workload                                  bare cycles     VM cycles   relative\n",
+    );
+    out.push_str(
+        "  ----------------------------------------  -----------  ------------  --------\n",
+    );
+    for p in r
+        .per_workload
+        .iter()
+        .chain([&r.mix_uncached, &r.mix_cached])
+    {
         out.push_str(&format!(
             "  {:<41} {:>12} {:>13}   {:>5.1}%{}\n",
             p.label,
             p.bare_cycles,
             p.vm_cycles,
             100.0 * p.relative_perf(),
-            if p.work_matches { "" } else { "  (WORK MISMATCH!)" },
+            if p.work_matches {
+                ""
+            } else {
+                "  (WORK MISMATCH!)"
+            },
         ));
     }
     out
@@ -224,8 +236,12 @@ pub fn render_e13(mf: &E13Point, ro: &E13Point) -> String {
     let mut out = String::new();
     out.push_str("E13 / paper 4.4.2: dirty-bit strategies\n");
     out.push_str("(paper: the modify fault avoids extra PROBEW traps)\n\n");
-    out.push_str("  strategy                     mod faults  upgrades  extra PROBEW traps     VM cycles\n");
-    out.push_str("  ---------------------------  ----------  --------  ------------------  ------------\n");
+    out.push_str(
+        "  strategy                     mod faults  upgrades  extra PROBEW traps     VM cycles\n",
+    );
+    out.push_str(
+        "  ---------------------------  ----------  --------  ------------------  ------------\n",
+    );
     for p in [mf, ro] {
         out.push_str(&format!(
             "  {:<27}  {:>10}  {:>8}  {:>18}  {:>12}\n",
@@ -257,9 +273,21 @@ pub fn render_e15(r: &E15Results) -> String {
          VM-kernel access to a kernel-only page:    {}\n  \
          VM-executive access to the same page:      {}  <- the acknowledged leak\n  \
          VM-user access to the same page:           {}\n",
-        if r.kernel_can_access { "allowed (required)" } else { "DENIED (BUG)" },
-        if r.executive_can_access { "allowed" } else { "denied (would need a 5th ring)" },
-        if r.user_blocked { "denied (boundary preserved)" } else { "ALLOWED (BUG)" },
+        if r.kernel_can_access {
+            "allowed (required)"
+        } else {
+            "DENIED (BUG)"
+        },
+        if r.executive_can_access {
+            "allowed"
+        } else {
+            "denied (would need a 5th ring)"
+        },
+        if r.user_blocked {
+            "denied (boundary preserved)"
+        } else {
+            "ALLOWED (BUG)"
+        },
     )
 }
 

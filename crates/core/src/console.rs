@@ -165,7 +165,10 @@ mod tests {
             ConsoleCommand::parse("dep 200 deadbeef"),
             Ok(ConsoleCommand::Deposit(0x200, 0xDEAD_BEEF))
         );
-        assert_eq!(ConsoleCommand::parse("b 2000"), Ok(ConsoleCommand::Boot(0x2000)));
+        assert_eq!(
+            ConsoleCommand::parse("b 2000"),
+            Ok(ConsoleCommand::Boot(0x2000))
+        );
         assert_eq!(ConsoleCommand::parse("halt"), Ok(ConsoleCommand::Halt));
         assert_eq!(ConsoleCommand::parse("c"), Ok(ConsoleCommand::Continue));
         assert_eq!(

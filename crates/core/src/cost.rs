@@ -119,8 +119,10 @@ mod tests {
         let c = VmmCosts::default();
         assert!(c.shadow_fill > c.modify_fault);
         assert!(c.rei > c.chm);
-        assert!(c.kcall < 2 * c.mmio_access + c.dispatch,
-            "a single KCALL must beat even a couple of emulated CSR accesses");
+        assert!(
+            c.kcall < 2 * c.mmio_access + c.dispatch,
+            "a single KCALL must beat even a couple of emulated CSR accesses"
+        );
         assert!(c.mtpr_ipl < c.mtpr_other);
     }
 }

@@ -29,7 +29,14 @@ impl Monitor {
     /// (compressed) PSL, and the live stack pointer. The caller must have
     /// already saved the live SP and stored any new value into the target
     /// slot.
-    fn set_vm_mode(&mut self, idx: usize, cur: AccessMode, prv: AccessMode, is: bool, clear_cc: bool) {
+    fn set_vm_mode(
+        &mut self,
+        idx: usize,
+        cur: AccessMode,
+        prv: AccessMode,
+        is: bool,
+        clear_cc: bool,
+    ) {
         let vm = &mut self.vms[idx].vm;
         vm.vmpsl.set_cur_mode(cur);
         vm.vmpsl.set_prv_mode(prv);
@@ -112,12 +119,10 @@ impl Monitor {
             MemFault::AccessViolation { va, .. }
                 if write && slot.vm.dirty_strategy == DirtyStrategy::ReadOnlyShadow =>
             {
-                match slot.shadow.write_upgrade(
-                    machine,
-                    &mut slot.vm,
-                    va,
-                    AccessMode::Executive,
-                ) {
+                match slot
+                    .shadow
+                    .write_upgrade(machine, &mut slot.vm, va, AccessMode::Executive)
+                {
                     FillOutcome::Filled => Ok(()),
                     other => Err(other),
                 }
@@ -192,6 +197,7 @@ impl Monitor {
             Exception::TranslationNotValid { va, .. } => {
                 if self.vms[idx].vm.io_strategy == IoStrategy::EmulatedMmio {
                     if let Some(gpfn) = self.mmio_window_gpfn(idx, va) {
+                        self.obs.refine(vax_obs::ExitCause::MmioEmulation);
                         return crate::io::emulate_mmio_access(self, idx, va, gpfn);
                     }
                 }
@@ -205,14 +211,22 @@ impl Monitor {
                 self.charge(self.config.costs.shadow_fill * fills);
                 match outcome {
                     FillOutcome::Filled => true,
-                    FillOutcome::Reflect(ge) => self.reflect(idx, ge),
+                    FillOutcome::Reflect(ge) => {
+                        // Not a shadow-fill service after all: the guest's
+                        // own tables say the page is invalid.
+                        self.obs.refine(vax_obs::ExitCause::GuestPageFault);
+                        self.reflect(idx, ge)
+                    }
                     FillOutcome::Halt(why) => self.console_halt(idx, why),
                 }
             }
             Exception::ModifyFault { va } => {
                 self.charge(self.config.costs.modify_fault);
                 let slot = &mut self.vms[idx];
-                match slot.shadow.modify_fault(&mut self.machine, &mut slot.vm, va) {
+                match slot
+                    .shadow
+                    .modify_fault(&mut self.machine, &mut slot.vm, va)
+                {
                     FillOutcome::Filled => true,
                     FillOutcome::Reflect(ge) => self.reflect(idx, ge),
                     FillOutcome::Halt(why) => self.console_halt(idx, why),
@@ -302,7 +316,10 @@ impl Monitor {
         let real_mode = compress_mode(target);
         for v in frame {
             sp = sp.wrapping_sub(4);
-            if self.vm_write(idx, VirtAddr::new(sp), v, 4, real_mode).is_err() {
+            if self
+                .vm_write(idx, VirtAddr::new(sp), v, 4, real_mode)
+                .is_err()
+            {
                 return self.console_halt(idx, "exception frame push failed");
             }
         }
@@ -332,8 +349,7 @@ impl Monitor {
         let mut sp = self.vms[idx].vm.vsp_is;
         for v in [merged.raw_visible(), pc] {
             sp = sp.wrapping_sub(4);
-            if let Err(out) = self.vm_write(idx, VirtAddr::new(sp), v, 4, AccessMode::Executive)
-            {
+            if let Err(out) = self.vm_write(idx, VirtAddr::new(sp), v, 4, AccessMode::Executive) {
                 // The interrupt stays pending; the guest handles its own
                 // fault first (or the VM halts on a security violation).
                 self.guest_access_failed(idx, out, "interrupt frame push failed");
@@ -487,7 +503,13 @@ impl Monitor {
             }
         }
         self.machine.apply_side_effects(&info.reg_side_effects);
-        self.set_vm_mode(idx, img.cur_mode(), img.prv_mode(), img.flag(Psl::IS), false);
+        self.set_vm_mode(
+            idx,
+            img.cur_mode(),
+            img.prv_mode(),
+            img.flag(Psl::IS),
+            false,
+        );
         // Restore the image's condition codes into the real PSL.
         let mut psl = self.machine.psl();
         for flag in CC_BITS {
@@ -506,6 +528,7 @@ impl Monitor {
             return self.reflect(idx, Exception::ReservedOperand);
         };
         if ipr == Ipr::Ipl {
+            self.obs.refine(vax_obs::ExitCause::EmulMtprIpl);
             self.charge(self.config.costs.mtpr_ipl);
             self.vms[idx].vm.stats.mtpr_ipl += 1;
         } else {
@@ -743,9 +766,7 @@ impl Monitor {
         }
 
         // §7.2: switch shadow process tables through the cache.
-        let hit = self.vms[idx]
-            .shadow
-            .switch_process(&mut self.machine, pcbb);
+        let hit = self.vms[idx].shadow.switch_process(&mut self.machine, pcbb);
         if hit {
             self.vms[idx].vm.stats.shadow_cache_hits += 1;
         } else {
@@ -779,8 +800,7 @@ impl Monitor {
         let Ok(pc_img) = self.vm_read(idx, VirtAddr::new(sp), 4, real_mode) else {
             return self.console_halt(idx, "SVPCTX stack pop failed");
         };
-        let Ok(psl_img) = self.vm_read(idx, VirtAddr::new(sp.wrapping_add(4)), 4, real_mode)
-        else {
+        let Ok(psl_img) = self.vm_read(idx, VirtAddr::new(sp.wrapping_add(4)), 4, real_mode) else {
             return self.console_halt(idx, "SVPCTX stack pop failed");
         };
         self.machine.set_reg(14, sp.wrapping_add(8));
@@ -827,13 +847,14 @@ impl Monitor {
         let probe_mode = mode_op.least_privileged(info.vm_psl.prv_mode());
 
         let mut accessible = true;
-        for va in [VirtAddr::new(base), VirtAddr::new(base.wrapping_add(len - 1))] {
+        for va in [
+            VirtAddr::new(base),
+            VirtAddr::new(base.wrapping_add(len - 1)),
+        ] {
             let slot = &mut self.vms[idx];
             let gpte = match slot.shadow.guest_pte(&self.machine, &slot.vm, va) {
                 Ok((gpte, _)) => gpte,
-                Err(FillOutcome::Reflect(Exception::AccessViolation {
-                    length: true, ..
-                })) => {
+                Err(FillOutcome::Reflect(Exception::AccessViolation { length: true, .. })) => {
                     // Beyond the guest's length registers: not accessible.
                     accessible = false;
                     continue;

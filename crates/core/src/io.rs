@@ -79,7 +79,8 @@ pub(crate) fn kcall(mon: &mut Monitor, idx: usize, req_gpa: u32) -> bool {
             if func == KCALL_DISK_READ {
                 let data = mon.vms[idx].vm.vdisk[sector as usize];
                 for i in (0..n).step_by(4) {
-                    let w = u32::from_le_bytes(data[i as usize..i as usize + 4].try_into().unwrap());
+                    let w =
+                        u32::from_le_bytes(data[i as usize..i as usize + 4].try_into().unwrap());
                     if mon.write_gp(idx, buffer + i, w).is_none() {
                         let _ = mon.write_gp(idx, status_gpa, 0x8000_0002);
                         return true;
@@ -148,21 +149,15 @@ impl Monitor {
         let slot = &self.vms[idx];
         let (gpte, _) = slot.shadow.guest_pte(&self.machine, &slot.vm, va).ok()?;
         let gpfn = gpte.pfn();
-        (gpte.valid() && (GUEST_IO_GPFN_BASE..GUEST_IO_GPFN_BASE + GUEST_IO_PAGES)
-            .contains(&gpfn))
-        .then_some(gpfn)
+        (gpte.valid() && (GUEST_IO_GPFN_BASE..GUEST_IO_GPFN_BASE + GUEST_IO_PAGES).contains(&gpfn))
+            .then_some(gpfn)
     }
 }
 
 /// Emulates one memory-mapped CSR access: validate the shadow mapping to
 /// the real device window, single-step the VM, and invalidate again so
 /// the next access traps too. Returns `true` to resume.
-pub(crate) fn emulate_mmio_access(
-    mon: &mut Monitor,
-    idx: usize,
-    va: VirtAddr,
-    gpfn: u32,
-) -> bool {
+pub(crate) fn emulate_mmio_access(mon: &mut Monitor, idx: usize, va: VirtAddr, gpfn: u32) -> bool {
     mon.charge(mon.config.costs.mmio_access);
     mon.vms[idx].vm.stats.mmio_accesses += 1;
 
@@ -176,7 +171,10 @@ pub(crate) fn emulate_mmio_access(
 
     // Temporarily validate the mapping straight at the real device.
     let pte = Pte::build(real_pfn, Protection::Uw, true, true);
-    mon.machine.mem_mut().write_u32(shadow_pa, pte.raw()).unwrap();
+    mon.machine
+        .mem_mut()
+        .write_u32(shadow_pa, pte.raw())
+        .unwrap();
     mon.machine.mmu_mut().tlb_mut().invalidate_single(va);
 
     let vmpsl = mon.vms[idx].vm.vmpsl;

@@ -61,4 +61,7 @@ pub use io::{
 pub use layout::{FrameAllocator, VMM_BOUNDARY_VA, VMM_BOUNDARY_VPN};
 pub use monitor::{compress_mode, Monitor, MonitorConfig, RunExit, VmConfig, VmId};
 pub use shadow::{ShadowConfig, ShadowSet};
+pub use vax_obs::{
+    chrome_trace, ExitCause, Histogram, Metrics, Obs, ObsSink, TraceRecord, TraceRing,
+};
 pub use vm::{DirtyStrategy, IoStrategy, Vm, VmState, VmStats};

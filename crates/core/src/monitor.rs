@@ -5,10 +5,11 @@
 use crate::cost::VmmCosts;
 use crate::layout::FrameAllocator;
 use crate::shadow::{ShadowConfig, ShadowSet};
-use crate::vm::{DirtyStrategy, IoStrategy, Vm, VmState, VmStats, VirtualIrq, VirtualTimer};
+use crate::vm::{DirtyStrategy, IoStrategy, VirtualIrq, VirtualTimer, Vm, VmState, VmStats};
 use std::collections::VecDeque;
-use vax_arch::{AccessMode, MachineVariant, Psl, ScbVector, VmPsl};
-use vax_cpu::{Machine, StepEvent, IO_BASE_PA};
+use vax_arch::{AccessMode, Exception, MachineVariant, Opcode, Psl, ScbVector, VmPsl};
+use vax_cpu::{Machine, StepEvent, VmExit, IO_BASE_PA};
+use vax_obs::{ExitCause, Metrics, Obs, ObsSink};
 
 /// Identifies a VM within a [`Monitor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,6 +114,11 @@ pub struct Monitor {
     pub(crate) real_vector_owner: Vec<(u16, usize, u16)>,
     pub(crate) vmm_cycles: u64,
     pub(crate) world_switches: u64,
+    /// Exit-reason tracing sink. `Off` by default; every call through it
+    /// is then a no-op, so the dispatch loop pays nothing. It only ever
+    /// *reads* the machine clock — enabling it must not change cycles or
+    /// counters (enforced by the equivalence tests).
+    pub(crate) obs: ObsSink,
 }
 
 impl Monitor {
@@ -131,6 +137,7 @@ impl Monitor {
             real_vector_owner: Vec::new(),
             vmm_cycles: 0,
             world_switches: 0,
+            obs: ObsSink::off(),
         }
     }
 
@@ -180,16 +187,15 @@ impl Monitor {
             let base_pa = self.next_io_base;
             self.next_io_base += 4096;
             let vector = (ScbVector::Device0.offset() + 4 * self.vms.len() as u32) as u16;
-            let disk = vax_dev::SimDisk::new(
-                config.vdisk_sectors,
-                self.config.vdisk_latency,
-                21,
-                vector,
-            );
+            let disk =
+                vax_dev::SimDisk::new(config.vdisk_sectors, self.config.vdisk_latency, 21, vector);
             self.machine.bus_mut().attach(base_pa, 4096, Box::new(disk));
             vm.real_io_base = Some(base_pa);
-            self.real_vector_owner
-                .push((vector, self.vms.len(), ScbVector::Device0.offset() as u16));
+            self.real_vector_owner.push((
+                vector,
+                self.vms.len(),
+                ScbVector::Device0.offset() as u16,
+            ));
         }
         self.vms.push(VmSlot { vm, shadow });
         VmId(self.vms.len() - 1)
@@ -232,6 +238,97 @@ impl Monitor {
     /// VM-to-VM world switches performed so far.
     pub fn world_switches(&self) -> u64 {
         self.world_switches
+    }
+
+    /// Enables exit-reason tracing with a trace ring of `ring_capacity`
+    /// records. Any previously collected observations are discarded.
+    pub fn enable_obs(&mut self, ring_capacity: usize) {
+        self.obs = ObsSink::on(ring_capacity);
+    }
+
+    /// Disables exit-reason tracing, discarding collected observations.
+    pub fn disable_obs(&mut self) {
+        self.obs = ObsSink::off();
+    }
+
+    /// The collected observations, if tracing is enabled.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.state()
+    }
+
+    /// Snapshots every counter the monitor can see — architectural
+    /// counters, VMM accounting, decode-cache statistics — plus the
+    /// per-cause exit-cost histograms when tracing is enabled, into a
+    /// [`Metrics`] registry ready for JSON or Prometheus exposition.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        let c = self.machine.counters();
+        for (name, v) in c.named() {
+            m.counter(name, v);
+        }
+        m.counter("vm_exits", c.vm_exits());
+        m.counter("cycles", self.machine.cycles());
+        m.counter("vmm_cycles", self.vmm_cycles);
+        m.counter("world_switches", self.world_switches);
+        let dc = self.machine.decode_cache_stats();
+        m.counter("decode_cache_hits", dc.hits);
+        m.counter("decode_cache_misses", dc.misses);
+        m.counter("decode_cache_invalidations", dc.invalidations);
+        let (evictions, invalidations) = self.vms.iter().fold((0, 0), |(e, i), s| {
+            (e + s.shadow.evictions(), i + s.shadow.invalidations())
+        });
+        m.counter("shadow_slot_evictions", evictions);
+        m.counter("shadow_invalidations", invalidations);
+        m.gauge("tlb_hit_rate", c.tlb_hit_rate_opt());
+        if let Some(obs) = self.obs.state() {
+            m.counter("trace_records", obs.trace().total());
+            m.counter("trace_records_dropped", obs.trace().dropped());
+            for cause in ExitCause::ALL {
+                let h = obs.histogram(cause);
+                if h.count() > 0 {
+                    m.histogram(&format!("exit_cost_{}", cause.name()), h);
+                }
+            }
+        }
+        m
+    }
+
+    /// Coarse exit classification from the exit packet alone. Handlers
+    /// refine it once they know more (MTPR target register, whether a
+    /// translation fault is a shadow fill, MMIO, or the guest's own
+    /// fault) via [`ObsSink::refine`]. Returns the cause and, for
+    /// emulation traps, the trapping instruction's PC.
+    fn classify_exit(exit: &VmExit) -> (ExitCause, Option<u32>) {
+        match exit {
+            VmExit::Emulation(info) => {
+                let cause = match info.opcode {
+                    Opcode::Chmk | Opcode::Chme | Opcode::Chms | Opcode::Chmu => ExitCause::EmulChm,
+                    Opcode::Rei => ExitCause::EmulRei,
+                    // Refined to EmulMtprIpl once the register number is
+                    // decoded in emulate_mtpr.
+                    Opcode::Mtpr => ExitCause::EmulMtprOther,
+                    Opcode::Mfpr => ExitCause::EmulMfpr,
+                    Opcode::Ldpctx => ExitCause::EmulLdpctx,
+                    Opcode::Svpctx => ExitCause::EmulSvpctx,
+                    Opcode::Prober | Opcode::Probew => ExitCause::EmulProbe,
+                    Opcode::Wait => ExitCause::EmulWait,
+                    Opcode::Halt => ExitCause::EmulHalt,
+                    _ => ExitCause::EmulOther,
+                };
+                (cause, Some(info.pc))
+            }
+            VmExit::Exception(e) => {
+                let cause = match e {
+                    // Refined to MmioEmulation / GuestPageFault in
+                    // handle_exception once the shadow has been consulted.
+                    Exception::TranslationNotValid { .. } => ExitCause::ShadowFill,
+                    Exception::ModifyFault { .. } => ExitCause::ModifyFault,
+                    _ => ExitCause::ExceptionExit,
+                };
+                (cause, None)
+            }
+            VmExit::Interrupt { .. } => (ExitCause::InterruptExit, None),
+        }
     }
 
     /// Charges VMM path cycles against the machine clock and the current
@@ -478,11 +575,7 @@ impl Monitor {
                         continue;
                     }
                     _ => {
-                        return if self
-                            .vms
-                            .iter()
-                            .all(|s| s.vm.state == VmState::ConsoleHalt)
-                        {
+                        return if self.vms.iter().all(|s| s.vm.state == VmState::ConsoleHalt) {
                             RunExit::AllHalted
                         } else {
                             RunExit::BudgetExhausted
@@ -496,10 +589,20 @@ impl Monitor {
                 if let Some(prev) = self.current {
                     self.world_save(prev);
                 }
+                let switch_start = self.machine.cycles();
                 self.world_load(idx);
                 self.charge(self.config.costs.world_switch);
                 self.world_switches += 1;
                 self.current = Some(idx);
+                if self.obs.is_on() {
+                    let (pc, ring) = {
+                        let vm = &self.vms[idx].vm;
+                        (vm.regs[15], vm.vmpsl.cur_mode().bits() as u8)
+                    };
+                    self.obs
+                        .exit_begin(ExitCause::WorldSwitch, pc, ring, switch_start);
+                    self.obs.exit_end(self.machine.cycles());
+                }
             }
             self.publish_uptime(idx);
 
@@ -520,8 +623,7 @@ impl Monitor {
                         ipl: 24,
                         vector: ScbVector::IntervalTimer.offset() as u16,
                     });
-                    self.vms[idx].vm.uptime_ticks =
-                        self.vms[idx].vm.uptime_ticks.wrapping_add(1);
+                    self.vms[idx].vm.uptime_ticks = self.vms[idx].vm.uptime_ticks.wrapping_add(1);
                 }
                 timer_mark = now;
                 // Virtual interrupt delivery point.
@@ -537,7 +639,18 @@ impl Monitor {
                         reschedule = true;
                     }
                     StepEvent::VmExit(exit) => {
+                        if self.obs.is_on() {
+                            let (cause, trap_pc) = Self::classify_exit(&exit);
+                            let pc = trap_pc.unwrap_or_else(|| self.machine.pc());
+                            let ring = self.vms[idx].vm.vmpsl.cur_mode().bits() as u8;
+                            // The stamp predates the microcode's trap-entry
+                            // charge, so the cost histogram covers the full
+                            // exit-to-resume path, hardware half included.
+                            self.obs
+                                .exit_begin(cause, pc, ring, self.machine.last_exit_cycles());
+                        }
                         reschedule = !self.handle_exit(idx, exit);
+                        self.obs.exit_end(self.machine.cycles());
                         if !reschedule {
                             self.resume(idx);
                         }

@@ -96,13 +96,23 @@ pub struct ShadowSet {
     slots: Vec<ShadowSlot>,
     active: usize,
     clock: u64,
+    /// Occupied slots evicted by [`ShadowSet::switch_process`] misses —
+    /// how often the §7.2 cache was too small for the working set.
+    evictions: u64,
+    /// Whole-set invalidations (guest TBIA / MAPEN flips / base-register
+    /// rewrites) that discarded cached shadow state.
+    invalidations: u64,
 }
 
 impl ShadowSet {
     /// Allocates and initializes the shadow state for one VM: the real
     /// SPT (guest window nulled) and `cache_slots` process-table pairs
     /// mapped into the VMM region above the boundary.
-    pub fn new(machine: &mut Machine, falloc: &mut FrameAllocator, config: ShadowConfig) -> ShadowSet {
+    pub fn new(
+        machine: &mut Machine,
+        falloc: &mut FrameAllocator,
+        config: ShadowConfig,
+    ) -> ShadowSet {
         assert!(config.cache_slots >= 1);
         assert!(config.prefill_group >= 1);
         let p0_frames = table_frames(config.p0_capacity);
@@ -121,6 +131,8 @@ impl ShadowSet {
             slots: Vec::with_capacity(config.cache_slots),
             active: 0,
             clock: 0,
+            evictions: 0,
+            invalidations: 0,
         };
 
         // Guest S window: inaccessible until the guest sets SLR.
@@ -172,6 +184,16 @@ impl ShadowSet {
         self.config
     }
 
+    /// Occupied process-table slots evicted on cache misses.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whole-set invalidations that discarded cached shadow state.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
     /// Values for the real MMU base registers while this VM runs:
     /// `(sbr, slr, p0br, p0lr, p1br, p1lr)`.
     pub fn real_mmu_bases(&self, vm: &Vm) -> (u32, u32, u32, u32, u32, u32) {
@@ -217,7 +239,9 @@ impl ShadowSet {
     /// Reads a shadow PTE.
     pub fn read_shadow(&self, machine: &Machine, va: VirtAddr) -> Option<Pte> {
         let pa = self.shadow_pte_pa(va)?;
-        Some(Pte::from_raw(machine.mem().read_u32(pa).expect("VMM memory")))
+        Some(Pte::from_raw(
+            machine.mem().read_u32(pa).expect("VMM memory"),
+        ))
     }
 
     /// Resets the guest S window for a new guest SBR/SLR.
@@ -240,7 +264,10 @@ impl ShadowSet {
             } else {
                 Pte::NULL
             };
-            machine.mem_mut().write_u32(pa, pte.raw()).expect("VMM memory");
+            machine
+                .mem_mut()
+                .write_u32(pa, pte.raw())
+                .expect("VMM memory");
         }
         machine.mmu_mut().tlb_mut().invalidate_single(va);
     }
@@ -248,6 +275,7 @@ impl ShadowSet {
     /// Invalidate everything (guest TBIA): the S window and every cached
     /// process slot.
     pub fn invalidate_all(&mut self, machine: &mut Machine, vm: &Vm) {
+        self.invalidations += 1;
         self.reset_guest_s(machine, vm.guest_slr);
         for i in 0..self.slots.len() {
             let slot = self.slots[i];
@@ -289,6 +317,9 @@ impl ShadowSet {
                     .map(|(i, _)| i)
                     .expect("at least one slot");
                 let slot = self.slots[lru];
+                if slot.key.is_some() {
+                    self.evictions += 1;
+                }
                 null_fill(machine, slot.p0_pa, self.config.p0_capacity);
                 null_fill(machine, slot.p1_pa, self.config.p1_capacity);
                 self.slots[lru].key = Some(pcbb);
@@ -457,7 +488,12 @@ impl ShadowSet {
     /// Services a modify-fault exit (§4.4.2): set `PTE<M>` in both the
     /// shadow PTE and the VM's own PTE, so "the VM's page table accurately
     /// reflects the state of modified pages".
-    pub fn modify_fault(&mut self, machine: &mut Machine, vm: &mut Vm, va: VirtAddr) -> FillOutcome {
+    pub fn modify_fault(
+        &mut self,
+        machine: &mut Machine,
+        vm: &mut Vm,
+        va: VirtAddr,
+    ) -> FillOutcome {
         let Some(shadow_pa) = self.shadow_pte_pa(va) else {
             return FillOutcome::Reflect(length_violation(va));
         };
@@ -580,12 +616,6 @@ mod tests {
     #[test]
     fn length_violation_shape() {
         let e = length_violation(VirtAddr::new(0x1234));
-        assert!(matches!(
-            e,
-            Exception::AccessViolation {
-                length: true,
-                ..
-            }
-        ));
+        assert!(matches!(e, Exception::AccessViolation { length: true, .. }));
     }
 }

@@ -392,22 +392,40 @@ mod tests {
     #[test]
     fn virq_priority_and_masking() {
         let mut vm = blank_vm();
-        vm.pend_virq(VirtualIrq { ipl: 21, vector: 0x100 });
-        vm.pend_virq(VirtualIrq { ipl: 24, vector: 0xC0 });
-        vm.pend_virq(VirtualIrq { ipl: 24, vector: 0xC0 }); // idempotent
+        vm.pend_virq(VirtualIrq {
+            ipl: 21,
+            vector: 0x100,
+        });
+        vm.pend_virq(VirtualIrq {
+            ipl: 24,
+            vector: 0xC0,
+        });
+        vm.pend_virq(VirtualIrq {
+            ipl: 24,
+            vector: 0xC0,
+        }); // idempotent
         assert_eq!(vm.pending_virqs.len(), 2);
         assert_eq!(
             vm.deliverable_virq(),
-            Some(VirtualIrq { ipl: 24, vector: 0xC0 })
+            Some(VirtualIrq {
+                ipl: 24,
+                vector: 0xC0
+            })
         );
         vm.vmpsl.set_ipl(24);
         assert_eq!(vm.deliverable_virq(), None, "masked at IPL 24");
         vm.vmpsl.set_ipl(23);
         assert_eq!(
             vm.deliverable_virq(),
-            Some(VirtualIrq { ipl: 24, vector: 0xC0 })
+            Some(VirtualIrq {
+                ipl: 24,
+                vector: 0xC0
+            })
         );
-        vm.clear_virq(VirtualIrq { ipl: 24, vector: 0xC0 });
+        vm.clear_virq(VirtualIrq {
+            ipl: 24,
+            vector: 0xC0,
+        });
         assert_eq!(vm.deliverable_virq(), None, "21 < 23");
     }
 

@@ -86,7 +86,12 @@ fn setup() -> (Machine, Vm, ShadowSet) {
     // Guest SPT: identity (S page i -> guest frame i), kernel-write; the
     // page holding the guest P0 table (S vpn 0x30) must be mapped too.
     for vpn in 0..64 {
-        write_guest_spte(&mut m, &vm, vpn, Pte::build(vpn, Protection::Kw, true, true));
+        write_guest_spte(
+            &mut m,
+            &vm,
+            vpn,
+            Pte::build(vpn, Protection::Kw, true, true),
+        );
     }
     (m, vm, shadow)
 }
@@ -134,7 +139,12 @@ fn fill_reflects_length_violation_beyond_guest_slr() {
 fn fill_halts_on_pfn_outside_vm_memory() {
     let (mut m, mut vm, mut shadow) = setup();
     // Guest PTE naming a frame beyond the VM's MEMSIZE.
-    write_guest_spte(&mut m, &vm, 7, Pte::build(0x5000, Protection::Uw, true, true));
+    write_guest_spte(
+        &mut m,
+        &vm,
+        7,
+        Pte::build(0x5000, Protection::Uw, true, true),
+    );
     let va = VirtAddr::new(0x8000_0000 + 7 * 512);
     assert!(matches!(
         shadow.fill(&mut m, &mut vm, va),
@@ -158,7 +168,12 @@ fn p0_fill_walks_the_guest_spt_for_the_process_pte() {
 fn p0_fill_reports_pte_ref_fault_when_guest_table_page_unmapped() {
     let (mut m, mut vm, mut shadow) = setup();
     // Invalidate the guest S page holding the P0 table (vpn 0x30).
-    write_guest_spte(&mut m, &vm, 0x30, Pte::build(0x30, Protection::Kw, false, false));
+    write_guest_spte(
+        &mut m,
+        &vm,
+        0x30,
+        Pte::build(0x30, Protection::Kw, false, false),
+    );
     write_guest_p0te(&mut m, 3, Pte::build(20, Protection::Uw, true, true));
     let va = VirtAddr::new(3 * 512);
     match shadow.fill(&mut m, &mut vm, va) {
@@ -176,7 +191,10 @@ fn modify_fault_sets_m_in_both_tables() {
     let va = VirtAddr::new(0x8000_0000 + 9 * 512);
     assert_eq!(shadow.fill(&mut m, &mut vm, va), FillOutcome::Filled);
     assert!(!shadow.read_shadow(&m, va).unwrap().modified());
-    assert_eq!(shadow.modify_fault(&mut m, &mut vm, va), FillOutcome::Filled);
+    assert_eq!(
+        shadow.modify_fault(&mut m, &mut vm, va),
+        FillOutcome::Filled
+    );
     assert!(shadow.read_shadow(&m, va).unwrap().modified());
     // Paper §4.4.2: "the VM's page table accurately reflects the state of
     // modified pages".
@@ -217,10 +235,16 @@ fn invalidate_single_and_all() {
     assert!(shadow.read_shadow(&m, va).unwrap().valid());
     let vm_copy = vm.clone();
     shadow.invalidate_single(&mut m, &vm_copy, va);
-    assert!(!shadow.read_shadow(&m, va).unwrap().valid(), "TBIS nulls it");
+    assert!(
+        !shadow.read_shadow(&m, va).unwrap().valid(),
+        "TBIS nulls it"
+    );
     shadow.fill(&mut m, &mut vm, va);
     shadow.invalidate_all(&mut m, &vm_copy);
-    assert!(!shadow.read_shadow(&m, va).unwrap().valid(), "TBIA nulls it");
+    assert!(
+        !shadow.read_shadow(&m, va).unwrap().valid(),
+        "TBIA nulls it"
+    );
 }
 
 #[test]
@@ -240,7 +264,12 @@ fn prefill_translates_neighbors() {
         },
     );
     for vpn in 0..64 {
-        write_guest_spte(&mut m, &vm, vpn, Pte::build(vpn, Protection::Uw, true, true));
+        write_guest_spte(
+            &mut m,
+            &vm,
+            vpn,
+            Pte::build(vpn, Protection::Uw, true, true),
+        );
     }
     let va = VirtAddr::new(0x8000_0000 + 10 * 512);
     assert_eq!(shadow.fill(&mut m, &mut vm, va), FillOutcome::Filled);

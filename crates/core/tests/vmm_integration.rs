@@ -578,8 +578,16 @@ fn two_emulated_mmio_vms_have_isolated_disks_and_vectors() {
     }
     assert_eq!(mon.run(80_000_000), RunExit::AllHalted);
     assert_eq!(&mon.vm(a).regs[3].to_le_bytes(), b"DISK");
-    assert_eq!(&mon.vm(a).regs[4].to_le_bytes(), b"-A s", "VM a reads disk A");
-    assert_eq!(&mon.vm(b).regs[4].to_le_bytes(), b"-B s", "VM b reads disk B");
+    assert_eq!(
+        &mon.vm(a).regs[4].to_le_bytes(),
+        b"-A s",
+        "VM a reads disk A"
+    );
+    assert_eq!(
+        &mon.vm(b).regs[4].to_le_bytes(),
+        b"-B s",
+        "VM b reads disk B"
+    );
     assert!(mon.vm_stats(a).mmio_accesses >= 4);
     assert!(mon.vm_stats(b).mmio_accesses >= 4);
 }

@@ -80,29 +80,130 @@ impl CpuCounters {
             self.tlb_hits as f64 / total as f64
         }
     }
+
+    /// TLB hit fraction, or `None` when no lookup has happened — the
+    /// honest value for reports, where a hard 0.0 would read as
+    /// "every lookup missed".
+    pub fn tlb_hit_rate_opt(&self) -> Option<f64> {
+        if self.tlb_hits + self.tlb_misses == 0 {
+            None
+        } else {
+            Some(self.tlb_hit_rate())
+        }
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// This is the single enumeration point metrics exposition builds on;
+    /// adding a field without extending it breaks the exhaustiveness
+    /// test below.
+    pub fn named(&self) -> [(&'static str, u64); 17] {
+        [
+            ("instructions", self.instructions),
+            ("exceptions", self.exceptions),
+            ("interrupts", self.interrupts),
+            ("chm", self.chm),
+            ("rei", self.rei),
+            ("movpsl", self.movpsl),
+            ("probe", self.probe),
+            ("probevm", self.probevm),
+            ("mtpr_ipl", self.mtpr_ipl),
+            ("mtpr_other", self.mtpr_other),
+            ("vm_emulation_traps", self.vm_emulation_traps),
+            ("vm_exception_exits", self.vm_exception_exits),
+            ("vm_interrupt_exits", self.vm_interrupt_exits),
+            ("context_switches", self.context_switches),
+            ("device_csr_accesses", self.device_csr_accesses),
+            ("tlb_hits", self.tlb_hits),
+            ("tlb_misses", self.tlb_misses),
+        ]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A counter set whose every field is distinct and nonzero, built
+    /// through `named()` order so the test covers all 17 fields without
+    /// naming each one twice.
+    fn filled(seed: u64) -> CpuCounters {
+        CpuCounters {
+            instructions: seed,
+            exceptions: seed + 1,
+            interrupts: seed + 2,
+            chm: seed + 3,
+            rei: seed + 4,
+            movpsl: seed + 5,
+            probe: seed + 6,
+            probevm: seed + 7,
+            mtpr_ipl: seed + 8,
+            mtpr_other: seed + 9,
+            vm_emulation_traps: seed + 10,
+            vm_exception_exits: seed + 11,
+            vm_interrupt_exits: seed + 12,
+            context_switches: seed + 13,
+            device_csr_accesses: seed + 14,
+            tlb_hits: seed + 15,
+            tlb_misses: seed + 16,
+        }
+    }
+
     #[test]
-    fn delta_subtracts_componentwise() {
-        let a = CpuCounters {
-            instructions: 10,
-            chm: 2,
+    fn delta_subtracts_every_field() {
+        let earlier = filled(100);
+        let later = filled(1000);
+        let d = later.delta(&earlier);
+        for (i, ((name, dv), (_, lv))) in d.named().iter().zip(later.named().iter()).enumerate() {
+            // later - earlier = (1000 + i) - (100 + i) = 900 for every field.
+            assert_eq!(*dv, 900, "field {name} not subtracted");
+            assert_eq!(*lv, 1000 + i as u64, "field {name} out of order in named()");
+        }
+        // delta of self with self is identically zero.
+        let z = later.delta(&later);
+        assert_eq!(z, CpuCounters::default());
+    }
+
+    #[test]
+    fn named_is_exhaustive_and_unique() {
+        // Destructure so adding a field without updating named() fails
+        // to compile here.
+        let CpuCounters {
+            instructions: _,
+            exceptions: _,
+            interrupts: _,
+            chm: _,
+            rei: _,
+            movpsl: _,
+            probe: _,
+            probevm: _,
+            mtpr_ipl: _,
+            mtpr_other: _,
+            vm_emulation_traps: _,
+            vm_exception_exits: _,
+            vm_interrupt_exits: _,
+            context_switches: _,
+            device_csr_accesses: _,
+            tlb_hits: _,
+            tlb_misses: _,
+        } = CpuCounters::default();
+        let names: Vec<&str> = filled(0).named().iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate counter name");
+    }
+
+    #[test]
+    fn tlb_hit_rate_opt_none_without_lookups() {
+        let c = CpuCounters::default();
+        assert_eq!(c.tlb_hit_rate_opt(), None);
+        let c = CpuCounters {
+            tlb_hits: 3,
+            tlb_misses: 1,
             ..Default::default()
         };
-        let b = CpuCounters {
-            instructions: 25,
-            chm: 5,
-            rei: 1,
-            ..Default::default()
-        };
-        let d = b.delta(&a);
-        assert_eq!(d.instructions, 15);
-        assert_eq!(d.chm, 3);
-        assert_eq!(d.rei, 1);
+        assert_eq!(c.tlb_hit_rate_opt(), Some(0.75));
     }
 
     #[test]

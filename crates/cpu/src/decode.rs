@@ -13,7 +13,9 @@ use crate::event::{OperandLoc, OperandValue};
 use crate::fixedvec::FixedVec;
 use crate::icache::{parse_template, BaseTpl, InstTemplate, OpTpl};
 use crate::machine::Machine;
-use vax_arch::{AccessMode, AccessType, CostModel, DataType, Exception, Opcode, VirtAddr, PAGE_SHIFT};
+use vax_arch::{
+    AccessMode, AccessType, CostModel, DataType, Exception, Opcode, VirtAddr, PAGE_SHIFT,
+};
 use vax_mem::MemFault;
 
 /// Why instruction execution aborted before committing.
@@ -43,10 +45,7 @@ pub(crate) enum DecOp {
     /// Read access: the fetched value (zero-extended to 32 bits).
     Value(u32),
     /// Write or modify access: destination, plus the old value for modify.
-    Loc {
-        loc: OperandLoc,
-        old: Option<u32>,
-    },
+    Loc { loc: OperandLoc, old: Option<u32> },
     /// Address access: the effective address.
     Addr(VirtAddr),
     /// Branch displacement: the resolved target PC.
@@ -221,9 +220,7 @@ impl Machine {
                         loc: OperandLoc::Reg(reg),
                         old: Some(mask_width(cur.reg(self, reg), width)),
                     },
-                    AccessType::Address => {
-                        return Err(Exception::ReservedAddressingMode.into())
-                    }
+                    AccessType::Address => return Err(Exception::ReservedAddressingMode.into()),
                     AccessType::Branch => unreachable!(),
                 });
             }
@@ -277,7 +274,11 @@ impl Machine {
                 };
                 // For PC the base is the updated PC (after the
                 // displacement bytes).
-                let base = if reg == 15 { cur.pc } else { cur.reg(self, reg) };
+                let base = if reg == 15 {
+                    cur.pc
+                } else {
+                    cur.reg(self, reg)
+                };
                 let direct = VirtAddr::new(base.wrapping_add(disp as u32));
                 if deferred {
                     let ea = self.read_operand_mem(direct, DataType::Long)?;
@@ -356,7 +357,11 @@ impl Machine {
                     2 => raw as u16 as i16 as i32,
                     _ => raw as i32,
                 };
-                let base = if reg == 15 { cur.pc } else { cur.reg(self, reg) };
+                let base = if reg == 15 {
+                    cur.pc
+                } else {
+                    cur.reg(self, reg)
+                };
                 let direct = VirtAddr::new(base.wrapping_add(disp as u32));
                 if deferred {
                     let ea = self.read_operand_mem(direct, DataType::Long)?;
@@ -432,7 +437,6 @@ impl Machine {
         Ok(true)
     }
 
-
     /// Charge-free probe for the physical address of a fetch byte:
     /// identity when mapping is off, otherwise a TLB peek (no hit/miss
     /// accounting) plus protection check. `None` (unmapped, protected,
@@ -466,7 +470,9 @@ impl Machine {
         if self.mmu.mapen() {
             let mode = self.psl.cur_mode();
             let t = {
-                let Machine { mmu, mem, costs, .. } = self;
+                let Machine {
+                    mmu, mem, costs, ..
+                } = self;
                 mmu.translate(mem, VirtAddr::new(cur.pc), mode, false, costs)?
             };
             self.cycles += t.cycles;
@@ -599,7 +605,11 @@ impl Machine {
                 deferred,
             } => {
                 self.charge_fetch(cur, dw as u32)?;
-                let b = if reg == 15 { cur.pc } else { cur.reg(self, reg) };
+                let b = if reg == 15 {
+                    cur.pc
+                } else {
+                    cur.reg(self, reg)
+                };
                 let direct = b.wrapping_add(disp as u32);
                 if deferred {
                     self.read_operand_mem(VirtAddr::new(direct), DataType::Long)?

@@ -32,6 +32,7 @@ impl Machine {
                     }
                     Ok(crate::exec::ExecOutcome::VmTrap(info)) => {
                         self.counters.vm_emulation_traps += 1;
+                        self.exit_stamp = self.cycles;
                         self.cycles += self.costs.vm_emulation_trap;
                         self.psl.set_vm(false);
                         StepEvent::VmExit(VmExit::Emulation(info))
@@ -56,6 +57,7 @@ impl Machine {
             // the VM's PC still at the faulting instruction.
             self.psl.set_vm(false);
             self.counters.vm_exception_exits += 1;
+            self.exit_stamp = self.cycles;
             self.cycles += self.costs.exception_entry;
             debug_assert_eq!(self.pc(), pc_start, "faults must not advance PC");
             return StepEvent::VmExit(VmExit::Exception(e));
@@ -105,19 +107,12 @@ impl Machine {
         }
         for v in to_push.iter() {
             sp = sp.wrapping_sub(4);
-            if self
-                .write_virt(VirtAddr::new(sp), *v, 4, new_mode)
-                .is_err()
-            {
+            if self.write_virt(VirtAddr::new(sp), *v, 4, new_mode).is_err() {
                 // Kernel (or target) stack not valid.
                 if matches!(e, Exception::KernelStackNotValid) {
                     return Err(());
                 }
-                return self.deliver_exception(
-                    Exception::KernelStackNotValid,
-                    pc_start,
-                    next_pc,
-                );
+                return self.deliver_exception(Exception::KernelStackNotValid, pc_start, next_pc);
             }
         }
 

@@ -87,18 +87,18 @@ impl Machine {
                 // Unprivileged sensitive: always trap for emulation.
                 Chmk | Chme | Chms | Chmu => {
                     self.counters.chm += 1;
-                    return Ok(ExecOutcome::VmTrap(self.make_vm_trap(&d)));
+                    return Ok(ExecOutcome::VmTrap(self.make_vm_trap(d)));
                 }
                 Rei => {
                     self.counters.rei += 1;
-                    return Ok(ExecOutcome::VmTrap(self.make_vm_trap(&d)));
+                    return Ok(ExecOutcome::VmTrap(self.make_vm_trap(d)));
                 }
                 // Privileged sensitive: trap for emulation only from
                 // VM-kernel mode; otherwise an ordinary privileged-
                 // instruction trap (which, in VM mode, the VMM reflects).
                 Halt | Ldpctx | Svpctx | Mtpr | Mfpr | Wait | Probevmr | Probevmw => {
                     if self.vmpsl.cur_mode() == AccessMode::Kernel {
-                        return Ok(ExecOutcome::VmTrap(self.make_vm_trap(&d)));
+                        return Ok(ExecOutcome::VmTrap(self.make_vm_trap(d)));
                     }
                     return Err(Exception::ReservedInstruction.into());
                 }
@@ -111,7 +111,7 @@ impl Machine {
 
         match op {
             Nop => {
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 self.set_pc(d.next_pc);
                 Ok(ExecOutcome::Retired)
             }
@@ -157,7 +157,7 @@ impl Machine {
                 let DecOp::Loc { loc, .. } = d.operands[1] else {
                     unreachable!()
                 };
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 let dtype = match width {
                     1 => DataType::Byte,
                     2 => DataType::Word,
@@ -196,7 +196,7 @@ impl Machine {
                 let DecOp::Loc { loc, .. } = d.operands[0] else {
                     unreachable!()
                 };
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 if let Err(e) = self.write_loc(loc, 0, width, cur_mode) {
                     self.rollback(saved);
                     return Err(e);
@@ -214,7 +214,7 @@ impl Machine {
                     _ => 4,
                 };
                 let v = d.operands[0].value();
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 self.set_pc(d.next_pc);
                 self.set_nzv_keep_c(v, width);
                 self.psl.set_flag(Psl::C, false);
@@ -230,14 +230,14 @@ impl Machine {
                 let b = sign_extend(d.operands[1].value(), width);
                 let ua = mask_width(d.operands[0].value(), width);
                 let ub = mask_width(d.operands[1].value(), width);
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 self.set_pc(d.next_pc);
                 self.set_nzvc(a < b, a == b, false, ua < ub);
                 Ok(ExecOutcome::Retired)
             }
             Bitl => {
                 let r = d.operands[0].value() & d.operands[1].value();
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 self.set_pc(d.next_pc);
                 self.set_nzv_keep_c(r, 4);
                 Ok(ExecOutcome::Retired)
@@ -255,7 +255,7 @@ impl Machine {
                 let DecOp::Loc { loc, .. } = d.operands[2] else {
                     unreachable!()
                 };
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 if let Err(e) = self.write_loc(loc, value, DataType::Long, cur_mode) {
                     self.rollback(saved);
                     return Err(e);
@@ -268,15 +268,14 @@ impl Machine {
             // ---- branches and flow control ----
             Brb | Brw => {
                 let target = d.operands[0].value();
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 self.set_pc(target);
                 Ok(ExecOutcome::Retired)
             }
-            Bneq | Beql | Bgtr | Bleq | Bgeq | Blss | Bgtru | Blequ | Bvc | Bvs | Bgequ
-            | Blssu => {
+            Bneq | Beql | Bgtr | Bleq | Bgeq | Blss | Bgtru | Blequ | Bvc | Bvs | Bgequ | Blssu => {
                 let take = self.condition(op);
                 let target = d.operands[0].value();
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 self.set_pc(if take { target } else { d.next_pc });
                 Ok(ExecOutcome::Retired)
             }
@@ -293,7 +292,7 @@ impl Machine {
                 let bit = 1u32 << (pos & 7);
                 let old = self.read_virt(byte_va, 1, cur_mode)?;
                 let set = old & bit != 0;
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 if matches!(op, Bbss | Bbcc) {
                     let new = if op == Bbss { old | bit } else { old & !bit };
                     if let Err(e) = self.write_virt(byte_va, new, 1, cur_mode) {
@@ -315,11 +314,16 @@ impl Machine {
                     unreachable!()
                 };
                 let successor = self.read_virt(pred, 4, cur_mode)?;
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 let result: Result<(), Abort> = (|| {
                     self.write_virt(entry, successor, 4, cur_mode)?;
                     self.write_virt(entry.wrapping_add(4), pred.raw(), 4, cur_mode)?;
-                    self.write_virt(VirtAddr::new(successor).wrapping_add(4), entry.raw(), 4, cur_mode)?;
+                    self.write_virt(
+                        VirtAddr::new(successor).wrapping_add(4),
+                        entry.raw(),
+                        4,
+                        cur_mode,
+                    )?;
                     self.write_virt(pred, entry.raw(), 4, cur_mode)?;
                     Ok(())
                 })();
@@ -343,7 +347,7 @@ impl Machine {
                 let blink = self.read_virt(entry.wrapping_add(4), 4, cur_mode)?;
                 // V: removing from an empty queue (entry linked to itself).
                 let was_empty = flink == entry.raw();
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 let result: Result<(), Abort> = (|| {
                     if !was_empty {
                         self.write_virt(VirtAddr::new(blink), flink, 4, cur_mode)?;
@@ -365,7 +369,7 @@ impl Machine {
                 let v = d.operands[0].value();
                 let take = (v & 1 == 1) == (op == Blbs);
                 let target = d.operands[1].value();
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 self.set_pc(if take { target } else { d.next_pc });
                 Ok(ExecOutcome::Retired)
             }
@@ -378,7 +382,7 @@ impl Machine {
                 let base = d.operands[1].value();
                 let limit = d.operands[2].value();
                 let i = sel.wrapping_sub(base);
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 let table = d.next_pc;
                 if i <= limit {
                     let raw =
@@ -396,7 +400,7 @@ impl Machine {
                 let DecOp::Addr(a) = d.operands[0] else {
                     unreachable!()
                 };
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 self.set_pc(a.raw());
                 Ok(ExecOutcome::Retired)
             }
@@ -406,7 +410,7 @@ impl Machine {
                     DecOp::Branch(t) => t,
                     _ => unreachable!(),
                 };
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 if let Err(e) = self.push(d.next_pc) {
                     self.rollback(saved);
                     return Err(e.into());
@@ -426,7 +430,7 @@ impl Machine {
                 let old = old.expect("modify operand");
                 let new = old.wrapping_sub(1);
                 let target = d.operands[1].value();
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 if let Err(e) = self.write_loc(loc, new, DataType::Long, cur_mode) {
                     self.rollback(saved);
                     return Err(e);
@@ -449,7 +453,7 @@ impl Machine {
                 let old = old.expect("modify operand");
                 let new = old.wrapping_add(1);
                 let target = d.operands[2].value();
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 if let Err(e) = self.write_loc(loc, new, DataType::Long, cur_mode) {
                     self.rollback(saved);
                     return Err(e);
@@ -468,7 +472,7 @@ impl Machine {
             // ---- stack and calls ----
             Pushl | Pushal => {
                 let value = d.operands[0].value();
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 if let Err(e) = self.push(value) {
                     self.rollback(saved);
                     return Err(e.into());
@@ -489,7 +493,7 @@ impl Machine {
                 let DecOp::Addr(dst) = d.operands[2] else {
                     unreachable!()
                 };
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 for i in 0..len {
                     let b = self.read_virt(src.wrapping_add(i), 1, cur_mode)?;
                     self.write_virt(dst.wrapping_add(i), b, 1, cur_mode)?;
@@ -520,7 +524,7 @@ impl Machine {
                 let DecOp::Loc { loc, .. } = d.operands[0] else {
                     unreachable!()
                 };
-                let saved = self.begin_commit(&d);
+                let saved = self.begin_commit(d);
                 if let Err(e) = self.write_loc(loc, value, DataType::Long, cur_mode) {
                     self.rollback(saved);
                     return Err(e);
@@ -540,7 +544,7 @@ impl Machine {
                 self.cycles += self.costs.chm;
                 let code = d.operands[0].value() as u16 as i16 as i32 as u32;
                 let target = op.chm_target().expect("CHM opcode");
-                let _ = self.begin_commit(&d);
+                let _ = self.begin_commit(d);
                 Err(Exception::ChangeMode { target, code }.into())
             }
             Rei => {
@@ -636,9 +640,8 @@ impl Machine {
             Divl2 | Divl3 => {
                 // quo = b / a (DIVL2 divr,quo ; DIVL3 divr,divd,quo).
                 if a == 0 {
-                    let _ = self.begin_commit(&d);
-                    return Err(Exception::Arithmetic(ArithmeticCode::IntegerDivideByZero)
-                        .into());
+                    let _ = self.begin_commit(d);
+                    return Err(Exception::Arithmetic(ArithmeticCode::IntegerDivideByZero).into());
                 }
                 if b == 0x8000_0000 && a == 0xffff_ffff {
                     (b, true, false) // overflow: result is dividend, V set
@@ -668,7 +671,7 @@ impl Machine {
             (value, vflag, cflag)
         };
 
-        let saved = self.begin_commit(&d);
+        let saved = self.begin_commit(d);
         if let Err(e) = self.write_loc(loc, value, width, cur_mode) {
             self.rollback(saved);
             return Err(e);
@@ -710,7 +713,9 @@ impl Machine {
         let mut accessible = true;
         for va in [base, base.wrapping_add(len - 1)] {
             let outcome = {
-                let Machine { mmu, mem, costs, .. } = self;
+                let Machine {
+                    mmu, mem, costs, ..
+                } = self;
                 mmu.probe(mem, va, probe_mode, write, costs)
             }
             .map_err(Abort::Fault)?;
@@ -718,18 +723,18 @@ impl Machine {
             if in_vm && !outcome.pte_valid {
                 // Shadow PTE not valid: its protection field is not
                 // meaningful — trap to the VMM for a fill (paper §4.3.2).
-                return Ok(ExecOutcome::VmTrap(self.make_vm_trap(&d)));
+                return Ok(ExecOutcome::VmTrap(self.make_vm_trap(d)));
             }
             if in_vm && write && !outcome.accessible {
                 // A denied write probe may be an artifact of a
                 // write-protected shadow (the §4.4.2 read-only-shadow
                 // alternative makes "PROBEW trap more frequently"); let
                 // the VMM check the VM's own PTE.
-                return Ok(ExecOutcome::VmTrap(self.make_vm_trap(&d)));
+                return Ok(ExecOutcome::VmTrap(self.make_vm_trap(d)));
             }
             accessible &= outcome.accessible;
         }
-        let _ = self.begin_commit(&d);
+        let _ = self.begin_commit(d);
         self.set_pc(d.next_pc);
         // Z=1 means NOT accessible (VMS convention: PROBEx ; BEQL fail).
         self.set_nzvc(false, !accessible, false, false);
@@ -747,12 +752,14 @@ impl Machine {
             unreachable!()
         };
         let outcome = {
-            let Machine { mmu, mem, costs, .. } = self;
+            let Machine {
+                mmu, mem, costs, ..
+            } = self;
             mmu.probe(mem, base, probe_mode, write, costs)
         }
         .map_err(Abort::Fault)?;
         self.cycles += outcome.cycles;
-        let _ = self.begin_commit(&d);
+        let _ = self.begin_commit(d);
         self.set_pc(d.next_pc);
         // Tests protection, validity, modify — in that order (Table 2).
         // Z=1: protection denies. V=1: PTE invalid. C=1: write probed and
@@ -783,7 +790,7 @@ impl Machine {
             self.counters.mtpr_other += 1;
             self.cycles += self.costs.mtpr_other;
         }
-        let _ = self.begin_commit(&d);
+        let _ = self.begin_commit(d);
         self.write_ipr(ipr, value).map_err(Abort::Exc)?;
         self.set_pc(d.next_pc);
         Ok(ExecOutcome::Retired)
@@ -800,7 +807,7 @@ impl Machine {
         let DecOp::Loc { loc, .. } = d.operands[1] else {
             unreachable!()
         };
-        let saved = self.begin_commit(&d);
+        let saved = self.begin_commit(d);
         if let Err(e) = self.write_loc(loc, value, DataType::Long, cur_mode) {
             self.rollback(saved);
             return Err(e);
@@ -818,7 +825,7 @@ impl Machine {
         if mask & 0xC000 != 0 {
             return Err(Exception::ReservedOperand.into());
         }
-        let saved = self.begin_commit(&d);
+        let saved = self.begin_commit(d);
         let result: Result<(), Abort> = (|| {
             self.push(numarg)?;
             let arglist = self.reg(14);
@@ -831,7 +838,7 @@ impl Machine {
             self.push(d.next_pc)?;
             self.push(self.reg(13))?; // FP
             self.push(self.reg(12))?; // AP
-            // Saved mask + "S flag" (bit 29) marking a CALLS frame.
+                                      // Saved mask + "S flag" (bit 29) marking a CALLS frame.
             self.push((mask << 16) | (1 << 29))?;
             self.push(0)?; // condition handler
             self.set_reg(13, self.reg(14)); // FP = SP
@@ -896,7 +903,7 @@ impl Machine {
         let p1br = rd(self, 88)?;
         let p1lr = rd(self, 92)?;
 
-        let _ = self.begin_commit(&d);
+        let _ = self.begin_commit(d);
         self.set_sp_for_mode(AccessMode::Kernel, ksp);
         self.set_sp_for_mode(AccessMode::Executive, esp);
         self.set_sp_for_mode(AccessMode::Supervisor, ssp);
@@ -922,13 +929,12 @@ impl Machine {
     fn exec_svpctx(&mut self, d: &Decoded) -> Result<ExecOutcome, Abort> {
         self.counters.context_switches += 1;
         self.cycles += self.costs.context_switch;
-        let _ = self.begin_commit(&d);
+        let _ = self.begin_commit(d);
         let pc = self.pop().map_err(Abort::Fault)?;
         let psl = self.pop().map_err(Abort::Fault)?;
         let pcb = self.pcbb;
-        let wr = |m: &mut Machine, off: u32, v: u32| {
-            m.mem.write_u32(pcb + off, v).map_err(Abort::Fault)
-        };
+        let wr =
+            |m: &mut Machine, off: u32, v: u32| m.mem.write_u32(pcb + off, v).map_err(Abort::Fault);
         wr(self, 72, pc)?;
         wr(self, 76, psl)?;
         let ksp = self.sp_for_mode(AccessMode::Kernel);

@@ -522,7 +522,9 @@ mod tests {
     #[test]
     fn parses_immediate_and_absolute() {
         // MOVL #0x11223344, @#0x500
-        let t = tpl_of(&[0xD0, 0x8F, 0x44, 0x33, 0x22, 0x11, 0x9F, 0x00, 0x05, 0x00, 0x00]);
+        let t = tpl_of(&[
+            0xD0, 0x8F, 0x44, 0x33, 0x22, 0x11, 0x9F, 0x00, 0x05, 0x00, 0x00,
+        ]);
         assert_eq!(
             t.ops[0],
             OpTpl::Immediate {

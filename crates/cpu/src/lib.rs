@@ -57,8 +57,8 @@ pub mod sensitivity;
 
 pub use bus::{Bus, IrqRequest, MmioDevice, IO_BASE_PA};
 pub use counters::CpuCounters;
+pub use event::{HaltReason, OperandLoc, OperandValue, StepEvent, VmExit, VmTrapInfo};
 pub use fixedvec::FixedVec;
 pub use icache::DecodeCacheStats;
-pub use event::{HaltReason, OperandLoc, OperandValue, StepEvent, VmExit, VmTrapInfo};
 pub use machine::{Machine, TIMER_IPL};
 pub use sensitivity::{scan_sensitivity, ScanOutcome, SensitivityFinding};

@@ -3,8 +3,8 @@
 
 use crate::bus::{Bus, IrqRequest, IO_BASE_PA};
 use crate::counters::CpuCounters;
-use crate::icache::{DecodeCache, DecodeCacheStats};
 use crate::event::{HaltReason, StepEvent, VmExit};
+use crate::icache::{DecodeCache, DecodeCacheStats};
 use std::collections::VecDeque;
 use vax_arch::{
     AccessMode, CostModel, Exception, Ipr, MachineVariant, Psl, ScbVector, VirtAddr, VmPsl,
@@ -118,6 +118,10 @@ pub struct Machine {
     /// Optional PC trace ring (debugging aid).
     trace: Option<(VecDeque<u32>, usize)>,
     pub(crate) cycles: u64,
+    /// Cycle count at the instant the most recent VM exit began, before
+    /// any microcode trap-entry charge — the observability layer's
+    /// exit-to-resume latency origin. Never fed back into execution.
+    pub(crate) exit_stamp: u64,
     pub(crate) counters: CpuCounters,
     pub(crate) halted: bool,
 }
@@ -159,6 +163,7 @@ impl Machine {
             decode_scratch: Some(Box::new(crate::decode::Decoded::empty())),
             trace: None,
             cycles: 0,
+            exit_stamp: 0,
             counters: CpuCounters::default(),
             halted: false,
         }
@@ -182,6 +187,13 @@ impl Machine {
     /// Cumulative simulated cycles.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Cycle count at the instant the most recent VM exit began (before
+    /// the microcode trap-entry charge), so exit-to-resume latency
+    /// includes the hardware half of the exit.
+    pub fn last_exit_cycles(&self) -> u64 {
+        self.exit_stamp
     }
 
     /// Charges extra cycles (used by the VMM to account its software
@@ -455,7 +467,9 @@ impl Machine {
         self.cycles += self.costs.memory_reference;
         if va.byte_offset() + len <= PAGE_BYTES {
             let t = {
-                let Machine { mmu, mem, costs, .. } = self;
+                let Machine {
+                    mmu, mem, costs, ..
+                } = self;
                 mmu.translate(mem, va, mode, false, costs)?
             };
             self.cycles += t.cycles;
@@ -466,7 +480,9 @@ impl Machine {
             // are kept so device CSR accounting still sees every byte.
             let split = PAGE_BYTES - va.byte_offset();
             let (pa0, pa1) = {
-                let Machine { mmu, mem, costs, .. } = self;
+                let Machine {
+                    mmu, mem, costs, ..
+                } = self;
                 let t0 = mmu.translate(mem, va, mode, false, costs)?;
                 let t1 = mmu.translate(mem, va.wrapping_add(split), mode, false, costs)?;
                 self.cycles += t0.cycles + t1.cycles;
@@ -474,7 +490,11 @@ impl Machine {
             };
             let mut v = 0u32;
             for i in 0..len {
-                let pa = if i < split { pa0 + i } else { pa1 + (i - split) };
+                let pa = if i < split {
+                    pa0 + i
+                } else {
+                    pa1 + (i - split)
+                };
                 v |= self.read_pa(pa, 1)? << (8 * i);
             }
             Ok(v)
@@ -497,7 +517,9 @@ impl Machine {
         self.cycles += self.costs.memory_reference;
         if va.byte_offset() + len <= PAGE_BYTES {
             let t = {
-                let Machine { mmu, mem, costs, .. } = self;
+                let Machine {
+                    mmu, mem, costs, ..
+                } = self;
                 mmu.translate(mem, va, mode, true, costs)?
             };
             self.cycles += t.cycles;
@@ -507,14 +529,20 @@ impl Machine {
             // the second page leaves no partial write.
             let split = PAGE_BYTES - va.byte_offset();
             let (pa0, pa1) = {
-                let Machine { mmu, mem, costs, .. } = self;
+                let Machine {
+                    mmu, mem, costs, ..
+                } = self;
                 let t0 = mmu.translate(mem, va, mode, true, costs)?;
                 let t1 = mmu.translate(mem, va.wrapping_add(split), mode, true, costs)?;
                 self.cycles += t0.cycles + t1.cycles;
                 (t0.pa, t1.pa)
             };
             for i in 0..len {
-                let pa = if i < split { pa0 + i } else { pa1 + (i - split) };
+                let pa = if i < split {
+                    pa0 + i
+                } else {
+                    pa1 + (i - split)
+                };
                 self.write_pa(pa, (value >> (8 * i)) & 0xff, 1)?;
             }
             Ok(())
@@ -744,6 +772,7 @@ impl Machine {
             if self.psl.vm() {
                 self.psl.set_vm(false);
                 self.counters.vm_interrupt_exits += 1;
+                self.exit_stamp = self.cycles;
                 self.cycles += self.costs.exception_entry;
                 return StepEvent::VmExit(VmExit::Interrupt { ipl, vector });
             }

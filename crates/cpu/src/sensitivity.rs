@@ -14,9 +14,7 @@
 use crate::event::{StepEvent, VmExit};
 use crate::machine::Machine;
 use vax_arch::opcode::SensitiveData;
-use vax_arch::{
-    AccessMode, MachineVariant, Opcode, Protection, Psl, Pte, ScbVector, VmPsl,
-};
+use vax_arch::{AccessMode, MachineVariant, Opcode, Protection, Psl, Pte, ScbVector, VmPsl};
 
 /// What happened when the instruction was executed from user mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,9 +99,7 @@ fn harness(variant: MachineVariant) -> Machine {
     }
     m.set_scbb(SCB_PA);
     // Handler: HALT (kernel mode reaches it through the SCB).
-    m.mem_mut()
-        .write_u8(HANDLER & 0x00ff_ffff, 0x00)
-        .unwrap();
+    m.mem_mut().write_u8(HANDLER & 0x00ff_ffff, 0x00).unwrap();
     // User mode, user previous mode, IPL 0.
     let mut psl = Psl::new();
     psl.set_cur_mode(AccessMode::User);
@@ -176,16 +172,12 @@ fn prime(m: &mut Machine, op: Opcode) {
     }
     if op == Opcode::Rsb {
         let sp = USER_SP - 4;
-        m.mem_mut()
-            .write_u32(sp & 0x00ff_ffff, CODE_BASE)
-            .unwrap();
+        m.mem_mut().write_u32(sp & 0x00ff_ffff, CODE_BASE).unwrap();
         m.set_reg(14, sp);
     }
     if op == Opcode::Calls {
         // Entry mask of 0 at the destination.
-        m.mem_mut()
-            .write_u16(SCRATCH & 0x00ff_ffff, 0)
-            .unwrap();
+        m.mem_mut().write_u16(SCRATCH & 0x00ff_ffff, 0).unwrap();
     }
 }
 
@@ -275,12 +267,21 @@ mod tests {
     fn standard_vax_violates_popek_goldberg() {
         let findings = scan_sensitivity(MachineVariant::Standard, false);
         // MOVPSL executes directly in user mode, revealing PSL<CUR>.
-        assert_eq!(finding(&findings, Opcode::Movpsl).outcome, ScanOutcome::Retired);
+        assert_eq!(
+            finding(&findings, Opcode::Movpsl).outcome,
+            ScanOutcome::Retired
+        );
         assert!(finding(&findings, Opcode::Movpsl).is_violation());
         // REI executes directly from user mode.
-        assert_eq!(finding(&findings, Opcode::Rei).outcome, ScanOutcome::Retired);
+        assert_eq!(
+            finding(&findings, Opcode::Rei).outcome,
+            ScanOutcome::Retired
+        );
         // PROBER executes directly.
-        assert_eq!(finding(&findings, Opcode::Prober).outcome, ScanOutcome::Retired);
+        assert_eq!(
+            finding(&findings, Opcode::Prober).outcome,
+            ScanOutcome::Retired
+        );
         // CHMK traps, but through its own vector — not to a monitor.
         assert!(matches!(
             finding(&findings, Opcode::Chmk).outcome,
@@ -288,7 +289,10 @@ mod tests {
         ));
         assert!(finding(&findings, Opcode::Chmk).is_violation());
         // Ordinary memory writes retire and implicitly set PTE<M>.
-        assert_eq!(finding(&findings, Opcode::Movl).outcome, ScanOutcome::Retired);
+        assert_eq!(
+            finding(&findings, Opcode::Movl).outcome,
+            ScanOutcome::Retired
+        );
         // Privileged instructions do trap.
         assert_eq!(
             finding(&findings, Opcode::Mtpr).outcome,
@@ -331,8 +335,14 @@ mod tests {
             ScanOutcome::Retired
         );
         // Innocuous instructions still execute directly (efficiency).
-        assert_eq!(finding(&findings, Opcode::Addl2).outcome, ScanOutcome::Retired);
-        assert_eq!(finding(&findings, Opcode::Brb).outcome, ScanOutcome::Retired);
+        assert_eq!(
+            finding(&findings, Opcode::Addl2).outcome,
+            ScanOutcome::Retired
+        );
+        assert_eq!(
+            finding(&findings, Opcode::Brb).outcome,
+            ScanOutcome::Retired
+        );
     }
 
     #[test]

@@ -35,15 +35,21 @@ fn compute_loop(iterations: u32) -> Vec<u8> {
     a.clrl(Operand::Reg(Reg::R3)).unwrap();
     let top = a.label();
     a.bind(top).unwrap();
-    a.inst(Opcode::Addl2, &[Operand::Reg(Reg::R2), Operand::Reg(Reg::R3)])
-        .unwrap();
+    a.inst(
+        Opcode::Addl2,
+        &[Operand::Reg(Reg::R2), Operand::Reg(Reg::R3)],
+    )
+    .unwrap();
     a.inst(
         Opcode::Xorl2,
         &[Operand::Imm(0x55AA), Operand::Reg(Reg::R3)],
     )
     .unwrap();
-    a.inst(Opcode::Sobgtr, &[Operand::Reg(Reg::R2), Operand::Branch(top)])
-        .unwrap();
+    a.inst(
+        Opcode::Sobgtr,
+        &[Operand::Reg(Reg::R2), Operand::Branch(top)],
+    )
+    .unwrap();
     a.halt().unwrap();
     a.assemble().unwrap().bytes
 }
@@ -85,8 +91,11 @@ fn self_modifying_code_is_observed() {
         &[Operand::Imm(0x51), Operand::Abs(0)], // abs address fixed below
     )
     .unwrap();
-    a.inst(Opcode::Sobgtr, &[Operand::Reg(Reg::R2), Operand::Branch(top)])
-        .unwrap();
+    a.inst(
+        Opcode::Sobgtr,
+        &[Operand::Reg(Reg::R2), Operand::Branch(top)],
+    )
+    .unwrap();
     a.halt().unwrap();
     let mut bytes = a.assemble().unwrap().bytes;
 

@@ -32,7 +32,12 @@ fn run_with(src: &str, setup: impl FnOnce(&mut Machine)) -> Machine {
 
 fn cc(m: &Machine) -> (bool, bool, bool, bool) {
     let p = m.psl();
-    (p.flag(Psl::N), p.flag(Psl::Z), p.flag(Psl::V), p.flag(Psl::C))
+    (
+        p.flag(Psl::N),
+        p.flag(Psl::Z),
+        p.flag(Psl::V),
+        p.flag(Psl::C),
+    )
 }
 
 #[test]
@@ -136,8 +141,7 @@ fn cmpl_signed_and_unsigned_flags() {
 
 #[test]
 fn signed_and_unsigned_branches() {
-    let m = run(
-        "
+    let m = run("
         clrl r5
         cmpl #-1, #1
         blss s_ok               ; signed less: taken
@@ -150,15 +154,13 @@ fn signed_and_unsigned_branches() {
         halt
     u_no:
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(5), 3);
 }
 
 #[test]
 fn blbs_blbc() {
-    let m = run(
-        "
+    let m = run("
         clrl r5
         movl #5, r0
         blbs r0, odd
@@ -171,38 +173,33 @@ fn blbs_blbc() {
     even:
         incl r5
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(5), 2);
 }
 
 #[test]
 fn aoblss_and_sobgeq() {
     // AOBLSS: count 0..5.
-    let m = run(
-        "
+    let m = run("
         clrl r0
         clrl r1
     top:
         incl r1
         aoblss #5, r0, top
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(0), 5);
     assert_eq!(m.reg(1), 5);
 
     // SOBGEQ runs for index values down to 0 inclusive.
-    let m = run(
-        "
+    let m = run("
         movl #3, r0
         clrl r1
     top:
         incl r1
         sobgeq r0, top
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(1), 4, "3,2,1,0");
 }
 
@@ -242,8 +239,7 @@ fn incb_decb_wrap_at_byte_width() {
 
 #[test]
 fn jsb_rsb_nest() {
-    let m = run(
-        "
+    let m = run("
             jsb sub1
             bisl2 #8, r5
             halt
@@ -255,15 +251,13 @@ fn jsb_rsb_nest() {
         sub2:
             bisl2 #2, r5
             rsb
-        ",
-    );
+        ");
     assert_eq!(m.reg(5), 15, "all four phases in order");
 }
 
 #[test]
 fn calls_preserves_masked_registers_and_pops_args() {
-    let m = run(
-        "
+    let m = run("
             movl #0x11, r2
             movl #0x22, r3
             pushl #30
@@ -276,8 +270,7 @@ fn calls_preserves_masked_registers_and_pops_args() {
             movl 8(ap), r3      ; 30
             addl3 r2, r3, r0
             ret
-        ",
-    );
+        ");
     assert_eq!(m.reg(0), 42);
     assert_eq!(m.reg(2), 0x11, "R2 restored");
     assert_eq!(m.reg(3), 0x22, "R3 restored");
@@ -286,14 +279,12 @@ fn calls_preserves_masked_registers_and_pops_args() {
 
 #[test]
 fn movc3_handles_forward_overlap() {
-    let m = run(
-        "
+    let m = run("
         movl #0x11223344, @#0x3000
         movl #0x55667788, @#0x3004
         movc3 #8, @#0x3000, @#0x3002
         halt
-        ",
-    );
+        ");
     // Forward byte-by-byte copy semantics.
     assert_eq!(m.mem().read_u16(0x3002).unwrap(), 0x3344);
     assert_eq!(m.reg(0), 0);
@@ -318,8 +309,7 @@ fn bicl_clears_mask_bits() {
 
 #[test]
 fn autoincrement_through_memory_scan() {
-    let m = run(
-        "
+    let m = run("
         movl #10, @#0x3000
         movl #20, @#0x3004
         movl #30, @#0x3008
@@ -330,8 +320,7 @@ fn autoincrement_through_memory_scan() {
         addl2 (r1)+, r2
         sobgtr r3, top
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(2), 60);
     assert_eq!(m.reg(1), 0x300C);
 }

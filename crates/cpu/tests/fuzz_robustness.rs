@@ -3,7 +3,7 @@
 //! never a crash, on both architecture variants and inside a VM.
 
 use proptest::prelude::*;
-use vax_arch::{MachineVariant, Psl, VmPsl, AccessMode};
+use vax_arch::{AccessMode, MachineVariant, Psl, VmPsl};
 use vax_cpu::{Machine, StepEvent};
 
 proptest! {

@@ -26,8 +26,7 @@ fn run(src: &str) -> Machine {
 
 #[test]
 fn longword_array_indexing() {
-    let m = run(
-        "
+    let m = run("
         movl #100, @#0x3000
         movl #200, @#0x3004
         movl #300, @#0x3008
@@ -37,56 +36,48 @@ fn longword_array_indexing() {
         movl #1, r1
         movl (r3)[r1], r4        ; element 1 via register deferred
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(2), 300);
     assert_eq!(m.reg(4), 200);
 }
 
 #[test]
 fn byte_indexing_scales_by_one() {
-    let m = run(
-        "
+    let m = run("
         movl #0x44332211, @#0x3000
         movl #3, r1
         movb @#0x3000[r1], r2
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(2) & 0xff, 0x44, "byte 3 of the longword");
 }
 
 #[test]
 fn indexed_write_and_displacement_base() {
-    let m = run(
-        "
+    let m = run("
         movl #0x3000, r5
         movl #3, r1
         movl #777, 8(r5)[r1]     ; 0x3000 + 8 + 3*4 = 0x3014
         movl @#0x3014, r2
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(2), 777);
 }
 
 #[test]
 fn negative_index() {
-    let m = run(
-        "
+    let m = run("
         movl #555, @#0x2FFC
         movl #-1, r1
         movl @#0x3000[r1], r2
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(2), 555, "index -1 steps back one element");
 }
 
 #[test]
 fn word_indexed_array_sum() {
-    let m = run(
-        "
+    let m = run("
         movw #10, @#0x3000
         movw #20, @#0x3002
         movw #30, @#0x3004
@@ -97,8 +88,7 @@ fn word_indexed_array_sum() {
         addl2 r3, r2
         aoblss #3, r1, top
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(2), 60, "word elements scaled by 2");
 }
 

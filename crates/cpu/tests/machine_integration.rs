@@ -1,9 +1,7 @@
 //! End-to-end machine tests: real assembled programs exercising the
 //! exception, mode-switch, memory-management, and timer machinery.
 
-use vax_arch::{
-    AccessMode, Ipr, MachineVariant, Opcode, Protection, Psl, Pte, ScbVector, VmPsl,
-};
+use vax_arch::{AccessMode, Ipr, MachineVariant, Opcode, Protection, Psl, Pte, ScbVector, VmPsl};
 use vax_asm::{assemble_text, Asm, Operand};
 use vax_cpu::{HaltReason, Machine, StepEvent, VmExit};
 
@@ -455,7 +453,11 @@ fn vm_emulation_trap_carries_decoded_operands() {
     assert_eq!(info.operands[1].value(), Some(Ipr::Ipl.number()));
     assert_eq!(info.vm_psl.cur_mode(), AccessMode::Kernel);
     assert!(!m.in_vm(), "microcode cleared PSL<VM>");
-    assert_eq!(m.pc(), 0x8000_0400, "PC not advanced; VMM resumes at next_pc");
+    assert_eq!(
+        m.pc(),
+        0x8000_0400,
+        "PC not advanced; VMM resumes at next_pc"
+    );
     assert_eq!(m.counters().vm_emulation_traps, 1);
 }
 
@@ -496,10 +498,7 @@ fn memory_fault_in_vm_exits_to_vmm() {
     let StepEvent::VmExit(VmExit::Exception(e)) = m.step() else {
         panic!("expected exception exit");
     };
-    assert!(matches!(
-        e,
-        vax_arch::Exception::TranslationNotValid { .. }
-    ));
+    assert!(matches!(e, vax_arch::Exception::TranslationNotValid { .. }));
     // VMM fills the shadow PTE and resumes: map page 43, write data.
     let pte = Pte::build(43, Protection::Uw, true, true);
     m.mem_mut().write_u32(SPT_PA + 4 * 43, pte.raw()).unwrap();
@@ -599,10 +598,18 @@ fn probevm_three_part_check() {
     // Page 42: null (invalid, UW) -> V.
     // Page 43: KW (kernel only, valid) -> Z (probe clamps to executive).
     let e = |pfn, prot, v, mbit| Pte::build(pfn, prot, v, mbit).raw();
-    m.mem_mut().write_u32(SPT_PA + 4 * 40, e(40, Protection::Uw, true, true)).unwrap();
-    m.mem_mut().write_u32(SPT_PA + 4 * 41, e(41, Protection::Uw, true, false)).unwrap();
-    m.mem_mut().write_u32(SPT_PA + 4 * 42, Pte::NULL.raw()).unwrap();
-    m.mem_mut().write_u32(SPT_PA + 4 * 43, e(43, Protection::Kw, true, true)).unwrap();
+    m.mem_mut()
+        .write_u32(SPT_PA + 4 * 40, e(40, Protection::Uw, true, true))
+        .unwrap();
+    m.mem_mut()
+        .write_u32(SPT_PA + 4 * 41, e(41, Protection::Uw, true, false))
+        .unwrap();
+    m.mem_mut()
+        .write_u32(SPT_PA + 4 * 42, Pte::NULL.raw())
+        .unwrap();
+    m.mem_mut()
+        .write_u32(SPT_PA + 4 * 43, e(43, Protection::Kw, true, true))
+        .unwrap();
 
     // probevmw #0, @#page ; movpsl -> capture condition codes per page.
     let src = "
@@ -725,7 +732,11 @@ fn no_ast_when_astlvl_is_none() {
     for _ in 0..12 {
         m.step();
     }
-    assert_eq!(m.read_ipr(vax_arch::Ipr::Sisr).unwrap(), 0, "no AST request");
+    assert_eq!(
+        m.read_ipr(vax_arch::Ipr::Sisr).unwrap(),
+        0,
+        "no AST request"
+    );
 }
 
 #[test]
@@ -765,9 +776,8 @@ fn four_mode_chm_chain_uses_four_distinct_stacks() {
         (0x10, "halt_h"),
     ] {
         // Symbols via a second assembly pass with symbols.
-        let (_, syms) =
-            vax_asm::assemble_text_with_symbols(
-                "
+        let (_, syms) = vax_asm::assemble_text_with_symbols(
+            "
                 chmk_h:
                     movl sp, r2
                     movl (sp)+, r7
@@ -788,12 +798,10 @@ fn four_mode_chm_chain_uses_four_distinct_stacks() {
                 halt_h:
                     halt
                 ",
-                0x8000_2000,
-            )
-            .unwrap();
-        m.mem_mut()
-            .write_u32(SCB_PA + vec, syms[sym])
-            .unwrap();
+            0x8000_2000,
+        )
+        .unwrap();
+        m.mem_mut().write_u32(SCB_PA + vec, syms[sym]).unwrap();
     }
     let _ = handlers;
     load(

@@ -28,8 +28,7 @@ fn run(src: &str) -> Machine {
 fn insque_builds_a_queue_and_remque_drains_it() {
     // Queue header at 0x3000 (self-linked = empty); entries at 0x3100,
     // 0x3200.
-    let m = run(
-        "
+    let m = run("
         start:
             movl #0x3000, @#0x3000      ; header.flink = header
             movl #0x3000, @#0x3004      ; header.blink = header
@@ -49,8 +48,7 @@ fn insque_builds_a_queue_and_remque_drains_it() {
             movl @#0x3000, r6
             movl @#0x3204, r7           ; 0x3200.blink
             halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(9), 1, "Z set on first insertion");
     assert_eq!(m.reg(2), 0x3100, "header.flink");
     assert_eq!(m.reg(3), 0x3200, "first.flink");
@@ -62,8 +60,7 @@ fn insque_builds_a_queue_and_remque_drains_it() {
 
 #[test]
 fn remque_from_singleton_sets_z() {
-    let m = run(
-        "
+    let m = run("
         start:
             movl #0x3000, @#0x3000
             movl #0x3000, @#0x3004
@@ -74,15 +71,13 @@ fn remque_from_singleton_sets_z() {
         empty:
             movl #1, r9
             halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(9), 1, "Z: queue empty after removal");
 }
 
 #[test]
 fn bbs_and_bbc_test_memory_bits() {
-    let m = run(
-        "
+    let m = run("
         start:
             movl #0x00010400, @#0x3000  ; bits 10 and 16 set
             clrl r5
@@ -99,15 +94,13 @@ fn bbs_and_bbc_test_memory_bits() {
         b16:
             bisl2 #4, r5
             halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(5), 7);
 }
 
 #[test]
 fn bbss_and_bbcc_modify_the_bit() {
-    let m = run(
-        "
+    let m = run("
         start:
             clrl @#0x3000
             clrl r5
@@ -129,16 +122,14 @@ fn bbss_and_bbcc_modify_the_bit() {
             halt
         oops:
             halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(5), 15);
     assert_eq!(m.reg(6), 0, "bit cleared at the end");
 }
 
 #[test]
 fn converts_sign_extend_and_detect_overflow() {
-    let m = run(
-        "
+    let m = run("
         movl #0x80, r0
         cvtbl r0, r2            ; -128 sign-extended
         movl #0x8000, r0
@@ -149,8 +140,7 @@ fn converts_sign_extend_and_detect_overflow() {
         movl #-2, r0
         cvtlw r0, r6
         halt
-        ",
-    );
+        ");
     assert_eq!(m.reg(2) as i32, -128);
     assert_eq!(m.reg(3) as i32, -32768);
     assert_eq!(m.reg(4) & 0xff, 200 & 0xff);
@@ -192,8 +182,7 @@ fn casel_dispatches_through_the_word_table() {
             halt
         ";
     for (sel, expect) in [(0u32, 10u32), (1, 11), (2, 12), (3, 99), (100, 99)] {
-        let (mut p, syms) =
-            vax_asm::assemble_text_with_symbols(src, 0x1000).unwrap();
+        let (mut p, syms) = vax_asm::assemble_text_with_symbols(src, 0x1000).unwrap();
         assert_eq!(p.bytes[0], 0xCF, "CASEL opcode");
         // Patch the displacement table from the symbol addresses (the
         // text assembler has no expression support).

@@ -98,7 +98,12 @@ fn fmt_time(ns: f64) -> String {
     }
 }
 
-fn run_one(group: Option<&str>, id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     let mut b = Bencher {
         iters: 0,
         elapsed: Duration::ZERO,

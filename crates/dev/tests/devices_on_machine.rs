@@ -51,11 +51,8 @@ fn guest_code_prints_through_the_line_printer() {
 #[test]
 fn disk_write_then_read_back_from_machine_code() {
     let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
-    m.bus_mut().attach(
-        IO_BASE_PA,
-        4096,
-        Box::new(SimDisk::new(16, 100, 21, 0x100)),
-    );
+    m.bus_mut()
+        .attach(IO_BASE_PA, 4096, Box::new(SimDisk::new(16, 100, 21, 0x100)));
     run(
         &mut m,
         "
@@ -92,11 +89,8 @@ fn disk_write_then_read_back_from_machine_code() {
 #[test]
 fn disk_completion_interrupt_reaches_the_scb() {
     let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
-    m.bus_mut().attach(
-        IO_BASE_PA,
-        4096,
-        Box::new(SimDisk::new(16, 100, 21, 0x100)),
-    );
+    m.bus_mut()
+        .attach(IO_BASE_PA, 4096, Box::new(SimDisk::new(16, 100, 21, 0x100)));
     // SCB vector 0x100 -> handler.
     m.set_scbb(0x200);
     let handler = vax_asm::assemble_text("h: movl #1, r9\n rei", 0x3000).unwrap();

@@ -571,9 +571,9 @@ mod tests {
         let mut mem = PhysMemory::new(64 * 1024);
         let mut mmu = Mmu::new();
         let spt = 0x1000;
-        let e =
-            |pfn, prot, v, m| -> u32 { Pte::build(pfn, prot, v, m).raw() };
-        mem.write_u32(spt, e(4, Protection::Uw, true, true)).unwrap();
+        let e = |pfn, prot, v, m| -> u32 { Pte::build(pfn, prot, v, m).raw() };
+        mem.write_u32(spt, e(4, Protection::Uw, true, true))
+            .unwrap();
         mem.write_u32(spt + 4, e(5, Protection::Urkw, true, true))
             .unwrap();
         mem.write_u32(spt + 8, e(6, Protection::Kw, true, true))
@@ -602,7 +602,13 @@ mod tests {
         let mut mem = PhysMemory::new(4096);
         let mut mmu = Mmu::new();
         let t = mmu
-            .translate(&mut mem, VirtAddr::new(0x123), AccessMode::User, true, &COSTS)
+            .translate(
+                &mut mem,
+                VirtAddr::new(0x123),
+                AccessMode::User,
+                true,
+                &COSTS,
+            )
             .unwrap();
         assert_eq!(t.pa, 0x123);
     }
@@ -636,7 +642,10 @@ mod tests {
         let err = mmu
             .translate(&mut mem, s_va(3, 0), AccessMode::User, true, &COSTS)
             .unwrap_err();
-        assert!(matches!(err, MemFault::TranslationNotValid { pte_ref: false, .. }), "{err}");
+        assert!(
+            matches!(err, MemFault::TranslationNotValid { pte_ref: false, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -655,22 +664,43 @@ mod tests {
     fn process_translation_via_double_walk() {
         let (mut mem, mut mmu) = setup();
         let t = mmu
-            .translate(&mut mem, VirtAddr::new(0x14), AccessMode::User, false, &COSTS)
+            .translate(
+                &mut mem,
+                VirtAddr::new(0x14),
+                AccessMode::User,
+                false,
+                &COSTS,
+            )
             .unwrap();
         assert_eq!(t.pa, 8 * 512 + 0x14);
         // P0 length violation.
         let err = mmu
-            .translate(&mut mem, VirtAddr::new(600), AccessMode::User, false, &COSTS)
+            .translate(
+                &mut mem,
+                VirtAddr::new(600),
+                AccessMode::User,
+                false,
+                &COSTS,
+            )
             .unwrap_err();
-        assert!(matches!(err, MemFault::AccessViolation { length: true, .. }));
+        assert!(matches!(
+            err,
+            MemFault::AccessViolation { length: true, .. }
+        ));
     }
 
     #[test]
     fn hardware_sets_modify_bit_on_standard_vax() {
         let (mut mem, mut mmu) = setup();
         assert!(!mmu.modify_fault_enabled());
-        mmu.translate(&mut mem, VirtAddr::new(0x14), AccessMode::User, true, &COSTS)
-            .unwrap();
+        mmu.translate(
+            &mut mem,
+            VirtAddr::new(0x14),
+            AccessMode::User,
+            true,
+            &COSTS,
+        )
+        .unwrap();
         let pte = Pte::from_raw(mem.read_u32(6 * 512).unwrap());
         assert!(pte.modified(), "hardware must set PTE<M>");
         assert_eq!(mmu.counters().m_bit_sets, 1);
@@ -681,7 +711,13 @@ mod tests {
         let (mut mem, mut mmu) = setup();
         mmu.set_modify_fault_enabled(true);
         let err = mmu
-            .translate(&mut mem, VirtAddr::new(0x14), AccessMode::User, true, &COSTS)
+            .translate(
+                &mut mem,
+                VirtAddr::new(0x14),
+                AccessMode::User,
+                true,
+                &COSTS,
+            )
             .unwrap_err();
         assert!(matches!(err, MemFault::ModifyFault { .. }), "{err}");
         assert_eq!(mmu.counters().modify_faults, 1);
@@ -691,9 +727,16 @@ mod tests {
         // Software sets M (as the handler must) and retries: succeeds
         // without requiring a TB invalidate.
         let pte = Pte::from_raw(mem.read_u32(6 * 512).unwrap());
-        mem.write_u32(6 * 512, pte.with_modified(true).raw()).unwrap();
+        mem.write_u32(6 * 512, pte.with_modified(true).raw())
+            .unwrap();
         let t = mmu
-            .translate(&mut mem, VirtAddr::new(0x14), AccessMode::User, true, &COSTS)
+            .translate(
+                &mut mem,
+                VirtAddr::new(0x14),
+                AccessMode::User,
+                true,
+                &COSTS,
+            )
             .unwrap();
         assert_eq!(t.pa, 8 * 512 + 0x14);
     }
@@ -703,7 +746,13 @@ mod tests {
         let (mut mem, mut mmu) = setup();
         mmu.set_modify_fault_enabled(true);
         assert!(mmu
-            .translate(&mut mem, VirtAddr::new(0x14), AccessMode::User, false, &COSTS)
+            .translate(
+                &mut mem,
+                VirtAddr::new(0x14),
+                AccessMode::User,
+                false,
+                &COSTS
+            )
             .is_ok());
     }
 

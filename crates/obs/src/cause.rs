@@ -1,0 +1,138 @@
+//! The taxonomy of reasons control leaves a VM and enters the VMM.
+
+/// Why a VM exit (or VMM-side event) happened.
+///
+/// The emulation causes mirror the paper's Table 4 row set — one per
+/// sensitive-instruction class — so per-cause cost histograms reproduce
+/// its "N× native" measurements directly. Exception exits are split into
+/// the VMM-internal services (shadow fill, modify fault, MMIO emulation,
+/// guest page fault) and the residue reflected to the guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ExitCause {
+    /// CHMK/CHME/CHMS/CHMU emulation trap.
+    EmulChm = 0,
+    /// REI emulation trap.
+    EmulRei,
+    /// MTPR-to-IPL emulation trap (the paper's §7.3 hot path).
+    EmulMtprIpl,
+    /// Any other MTPR emulation trap.
+    EmulMtprOther,
+    /// MFPR emulation trap.
+    EmulMfpr,
+    /// LDPCTX emulation trap (guest context switch, load half).
+    EmulLdpctx,
+    /// SVPCTX emulation trap (guest context switch, save half).
+    EmulSvpctx,
+    /// PROBER/PROBEW emulation trap (invalid shadow PTE path).
+    EmulProbe,
+    /// WAIT handshake trap (guest going idle).
+    EmulWait,
+    /// HALT trap (virtual console entry).
+    EmulHalt,
+    /// Any other sensitive-instruction trap.
+    EmulOther,
+    /// Translation-not-valid exit serviced by a shadow null-PTE fill.
+    ShadowFill,
+    /// Modify-fault exit (first write to a clean page, §4.4.2).
+    ModifyFault,
+    /// Translation-not-valid exit that turned out to be the guest's own
+    /// page fault, reflected through its SCB.
+    GuestPageFault,
+    /// Translation-not-valid exit into the emulated-MMIO window (the
+    /// §4.4.3 rejected-alternative ablation).
+    MmioEmulation,
+    /// Any other exception exit, reflected to the guest.
+    ExceptionExit,
+    /// Real-machine interrupt while a VM was running.
+    InterruptExit,
+    /// VM-to-VM world switch performed by the scheduler.
+    WorldSwitch,
+}
+
+impl ExitCause {
+    /// Number of causes (histogram array size).
+    pub const COUNT: usize = 18;
+
+    /// Every cause, in discriminant order.
+    pub const ALL: [ExitCause; ExitCause::COUNT] = [
+        ExitCause::EmulChm,
+        ExitCause::EmulRei,
+        ExitCause::EmulMtprIpl,
+        ExitCause::EmulMtprOther,
+        ExitCause::EmulMfpr,
+        ExitCause::EmulLdpctx,
+        ExitCause::EmulSvpctx,
+        ExitCause::EmulProbe,
+        ExitCause::EmulWait,
+        ExitCause::EmulHalt,
+        ExitCause::EmulOther,
+        ExitCause::ShadowFill,
+        ExitCause::ModifyFault,
+        ExitCause::GuestPageFault,
+        ExitCause::MmioEmulation,
+        ExitCause::ExceptionExit,
+        ExitCause::InterruptExit,
+        ExitCause::WorldSwitch,
+    ];
+
+    /// Index into per-cause arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in every exposition format.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExitCause::EmulChm => "emul_chm",
+            ExitCause::EmulRei => "emul_rei",
+            ExitCause::EmulMtprIpl => "emul_mtpr_ipl",
+            ExitCause::EmulMtprOther => "emul_mtpr_other",
+            ExitCause::EmulMfpr => "emul_mfpr",
+            ExitCause::EmulLdpctx => "emul_ldpctx",
+            ExitCause::EmulSvpctx => "emul_svpctx",
+            ExitCause::EmulProbe => "emul_probe",
+            ExitCause::EmulWait => "emul_wait",
+            ExitCause::EmulHalt => "emul_halt",
+            ExitCause::EmulOther => "emul_other",
+            ExitCause::ShadowFill => "shadow_fill",
+            ExitCause::ModifyFault => "modify_fault",
+            ExitCause::GuestPageFault => "guest_page_fault",
+            ExitCause::MmioEmulation => "mmio_emulation",
+            ExitCause::ExceptionExit => "exception_exit",
+            ExitCause::InterruptExit => "interrupt_exit",
+            ExitCause::WorldSwitch => "world_switch",
+        }
+    }
+
+    /// True for the sensitive-instruction emulation-trap causes.
+    pub fn is_emulation(self) -> bool {
+        (self as u8) <= ExitCause::EmulOther as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_complete_and_ordered() {
+        for (i, c) in ExitCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?} out of order");
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = ExitCause::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ExitCause::COUNT);
+    }
+
+    #[test]
+    fn emulation_partition() {
+        assert!(ExitCause::EmulChm.is_emulation());
+        assert!(ExitCause::EmulOther.is_emulation());
+        assert!(!ExitCause::ShadowFill.is_emulation());
+        assert!(!ExitCause::WorldSwitch.is_emulation());
+    }
+}

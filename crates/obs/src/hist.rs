@@ -1,0 +1,230 @@
+//! Log2-bucket histograms for cycle-cost distributions.
+
+/// Number of buckets. Bucket `b > 0` covers values in
+/// `[2^(b-1), 2^b - 1]`; bucket 0 holds exactly the value 0; the last
+/// bucket absorbs everything at or above `2^(BUCKETS-2)`.
+pub const BUCKETS: usize = 40;
+
+/// A fixed-size log2-bucket histogram of `u64` samples.
+///
+/// Recording is branch-light and allocation-free (the whole struct is
+/// plain `Copy`-able data), which is what lets the VMM keep one per
+/// [`ExitCause`](crate::ExitCause) on its exit path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a sample.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper edge of a bucket.
+fn bucket_high(b: usize) -> u64 {
+    if b >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, resolved to the inclusive
+    /// upper edge of the bucket containing it (an upper bound on the true
+    /// quantile). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_edge, count)` pairs,
+    /// lowest edge first.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(b, c)| (bucket_high(b), *c))
+    }
+
+    /// Cumulative buckets as `(inclusive_upper_edge, cumulative_count)`
+    /// pairs — the Prometheus histogram shape (`le` edges).
+    pub fn cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut acc = 0u64;
+        self.counts.iter().enumerate().filter_map(move |(b, c)| {
+            acc += c;
+            (*c > 0).then_some((bucket_high(b), acc))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_high(1), 1);
+        assert_eq!(bucket_high(2), 3);
+        assert_eq!(bucket_high(63), u64::MAX);
+    }
+
+    #[test]
+    fn record_tracks_moments() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        for v in [1u64, 3, 90, 90, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1184);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 236.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket [8,15]
+        }
+        for _ in 0..10 {
+            h.record(100); // bucket [64,127]
+        }
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(0.9), 15);
+        // The p99 sample lands in the 100s bucket, clamped to observed max.
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(1.0), 100);
+        // A quantile never undershoots the true value's bucket lower edge.
+        assert!(h.quantile(0.5) >= 10);
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 7, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 4096] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 4096);
+    }
+
+    #[test]
+    fn cumulative_counts_monotone() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 700, 700, 700] {
+            h.record(v);
+        }
+        let cum: Vec<(u64, u64)> = h.cumulative().collect();
+        assert_eq!(cum.last().unwrap().1, 6);
+        for w in cum.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Observability for the VAX VMM: exit-reason tracing, per-cause
+//! cycle-cost histograms, and a metrics exposition layer.
+//!
+//! The paper's whole evaluation (§7) is an attribution exercise: how many
+//! simulated cycles went to which VM-exit cause (MTPR-to-IPL emulation at
+//! 10–12× the bare-hardware path, ~17 page faults between guest context
+//! switches, the §7.2 shadow-fill reduction). This crate provides the
+//! raw machinery for producing those numbers from any run:
+//!
+//! * [`ExitCause`] — the taxonomy of reasons control leaves a VM;
+//! * [`TraceRing`] — a bounded, preallocated ring of [`TraceRecord`]s
+//!   (cause, guest PC, virtual ring, simulated-cycle timestamp, cost);
+//! * [`Histogram`] — log2-bucket latency histograms, one per cause,
+//!   measuring emulation cost from exit to resume;
+//! * [`ObsSink`] — the enum-dispatch collection point the VMM calls at
+//!   its exit/resume seams. `ObsSink::Off` makes every call a no-op so
+//!   disabled tracing costs (almost) nothing and allocates nothing;
+//! * [`Metrics`] — a snapshot registry rendering counters and histograms
+//!   as JSON or Prometheus text exposition, plus [`chrome_trace`] for
+//!   Chrome `about:tracing` / Perfetto timeline viewing.
+//!
+//! The contract enforced by the repo's equivalence tests: enabling
+//! observability must never change simulated cycles or architectural
+//! counters — this crate only ever *reads* the simulated clock.
+//!
+//! # Example
+//!
+//! ```
+//! use vax_obs::{ExitCause, ObsSink};
+//!
+//! let mut sink = ObsSink::on(16);
+//! sink.exit_begin(ExitCause::EmulMtprIpl, 0x1000, 0, 100);
+//! sink.exit_end(190); // resume 90 simulated cycles later
+//! let obs = sink.state().unwrap();
+//! assert_eq!(obs.histogram(ExitCause::EmulMtprIpl).count(), 1);
+//! assert_eq!(obs.histogram(ExitCause::EmulMtprIpl).sum(), 90);
+//! ```
+
+pub mod cause;
+pub mod hist;
+pub mod metrics;
+pub mod ring;
+pub mod sink;
+
+pub use cause::ExitCause;
+pub use hist::Histogram;
+pub use metrics::{chrome_trace, Metrics};
+pub use ring::{TraceRecord, TraceRing};
+pub use sink::{Obs, ObsSink};

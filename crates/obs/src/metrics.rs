@@ -1,0 +1,261 @@
+//! Snapshot registry and exposition formats.
+//!
+//! A [`Metrics`] value is a point-in-time snapshot — plain name/value
+//! pairs plus named [`Histogram`] copies — assembled by whoever owns the
+//! live state (the monitor, a bench harness) and rendered to JSON or
+//! Prometheus text. Keeping the registry a dumb snapshot means the
+//! exposition layer never touches live VMM state and needs no deps.
+
+use crate::hist::Histogram;
+use crate::ring::TraceRecord;
+
+/// A snapshot of counters, gauges, and histograms ready for exposition.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, Option<f64>)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds a monotonic counter sample.
+    pub fn counter(&mut self, name: &str, value: u64) -> &mut Metrics {
+        self.counters.push((name.to_string(), value));
+        self
+    }
+
+    /// Adds a gauge sample. `None` renders as JSON `null` and is omitted
+    /// from Prometheus output — the honest encoding for a rate whose
+    /// denominator is zero (e.g. TLB hit rate with no lookups).
+    pub fn gauge(&mut self, name: &str, value: Option<f64>) -> &mut Metrics {
+        self.gauges.push((name.to_string(), value));
+        self
+    }
+
+    /// Adds a histogram snapshot.
+    pub fn histogram(&mut self, name: &str, h: &Histogram) -> &mut Metrics {
+        self.histograms.push((name.to_string(), h.clone()));
+        self
+    }
+
+    /// Counter value by name, if present.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders the snapshot as a JSON object with `counters`, `gauges`,
+    /// and `histograms` sections. Histograms carry summary moments,
+    /// bucket-resolved p50/p90/p99, and the raw non-empty buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{name}\": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match v {
+                Some(x) => out.push_str(&format!("\n    \"{name}\": {x:.6}")),
+                None => out.push_str(&format!("\n    \"{name}\": null")),
+            }
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h
+                .buckets()
+                .map(|(edge, c)| format!("[{edge}, {c}]"))
+                .collect();
+            out.push_str(&format!(
+                "\n    \"{name}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {:.2}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                buckets.join(", ")
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders the snapshot as Prometheus text exposition (version 0.0.4):
+    /// `vax_`-prefixed metric names, cumulative `le` buckets with a final
+    /// `+Inf`, and `_sum`/`_count` series per histogram.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, v) in &self.counters {
+            let m = prom_name(name);
+            out.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            if let Some(x) = v {
+                let m = prom_name(name);
+                out.push_str(&format!("# TYPE {m} gauge\n{m} {x}\n"));
+            }
+        }
+        for (name, h) in &self.histograms {
+            let m = prom_name(name);
+            out.push_str(&format!("# TYPE {m} histogram\n"));
+            let mut acc = 0u64;
+            for (edge, cum) in h.cumulative() {
+                acc = cum;
+                out.push_str(&format!("{m}_bucket{{le=\"{edge}\"}} {cum}\n"));
+            }
+            debug_assert_eq!(acc, h.count());
+            out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{m}_sum {}\n", h.sum()));
+            out.push_str(&format!("{m}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+/// Maps an arbitrary metric name onto the Prometheus charset with a
+/// `vax_` namespace prefix.
+fn prom_name(name: &str) -> String {
+    let mut m = String::with_capacity(name.len() + 4);
+    m.push_str("vax_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            m.push(ch);
+        } else {
+            m.push('_');
+        }
+    }
+    m
+}
+
+/// Renders traced exits as Chrome trace-event JSON (the `about:tracing` /
+/// Perfetto format): one complete (`ph: "X"`) event per record, with
+/// `ts` = exit-start simulated cycles and `dur` = exit-to-resume cost.
+/// The virtual ring at exit time becomes the `tid`, so the timeline
+/// groups exits by the mode the guest believed it was in.
+pub fn chrome_trace<'a, I>(records: I) -> String
+where
+    I: IntoIterator<Item = &'a TraceRecord>,
+{
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"traceEvents\": [");
+    for (i, rec) in records.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"name\": \"{}\", \"cat\": \"vmexit\", \"ph\": \"X\", \"ts\": {}, \
+             \"dur\": {}, \"pid\": 0, \"tid\": {}, \"args\": {{\"pc\": \"{:#010x}\"}}}}",
+            rec.cause.name(),
+            rec.start_cycles,
+            rec.cost_cycles,
+            rec.ring,
+            rec.guest_pc
+        ));
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cause::ExitCause;
+
+    fn sample() -> Metrics {
+        let mut h = Histogram::new();
+        for v in [90u64, 90, 6] {
+            h.record(v);
+        }
+        let mut m = Metrics::new();
+        m.counter("instructions", 1234)
+            .gauge("tlb_hit_rate", None)
+            .gauge("mips", Some(2.5))
+            .histogram("exit_cost_emul_mtpr_ipl", &h);
+        m
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let j = sample().to_json();
+        assert!(j.contains("\"instructions\": 1234"));
+        assert!(j.contains("\"tlb_hit_rate\": null"));
+        assert!(j.contains("\"mips\": 2.500000"));
+        assert!(j.contains("\"exit_cost_emul_mtpr_ipl\""));
+        assert!(j.contains("\"count\": 3"));
+        assert!(j.contains("\"sum\": 186"));
+        // Braces balance — cheap structural sanity without a JSON parser.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE vax_instructions counter"));
+        assert!(p.contains("vax_instructions 1234"));
+        // Null gauge omitted, present gauge kept.
+        assert!(!p.contains("tlb_hit_rate"));
+        assert!(p.contains("vax_mips 2.5"));
+        // Histogram series: cumulative buckets end at +Inf = count.
+        assert!(p.contains("vax_exit_cost_emul_mtpr_ipl_bucket{le=\"+Inf\"} 3"));
+        assert!(p.contains("vax_exit_cost_emul_mtpr_ipl_sum 186"));
+        assert!(p.contains("vax_exit_cost_emul_mtpr_ipl_count 3"));
+    }
+
+    #[test]
+    fn get_counter_roundtrip() {
+        let m = sample();
+        assert_eq!(m.get_counter("instructions"), Some(1234));
+        assert_eq!(m.get_counter("missing"), None);
+    }
+
+    #[test]
+    fn chrome_trace_events() {
+        let recs = [
+            TraceRecord {
+                cause: ExitCause::EmulMtprIpl,
+                ring: 0,
+                guest_pc: 0x8000_1000,
+                start_cycles: 100,
+                cost_cycles: 90,
+            },
+            TraceRecord {
+                cause: ExitCause::ShadowFill,
+                ring: 3,
+                guest_pc: 0x200,
+                start_cycles: 400,
+                cost_cycles: 320,
+            },
+        ];
+        let t = chrome_trace(recs.iter());
+        assert!(t.contains("\"name\": \"emul_mtpr_ipl\""));
+        assert!(t.contains("\"ts\": 100"));
+        assert!(t.contains("\"dur\": 90"));
+        assert!(t.contains("\"tid\": 3"));
+        assert!(t.contains("\"pc\": \"0x80001000\""));
+        assert_eq!(t.matches('{').count(), t.matches('}').count());
+    }
+}

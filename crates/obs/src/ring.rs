@@ -1,0 +1,151 @@
+//! The bounded exit-trace ring buffer.
+
+use crate::cause::ExitCause;
+
+/// One traced VM exit (or VMM event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Why control left the VM.
+    pub cause: ExitCause,
+    /// The VM's *virtual* ring (access-mode bits, 0 = kernel … 3 = user)
+    /// at exit time — the mode the guest believes it is in, not the
+    /// compressed real mode.
+    pub ring: u8,
+    /// Guest PC at exit (for faults and emulation traps this is the
+    /// faulting/trapping instruction; PC has not been advanced).
+    pub guest_pc: u32,
+    /// Simulated-cycle timestamp when the exit began.
+    pub start_cycles: u64,
+    /// Simulated cycles from exit to resume (microcode trap entry plus
+    /// the VMM software path). Zero until the exit completes.
+    pub cost_cycles: u64,
+}
+
+/// A bounded ring of [`TraceRecord`]s.
+///
+/// Storage is allocated once at construction; recording overwrites the
+/// oldest entry when full and never allocates, so the hot path stays
+/// allocation-free regardless of run length.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    /// Index the next record will be written at.
+    next: usize,
+    /// Total records ever pushed (so `dropped` is recoverable).
+    total: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let cap = capacity.max(1);
+        TraceRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends a record, overwriting the oldest when full. Returns the
+    /// slot index, which stays valid (addressing the same record) until
+    /// `capacity` further pushes happen.
+    pub fn push(&mut self, rec: TraceRecord) -> usize {
+        let idx = self.next;
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[idx] = rec;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.total += 1;
+        idx
+    }
+
+    /// Mutable access to a slot returned by [`TraceRing::push`].
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut TraceRecord> {
+        self.buf.get_mut(idx)
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum records held.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total records ever pushed, including overwritten ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let split = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.next
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64) -> TraceRecord {
+        TraceRecord {
+            cause: ExitCause::EmulRei,
+            ring: 0,
+            guest_pc: 0x1000,
+            start_cycles: t,
+            cost_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn wraps_and_keeps_newest() {
+        let mut r = TraceRing::new(3);
+        for t in 0..5 {
+            r.push(rec(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 2);
+        let starts: Vec<u64> = r.iter().map(|x| x.start_cycles).collect();
+        assert_eq!(starts, [2, 3, 4], "oldest-first, newest retained");
+    }
+
+    #[test]
+    fn push_index_patchable() {
+        let mut r = TraceRing::new(2);
+        let i = r.push(rec(7));
+        r.get_mut(i).unwrap().cost_cycles = 99;
+        assert_eq!(r.iter().next().unwrap().cost_cycles, 99);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut r = TraceRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(rec(1));
+        r.push(rec(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().start_cycles, 2);
+    }
+}

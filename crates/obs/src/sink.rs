@@ -1,0 +1,207 @@
+//! The collection point the VMM drives from its exit/resume seams.
+
+use crate::cause::ExitCause;
+use crate::hist::Histogram;
+use crate::ring::{TraceRecord, TraceRing};
+
+/// An exit in flight: begun, not yet resumed.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    cause: ExitCause,
+    start: u64,
+    slot: usize,
+}
+
+/// Enabled observability state: the trace ring plus one cost histogram
+/// per [`ExitCause`].
+#[derive(Debug, Clone)]
+pub struct Obs {
+    ring: TraceRing,
+    hist: [Histogram; ExitCause::COUNT],
+    pending: Option<Pending>,
+}
+
+impl Obs {
+    /// Creates enabled state with a trace ring of `ring_capacity`.
+    pub fn new(ring_capacity: usize) -> Obs {
+        Obs {
+            ring: TraceRing::new(ring_capacity),
+            hist: core::array::from_fn(|_| Histogram::new()),
+            pending: None,
+        }
+    }
+
+    /// The exit-trace ring.
+    pub fn trace(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// The cost histogram for one cause.
+    pub fn histogram(&self, cause: ExitCause) -> &Histogram {
+        &self.hist[cause.index()]
+    }
+
+    /// Exits recorded for one cause.
+    pub fn exits(&self, cause: ExitCause) -> u64 {
+        self.hist[cause.index()].count()
+    }
+
+    /// Total exits recorded across all causes.
+    pub fn total_exits(&self) -> u64 {
+        self.hist.iter().map(Histogram::count).sum()
+    }
+
+    fn exit_begin(&mut self, cause: ExitCause, guest_pc: u32, ring: u8, now: u64) {
+        let slot = self.ring.push(TraceRecord {
+            cause,
+            ring,
+            guest_pc,
+            start_cycles: now,
+            cost_cycles: 0,
+        });
+        self.pending = Some(Pending {
+            cause,
+            start: now,
+            slot,
+        });
+    }
+
+    fn refine(&mut self, cause: ExitCause) {
+        if let Some(p) = &mut self.pending {
+            p.cause = cause;
+            if let Some(rec) = self.ring.get_mut(p.slot) {
+                rec.cause = cause;
+            }
+        }
+    }
+
+    fn exit_end(&mut self, now: u64) {
+        if let Some(p) = self.pending.take() {
+            let cost = now.saturating_sub(p.start);
+            self.hist[p.cause.index()].record(cost);
+            if let Some(rec) = self.ring.get_mut(p.slot) {
+                rec.cost_cycles = cost;
+            }
+        }
+    }
+}
+
+/// The sink the VMM owns. Enum dispatch keeps the disabled case a
+/// branch-predictable no-op — no indirect call, no allocation — so
+/// tracing costs ≈ nothing when off.
+#[derive(Debug, Clone, Default)]
+pub enum ObsSink {
+    /// Tracing disabled: every call is a no-op.
+    #[default]
+    Off,
+    /// Tracing enabled. Boxed so the sink itself stays pointer-sized
+    /// inside the monitor.
+    On(Box<Obs>),
+}
+
+impl ObsSink {
+    /// A disabled sink.
+    pub fn off() -> ObsSink {
+        ObsSink::Off
+    }
+
+    /// An enabled sink with a trace ring of `ring_capacity` records.
+    pub fn on(ring_capacity: usize) -> ObsSink {
+        ObsSink::On(Box::new(Obs::new(ring_capacity)))
+    }
+
+    /// True when enabled.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        matches!(self, ObsSink::On(_))
+    }
+
+    /// The enabled state, if any.
+    pub fn state(&self) -> Option<&Obs> {
+        match self {
+            ObsSink::Off => None,
+            ObsSink::On(o) => Some(o),
+        }
+    }
+
+    /// Marks the start of an exit: `cause` as classified at the exit
+    /// seam (refinable later), the guest PC and virtual ring at exit,
+    /// and the simulated-cycle timestamp the exit began at.
+    #[inline]
+    pub fn exit_begin(&mut self, cause: ExitCause, guest_pc: u32, ring: u8, now: u64) {
+        if let ObsSink::On(o) = self {
+            o.exit_begin(cause, guest_pc, ring, now);
+        }
+    }
+
+    /// Re-classifies the in-flight exit once a deeper layer knows the
+    /// real cause (e.g. MTPR turns out to target IPL; a translation
+    /// fault turns out to be the guest's own page fault).
+    #[inline]
+    pub fn refine(&mut self, cause: ExitCause) {
+        if let ObsSink::On(o) = self {
+            o.refine(cause);
+        }
+    }
+
+    /// Marks the end of the in-flight exit at simulated time `now`,
+    /// recording `now - start` into the cause's cost histogram. A no-op
+    /// when disabled or when no exit is in flight.
+    #[inline]
+    pub fn exit_end(&mut self, now: u64) {
+        if let ObsSink::On(o) = self {
+            o.exit_end(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_sink_is_inert() {
+        let mut s = ObsSink::off();
+        assert!(!s.is_on());
+        s.exit_begin(ExitCause::EmulRei, 0, 0, 10);
+        s.refine(ExitCause::EmulChm);
+        s.exit_end(20);
+        assert!(s.state().is_none());
+    }
+
+    #[test]
+    fn begin_end_records_latency() {
+        let mut s = ObsSink::on(8);
+        s.exit_begin(ExitCause::EmulMtprIpl, 0x2000, 0, 1000);
+        s.exit_end(1090);
+        let o = s.state().unwrap();
+        assert_eq!(o.exits(ExitCause::EmulMtprIpl), 1);
+        assert_eq!(o.histogram(ExitCause::EmulMtprIpl).sum(), 90);
+        let rec = o.trace().iter().next().unwrap();
+        assert_eq!(rec.guest_pc, 0x2000);
+        assert_eq!(rec.start_cycles, 1000);
+        assert_eq!(rec.cost_cycles, 90);
+    }
+
+    #[test]
+    fn refine_moves_cause_before_accounting() {
+        let mut s = ObsSink::on(8);
+        s.exit_begin(ExitCause::EmulMtprOther, 0, 0, 0);
+        s.refine(ExitCause::EmulMtprIpl);
+        s.exit_end(66);
+        let o = s.state().unwrap();
+        assert_eq!(o.exits(ExitCause::EmulMtprOther), 0);
+        assert_eq!(o.exits(ExitCause::EmulMtprIpl), 1);
+        assert_eq!(
+            o.trace().iter().next().unwrap().cause,
+            ExitCause::EmulMtprIpl
+        );
+    }
+
+    #[test]
+    fn end_without_begin_is_noop() {
+        let mut s = ObsSink::on(8);
+        s.exit_end(5);
+        assert_eq!(s.state().unwrap().total_exits(), 0);
+    }
+}

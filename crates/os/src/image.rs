@@ -69,11 +69,13 @@ pub fn build_image(config: &OsConfig) -> Result<GuestImage, BuildError> {
         )));
     }
     let kernel_base = 0x8000_0000 + l::KERNEL_GPA;
-    let (kernel, symbols) = vax_asm::assemble_text_with_symbols(&kernel_source(config), kernel_base)?;
+    let (kernel, symbols) =
+        vax_asm::assemble_text_with_symbols(&kernel_source(config), kernel_base)?;
     if kernel.bytes.len() > 0x4000 {
         return Err(BuildError::Config("kernel too large".into()));
     }
-    let (user, _) = vax_asm::assemble_text_with_symbols(&user_source(config.flavor), l::USER_CODE_VA)?;
+    let (user, _) =
+        vax_asm::assemble_text_with_symbols(&user_source(config.flavor), l::USER_CODE_VA)?;
     if user.bytes.len() > 16 * 512 {
         return Err(BuildError::Config("user program too large".into()));
     }
@@ -89,7 +91,10 @@ pub fn build_image(config: &OsConfig) -> Result<GuestImage, BuildError> {
     for off in (0..0x140).step_by(4) {
         set(off as u32, kill);
     }
-    set(ScbVector::TranslationNotValid.offset(), symbols["pagefault"]);
+    set(
+        ScbVector::TranslationNotValid.offset(),
+        symbols["pagefault"],
+    );
     set(ScbVector::ModifyFault.offset(), symbols["modifyfault"]);
     set(ScbVector::Chmk.offset(), symbols["syscall"]);
     set(ScbVector::IntervalTimer.offset(), symbols["timer"]);
@@ -113,9 +118,7 @@ pub fn build_image(config: &OsConfig) -> Result<GuestImage, BuildError> {
                 // Kernel code pages host the CHME/CHMS services too:
                 // outer modes must be able to fetch them.
                 Protection::Srkw
-            } else if (l::KSTACKS_BASE >> 9.. l::USER_CODE_GPA >> 9).contains(&vpn)
-                && vpn % 2 == 1
-            {
+            } else if (l::KSTACKS_BASE >> 9..l::USER_CODE_GPA >> 9).contains(&vpn) && vpn % 2 == 1 {
                 // The second page of each per-process stack block holds
                 // the executive and supervisor stacks.
                 Protection::Sw
@@ -143,13 +146,11 @@ pub fn build_image(config: &OsConfig) -> Result<GuestImage, BuildError> {
 
     // ---- kernel variables ----
     let mut kdata = vec![0u8; 0x200];
-    kdata[kvar::NPROC as usize..kvar::NPROC as usize + 4]
-        .copy_from_slice(&le(config.nproc));
+    kdata[kvar::NPROC as usize..kvar::NPROC as usize + 4].copy_from_slice(&le(config.nproc));
     kdata[kvar::QUANT as usize..kvar::QUANT as usize + 4]
         .copy_from_slice(&le(config.quantum_ticks));
     if config.force_mmio {
-        kdata[kvar::FORCE_MMIO as usize..kvar::FORCE_MMIO as usize + 4]
-            .copy_from_slice(&le(1));
+        kdata[kvar::FORCE_MMIO as usize..kvar::FORCE_MMIO as usize + 4].copy_from_slice(&le(1));
     }
     segments.push((l::KDATA_GPA, kdata));
 
@@ -187,12 +188,7 @@ pub fn build_image(config: &OsConfig) -> Result<GuestImage, BuildError> {
         let mut p0t = Vec::with_capacity(128 * 4);
         for vpn in 0..128u32 {
             let pte = if vpn < user_code_pages {
-                Pte::build(
-                    (l::USER_CODE_GPA >> 9) + vpn,
-                    Protection::Ur,
-                    true,
-                    true,
-                )
+                Pte::build((l::USER_CODE_GPA >> 9) + vpn, Protection::Ur, true, true)
             } else if (16..32).contains(&vpn) {
                 // Boot-valid data pages, modify bit clear: writes take
                 // modify faults (bare modified VAX) or are tracked by the

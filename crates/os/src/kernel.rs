@@ -70,7 +70,13 @@ impl Workload {
             Workload::Touch => 5,
             Workload::Probe => 6,
             Workload::Mixed => proc % 7,
-            Workload::EditTrans => if proc % 3 < 2 { 1 } else { 2 },
+            Workload::EditTrans => {
+                if proc % 3 < 2 {
+                    1
+                } else {
+                    2
+                }
+            }
             Workload::Queue => 7,
         }
     }
@@ -160,7 +166,8 @@ pub fn kernel_source(config: &OsConfig) -> String {
             movl (sp)+, r7
             chme #0                  ; nested executive call
             rei
-            ".to_string(),
+            "
+        .to_string(),
         Flavor::MiniUltrix => String::new(),
     };
 
@@ -518,11 +525,17 @@ mod tests {
                 ..OsConfig::default()
             };
             let src = kernel_source(&cfg);
-            let (p, syms) =
-                vax_asm::assemble_text_with_symbols(&src, 0x8000_0000 + l::KERNEL_GPA)
-                    .expect("kernel assembles");
+            let (p, syms) = vax_asm::assemble_text_with_symbols(&src, 0x8000_0000 + l::KERNEL_GPA)
+                .expect("kernel assembles");
             assert!(p.bytes.len() < 0x4000, "kernel fits its region");
-            for required in ["boot", "syscall", "timer", "pagefault", "modifyfault", "kill"] {
+            for required in [
+                "boot",
+                "syscall",
+                "timer",
+                "pagefault",
+                "modifyfault",
+                "kill",
+            ] {
                 assert!(syms.contains_key(required), "{required} missing");
             }
             if flavor == Flavor::MiniVms {
@@ -532,7 +545,15 @@ mod tests {
                 assert!(!syms.contains_key("exec_svc"));
             }
             // Every vectored handler must be longword aligned.
-            for h in ["main", "syscall", "timer", "pagefault", "modifyfault", "kill", "dismiss"] {
+            for h in [
+                "main",
+                "syscall",
+                "timer",
+                "pagefault",
+                "modifyfault",
+                "kill",
+                "dismiss",
+            ] {
                 assert_eq!(syms[h] % 4, 0, "{h} unaligned");
             }
         }

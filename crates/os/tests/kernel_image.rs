@@ -76,7 +76,9 @@ fn scb_vectors_are_aligned_kernel_addresses() {
         (ScbVector::ModifyFault.offset(), "modifyfault"),
     ] {
         let v = u32::from_le_bytes(
-            scb[vector as usize..vector as usize + 4].try_into().unwrap(),
+            scb[vector as usize..vector as usize + 4]
+                .try_into()
+                .unwrap(),
         );
         assert_eq!(v, img.symbols[symbol], "{symbol}");
     }
@@ -99,7 +101,9 @@ fn guest_page_tables_obey_the_layout_contract() {
         .1;
     let pte_at = |vpn: u32| {
         Pte::from_raw(u32::from_le_bytes(
-            spt[(vpn * 4) as usize..(vpn * 4 + 4) as usize].try_into().unwrap(),
+            spt[(vpn * 4) as usize..(vpn * 4 + 4) as usize]
+                .try_into()
+                .unwrap(),
         ))
     };
     for vpn in 0..img.mem_pages {

@@ -53,19 +53,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "VMM work:  {} emulation traps ({} CHM, {} REI, {} MTPR-IPL), \
          {} shadow fills, {} kcalls",
-        stats.emulation_traps, stats.chm, stats.rei, stats.mtpr_ipl,
-        stats.shadow_fills, stats.kcalls
+        stats.emulation_traps,
+        stats.chm,
+        stats.rei,
+        stats.mtpr_ipl,
+        stats.shadow_fills,
+        stats.kcalls
     );
 
     // 3. The paper's two headline checks.
     println!("\n=== comparison ===");
     println!(
         "identical console output: {}",
-        if bare.console == vm.console { "YES" } else { "NO" }
+        if bare.console == vm.console {
+            "YES"
+        } else {
+            "NO"
+        }
     );
     println!(
         "identical guest-visible work: {}",
-        if bare.kernel.syscalls == vm.kernel.syscalls { "YES" } else { "NO" }
+        if bare.kernel.syscalls == vm.kernel.syscalls {
+            "YES"
+        } else {
+            "NO"
+        }
     );
     println!(
         "VM performance relative to bare hardware: {:.1}% (paper: 47-48%)",

@@ -11,7 +11,11 @@ use vax_vmm::{compress_mode, Monitor, MonitorConfig, VmConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Figure 3: the mode mapping\n");
     for m in AccessMode::ALL {
-        println!("  virtual {:<11} ->  real {}", m.name(), compress_mode(m).name());
+        println!(
+            "  virtual {:<11} ->  real {}",
+            m.name(),
+            compress_mode(m).name()
+        );
     }
     println!("  (real kernel mode is reserved to the VMM)\n");
 
@@ -95,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The acknowledged leak (paper §4.3.1): compress a kernel-only
     // protection code and check who can reach it.
     let kw = Protection::Kw.ring_compressed();
-    println!("the one imperfection: a VM kernel-only page ({} after", Protection::Kw);
+    println!(
+        "the one imperfection: a VM kernel-only page ({} after",
+        Protection::Kw
+    );
     println!("compression -> {kw}) is accessible from virtual executive mode:");
     for m in AccessMode::ALL {
         println!(

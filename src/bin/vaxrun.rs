@@ -7,6 +7,10 @@
 //! $ vaxrun --list program.s         # print the listing, don't run
 //! $ vaxrun --base 2000 program.s    # load address (hex, default 1000)
 //! $ vaxrun --trace program.s        # dump the last PCs on exit
+//! $ vaxrun --vm --trace program.s   # print a VM-exit cost breakdown
+//! $ vaxrun --metrics-out m.json ... # write counters/histograms (JSON,
+//!                                   # or Prometheus text for .prom)
+//! $ vaxrun --vm --trace-out t.json  # write a Chrome trace of VM exits
 //! ```
 //!
 //! The program runs in kernel mode with translation off (addresses are
@@ -16,7 +20,7 @@
 use std::process::ExitCode;
 use vax_arch::{MachineVariant, Psl};
 use vax_cpu::{HaltReason, Machine, StepEvent};
-use vax_vmm::{Monitor, MonitorConfig, RunExit, VmConfig, VmState};
+use vax_vmm::{chrome_trace, Metrics, Monitor, MonitorConfig, RunExit, VmConfig, VmState};
 
 struct Options {
     path: String,
@@ -25,11 +29,14 @@ struct Options {
     trace: bool,
     base: u32,
     max_cycles: u64,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vaxrun [--vm] [--list] [--trace] [--base HEX] [--max-cycles N] FILE.s"
+        "usage: vaxrun [--vm] [--list] [--trace] [--base HEX] [--max-cycles N] \
+         [--metrics-out FILE] [--trace-out FILE] FILE.s"
     );
     ExitCode::from(2)
 }
@@ -42,6 +49,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         trace: false,
         base: 0x1000,
         max_cycles: 1_000_000_000,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -57,6 +66,8 @@ fn parse_args() -> Result<Options, ExitCode> {
                 let v = args.next().ok_or_else(usage)?;
                 opts.max_cycles = v.parse().map_err(|_| usage())?;
             }
+            "--metrics-out" => opts.metrics_out = Some(args.next().ok_or_else(usage)?),
+            "--trace-out" => opts.trace_out = Some(args.next().ok_or_else(usage)?),
             "--help" | "-h" => return Err(usage()),
             f if !f.starts_with('-') && opts.path.is_empty() => opts.path = f.to_string(),
             _ => return Err(usage()),
@@ -66,6 +77,17 @@ fn parse_args() -> Result<Options, ExitCode> {
         return Err(usage());
     }
     Ok(opts)
+}
+
+/// Writes a metrics snapshot as Prometheus text when the path ends in
+/// `.prom`, JSON otherwise.
+fn write_metrics(path: &str, metrics: &Metrics) -> std::io::Result<()> {
+    let body = if path.ends_with(".prom") {
+        metrics.to_prometheus()
+    } else {
+        metrics.to_json()
+    };
+    std::fs::write(path, body)
 }
 
 fn main() -> ExitCode {
@@ -88,12 +110,18 @@ fn main() -> ExitCode {
         }
     };
     if opts.list {
-        print!("{}", vax_asm::listing(&program.bytes, program.base, &symbols));
+        print!(
+            "{}",
+            vax_asm::listing(&program.bytes, program.base, &symbols)
+        );
         return ExitCode::SUCCESS;
     }
 
     if opts.vm {
         let mut monitor = Monitor::new(MonitorConfig::default());
+        if opts.trace || opts.trace_out.is_some() || opts.metrics_out.is_some() {
+            monitor.enable_obs(65536);
+        }
         let vm = monitor.create_vm("vaxrun", VmConfig::default());
         monitor.vm_write_phys(vm, program.base, &program.bytes);
         monitor.boot_vm(vm, program.base);
@@ -115,6 +143,40 @@ fn main() -> ExitCode {
         for l in &guest.vmm_log {
             eprintln!("-- vmm: {l}");
         }
+        if opts.trace {
+            if let Some(obs) = monitor.obs() {
+                eprintln!("-- vm exits ({} total):", obs.total_exits());
+                for cause in vax_vmm::ExitCause::ALL {
+                    let h = obs.histogram(cause);
+                    if h.count() > 0 {
+                        eprintln!(
+                            "--   {:<18} {:>8}  mean {:>7.1}  p99 {:>6}  max {:>6} cycles",
+                            cause.name(),
+                            h.count(),
+                            h.mean(),
+                            h.quantile(0.99),
+                            h.max()
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(path) = &opts.metrics_out {
+            if let Err(e) = write_metrics(path, &monitor.metrics()) {
+                eprintln!("vaxrun: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &opts.trace_out {
+            let trace = monitor
+                .obs()
+                .map(|o| chrome_trace(o.trace().iter()))
+                .unwrap_or_default();
+            if let Err(e) = std::fs::write(path, trace) {
+                eprintln!("vaxrun: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         return if exit == RunExit::AllHalted && guest.state == VmState::ConsoleHalt {
             ExitCode::SUCCESS
         } else {
@@ -126,8 +188,7 @@ fn main() -> ExitCode {
     if opts.trace {
         m.enable_trace(16);
     }
-    if m
-        .mem_mut()
+    if m.mem_mut()
         .write_slice(program.base, &program.bytes)
         .is_err()
     {
@@ -154,14 +215,40 @@ fn main() -> ExitCode {
         }
     }
     print!("{}", String::from_utf8_lossy(&m.console_take_output()));
-    eprintln!("-- vaxrun: {} cycles, {} instructions", m.cycles(), m.counters().instructions);
-    for (i, r) in (0..16).map(|i| (i, m.reg(i))).collect::<Vec<_>>().chunks(4).enumerate() {
+    eprintln!(
+        "-- vaxrun: {} cycles, {} instructions",
+        m.cycles(),
+        m.counters().instructions
+    );
+    for (i, r) in (0..16)
+        .map(|i| (i, m.reg(i)))
+        .collect::<Vec<_>>()
+        .chunks(4)
+        .enumerate()
+    {
         let row: Vec<String> = r.iter().map(|(_, v)| format!("{v:08X}")).collect();
         eprintln!("-- R{:<2} {}", i * 4, row.join(" "));
     }
     if opts.trace {
         let pcs: Vec<String> = m.recent_pcs().iter().map(|p| format!("{p:#x}")).collect();
         eprintln!("-- trace: {}", pcs.join(" "));
+    }
+    if let Some(path) = &opts.metrics_out {
+        let c = m.counters();
+        let dc = m.decode_cache_stats();
+        let mut metrics = Metrics::new();
+        for (name, v) in c.named() {
+            metrics.counter(name, v);
+        }
+        metrics.counter("cycles", m.cycles());
+        metrics.counter("decode_cache_hits", dc.hits);
+        metrics.counter("decode_cache_misses", dc.misses);
+        metrics.counter("decode_cache_invalidations", dc.invalidations);
+        metrics.gauge("tlb_hit_rate", c.tlb_hit_rate_opt());
+        if let Err(e) = write_metrics(path, &metrics) {
+            eprintln!("vaxrun: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     status
 }

@@ -49,10 +49,7 @@ fn assert_equivalent(config: &OsConfig) {
     // The enumerated difference: on bare hardware the *guest* services
     // modify faults; in a VM the VMM absorbs them (Table 4: the virtual
     // VAX behaves like a standard VAX for PTE<M>).
-    assert_eq!(
-        vm.kernel.modify_faults, 0,
-        "a VM never sees modify faults"
-    );
+    assert_eq!(vm.kernel.modify_faults, 0, "a VM never sees modify faults");
 }
 
 #[test]

@@ -4,10 +4,10 @@
 //! property, fuzzed.
 
 use proptest::prelude::*;
+use vax_arch::Opcode;
 use vax_arch::{MachineVariant, Psl};
 use vax_asm::{Asm, Operand, Reg};
 use vax_cpu::{CpuCounters, HaltReason, Machine, StepEvent};
-use vax_arch::Opcode;
 use vax_vmm::{Monitor, MonitorConfig, VmConfig};
 
 #[derive(Debug, Clone, Copy)]
@@ -144,11 +144,7 @@ fn run_machine_full(
             other => panic!("unexpected {other:?} at pc={:#x}", m.pc()),
         }
     }
-    (
-        std::array::from_fn(|i| m.reg(i)),
-        m.cycles(),
-        m.counters(),
-    )
+    (std::array::from_fn(|i| m.reg(i)), m.cycles(), m.counters())
 }
 
 /// Runs the program on a bare machine with the decode cache enabled.

@@ -52,7 +52,10 @@ fn transaction_disk_contents_match_bare_vs_vm() {
             let _ = m.bus_mut().tick(now + 1_000_000);
             for _ in 0..128 {
                 out.extend_from_slice(
-                    &m.bus_mut().read(vax_cpu::IO_BASE_PA + 8).unwrap().to_le_bytes(),
+                    &m.bus_mut()
+                        .read(vax_cpu::IO_BASE_PA + 8)
+                        .unwrap()
+                        .to_le_bytes(),
                 );
             }
             out

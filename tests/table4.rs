@@ -2,9 +2,7 @@
 //! row by row on all three machines — standard VAX, modified VAX (bare),
 //! and the virtual VAX.
 
-use vax_arch::{
-    AccessMode, Ipr, MachineVariant, Opcode, Protection, Psl, Pte, ScbVector, VmPsl,
-};
+use vax_arch::{AccessMode, Ipr, MachineVariant, Opcode, Protection, Psl, Pte, ScbVector, VmPsl};
 use vax_cpu::{scan_sensitivity, Machine, ScanOutcome};
 use vax_vmm::{Monitor, MonitorConfig, VmConfig};
 
@@ -21,7 +19,13 @@ fn outcome(variant: MachineVariant, in_vm: bool, op: Opcode) -> ScanOutcome {
 /// VAX.
 #[test]
 fn row_privileged_instructions() {
-    for op in [Opcode::Ldpctx, Opcode::Svpctx, Opcode::Mtpr, Opcode::Mfpr, Opcode::Halt] {
+    for op in [
+        Opcode::Ldpctx,
+        Opcode::Svpctx,
+        Opcode::Mtpr,
+        Opcode::Mfpr,
+        Opcode::Halt,
+    ] {
         assert_eq!(
             outcome(MachineVariant::Standard, false, op),
             ScanOutcome::PrivilegedTrap,

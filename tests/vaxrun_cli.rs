@@ -80,6 +80,56 @@ fn vaxrun_reports_assembly_errors() {
 }
 
 #[test]
+fn vaxrun_metrics_and_trace_outputs() {
+    let dir = std::env::temp_dir().join("vaxrun_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_program(&dir, "metrics.s", HELLO);
+    let json_path = dir.join("metrics.json");
+    let prom_path = dir.join("metrics.prom");
+    let trace_path = dir.join("trace.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .arg("--vm")
+        .arg("--metrics-out")
+        .arg(&json_path)
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"counters\""), "{json}");
+    assert!(json.contains("\"vm_emulation_traps\""), "{json}");
+    assert!(json.contains("\"histograms\""), "{json}");
+    // HELLO's console output goes through MTPR-to-TXDB emulation traps.
+    assert!(json.contains("exit_cost_emul_mtpr_other"), "{json}");
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+    assert!(trace.contains("\"cat\": \"vmexit\""), "{trace}");
+
+    // Prometheus text when the path ends in .prom, bare mode included.
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .arg("--metrics-out")
+        .arg(&prom_path)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let prom = std::fs::read_to_string(&prom_path).unwrap();
+    assert!(prom.contains("# TYPE vax_instructions counter"), "{prom}");
+    assert!(prom.contains("vax_cycles "), "{prom}");
+}
+
+#[test]
 fn vaxrun_usage_on_bad_flags() {
     let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
         .arg("--bogus")
