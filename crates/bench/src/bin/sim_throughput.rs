@@ -161,7 +161,7 @@ fn run_vm_mtpr() -> VmMtprReport {
     let mut monitor = Monitor::new(MonitorConfig::default());
     monitor.enable_obs(4096);
     let vm = monitor.create_vm("mtpr_bench", VmConfig::default());
-    monitor.vm_write_phys(vm, guest.base, &guest.bytes);
+    monitor.vm_write_phys(vm, guest.base, &guest.bytes).unwrap();
     monitor.boot_vm(vm, guest.base);
     let exit = monitor.run(500_000_000);
     assert_eq!(exit, RunExit::AllHalted, "guest must halt cleanly");

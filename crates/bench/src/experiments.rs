@@ -201,7 +201,7 @@ pub fn e9_mtpr_ipl(n: u32) -> E9Results {
     // VM: the same loop as a guest.
     let mut mon = Monitor::new(MonitorConfig::default());
     let vm = mon.create_vm("ipl", VmConfig::default());
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     mon.boot_vm(vm, 0x1000);
     let start = mon.machine().cycles();
     mon.run(64_000_000 + 200 * n as u64);
@@ -472,10 +472,10 @@ pub fn e14_wait() -> E14Results {
         let mut mon = Monitor::new(MonitorConfig::default());
         let a = mon.create_vm("busy", VmConfig::default());
         let b = mon.create_vm("idle", VmConfig::default());
-        mon.vm_write_phys(a, 0x1000, &busy.bytes);
+        mon.vm_write_phys(a, 0x1000, &busy.bytes).unwrap();
         mon.boot_vm(a, 0x1000);
         let idle = vax_asm::assemble_text(idle_src, 0x1000).unwrap();
-        mon.vm_write_phys(b, 0x1000, &idle.bytes);
+        mon.vm_write_phys(b, 0x1000, &idle.bytes).unwrap();
         mon.boot_vm(b, 0x1000);
         // Wall-clock cycles until the busy VM halts: a spinning idle VM
         // steals half of every round-robin cycle, a WAITing one does not.

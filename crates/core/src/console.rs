@@ -116,10 +116,8 @@ impl Monitor {
                 Ok(format!("R{r:<2} {v:08X}"))
             }
             ConsoleCommand::Deposit(addr, value) => {
-                if self.vm(id).gpa_to_pa(addr).is_none() {
-                    return Err(ConsoleError::BadAddress(addr));
-                }
-                self.vm_write_phys(id, addr, &value.to_le_bytes());
+                self.vm_write_phys(id, addr, &value.to_le_bytes())
+                    .map_err(|_| ConsoleError::BadAddress(addr))?;
                 Ok(format!("P {addr:08X} {value:08X}"))
             }
             ConsoleCommand::Boot(addr) => {
@@ -215,6 +213,14 @@ mod tests {
         ));
         assert!(matches!(
             mon.console_command(vm, "BOOT FFFFFFF0"),
+            Err(ConsoleError::BadAddress(_))
+        ));
+        // A longword deposit at the last byte of memory: the first byte is
+        // in range (so a first-byte-only check passes) but bytes 1..4 are
+        // not. This used to panic inside vm_write_phys.
+        let last = mon.vm(vm).mem_bytes() - 1;
+        assert!(matches!(
+            mon.console_command(vm, &format!("DEPOSIT {last:X} 12345678")),
             Err(ConsoleError::BadAddress(_))
         ));
         let e = ConsoleError::BadAddress(0x10);

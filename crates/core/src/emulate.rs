@@ -5,6 +5,7 @@
 //! (so no instruction parsing happens here), transforms the VM's virtual
 //! privileged state, and resumes the VM at the instruction's successor.
 
+use crate::fault::{Containment, VmmError};
 use crate::monitor::{compress_mode, Monitor};
 use crate::shadow::FillOutcome;
 use crate::vm::{DirtyStrategy, IoStrategy, VirtualIrq, VmState};
@@ -71,7 +72,9 @@ impl Monitor {
                 Err(fault) => self.service_fault(idx, fault, false)?,
             }
         }
-        Err(FillOutcome::Halt("shadow fill loop"))
+        Err(FillOutcome::Fault(VmmError::Internal {
+            what: "shadow fill did not converge",
+        }))
     }
 
     /// Writes guest virtual memory as the VM.
@@ -90,7 +93,9 @@ impl Monitor {
                 Err(fault) => self.service_fault(idx, fault, true)?,
             }
         }
-        Err(FillOutcome::Halt("shadow fill loop"))
+        Err(FillOutcome::Fault(VmmError::Internal {
+            what: "shadow fill did not converge",
+        }))
     }
 
     /// Services one memory fault hit while the VMM itself touches guest
@@ -131,29 +136,74 @@ impl Monitor {
         }
     }
 
-    /// Reads guest physical memory (VMM-internal).
+    /// Reads a longword of guest physical memory (VMM-internal). The
+    /// whole longword must lie inside the VM — checking only the first
+    /// byte would let an address at `mem_bytes - {1,2,3}` read into the
+    /// adjacent VM's frames.
     pub(crate) fn read_gp(&self, idx: usize, gpa: u32) -> Option<u32> {
-        let pa = self.vms[idx].vm.gpa_to_pa(gpa)?;
+        let pa = self.vms[idx].vm.gpa_to_pa_len(gpa, 4)?;
         self.machine.mem().read_u32(pa).ok()
     }
 
-    /// Writes guest physical memory (VMM-internal).
+    /// Reads a longword at `base + off` in guest physical memory,
+    /// failing cleanly if the guest-supplied base makes the sum wrap.
+    pub(crate) fn read_gp_at(&self, idx: usize, base: u32, off: u32) -> Option<u32> {
+        self.read_gp(idx, base.checked_add(off)?)
+    }
+
+    /// Writes a longword of guest physical memory (VMM-internal); the
+    /// same whole-longword containment as [`Monitor::read_gp`].
     pub(crate) fn write_gp(&mut self, idx: usize, gpa: u32, v: u32) -> Option<()> {
-        let pa = self.vms[idx].vm.gpa_to_pa(gpa)?;
+        let pa = self.vms[idx].vm.gpa_to_pa_len(gpa, 4)?;
         self.machine.mem_mut().write_u32(pa, v).ok()
+    }
+
+    /// Writes a longword at `base + off`, overflow-checked.
+    pub(crate) fn write_gp_at(&mut self, idx: usize, base: u32, off: u32, v: u32) -> Option<()> {
+        self.write_gp(idx, base.checked_add(off)?, v)
     }
 
     /// Handles a failed VMM access to guest memory: reflect the guest's
     /// own fault (the faulted operation will be retried or the guest's
-    /// handler takes over), or halt on a security violation.
-    fn guest_access_failed(&mut self, idx: usize, outcome: FillOutcome, ctx: &str) -> bool {
+    /// handler takes over), or contain the VMM fault.
+    fn guest_access_failed(&mut self, idx: usize, outcome: FillOutcome, ctx: &'static str) -> bool {
         match outcome {
             FillOutcome::Reflect(e) => self.reflect(idx, e),
-            FillOutcome::Halt(why) => self.console_halt(idx, why),
-            FillOutcome::Filled => self.console_halt(idx, ctx),
+            FillOutcome::Fault(err) => self.contain(idx, err),
+            FillOutcome::Filled => self.security_halt(idx, VmmError::Internal { what: ctx }),
         }
     }
 
+    /// Applies the [`VmmError::containment`] policy (DESIGN.md §11) to a
+    /// fault raised while this VM was executing: reflect a virtual
+    /// machine check through the guest SCB, or halt the VM with the
+    /// reason recorded. Returns `true` when the VM should resume (into
+    /// its machine-check handler).
+    pub(crate) fn contain(&mut self, idx: usize, err: VmmError) -> bool {
+        match err.containment() {
+            Containment::Reflect(e) => {
+                self.obs.refine(vax_obs::ExitCause::ReflectedMachineCheck);
+                self.vms[idx].vm.stats.machine_checks += 1;
+                self.reflect(idx, e)
+            }
+            Containment::Halt => self.security_halt(idx, err),
+        }
+    }
+
+    /// Halts the VM at its virtual console with `err` recorded as the
+    /// reason — the clean-halt arm of fault containment. Always returns
+    /// `false` (do not resume).
+    pub(crate) fn security_halt(&mut self, idx: usize, err: VmmError) -> bool {
+        self.obs.refine(vax_obs::ExitCause::SecurityHalt);
+        let vm = &mut self.vms[idx].vm;
+        vm.state = VmState::ConsoleHalt;
+        vm.halt_reason = Some(err);
+        vm.vmm_log.push(format!("{} halted: {err}", vm.name));
+        false
+    }
+
+    /// A guest-requested console halt (HALT in virtual kernel mode) —
+    /// not an error, so no halt reason is recorded.
     fn console_halt(&mut self, idx: usize, why: &str) -> bool {
         let vm = &mut self.vms[idx].vm;
         vm.state = VmState::ConsoleHalt;
@@ -217,7 +267,7 @@ impl Monitor {
                         self.obs.refine(vax_obs::ExitCause::GuestPageFault);
                         self.reflect(idx, ge)
                     }
-                    FillOutcome::Halt(why) => self.console_halt(idx, why),
+                    FillOutcome::Fault(err) => self.contain(idx, err),
                 }
             }
             Exception::ModifyFault { va } => {
@@ -229,7 +279,7 @@ impl Monitor {
                 {
                     FillOutcome::Filled => true,
                     FillOutcome::Reflect(ge) => self.reflect(idx, ge),
-                    FillOutcome::Halt(why) => self.console_halt(idx, why),
+                    FillOutcome::Fault(err) => self.contain(idx, err),
                 }
             }
             Exception::AccessViolation { va, write, .. } => {
@@ -243,18 +293,23 @@ impl Monitor {
                     {
                         FillOutcome::Filled => return true,
                         FillOutcome::Reflect(ge) => return self.reflect(idx, ge),
-                        FillOutcome::Halt(why) => return self.console_halt(idx, why),
+                        FillOutcome::Fault(err) => return self.contain(idx, err),
                     }
                 }
                 let ge = self.guestify_av(idx, e);
                 self.reflect(idx, ge)
             }
-            Exception::MachineCheck { .. } => {
+            Exception::MachineCheck { code } => {
                 // Paper §5: a reference to nonexistent memory can be a
                 // symptom of a security attack — halt the VM.
-                self.console_halt(idx, "machine check (nonexistent memory)")
+                self.security_halt(idx, VmmError::RealMachineCheck { code })
             }
-            Exception::KernelStackNotValid => self.console_halt(idx, "kernel stack not valid"),
+            Exception::KernelStackNotValid => self.security_halt(
+                idx,
+                VmmError::Undeliverable {
+                    what: "kernel stack not valid",
+                },
+            ),
             other => self.reflect(idx, other),
         }
     }
@@ -320,17 +375,39 @@ impl Monitor {
                 .vm_write(idx, VirtAddr::new(sp), v, 4, real_mode)
                 .is_err()
             {
-                return self.console_halt(idx, "exception frame push failed");
+                // Reflecting the push failure would recurse into the same
+                // broken stack: the guest can no longer hear about its own
+                // faults, so contain by halting.
+                return self.security_halt(
+                    idx,
+                    VmmError::Undeliverable {
+                        what: "exception frame push failed",
+                    },
+                );
             }
         }
         self.vms[idx].vm.set_stack_slot(target, is, sp);
 
-        let vector_gpa = self.vms[idx].vm.guest_scbb + e.vector().offset();
-        let Some(handler) = self.read_gp(idx, vector_gpa) else {
-            return self.console_halt(idx, "guest SCB unreadable");
+        let handler = self.vms[idx]
+            .vm
+            .guest_scbb
+            .checked_add(e.vector().offset())
+            .and_then(|vector_gpa| self.read_gp(idx, vector_gpa));
+        let Some(handler) = handler else {
+            return self.security_halt(
+                idx,
+                VmmError::Undeliverable {
+                    what: "guest SCB unreadable",
+                },
+            );
         };
         if handler & !3 == 0 {
-            return self.console_halt(idx, "guest exception vector empty");
+            return self.security_halt(
+                idx,
+                VmmError::Undeliverable {
+                    what: "guest exception vector empty",
+                },
+            );
         }
         self.set_vm_mode(idx, target, old_cur, is, true);
         self.machine.set_pc(handler & !3);
@@ -358,13 +435,27 @@ impl Monitor {
         }
         self.vms[idx].vm.vsp_is = sp;
 
-        let vector_gpa = self.vms[idx].vm.guest_scbb + irq.vector as u32;
-        let Some(handler) = self.read_gp(idx, vector_gpa) else {
-            self.console_halt(idx, "guest SCB unreadable");
+        let handler = self.vms[idx]
+            .vm
+            .guest_scbb
+            .checked_add(irq.vector as u32)
+            .and_then(|vector_gpa| self.read_gp(idx, vector_gpa));
+        let Some(handler) = handler else {
+            self.security_halt(
+                idx,
+                VmmError::Undeliverable {
+                    what: "guest SCB unreadable",
+                },
+            );
             return;
         };
         if handler & !3 == 0 {
-            self.console_halt(idx, "guest interrupt vector empty");
+            self.security_halt(
+                idx,
+                VmmError::Undeliverable {
+                    what: "guest interrupt vector empty",
+                },
+            );
             return;
         }
         {
@@ -424,7 +515,12 @@ impl Monitor {
         self.charge(self.config.costs.chm);
         self.vms[idx].vm.stats.chm += 1;
         let code = info.operands[0].value().unwrap_or(0) as u16 as i16 as i32 as u32;
-        let instr_target = info.opcode.chm_target().expect("CHM opcode");
+        let Some(instr_target) = info.opcode.chm_target() else {
+            // Only CHMx opcodes dispatch here; a non-CHM trap info is a
+            // decoder inconsistency, handled as a reserved instruction
+            // rather than a panic.
+            return self.reflect(idx, Exception::ReservedInstruction);
+        };
         let old_cur = self.vms[idx].vm.vmpsl.cur_mode();
         // Change-mode maximizes privilege: a CHM to a less privileged
         // mode stays in the current mode.
@@ -446,12 +542,26 @@ impl Monitor {
         self.vms[idx].vm.set_stack_slot(new_mode, false, sp);
 
         // Vector selected by the *instruction's* target mode.
-        let vector_gpa = self.vms[idx].vm.guest_scbb + 0x40 + 4 * instr_target.bits();
-        let Some(handler) = self.read_gp(idx, vector_gpa) else {
-            return self.console_halt(idx, "guest SCB unreadable");
+        let handler = self.vms[idx]
+            .vm
+            .guest_scbb
+            .checked_add(0x40 + 4 * instr_target.bits())
+            .and_then(|vector_gpa| self.read_gp(idx, vector_gpa));
+        let Some(handler) = handler else {
+            return self.security_halt(
+                idx,
+                VmmError::Undeliverable {
+                    what: "guest SCB unreadable",
+                },
+            );
         };
         if handler & !3 == 0 {
-            return self.console_halt(idx, "guest CHM vector empty");
+            return self.security_halt(
+                idx,
+                VmmError::Undeliverable {
+                    what: "guest CHM vector empty",
+                },
+            );
         }
         self.machine.apply_side_effects(&info.reg_side_effects);
         self.set_vm_mode(idx, new_mode, old_cur, false, true);
@@ -723,9 +833,14 @@ impl Monitor {
         self.charge(self.config.costs.context_switch);
         self.vms[idx].vm.stats.guest_context_switches += 1;
         let pcbb = self.vms[idx].vm.guest_pcbb;
-        let rd = |m: &Monitor, off: u32| m.read_gp(idx, pcbb + off);
+        let rd = |m: &Monitor, off: u32| m.read_gp_at(idx, pcbb, off);
         let Some(ksp) = rd(self, 0) else {
-            return self.console_halt(idx, "guest PCB unreadable");
+            return self.security_halt(
+                idx,
+                VmmError::GuestState {
+                    what: "guest PCB unreadable",
+                },
+            );
         };
         let esp = rd(self, 4).unwrap_or(0);
         let ssp = rd(self, 8).unwrap_or(0);
@@ -797,11 +912,13 @@ impl Monitor {
         let pcbb = self.vms[idx].vm.guest_pcbb;
         let real_mode = compress_mode(self.vms[idx].vm.vmpsl.cur_mode());
         let sp = self.machine.reg(14);
-        let Ok(pc_img) = self.vm_read(idx, VirtAddr::new(sp), 4, real_mode) else {
-            return self.console_halt(idx, "SVPCTX stack pop failed");
+        let pc_img = match self.vm_read(idx, VirtAddr::new(sp), 4, real_mode) {
+            Ok(v) => v,
+            Err(out) => return self.guest_access_failed(idx, out, "SVPCTX stack pop failed"),
         };
-        let Ok(psl_img) = self.vm_read(idx, VirtAddr::new(sp.wrapping_add(4)), 4, real_mode) else {
-            return self.console_halt(idx, "SVPCTX stack pop failed");
+        let psl_img = match self.vm_read(idx, VirtAddr::new(sp.wrapping_add(4)), 4, real_mode) {
+            Ok(v) => v,
+            Err(out) => return self.guest_access_failed(idx, out, "SVPCTX stack pop failed"),
         };
         self.machine.set_reg(14, sp.wrapping_add(8));
 
@@ -816,17 +933,22 @@ impl Monitor {
         };
         let mut ok = true;
         ok &= self.write_gp(idx, pcbb, ksp).is_some();
-        ok &= self.write_gp(idx, pcbb + 4, esp).is_some();
-        ok &= self.write_gp(idx, pcbb + 8, ssp).is_some();
-        ok &= self.write_gp(idx, pcbb + 12, usp).is_some();
+        ok &= self.write_gp_at(idx, pcbb, 4, esp).is_some();
+        ok &= self.write_gp_at(idx, pcbb, 8, ssp).is_some();
+        ok &= self.write_gp_at(idx, pcbb, 12, usp).is_some();
         for i in 0..14 {
             let v = self.machine.reg(i);
-            ok &= self.write_gp(idx, pcbb + 16 + 4 * i as u32, v).is_some();
+            ok &= self.write_gp_at(idx, pcbb, 16 + 4 * i as u32, v).is_some();
         }
-        ok &= self.write_gp(idx, pcbb + 72, pc_img).is_some();
-        ok &= self.write_gp(idx, pcbb + 76, psl_img).is_some();
+        ok &= self.write_gp_at(idx, pcbb, 72, pc_img).is_some();
+        ok &= self.write_gp_at(idx, pcbb, 76, psl_img).is_some();
         if !ok {
-            return self.console_halt(idx, "guest PCB unwritable");
+            return self.security_halt(
+                idx,
+                VmmError::GuestState {
+                    what: "guest PCB unwritable",
+                },
+            );
         }
         self.machine.set_pc(info.next_pc);
         true
@@ -860,8 +982,15 @@ impl Monitor {
                     continue;
                 }
                 Err(FillOutcome::Reflect(e)) => return self.reflect(idx, e),
-                Err(FillOutcome::Halt(why)) => return self.console_halt(idx, why),
-                Err(FillOutcome::Filled) => unreachable!(),
+                Err(FillOutcome::Fault(err)) => return self.contain(idx, err),
+                Err(FillOutcome::Filled) => {
+                    return self.security_halt(
+                        idx,
+                        VmmError::Internal {
+                            what: "guest_pte returned Filled",
+                        },
+                    )
+                }
             };
             // The protection code is meaningful even when the PTE is
             // invalid (paper §3.2.1): compute from the compressed code.

@@ -1,0 +1,277 @@
+//! The fault-containment taxonomy (DESIGN.md §11).
+//!
+//! The security-kernel invariant (paper §4–5) is that nothing a virtual
+//! machine does can take down the monitor: sensitive operations trap and
+//! are emulated, faults are *reflected* into the guest, and the VMM's own
+//! error paths must never turn a malformed guest into a host panic. Every
+//! guest-reachable failure is therefore named by a [`VmmError`] and ends
+//! in one of two architecturally clean outcomes, decided by
+//! [`VmmError::containment`]:
+//!
+//! * **Reflect** — the guest receives a *virtual machine check* through
+//!   its SCB vector 0x04, exactly as real hardware reports a bad
+//!   page-table reference. Used when the guest's own privileged state
+//!   (page-table base registers, PTE contents) names memory outside the
+//!   VM: the state is wrong by the guest's own doing, and its operating
+//!   system is entitled to hear about it the way a real VAX would say it.
+//! * **Halt** — the VM transitions to its virtual console with the
+//!   reason recorded in [`crate::vm::Vm::halt_reason`]. Used when the
+//!   event cannot be delivered to the guest at all (its SCB or exception
+//!   stack is gone), when the paper explicitly prescribes a security halt
+//!   (§5: a reference to nonexistent memory "may be the symptom of a
+//!   security attack"), or when a VMM-internal invariant failed.
+//!
+//! Host-facing loader/console APIs ([`crate::Monitor::vm_write_phys`],
+//! [`crate::Monitor::vm_load_disk`]) return these errors as `Result`s
+//! instead; the containment policy applies only to faults raised while a
+//! VM is executing.
+
+use vax_arch::Exception;
+
+/// Diagnostic codes carried by a reflected virtual machine check (the
+/// single parameter pushed after PC/PSL). The low code space is left to
+/// the hardware's own machine-check summaries; the VMM uses 0x10 up.
+pub mod mck {
+    /// A guest page-table walk referenced guest-physical memory outside
+    /// the VM (bogus SBR, or a walk that ran off the end of memory).
+    pub const PT_WALK: u32 = 0x10;
+    /// A guest P0BR/P1BR does not point into guest S space.
+    pub const PT_NOT_S: u32 = 0x11;
+    /// A guest PTE maps a page frame beyond the VM's MEMSIZE.
+    pub const PTE_FRAME: u32 = 0x12;
+}
+
+/// Everything that can go wrong on a guest-reachable VMM path, plus the
+/// host-API misuses the same machinery reports as `Result`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmmError {
+    /// A guest page-table walk referenced guest-physical memory outside
+    /// the VM's partition: the PTE longword at `gpa` is not entirely
+    /// inside guest memory (bogus SBR, or a base at the partition edge).
+    PageTableWalk {
+        /// Guest-physical address of the PTE the walk tried to read.
+        gpa: u32,
+    },
+    /// A guest P0BR/P1BR points outside guest S space, so no process PTE
+    /// can be located for the faulting address.
+    ProcessBaseNotS {
+        /// The offending base-register value.
+        base: u32,
+    },
+    /// A guest PTE names a page frame beyond the VM's MEMSIZE.
+    PteFrame {
+        /// The out-of-range guest page frame number.
+        gpfn: u32,
+    },
+    /// A guest-physical reference outside the VM's memory while guest
+    /// translation is off (paper §5: halt — possible security attack).
+    NonexistentMemory {
+        /// The out-of-range guest-physical address.
+        gpa: u32,
+    },
+    /// The real machine reported a machine check while the VM ran — the
+    /// paper's §5 "hardware errors" case.
+    RealMachineCheck {
+        /// The hardware's diagnostic summary code.
+        code: u32,
+    },
+    /// A reflected exception or virtual interrupt could not be delivered:
+    /// the guest's SCB, its chosen vector, or its exception stack is
+    /// unusable, so the guest can no longer hear about its own faults.
+    Undeliverable {
+        /// Which delivery structure failed.
+        what: &'static str,
+    },
+    /// Guest privileged state the emulation needed (PCB, KCALL request
+    /// block) is not readable/writable guest memory.
+    GuestState {
+        /// Which structure was bad.
+        what: &'static str,
+    },
+    /// The emulated-MMIO window is misconfigured for this VM.
+    Mmio {
+        /// What was wrong with the window.
+        what: &'static str,
+    },
+    /// A VMM-internal invariant failed. Never guest-attributable; the VM
+    /// is halted so the inconsistency cannot spread.
+    Internal {
+        /// The invariant that failed.
+        what: &'static str,
+    },
+    /// Host API: the requested virtual-disk sector does not exist.
+    DiskSector {
+        /// Requested sector.
+        sector: u32,
+        /// Sectors on the virtual disk.
+        capacity: u32,
+    },
+    /// Host API: a sector buffer longer than the 512-byte sector size.
+    DiskBuffer {
+        /// Offending buffer length.
+        len: usize,
+    },
+    /// Host API: a guest-physical range not contained in the VM's memory.
+    GuestRange {
+        /// Start of the range.
+        gpa: u32,
+        /// Length of the range in bytes.
+        len: u32,
+    },
+}
+
+/// What the monitor does with a [`VmmError`] raised while a VM runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Containment {
+    /// Reflect the exception (a virtual machine check) into the guest
+    /// through its SCB.
+    Reflect(Exception),
+    /// Halt the VM at its virtual console, recording the reason.
+    Halt,
+}
+
+impl VmmError {
+    /// The containment decision for this error — the §11 decision table.
+    pub fn containment(self) -> Containment {
+        match self {
+            // The guest's own page-table state is bogus: architecturally a
+            // machine check, and the guest OS gets to handle it.
+            VmmError::PageTableWalk { .. } => {
+                Containment::Reflect(Exception::MachineCheck { code: mck::PT_WALK })
+            }
+            VmmError::ProcessBaseNotS { .. } => Containment::Reflect(Exception::MachineCheck {
+                code: mck::PT_NOT_S,
+            }),
+            VmmError::PteFrame { .. } => Containment::Reflect(Exception::MachineCheck {
+                code: mck::PTE_FRAME,
+            }),
+            // Everything else either cannot be delivered to the guest or
+            // is the paper's prescribed security halt.
+            VmmError::NonexistentMemory { .. }
+            | VmmError::RealMachineCheck { .. }
+            | VmmError::Undeliverable { .. }
+            | VmmError::GuestState { .. }
+            | VmmError::Mmio { .. }
+            | VmmError::Internal { .. }
+            | VmmError::DiskSector { .. }
+            | VmmError::DiskBuffer { .. }
+            | VmmError::GuestRange { .. } => Containment::Halt,
+        }
+    }
+
+    /// True when the error is attributable to the guest's own actions
+    /// (as opposed to a VMM invariant failure or host-API misuse).
+    pub fn is_guest_attributable(self) -> bool {
+        !matches!(
+            self,
+            VmmError::Internal { .. }
+                | VmmError::DiskSector { .. }
+                | VmmError::DiskBuffer { .. }
+                | VmmError::GuestRange { .. }
+        )
+    }
+}
+
+impl core::fmt::Display for VmmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmmError::PageTableWalk { gpa } => {
+                write!(
+                    f,
+                    "guest page-table walk outside VM memory (PTE at {gpa:#010x})"
+                )
+            }
+            VmmError::ProcessBaseNotS { base } => {
+                write!(
+                    f,
+                    "guest process page-table base outside S space ({base:#010x})"
+                )
+            }
+            VmmError::PteFrame { gpfn } => {
+                write!(f, "guest PTE maps frame outside VM memory (gpfn {gpfn:#x})")
+            }
+            VmmError::NonexistentMemory { gpa } => {
+                write!(f, "physical reference outside VM memory ({gpa:#010x})")
+            }
+            VmmError::RealMachineCheck { code } => {
+                write!(f, "real machine check while VM running (code {code:#x})")
+            }
+            VmmError::Undeliverable { what } => write!(f, "undeliverable exception: {what}"),
+            VmmError::GuestState { what } => write!(f, "bad guest state: {what}"),
+            VmmError::Mmio { what } => write!(f, "MMIO emulation: {what}"),
+            VmmError::Internal { what } => write!(f, "VMM internal invariant failed: {what}"),
+            VmmError::DiskSector { sector, capacity } => {
+                write!(
+                    f,
+                    "disk sector {sector} beyond virtual disk ({capacity} sectors)"
+                )
+            }
+            VmmError::DiskBuffer { len } => {
+                write!(
+                    f,
+                    "sector buffer of {len} bytes exceeds the 512-byte sector"
+                )
+            }
+            VmmError::GuestRange { gpa, len } => {
+                write!(
+                    f,
+                    "guest-physical range {gpa:#010x}+{len:#x} outside VM memory"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_table_errors_reflect_machine_checks() {
+        for (err, code) in [
+            (VmmError::PageTableWalk { gpa: 0x3FFFE }, mck::PT_WALK),
+            (VmmError::ProcessBaseNotS { base: 0x1000 }, mck::PT_NOT_S),
+            (VmmError::PteFrame { gpfn: 0x5000 }, mck::PTE_FRAME),
+        ] {
+            match err.containment() {
+                Containment::Reflect(Exception::MachineCheck { code: c }) => {
+                    assert_eq!(c, code, "{err:?}");
+                }
+                other => panic!("{err:?}: expected reflected machine check, got {other:?}"),
+            }
+            assert!(err.is_guest_attributable());
+        }
+    }
+
+    #[test]
+    fn non_deliverable_errors_halt() {
+        for err in [
+            VmmError::NonexistentMemory { gpa: 0x10_0000 },
+            VmmError::RealMachineCheck { code: 1 },
+            VmmError::Undeliverable {
+                what: "guest SCB unreadable",
+            },
+            VmmError::GuestState {
+                what: "guest PCB unreadable",
+            },
+            VmmError::Internal { what: "x" },
+        ] {
+            assert_eq!(err.containment(), Containment::Halt, "{err:?}");
+        }
+        assert!(!VmmError::Internal { what: "x" }.is_guest_attributable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = VmmError::PageTableWalk { gpa: 0x3FFFE };
+        assert!(e.to_string().contains("0x0003fffe"), "{e}");
+        assert!(!VmmError::DiskSector {
+            sector: 99,
+            capacity: 64
+        }
+        .to_string()
+        .is_empty());
+    }
+}

@@ -14,6 +14,12 @@
 //! | +12    | LEN    | transfer length in bytes                     |
 //! | +16    | STATUS | written by the VMM: 1 done, ≥0x80000000 error |
 //!
+//! Error statuses: `0x8000_0000` unknown function, `0x8000_0001` bad
+//! sector/length, `0x8000_0002` buffer address outside guest memory (or
+//! wrapping past the top of the 32-bit space). The whole 20-byte request
+//! block must lie inside guest memory; a block the VMM cannot even report
+//! status into halts the VM (DESIGN.md §11).
+//!
 //! Disk transfers complete asynchronously: STATUS goes to 1 and a virtual
 //! interrupt (IPL 21, the guest's `Device0` vector) is delivered after
 //! the configured latency.
@@ -27,7 +33,9 @@
 //! one full trap round-trip per CSR touch, which is exactly the cost the
 //! paper rejected.
 
+use crate::fault::VmmError;
 use crate::monitor::Monitor;
+use crate::shadow::vmm_write_u32;
 use crate::vm::VirtualIrq;
 use vax_arch::va::{VirtAddr, PAGE_SHIFT};
 use vax_arch::{Protection, Pte, ScbVector};
@@ -48,6 +56,11 @@ pub const KCALL_CONSOLE_WRITE: u32 = 3;
 /// KCALL function: register the uptime cell (paper §5, "Time").
 pub const KCALL_SET_UPTIME_CELL: u32 = 4;
 
+/// Largest accepted console-write LEN. A guest-controlled length with no
+/// cap would let one VM grow the host-side console buffer by 4 GiB per
+/// KCALL; longer writes get the bad-length status instead.
+pub const KCALL_CONSOLE_MAX_LEN: u32 = 4096;
+
 /// The disk-controller GO|WRITE command (used by host-side disk loads).
 pub(crate) fn disk_write_cmd() -> u32 {
     vax_dev::disk::CSR_GO | vax_dev::disk::FUNC_WRITE
@@ -58,13 +71,24 @@ pub(crate) fn kcall(mon: &mut Monitor, idx: usize, req_gpa: u32) -> bool {
     mon.charge(mon.config.costs.kcall);
     mon.vms[idx].vm.stats.kcalls += 1;
 
-    let Some(func) = mon.read_gp(idx, req_gpa) else {
-        return halt(mon, idx, "KCALL request block unreadable");
-    };
-    let sector = mon.read_gp(idx, req_gpa + 4).unwrap_or(0);
-    let buffer = mon.read_gp(idx, req_gpa + 8).unwrap_or(0);
-    let len = mon.read_gp(idx, req_gpa + 12).unwrap_or(0);
-    let status_gpa = req_gpa + 16;
+    // The whole 20-byte request block must be guest memory. A guest that
+    // points KCALL at (or near) the end of its partition gives the VMM no
+    // STATUS field to report errors into, so containment is a halt —
+    // and a request at 0xFFFF_FFFC must not wrap around address zero.
+    if mon.vms[idx].vm.gpa_to_pa_len(req_gpa, 20).is_none() {
+        return mon.security_halt(
+            idx,
+            VmmError::GuestState {
+                what: "KCALL request block outside VM memory",
+            },
+        );
+    }
+    let func = mon.read_gp(idx, req_gpa).unwrap_or(0);
+    let sector = mon.read_gp_at(idx, req_gpa, 4).unwrap_or(0);
+    let buffer = mon.read_gp_at(idx, req_gpa, 8).unwrap_or(0);
+    let len = mon.read_gp_at(idx, req_gpa, 12).unwrap_or(0);
+    // In range: req_gpa + 16 < req_gpa + 20, validated above.
+    let status_gpa = req_gpa.wrapping_add(16);
 
     match func {
         KCALL_DISK_READ | KCALL_DISK_WRITE => {
@@ -74,14 +98,21 @@ pub(crate) fn kcall(mon: &mut Monitor, idx: usize, req_gpa: u32) -> bool {
                 return true;
             }
             // Transfer now; completion (status + interrupt) after the
-            // latency, like a real controller with DMA.
+            // latency, like a real controller with DMA. Guest-controlled
+            // BUFFER arithmetic stays checked: an address that wraps or
+            // leaves guest memory (even by 1–3 bytes of a longword, which
+            // would otherwise DMA into the adjacent VM) is a bad-address
+            // status, never a panic.
             let n = len.min(512);
             if func == KCALL_DISK_READ {
                 let data = mon.vms[idx].vm.vdisk[sector as usize];
                 for i in (0..n).step_by(4) {
-                    let w =
-                        u32::from_le_bytes(data[i as usize..i as usize + 4].try_into().unwrap());
-                    if mon.write_gp(idx, buffer + i, w).is_none() {
+                    let mut word = [0u8; 4];
+                    word.copy_from_slice(&data[i as usize..i as usize + 4]);
+                    let ok = buffer
+                        .checked_add(i)
+                        .and_then(|dst| mon.write_gp(idx, dst, u32::from_le_bytes(word)));
+                    if ok.is_none() {
                         let _ = mon.write_gp(idx, status_gpa, 0x8000_0002);
                         return true;
                     }
@@ -89,7 +120,8 @@ pub(crate) fn kcall(mon: &mut Monitor, idx: usize, req_gpa: u32) -> bool {
             } else {
                 let mut data = mon.vms[idx].vm.vdisk[sector as usize];
                 for i in (0..n).step_by(4) {
-                    let Some(w) = mon.read_gp(idx, buffer + i) else {
+                    let word = buffer.checked_add(i).and_then(|src| mon.read_gp(idx, src));
+                    let Some(w) = word else {
                         let _ = mon.write_gp(idx, status_gpa, 0x8000_0002);
                         return true;
                     };
@@ -110,8 +142,15 @@ pub(crate) fn kcall(mon: &mut Monitor, idx: usize, req_gpa: u32) -> bool {
             true
         }
         KCALL_CONSOLE_WRITE => {
+            if len > KCALL_CONSOLE_MAX_LEN {
+                let _ = mon.write_gp(idx, status_gpa, 0x8000_0001);
+                return true;
+            }
             for i in 0..len {
-                let Some(w) = mon.read_gp(idx, buffer + (i & !3)) else {
+                let word = buffer
+                    .checked_add(i & !3)
+                    .and_then(|src| mon.read_gp(idx, src));
+                let Some(w) = word else {
                     let _ = mon.write_gp(idx, status_gpa, 0x8000_0002);
                     return true;
                 };
@@ -131,15 +170,6 @@ pub(crate) fn kcall(mon: &mut Monitor, idx: usize, req_gpa: u32) -> bool {
             true
         }
     }
-}
-
-fn halt(mon: &mut Monitor, idx: usize, why: &'static str) -> bool {
-    use crate::vm::VmState;
-    let vm = &mut mon.vms[idx].vm;
-    vm.state = VmState::ConsoleHalt;
-    let name = vm.name.clone();
-    vm.vmm_log.push(format!("{name} halted: {why}"));
-    false
 }
 
 impl Monitor {
@@ -162,19 +192,26 @@ pub(crate) fn emulate_mmio_access(mon: &mut Monitor, idx: usize, va: VirtAddr, g
     mon.vms[idx].vm.stats.mmio_accesses += 1;
 
     let Some(real_io_base) = mon.vms[idx].vm.real_io_base else {
-        return halt(mon, idx, "MMIO window without a real device");
+        return mon.security_halt(
+            idx,
+            VmmError::Mmio {
+                what: "window without a real device",
+            },
+        );
     };
     let real_pfn = (real_io_base >> PAGE_SHIFT) + (gpfn - GUEST_IO_GPFN_BASE);
     let Some(shadow_pa) = mon.vms[idx].shadow.shadow_pte_pa(va) else {
-        return halt(mon, idx, "MMIO access outside shadowed space");
+        return mon.security_halt(
+            idx,
+            VmmError::Mmio {
+                what: "access outside shadowed space",
+            },
+        );
     };
 
     // Temporarily validate the mapping straight at the real device.
     let pte = Pte::build(real_pfn, Protection::Uw, true, true);
-    mon.machine
-        .mem_mut()
-        .write_u32(shadow_pa, pte.raw())
-        .unwrap();
+    vmm_write_u32(&mut mon.machine, shadow_pa, pte.raw());
     mon.machine.mmu_mut().tlb_mut().invalidate_single(va);
 
     let vmpsl = mon.vms[idx].vm.vmpsl;
@@ -182,16 +219,18 @@ pub(crate) fn emulate_mmio_access(mon: &mut Monitor, idx: usize, va: VirtAddr, g
     let ev = mon.machine.step();
 
     // Invalidate again: the next CSR touch must trap.
-    mon.machine
-        .mem_mut()
-        .write_u32(shadow_pa, Pte::NULL.raw())
-        .unwrap();
+    vmm_write_u32(&mut mon.machine, shadow_pa, Pte::NULL.raw());
     mon.machine.mmu_mut().tlb_mut().invalidate_single(va);
 
     match ev {
         StepEvent::Ok => true,
         StepEvent::VmExit(e) => mon.handle_exit(idx, e),
-        StepEvent::Halted(_) => halt(mon, idx, "halted during MMIO emulation"),
+        StepEvent::Halted(_) => mon.security_halt(
+            idx,
+            VmmError::Mmio {
+                what: "real machine halted during MMIO emulation",
+            },
+        ),
     }
 }
 

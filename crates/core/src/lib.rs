@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Fault containment (DESIGN.md §11): no guest-reachable path through this
+// crate may panic the host. CI runs clippy with `-D warnings`, so outside
+// of tests any unwrap/expect needs an `#[allow]` with a justification.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! The VAX security-kernel virtual machine monitor — the primary
 //! contribution of *Virtualizing the VAX Architecture* (ISCA 1991).
@@ -35,7 +39,7 @@
 //!
 //! let mut monitor = Monitor::new(MonitorConfig::default());
 //! let vm = monitor.create_vm("guest", VmConfig::default());
-//! monitor.vm_write_phys(vm, 0x1000, &program.bytes);
+//! monitor.vm_write_phys(vm, 0x1000, &program.bytes)?;
 //! monitor.boot_vm(vm, 0x1000);
 //! monitor.run(1_000_000);
 //! let out = monitor.vm_console_output(vm);
@@ -46,6 +50,7 @@
 pub mod console;
 pub mod cost;
 pub mod emulate;
+pub mod fault;
 pub mod io;
 pub mod layout;
 pub mod monitor;
@@ -54,9 +59,10 @@ pub mod vm;
 
 pub use console::{ConsoleCommand, ConsoleError};
 pub use cost::VmmCosts;
+pub use fault::{mck, Containment, VmmError};
 pub use io::{
-    GUEST_IO_GPFN_BASE, GUEST_IO_PAGES, KCALL_CONSOLE_WRITE, KCALL_DISK_READ, KCALL_DISK_WRITE,
-    KCALL_SET_UPTIME_CELL,
+    GUEST_IO_GPFN_BASE, GUEST_IO_PAGES, KCALL_CONSOLE_MAX_LEN, KCALL_CONSOLE_WRITE,
+    KCALL_DISK_READ, KCALL_DISK_WRITE, KCALL_SET_UPTIME_CELL,
 };
 pub use layout::{FrameAllocator, VMM_BOUNDARY_VA, VMM_BOUNDARY_VPN};
 pub use monitor::{compress_mode, Monitor, MonitorConfig, RunExit, VmConfig, VmId};

@@ -3,6 +3,7 @@
 //! paper §5).
 
 use crate::cost::VmmCosts;
+use crate::fault::VmmError;
 use crate::layout::FrameAllocator;
 use crate::shadow::{ShadowConfig, ShadowSet};
 use crate::vm::{DirtyStrategy, IoStrategy, VirtualIrq, VirtualTimer, Vm, VmState, VmStats};
@@ -179,6 +180,7 @@ impl Monitor {
             io_strategy: config.io_strategy,
             dirty_strategy: config.dirty_strategy,
             state: VmState::ConsoleHalt, // boots via the virtual console
+            halt_reason: None,
             pending_virqs: Vec::new(),
             uptime_ticks: 0,
             stats: VmStats::default(),
@@ -279,6 +281,14 @@ impl Monitor {
         });
         m.counter("shadow_slot_evictions", evictions);
         m.counter("shadow_invalidations", invalidations);
+        let (machine_checks, security_halts) = self.vms.iter().fold((0, 0), |(mc, sh), s| {
+            (
+                mc + s.vm.stats.machine_checks,
+                sh + u64::from(s.vm.halt_reason.is_some()),
+            )
+        });
+        m.counter("reflected_machine_checks", machine_checks);
+        m.counter("security_halts", security_halts);
         m.gauge("tlb_hit_rate", c.tlb_hit_rate_opt());
         if let Some(obs) = self.obs.state() {
             m.counter("trace_records", obs.trace().total());
@@ -345,55 +355,88 @@ impl Monitor {
 
     /// Writes bytes into a VM's guest-physical memory.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range exceeds the VM's memory.
-    pub fn vm_write_phys(&mut self, id: VmId, gpa: u32, data: &[u8]) {
+    /// [`VmmError::GuestRange`] if the range exceeds the VM's memory.
+    /// (Before the DESIGN.md §11 fault-containment change this API
+    /// panicked instead; callers that load trusted images can
+    /// `.expect(...)` the result to keep the old behavior.)
+    pub fn vm_write_phys(&mut self, id: VmId, gpa: u32, data: &[u8]) -> Result<(), VmmError> {
+        let len =
+            u32::try_from(data.len()).map_err(|_| VmmError::GuestRange { gpa, len: u32::MAX })?;
         let pa = self.vms[id.0]
             .vm
-            .gpa_to_pa(gpa)
-            .expect("gpa within VM memory");
-        assert!(gpa as usize + data.len() <= self.vms[id.0].vm.mem_bytes() as usize);
-        self.machine.mem_mut().write_slice(pa, data).unwrap();
+            .gpa_to_pa_len(gpa, len)
+            .ok_or(VmmError::GuestRange { gpa, len })?;
+        self.machine
+            .mem_mut()
+            .write_slice(pa, data)
+            .map_err(|_| VmmError::GuestRange { gpa, len })
     }
 
-    /// Reads a longword from guest-physical memory.
+    /// Reads a longword from guest-physical memory. The whole longword
+    /// must lie inside the VM's memory.
     pub fn vm_read_phys_u32(&self, id: VmId, gpa: u32) -> Option<u32> {
-        let pa = self.vms[id.0].vm.gpa_to_pa(gpa)?;
+        let pa = self.vms[id.0].vm.gpa_to_pa_len(gpa, 4)?;
         self.machine.mem().read_u32(pa).ok()
     }
 
     /// Loads a sector image into a VM's virtual disk.
-    pub fn vm_load_disk(&mut self, id: VmId, sector: u32, data: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::DiskSector`] for a sector beyond the disk,
+    /// [`VmmError::DiskBuffer`] for a buffer longer than a 512-byte
+    /// sector, and [`VmmError::Mmio`] if the EmulatedMmio device is
+    /// missing or rejects the CSR sequence. (This API previously panicked
+    /// on out-of-range sectors and oversized buffers.)
+    pub fn vm_load_disk(&mut self, id: VmId, sector: u32, data: &[u8]) -> Result<(), VmmError> {
+        if data.len() > 512 {
+            return Err(VmmError::DiskBuffer { len: data.len() });
+        }
         let vm = &mut self.vms[id.0].vm;
+        let capacity = vm.vdisk.len() as u32;
+        if sector >= capacity {
+            return Err(VmmError::DiskSector { sector, capacity });
+        }
         match vm.io_strategy {
             IoStrategy::StartIo => {
                 let s = &mut vm.vdisk[sector as usize];
                 s[..data.len()].copy_from_slice(data);
             }
             IoStrategy::EmulatedMmio => {
-                let base = vm.real_io_base.expect("mmio disk attached");
+                let base = vm.real_io_base.ok_or(VmmError::Mmio {
+                    what: "no real device attached",
+                })?;
                 // Reach the device through its CSRs: simplest is to poke
                 // the backing store via a write sequence.
+                let bad_csr = VmmError::Mmio {
+                    what: "device rejected CSR write",
+                };
                 let mut sectorbuf = [0u8; 512];
                 sectorbuf[..data.len()].copy_from_slice(data);
-                self.machine.bus_mut().write(base + 4, sector).unwrap();
-                for (i, chunk) in sectorbuf.chunks(4).enumerate() {
-                    let _ = i;
+                self.machine
+                    .bus_mut()
+                    .write(base + 4, sector)
+                    .map_err(|_| bad_csr)?;
+                for chunk in sectorbuf.chunks(4) {
+                    let mut word = [0u8; 4];
+                    word.copy_from_slice(chunk);
                     self.machine
                         .bus_mut()
-                        .write(base + 8, u32::from_le_bytes(chunk.try_into().unwrap()))
-                        .unwrap();
+                        .write(base + 8, u32::from_le_bytes(word))
+                        .map_err(|_| bad_csr)?;
                 }
                 self.machine
                     .bus_mut()
                     .write(base, crate::io::disk_write_cmd())
-                    .unwrap();
+                    .map_err(|_| bad_csr)?;
                 // Complete it immediately (host-side load).
                 let now = self.machine.cycles() + self.config.vdisk_latency + 1;
                 let _ = self.machine.bus_mut().tick(now);
             }
         }
+        Ok(())
     }
 
     /// Boots a VM: sets its virtual CPU to the architectural boot state
@@ -409,6 +452,7 @@ impl Monitor {
         vm.psl_flags = Psl::new();
         vm.guest_mapen = false;
         vm.state = VmState::Ready;
+        vm.halt_reason = None;
     }
 
     /// The virtual console HALT command.
@@ -533,7 +577,7 @@ impl Monitor {
         let vm = &self.vms[idx].vm;
         if let Some(cell) = vm.uptime_cell {
             let ticks = (self.machine.cycles() / 10_000) as u32;
-            if let Some(pa) = vm.gpa_to_pa(cell) {
+            if let Some(pa) = vm.gpa_to_pa_len(cell, 4) {
                 let _ = self.machine.mem_mut().write_u32(pa, ticks);
             }
         }
@@ -548,7 +592,7 @@ impl Monitor {
         };
         if let Some((irq, status_gpa)) = due {
             self.vms[idx].vm.vdisk_pending = None;
-            if let Some(pa) = self.vms[idx].vm.gpa_to_pa(status_gpa) {
+            if let Some(pa) = self.vms[idx].vm.gpa_to_pa_len(status_gpa, 4) {
                 let _ = self.machine.mem_mut().write_u32(pa, 1);
             }
             self.vms[idx].vm.pend_virq(irq);
@@ -634,8 +678,14 @@ impl Monitor {
                     StepEvent::Ok => {}
                     StepEvent::Halted(_) => {
                         // Double faults at machine level cannot happen in
-                        // VM mode; treat defensively as a console halt.
-                        self.vms[idx].vm.state = VmState::ConsoleHalt;
+                        // VM mode; contain defensively with the reason
+                        // recorded.
+                        self.security_halt(
+                            idx,
+                            VmmError::Internal {
+                                what: "real machine halt in VM mode",
+                            },
+                        );
                         reschedule = true;
                     }
                     StepEvent::VmExit(exit) => {

@@ -16,6 +16,7 @@
 //! against a guest that edits a *switched-out* process's valid PTEs
 //! without a TB invalidate — real VAX operating systems do not do that.
 
+use crate::fault::VmmError;
 use crate::layout::{table_frames, FrameAllocator};
 use crate::vm::{DirtyStrategy, Vm};
 use vax_arch::va::{Region, VirtAddr, PAGE_BYTES, PAGE_SHIFT, S_BASE};
@@ -78,9 +79,31 @@ pub enum FillOutcome {
     Filled,
     /// The guest's own tables fault this access: reflect to the guest.
     Reflect(Exception),
-    /// The guest's tables reference memory outside the VM: halt it
-    /// (paper §5, "Hardware errors").
-    Halt(&'static str),
+    /// A contained VMM fault: the guest's privileged state references
+    /// memory outside the VM (or translation is off and the reference is
+    /// nonexistent). [`crate::Monitor`] applies the
+    /// [`VmmError::containment`] policy — reflect a virtual machine
+    /// check, or halt the VM with the reason recorded.
+    Fault(VmmError),
+}
+
+/// Reads a longword from real memory the VMM has already validated: its
+/// own shadow/SPT frames (from [`FrameAllocator::alloc`], always inside
+/// machine memory) or guest frames bounds-checked against the VM
+/// partition. Failure here is a VMM bug, not a guest-reachable
+/// condition, hence the allowed panic.
+#[allow(clippy::expect_used)]
+pub(crate) fn vmm_read_u32(machine: &Machine, pa: u32) -> u32 {
+    machine.mem().read_u32(pa).expect("validated VMM memory")
+}
+
+/// Writes a longword to validated real memory; see [`vmm_read_u32`].
+#[allow(clippy::expect_used)]
+pub(crate) fn vmm_write_u32(machine: &mut Machine, pa: u32, value: u32) {
+    machine
+        .mem_mut()
+        .write_u32(pa, value)
+        .expect("validated VMM memory");
 }
 
 /// The complete shadow state for one VM.
@@ -161,10 +184,7 @@ impl ShadowSet {
     }
 
     fn write_real_spt(&self, machine: &mut Machine, vpn: u32, pte: Pte) {
-        machine
-            .mem_mut()
-            .write_u32(self.real_spt_pa + 4 * vpn, pte.raw())
-            .expect("real SPT is VMM memory");
+        vmm_write_u32(machine, self.real_spt_pa + 4 * vpn, pte.raw());
     }
 
     /// Maps `count` frames starting at `pfn` into the VMM region of this
@@ -239,9 +259,7 @@ impl ShadowSet {
     /// Reads a shadow PTE.
     pub fn read_shadow(&self, machine: &Machine, va: VirtAddr) -> Option<Pte> {
         let pa = self.shadow_pte_pa(va)?;
-        Some(Pte::from_raw(
-            machine.mem().read_u32(pa).expect("VMM memory"),
-        ))
+        Some(Pte::from_raw(vmm_read_u32(machine, pa)))
     }
 
     /// Resets the guest S window for a new guest SBR/SLR.
@@ -264,10 +282,7 @@ impl ShadowSet {
             } else {
                 Pte::NULL
             };
-            machine
-                .mem_mut()
-                .write_u32(pa, pte.raw())
-                .expect("VMM memory");
+            vmm_write_u32(machine, pa, pte.raw());
         }
         machine.mmu_mut().tlb_mut().invalidate_single(va);
     }
@@ -308,14 +323,15 @@ impl ShadowSet {
         let (idx, hit) = match hit {
             Some(i) => (i, true),
             None => {
-                // Evict the least recently used slot.
+                // Evict the least recently used slot (the constructor
+                // asserts there is at least one).
                 let lru = self
                     .slots
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, s)| s.last_used)
                     .map(|(i, _)| i)
-                    .expect("at least one slot");
+                    .unwrap_or(0);
                 let slot = self.slots[lru];
                 if slot.key.is_some() {
                     self.evictions += 1;
@@ -350,7 +366,9 @@ impl ShadowSet {
                 // modify faults cannot occur: synthesized PTEs have M set).
                 return Ok((Pte::build(va.vpn(), Protection::Uw, true, true), 0));
             }
-            return Err(FillOutcome::Halt("physical reference outside VM memory"));
+            return Err(FillOutcome::Fault(VmmError::NonexistentMemory {
+                gpa: va.raw(),
+            }));
         }
         let vpn = va.vpn();
         let gpte_pa = match va.region() {
@@ -358,9 +376,18 @@ impl ShadowSet {
                 if vpn >= vm.guest_slr {
                     return Err(FillOutcome::Reflect(length_violation(va)));
                 }
-                match vm.gpa_to_pa(vm.guest_sbr + 4 * vpn) {
+                // The whole PTE longword must lie inside the VM: a guest
+                // SBR at mem_bytes - {1,2,3} would otherwise read bytes
+                // from the adjacent VM's frames, and the add itself can
+                // wrap for an SBR near 2^32.
+                let gpa = vm.guest_sbr.checked_add(4 * vpn);
+                match gpa.and_then(|g| vm.gpa_to_pa_len(g, 4)) {
                     Some(pa) => pa,
-                    None => return Err(FillOutcome::Halt("guest SPT outside VM memory")),
+                    None => {
+                        return Err(FillOutcome::Fault(VmmError::PageTableWalk {
+                            gpa: gpa.unwrap_or(u32::MAX),
+                        }))
+                    }
                 }
             }
             Region::P0 | Region::P1 => {
@@ -374,7 +401,7 @@ impl ShadowSet {
                 }
                 let pte_sva = VirtAddr::new(base.wrapping_add(4 * vpn));
                 if pte_sva.region() != Region::S {
-                    return Err(FillOutcome::Halt("guest process PTE outside S space"));
+                    return Err(FillOutcome::Fault(VmmError::ProcessBaseNotS { base }));
                 }
                 // Walk the guest SPT in software for the PTE's page.
                 let s_vpn = pte_sva.vpn();
@@ -386,11 +413,16 @@ impl ShadowSet {
                         pte_ref: true,
                     }));
                 }
-                let spte_pa = match vm.gpa_to_pa(vm.guest_sbr + 4 * s_vpn) {
+                let spte_gpa = vm.guest_sbr.checked_add(4 * s_vpn);
+                let spte_pa = match spte_gpa.and_then(|g| vm.gpa_to_pa_len(g, 4)) {
                     Some(pa) => pa,
-                    None => return Err(FillOutcome::Halt("guest SPT outside VM memory")),
+                    None => {
+                        return Err(FillOutcome::Fault(VmmError::PageTableWalk {
+                            gpa: spte_gpa.unwrap_or(u32::MAX),
+                        }))
+                    }
                 };
-                let spte = Pte::from_raw(machine.mem().read_u32(spte_pa).expect("VM memory"));
+                let spte = Pte::from_raw(vmm_read_u32(machine, spte_pa));
                 if !spte.valid() {
                     return Err(FillOutcome::Reflect(Exception::TranslationNotValid {
                         va,
@@ -399,15 +431,26 @@ impl ShadowSet {
                     }));
                 }
                 let Some(pfn) = vm.gpfn_to_pfn(spte.pfn()) else {
-                    return Err(FillOutcome::Halt("guest PTE page outside VM memory"));
+                    return Err(FillOutcome::Fault(VmmError::PteFrame { gpfn: spte.pfn() }));
                 };
-                (pfn << PAGE_SHIFT) | (pte_sva.raw() & (PAGE_BYTES - 1))
+                let off = pte_sva.raw() & (PAGE_BYTES - 1);
+                if off > PAGE_BYTES - 4 {
+                    // An unaligned guest PxBR can park the PTE across a
+                    // page boundary; reading on would leave the validated
+                    // frame (possibly leaving the VM entirely).
+                    return Err(FillOutcome::Fault(VmmError::PageTableWalk {
+                        gpa: (spte.pfn() << PAGE_SHIFT) | off,
+                    }));
+                }
+                (pfn << PAGE_SHIFT) | off
             }
             Region::Reserved => {
                 return Err(FillOutcome::Reflect(length_violation(va)));
             }
         };
-        let gpte = Pte::from_raw(machine.mem().read_u32(gpte_pa).expect("VM memory"));
+        // gpte_pa came from a range-checked walk above, and both branches
+        // keep the full longword inside the validated frame/partition.
+        let gpte = Pte::from_raw(vmm_read_u32(machine, gpte_pa));
         Ok((gpte, gpte_pa))
     }
 
@@ -415,7 +458,7 @@ impl ShadowSet {
     /// compression translation and the dirty-bit strategy.
     fn shadow_value(&self, vm: &Vm, gpte: Pte) -> Result<Pte, FillOutcome> {
         let Some(pfn) = vm.gpfn_to_pfn(gpte.pfn()) else {
-            return Err(FillOutcome::Halt("guest PTE maps nonexistent memory"));
+            return Err(FillOutcome::Fault(VmmError::PteFrame { gpfn: gpte.pfn() }));
         };
         let mut prot = gpte.protection().ring_compressed();
         let mut modified = gpte.modified();
@@ -451,10 +494,7 @@ impl ShadowSet {
             Ok(s) => s,
             Err(out) => return out,
         };
-        machine
-            .mem_mut()
-            .write_u32(shadow_pa, shadow.raw())
-            .expect("VMM memory");
+        vmm_write_u32(machine, shadow_pa, shadow.raw());
         machine.mmu_mut().tlb_mut().invalidate_single(va);
         vm.stats.shadow_fills += 1;
 
@@ -476,10 +516,7 @@ impl ShadowSet {
             let Ok(shadow) = self.shadow_value(vm, gpte) else {
                 break;
             };
-            machine
-                .mem_mut()
-                .write_u32(next_pa, shadow.raw())
-                .expect("VMM memory");
+            vmm_write_u32(machine, next_pa, shadow.raw());
             vm.stats.shadow_fills += 1;
         }
         FillOutcome::Filled
@@ -497,24 +534,18 @@ impl ShadowSet {
         let Some(shadow_pa) = self.shadow_pte_pa(va) else {
             return FillOutcome::Reflect(length_violation(va));
         };
-        let shadow = Pte::from_raw(machine.mem().read_u32(shadow_pa).expect("VMM memory"));
+        let shadow = Pte::from_raw(vmm_read_u32(machine, shadow_pa));
         if !shadow.valid() {
             // Race shape: fault on a page whose shadow went away; refill.
             return self.fill(machine, vm, va);
         }
-        machine
-            .mem_mut()
-            .write_u32(shadow_pa, shadow.with_modified(true).raw())
-            .expect("VMM memory");
+        vmm_write_u32(machine, shadow_pa, shadow.with_modified(true).raw());
         let (gpte, gpte_pa) = match self.guest_pte(machine, vm, va) {
             Ok(x) => x,
             Err(out) => return out,
         };
         if gpte_pa != 0 {
-            machine
-                .mem_mut()
-                .write_u32(gpte_pa, gpte.with_modified(true).raw())
-                .expect("VM memory");
+            vmm_write_u32(machine, gpte_pa, gpte.with_modified(true).raw());
         }
         machine.mmu_mut().tlb_mut().invalidate_single(va);
         vm.stats.modify_faults += 1;
@@ -542,17 +573,15 @@ impl ShadowSet {
         let true_prot = gpte.protection().ring_compressed();
         if gpte.valid() && true_prot.allows_write(real_mode) {
             let Some(pfn) = vm.gpfn_to_pfn(gpte.pfn()) else {
-                return FillOutcome::Halt("guest PTE maps nonexistent memory");
+                return FillOutcome::Fault(VmmError::PteFrame { gpfn: gpte.pfn() });
             };
-            machine
-                .mem_mut()
-                .write_u32(shadow_pa, Pte::build(pfn, true_prot, true, true).raw())
-                .expect("VMM memory");
+            vmm_write_u32(
+                machine,
+                shadow_pa,
+                Pte::build(pfn, true_prot, true, true).raw(),
+            );
             if gpte_pa != 0 {
-                machine
-                    .mem_mut()
-                    .write_u32(gpte_pa, gpte.with_modified(true).raw())
-                    .expect("VM memory");
+                vmm_write_u32(machine, gpte_pa, gpte.with_modified(true).raw());
             }
             machine.mmu_mut().tlb_mut().invalidate_single(va);
             vm.stats.dirty_upgrades += 1;
@@ -591,10 +620,7 @@ fn read_only_equivalent(prot: Protection) -> Protection {
 /// Fills a table with the null PTE.
 fn null_fill(machine: &mut Machine, table_pa: u32, entries: u32) {
     for i in 0..entries {
-        machine
-            .mem_mut()
-            .write_u32(table_pa + 4 * i, Pte::NULL.raw())
-            .expect("VMM memory");
+        vmm_write_u32(machine, table_pa + 4 * i, Pte::NULL.raw());
     }
 }
 

@@ -1,6 +1,7 @@
 //! Per-virtual-machine state: virtual privileged registers, virtual
 //! devices, pending virtual interrupts, and statistics.
 
+use crate::fault::VmmError;
 use std::collections::VecDeque;
 use vax_arch::{AccessMode, Psl, VmPsl};
 
@@ -153,6 +154,9 @@ pub struct VmStats {
     /// context switches" measure counts *shadow* faults; this counts the
     /// guest's own.
     pub guest_page_faults: u64,
+    /// Virtual machine checks reflected into the guest (bad guest
+    /// page-table state contained per DESIGN.md §11).
+    pub machine_checks: u64,
 }
 
 /// Virtual-console and virtual-device state plus all privileged guest
@@ -237,6 +241,10 @@ pub struct Vm {
     // ---- scheduling ----
     /// Run state.
     pub state: VmState,
+    /// Why the VMM halted this VM, when [`VmState::ConsoleHalt`] was
+    /// entered by fault containment rather than a guest HALT. Cleared on
+    /// boot.
+    pub halt_reason: Option<VmmError>,
     /// Pending virtual interrupts.
     pub pending_virqs: Vec<VirtualIrq>,
     /// Virtual uptime in timer ticks.
@@ -325,6 +333,22 @@ impl Vm {
         }
     }
 
+    /// Translates a guest-physical *range* of `len` bytes to the real
+    /// physical address of its first byte, requiring the whole range to
+    /// lie inside the VM's memory.
+    ///
+    /// Multi-byte accessors must use this rather than [`Vm::gpa_to_pa`]:
+    /// checking only the first byte lets a range starting at
+    /// `mem_bytes - 1` spill into the adjacent VM's frames.
+    pub fn gpa_to_pa_len(&self, gpa: u32, len: u32) -> Option<u32> {
+        let end = gpa.checked_add(len)?;
+        if end <= self.mem_bytes() {
+            Some((self.mem_base_pfn << 9) + gpa)
+        } else {
+            None
+        }
+    }
+
     /// Translates a guest page frame number to a real PFN.
     pub fn gpfn_to_pfn(&self, gpfn: u32) -> Option<u32> {
         if gpfn < self.mem_pages {
@@ -373,6 +397,7 @@ mod tests {
             io_strategy: IoStrategy::StartIo,
             dirty_strategy: DirtyStrategy::ModifyFault,
             state: VmState::Ready,
+            halt_reason: None,
             pending_virqs: Vec::new(),
             uptime_ticks: 0,
             stats: VmStats::default(),
@@ -387,6 +412,23 @@ mod tests {
         assert_eq!(vm.gpa_to_pa(16 * 512), None, "beyond VM memory");
         assert_eq!(vm.gpfn_to_pfn(15), Some(115));
         assert_eq!(vm.gpfn_to_pfn(16), None);
+    }
+
+    #[test]
+    fn gpa_range_translation_checks_every_byte() {
+        let vm = blank_vm();
+        let edge = 16 * 512;
+        assert_eq!(vm.gpa_to_pa_len(0, 4), Some(100 * 512));
+        assert_eq!(vm.gpa_to_pa_len(edge - 4, 4), Some(100 * 512 + edge - 4));
+        for back in 1..4 {
+            assert_eq!(
+                vm.gpa_to_pa_len(edge - back, 4),
+                None,
+                "longword at mem_bytes - {back} must not reach the neighbor"
+            );
+        }
+        assert_eq!(vm.gpa_to_pa_len(u32::MAX - 2, 4), None, "wrap must fail");
+        assert_eq!(vm.gpa_to_pa_len(edge, 0), Some(100 * 512 + edge));
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn synthetic_vm() -> Vm {
         io_strategy: IoStrategy::StartIo,
         dirty_strategy: DirtyStrategy::ModifyFault,
         state: VmState::Ready,
+        halt_reason: None,
         pending_virqs: Vec::new(),
         uptime_ticks: 0,
         stats: VmStats::default(),
@@ -148,7 +149,7 @@ fn fill_halts_on_pfn_outside_vm_memory() {
     let va = VirtAddr::new(0x8000_0000 + 7 * 512);
     assert!(matches!(
         shadow.fill(&mut m, &mut vm, va),
-        FillOutcome::Halt(_)
+        FillOutcome::Fault(vax_vmm::VmmError::PteFrame { gpfn: 0x5000 })
     ));
 }
 
@@ -293,7 +294,7 @@ fn mapen_off_identity_fill() {
     let far = VirtAddr::new(40 * 512);
     assert!(matches!(
         shadow.fill(&mut m, &mut vm, far),
-        FillOutcome::Halt(_)
+        FillOutcome::Fault(vax_vmm::VmmError::NonexistentMemory { .. })
     ));
 }
 

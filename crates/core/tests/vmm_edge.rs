@@ -12,7 +12,7 @@ fn monitor() -> Monitor {
 
 fn boot(mon: &mut Monitor, vm: VmId, src: &str) {
     let p = assemble_text(src, 0x1000).expect("assembles");
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     mon.boot_vm(vm, 0x1000);
 }
 
@@ -41,9 +41,10 @@ fn rei_with_garbage_stack_is_reflected() {
         0x1000,
     )
     .unwrap();
-    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    mon.vm_write_phys(vm, 0x1000, &code.bytes).unwrap();
     let handler = 0x1000 + code.bytes.len() as u32 - 4;
-    mon.vm_write_phys(vm, 0x200 + 0x18, &handler.to_le_bytes());
+    mon.vm_write_phys(vm, 0x200 + 0x18, &handler.to_le_bytes())
+        .unwrap();
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
     assert_eq!(mon.vm(vm).regs[9], 1, "guest's own handler ran");
@@ -78,9 +79,10 @@ fn vm_cannot_rei_into_virtual_kernel_from_user() {
         0x1000,
     )
     .unwrap();
-    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    mon.vm_write_phys(vm, 0x1000, &code.bytes).unwrap();
     let handler = 0x1000 + code.bytes.len() as u32 - 3;
-    mon.vm_write_phys(vm, 0x200 + 0x18, &handler.to_le_bytes());
+    mon.vm_write_phys(vm, 0x200 + 0x18, &handler.to_le_bytes())
+        .unwrap();
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
     // The escalation was rejected: the reserved-operand handler ran in
@@ -166,13 +168,14 @@ fn guest_software_interrupts_via_sirr() {
         0x1000,
     )
     .unwrap();
-    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    mon.vm_write_phys(vm, 0x1000, &code.bytes).unwrap();
     // Software level 3 vector = 0x8C; handler is 12 bytes before the end
     // (movl #1,r9 = D0 01 59; mfpr #21, r3 = DB 15 53; rei = 02) -> 7
     // bytes + rei... compute from the tail: handler starts at len-7.
     let handler = 0x1000 + code.bytes.len() as u32 - 7;
     assert_eq!(handler % 4, 0, "handler aligned");
-    mon.vm_write_phys(vm, 0x200 + 0x8C, &handler.to_le_bytes());
+    mon.vm_write_phys(vm, 0x200 + 0x8C, &handler.to_le_bytes())
+        .unwrap();
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
     assert_eq!(mon.vm(vm).regs[2], 1 << 3, "pending while masked");
@@ -282,11 +285,12 @@ fn arithmetic_trap_in_vm_is_reflected_to_the_guest() {
         0x1000,
     )
     .unwrap();
-    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    mon.vm_write_phys(vm, 0x1000, &code.bytes).unwrap();
     // Arithmetic vector (0x34) -> handler (7 bytes from the end:
     // movl (sp)+, r9 = D0 8E 59; halt = 00).
     let handler = 0x1000 + code.bytes.len() as u32 - 4;
-    mon.vm_write_phys(vm, 0x200 + 0x34, &handler.to_le_bytes());
+    mon.vm_write_phys(vm, 0x200 + 0x34, &handler.to_le_bytes())
+        .unwrap();
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
     assert_eq!(mon.vm(vm).regs[9], 2, "integer divide-by-zero code");
@@ -313,9 +317,10 @@ fn breakpoint_in_vm_is_reflected() {
         0x1000,
     )
     .unwrap();
-    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    mon.vm_write_phys(vm, 0x1000, &code.bytes).unwrap();
     let handler = 0x1000 + code.bytes.len() as u32 - 4;
-    mon.vm_write_phys(vm, 0x200 + 0x2C, &handler.to_le_bytes());
+    mon.vm_write_phys(vm, 0x200 + 0x2C, &handler.to_le_bytes())
+        .unwrap();
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
     assert_eq!(mon.vm(vm).regs[9], 1, "guest debugger hook ran");
@@ -352,9 +357,10 @@ fn virtual_ast_delivery_matches_bare_behavior() {
         0x1000,
     )
     .unwrap();
-    mon.vm_write_phys(vm, 0x1000, &code.bytes);
+    mon.vm_write_phys(vm, 0x1000, &code.bytes).unwrap();
     let handler = 0x1000 + code.bytes.len() as u32 - 4;
-    mon.vm_write_phys(vm, 0x200 + 0x88, &handler.to_le_bytes()); // level 2
+    mon.vm_write_phys(vm, 0x200 + 0x88, &handler.to_le_bytes())
+        .unwrap(); // level 2
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
     assert_eq!(mon.vm(vm).regs[9], 1, "virtual AST delivered");

@@ -18,7 +18,7 @@ fn monitor() -> Monitor {
 
 fn boot_with(mon: &mut Monitor, vm: VmId, src: &str, base: u32) {
     let p = assemble_text(src, base).expect("assembles");
-    mon.vm_write_phys(vm, base, &p.bytes);
+    mon.vm_write_phys(vm, base, &p.bytes).unwrap();
     mon.boot_vm(vm, base);
 }
 
@@ -102,7 +102,7 @@ fn chm_and_rei_preserve_four_virtual_modes() {
             halt
         ";
     let p = assemble_text(src, 0x1000).unwrap();
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     // SCB: CHMK vector (0x40) -> kernel_entry. Find its address: the
     // label is not exported, so assemble a probe: kernel_entry follows
     // 'spin: brb spin'. Instead, place the handler address by assembling
@@ -114,7 +114,8 @@ fn chm_and_rei_preserve_four_virtual_modes() {
         .position(|w| w == [0xDC, 0x54])
         .expect("kernel_entry found");
     let kernel_entry = 0x1000 + off as u32;
-    mon.vm_write_phys(vm, 0x200 + 0x40, &kernel_entry.to_le_bytes());
+    mon.vm_write_phys(vm, 0x200 + 0x40, &kernel_entry.to_le_bytes())
+        .unwrap();
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(2_000_000), RunExit::AllHalted);
 
@@ -243,7 +244,8 @@ fn vm_cannot_reach_vmm_or_other_vm_memory() {
 fn build_guest_tables(mon: &mut Monitor, vm: VmId, data_page_prot: Protection, data_m: bool) {
     for i in 0..64u32 {
         let pte = Pte::build(i, Protection::Uw, true, true);
-        mon.vm_write_phys(vm, 0x4000 + 4 * i, &pte.raw().to_le_bytes());
+        mon.vm_write_phys(vm, 0x4000 + 4 * i, &pte.raw().to_le_bytes())
+            .unwrap();
     }
     for i in 0..64u32 {
         // P0 page 0x20 (va 0x4000) is the "data page" under test.
@@ -253,7 +255,8 @@ fn build_guest_tables(mon: &mut Monitor, vm: VmId, data_page_prot: Protection, d
             (Protection::Uw, true)
         };
         let pte = Pte::build(i, prot, true, m);
-        mon.vm_write_phys(vm, 0x4800 + 4 * i, &pte.raw().to_le_bytes());
+        mon.vm_write_phys(vm, 0x4800 + 4 * i, &pte.raw().to_le_bytes())
+            .unwrap();
     }
 }
 
@@ -379,10 +382,11 @@ fn ring_compression_leak_executive_touches_kernel_page() {
         "
     );
     let p = assemble_text(&src, 0x1000).unwrap();
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     // CHME vector (0x44) -> handler (the final HALT: opcode 00 at end).
     let handler = 0x1000 + p.bytes.len() as u32 - 1;
-    mon.vm_write_phys(vm, 0x200 + 0x44, &handler.to_le_bytes());
+    mon.vm_write_phys(vm, 0x200 + 0x44, &handler.to_le_bytes())
+        .unwrap();
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
     assert_eq!(mon.vm(vm).regs[2], 0x99, "executive READ the kernel page");
@@ -418,9 +422,10 @@ fn user_mode_cannot_touch_kernel_page_in_vm() {
         "
     );
     let p = assemble_text(&src, 0x1000).unwrap();
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     let handler = 0x1000 + p.bytes.len() as u32 - 1; // final HALT
-    mon.vm_write_phys(vm, 0x200 + 0x20, &handler.to_le_bytes()); // AV vector
+    mon.vm_write_phys(vm, 0x200 + 0x20, &handler.to_le_bytes())
+        .unwrap(); // AV vector
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(5_000_000), RunExit::AllHalted);
     assert_eq!(mon.vm(vm).regs[2], 0, "user read must not succeed");
@@ -441,9 +446,10 @@ fn emulated_mmio_strategy_traps_per_csr_access() {
     // window gpfn.
     build_guest_tables(&mut mon, vm, Protection::Uw, true);
     let io_pte = Pte::build(vax_vmm::GUEST_IO_GPFN_BASE, Protection::Uw, true, true);
-    mon.vm_write_phys(vm, 0x4800 + 4 * 0x30, &io_pte.raw().to_le_bytes());
+    mon.vm_write_phys(vm, 0x4800 + 4 * 0x30, &io_pte.raw().to_le_bytes())
+        .unwrap();
     // Load sector 2 of the real-bus disk.
-    mon.vm_load_disk(vm, 2, b"mmio sector data");
+    mon.vm_load_disk(vm, 2, b"mmio sector data").unwrap();
     let src = format!(
         "
         start:
@@ -548,8 +554,8 @@ fn two_emulated_mmio_vms_have_isolated_disks_and_vectors() {
     };
     let a = mon.create_vm("a", mk());
     let b = mon.create_vm("b", mk());
-    mon.vm_load_disk(a, 2, b"DISK-A sector two");
-    mon.vm_load_disk(b, 2, b"DISK-B sector two");
+    mon.vm_load_disk(a, 2, b"DISK-A sector two").unwrap();
+    mon.vm_load_disk(b, 2, b"DISK-B sector two").unwrap();
 
     let src = "
         start:
@@ -571,9 +577,10 @@ fn two_emulated_mmio_vms_have_isolated_disks_and_vectors() {
     for vm in [a, b] {
         build_guest_tables(&mut mon, vm, Protection::Uw, true);
         let io_pte = Pte::build(vax_vmm::GUEST_IO_GPFN_BASE, Protection::Uw, true, true);
-        mon.vm_write_phys(vm, 0x4800 + 4 * 0x30, &io_pte.raw().to_le_bytes());
+        mon.vm_write_phys(vm, 0x4800 + 4 * 0x30, &io_pte.raw().to_le_bytes())
+            .unwrap();
         let p = assemble_text(src, 0x1000).unwrap();
-        mon.vm_write_phys(vm, 0x1000, &p.bytes);
+        mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
         mon.boot_vm(vm, 0x1000);
     }
     assert_eq!(mon.run(80_000_000), RunExit::AllHalted);
@@ -603,10 +610,12 @@ fn probe_in_vm_uses_guest_protection_even_when_pte_invalid() {
     build_guest_tables(&mut mon, vm, Protection::Uw, true);
     // Guest P0 page 0x22 (va 0x4400): UW but invalid.
     let pte = Pte::build(0x22, Protection::Uw, false, false);
-    mon.vm_write_phys(vm, 0x4800 + 4 * 0x22, &pte.raw().to_le_bytes());
+    mon.vm_write_phys(vm, 0x4800 + 4 * 0x22, &pte.raw().to_le_bytes())
+        .unwrap();
     // Guest P0 page 0x23 (va 0x4600): KW (user-inaccessible) and invalid.
     let pte = Pte::build(0x23, Protection::Kw, false, false);
-    mon.vm_write_phys(vm, 0x4800 + 4 * 0x23, &pte.raw().to_le_bytes());
+    mon.vm_write_phys(vm, 0x4800 + 4 * 0x23, &pte.raw().to_le_bytes())
+        .unwrap();
     let src = format!(
         "
         start:
@@ -643,7 +652,8 @@ fn chm_push_to_demand_paged_stack_retries_after_guest_fault() {
     build_guest_tables(&mut mon, vm, Protection::Uw, true);
     // Make P0 page 0x28 (va 0x5000) the supervisor stack page: valid=0.
     let pte = Pte::build(0x28, Protection::Uw, false, true);
-    mon.vm_write_phys(vm, 0x4800 + 4 * 0x28, &pte.raw().to_le_bytes());
+    mon.vm_write_phys(vm, 0x4800 + 4 * 0x28, &pte.raw().to_le_bytes())
+        .unwrap();
     let src = format!(
         "
         start:
@@ -684,10 +694,13 @@ fn chm_push_to_demand_paged_stack_retries_after_guest_fault() {
         "
     );
     let (p, syms) = vax_asm::assemble_text_with_symbols(&src, 0x1000).unwrap();
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
-    mon.vm_write_phys(vm, 0x200 + 0x48, &syms["chms_handler"].to_le_bytes());
-    mon.vm_write_phys(vm, 0x200 + 0x40, &syms["chmk_handler"].to_le_bytes());
-    mon.vm_write_phys(vm, 0x200 + 0x24, &syms["tnv_handler"].to_le_bytes());
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
+    mon.vm_write_phys(vm, 0x200 + 0x48, &syms["chms_handler"].to_le_bytes())
+        .unwrap();
+    mon.vm_write_phys(vm, 0x200 + 0x40, &syms["chmk_handler"].to_le_bytes())
+        .unwrap();
+    mon.vm_write_phys(vm, 0x200 + 0x24, &syms["tnv_handler"].to_le_bytes())
+        .unwrap();
     mon.boot_vm(vm, 0x1000);
     assert_eq!(mon.run(10_000_000), RunExit::AllHalted);
     assert_eq!(mon.vm(vm).regs[8], 1, "one guest page fault on the stack");

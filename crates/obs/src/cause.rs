@@ -48,11 +48,17 @@ pub enum ExitCause {
     InterruptExit,
     /// VM-to-VM world switch performed by the scheduler.
     WorldSwitch,
+    /// Guest-attributable VMM fault reflected into the guest as a
+    /// virtual machine check (SCB vector 0x04, DESIGN.md §11).
+    ReflectedMachineCheck,
+    /// Non-deliverable VMM fault: the VM was halted at its virtual
+    /// console with the reason recorded (DESIGN.md §11).
+    SecurityHalt,
 }
 
 impl ExitCause {
     /// Number of causes (histogram array size).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 20;
 
     /// Every cause, in discriminant order.
     pub const ALL: [ExitCause; ExitCause::COUNT] = [
@@ -74,6 +80,8 @@ impl ExitCause {
         ExitCause::ExceptionExit,
         ExitCause::InterruptExit,
         ExitCause::WorldSwitch,
+        ExitCause::ReflectedMachineCheck,
+        ExitCause::SecurityHalt,
     ];
 
     /// Index into per-cause arrays.
@@ -103,6 +111,8 @@ impl ExitCause {
             ExitCause::ExceptionExit => "exception_exit",
             ExitCause::InterruptExit => "interrupt_exit",
             ExitCause::WorldSwitch => "world_switch",
+            ExitCause::ReflectedMachineCheck => "reflected_machine_check",
+            ExitCause::SecurityHalt => "security_halt",
         }
     }
 

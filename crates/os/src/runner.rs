@@ -101,7 +101,9 @@ pub fn boot_in_monitor(monitor: &mut Monitor, image: &GuestImage, vm_config: VmC
     cfg.mem_pages = cfg.mem_pages.max(image.mem_pages);
     let vm = monitor.create_vm("guest", cfg);
     for (gpa, bytes) in &image.segments {
-        monitor.vm_write_phys(vm, *gpa, bytes);
+        monitor
+            .vm_write_phys(vm, *gpa, bytes)
+            .expect("image segment fits in VM memory");
     }
     monitor.boot_vm(vm, image.entry);
     vm

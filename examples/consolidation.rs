@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ",
         0x1000,
     )?;
-    monitor.vm_write_phys(idler, 0x1000, &idle_prog.bytes);
+    monitor
+        .vm_write_phys(idler, 0x1000, &idle_prog.bytes)
+        .unwrap();
     monitor.boot_vm(idler, 0x1000);
 
     println!("running three guests on one modified VAX...\n");

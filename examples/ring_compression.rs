@@ -68,11 +68,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             halt
         ";
     let p = vax_asm::assemble_text(src, 0x1000)?;
-    monitor.vm_write_phys(vm, 0x1000, &p.bytes);
+    monitor.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     // CHMK vector -> back_in_kernel (the aligned label before the final
     // three bytes: MOVPSL r6 (DC 56) then HALT).
     let handler = 0x1000 + p.bytes.len() as u32 - 3;
-    monitor.vm_write_phys(vm, 0x200 + 0x40, &handler.to_le_bytes());
+    monitor
+        .vm_write_phys(vm, 0x200 + 0x40, &handler.to_le_bytes())
+        .unwrap();
     monitor.boot_vm(vm, 0x1000);
     monitor.run(10_000_000);
 

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     for (vm, tag) in [(alice, 0xA11CEu32), (bob, 0xB0Bu32)] {
         let p = vax_asm::assemble_text(&write_tag(tag), 0x1000)?;
-        monitor.vm_write_phys(vm, 0x1000, &p.bytes);
+        monitor.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
         monitor.boot_vm(vm, 0x1000);
     }
     monitor.run(10_000_000);
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ",
         0x1000,
     )?;
-    monitor.vm_write_phys(mallory, 0x1000, &p.bytes);
+    monitor.vm_write_phys(mallory, 0x1000, &p.bytes).unwrap();
     monitor.boot_vm(mallory, 0x1000);
     monitor.run(10_000_000);
     println!(

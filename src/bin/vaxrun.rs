@@ -123,13 +123,19 @@ fn main() -> ExitCode {
             monitor.enable_obs(65536);
         }
         let vm = monitor.create_vm("vaxrun", VmConfig::default());
-        monitor.vm_write_phys(vm, program.base, &program.bytes);
+        if let Err(e) = monitor.vm_write_phys(vm, program.base, &program.bytes) {
+            eprintln!("vaxrun: loading program: {e}");
+            return ExitCode::FAILURE;
+        }
         monitor.boot_vm(vm, program.base);
         let exit = monitor.run(opts.max_cycles);
         let out = monitor.vm_console_output(vm);
         print!("{}", String::from_utf8_lossy(&out));
         let guest = monitor.vm(vm);
         eprintln!("-- vaxrun: {exit:?}, state {:?}", guest.state);
+        if let Some(reason) = &guest.halt_reason {
+            eprintln!("-- vaxrun: halt reason: {reason}");
+        }
         for (i, chunk) in guest.regs.chunks(4).enumerate() {
             eprintln!(
                 "-- R{:<2} {:08X} {:08X} {:08X} {:08X}",

@@ -156,7 +156,7 @@ fn run_machine(variant: MachineVariant, code: &[u8]) -> [u32; 10] {
 fn run_vm(code: &[u8]) -> [u32; 10] {
     let mut mon = Monitor::new(MonitorConfig::default());
     let vm = mon.create_vm("fuzz", VmConfig::default());
-    mon.vm_write_phys(vm, 0x1000, code);
+    mon.vm_write_phys(vm, 0x1000, code).unwrap();
     mon.boot_vm(vm, 0x1000);
     let exit = mon.run(200_000_000);
     assert_eq!(exit, vax_vmm::RunExit::AllHalted, "guest must halt");

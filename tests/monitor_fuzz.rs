@@ -15,11 +15,11 @@ proptest! {
     ) {
         let mut mon = Monitor::new(MonitorConfig::default());
         let vm = mon.create_vm("fuzz", VmConfig::default());
-        mon.vm_write_phys(vm, 0x1000, &code);
+        mon.vm_write_phys(vm, 0x1000, &code).unwrap();
         // A semi-plausible guest SCB so reflections sometimes "succeed"
         // into more garbage rather than always console-halting.
         for off in (0..0x140u32).step_by(4) {
-            mon.vm_write_phys(vm, 0x200 + off, &scb_junk.to_le_bytes());
+            mon.vm_write_phys(vm, 0x200 + off, &scb_junk.to_le_bytes()).unwrap();
         }
         mon.boot_vm(vm, 0x1000);
         mon.run(2_000_000);
@@ -48,7 +48,7 @@ proptest! {
         let p = a.assemble().unwrap();
         let mut mon = Monitor::new(MonitorConfig::default());
         let vm = mon.create_vm("storm", VmConfig::default());
-        mon.vm_write_phys(vm, 0x1000, &p.bytes);
+        mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
         mon.boot_vm(vm, 0x1000);
         mon.run(4_000_000);
     }

@@ -27,7 +27,9 @@ fn run_guest(obs: bool) -> (Monitor, u64, CpuCounters) {
         monitor.enable_obs(256);
     }
     let vm = monitor.create_vm("guest", VmConfig::default());
-    monitor.vm_write_phys(vm, program.base, &program.bytes);
+    monitor
+        .vm_write_phys(vm, program.base, &program.bytes)
+        .unwrap();
     monitor.boot_vm(vm, program.base);
     let exit = monitor.run(500_000_000);
     assert_eq!(exit, RunExit::AllHalted);

@@ -174,7 +174,7 @@ fn row_wait() {
     let mut mon = Monitor::new(MonitorConfig::default());
     let vm = mon.create_vm("w", VmConfig::default());
     let p = vax_asm::assemble_text("wait\n halt", 0x1000).unwrap();
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     mon.boot_vm(vm, 0x1000);
     mon.run(100_000);
     assert!(mon.vm_stats(vm).waits >= 1, "WAIT gave up the processor");
@@ -193,7 +193,7 @@ fn row_vm_only_registers() {
     let mut mon = Monitor::new(MonitorConfig::default());
     let vm = mon.create_vm("m", VmConfig::default());
     let p = vax_asm::assemble_text("mfpr #200, r2\n halt", 0x1000).unwrap();
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     mon.boot_vm(vm, 0x1000);
     mon.run(1_000_000);
     assert_eq!(mon.vm(vm).regs[2], 512 * 512);
@@ -217,7 +217,7 @@ fn row_address_space_limit() {
         0x1000,
     )
     .unwrap();
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     mon.boot_vm(vm, 0x1000);
     mon.run(1_000_000);
     let cap = vax_vmm::ShadowConfig::default().s_capacity;
@@ -269,7 +269,7 @@ fn row_timer_and_uptime() {
         0x1000,
     )
     .unwrap();
-    mon.vm_write_phys(a, 0x1000, &p.bytes);
+    mon.vm_write_phys(a, 0x1000, &p.bytes).unwrap();
     mon.boot_vm(a, 0x1000);
     mon.run(4_000_000);
     let uptime = mon.vm_read_phys_u32(a, 0x3000).unwrap();
@@ -296,7 +296,7 @@ fn row_io_kcall() {
         0x1000,
     )
     .unwrap();
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
     mon.boot_vm(vm, 0x1000);
     mon.run(1_000_000);
     assert_eq!(mon.vm_stats(vm).kcalls, 1, "one trap for the whole I/O");
@@ -310,8 +310,9 @@ fn row_virtual_console() {
     let vm = mon.create_vm("c", VmConfig::default());
     // DEPOSIT a tiny program through the console interface, BOOT it.
     let p = vax_asm::assemble_text("movl @#0x2000, r2\n halt", 0x1000).unwrap();
-    mon.vm_write_phys(vm, 0x1000, &p.bytes);
-    mon.vm_write_phys(vm, 0x2000, &0xFEEDu32.to_le_bytes()); // DEPOSIT
+    mon.vm_write_phys(vm, 0x1000, &p.bytes).unwrap();
+    mon.vm_write_phys(vm, 0x2000, &0xFEEDu32.to_le_bytes())
+        .unwrap(); // DEPOSIT
     assert_eq!(mon.vm_read_phys_u32(vm, 0x2000), Some(0xFEED)); // EXAMINE
     mon.boot_vm(vm, 0x1000); // BOOT
     mon.run(1_000_000);
