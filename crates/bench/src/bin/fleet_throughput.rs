@@ -1,0 +1,204 @@
+//! Headless fleet-throughput benchmark: serial vs parallel execution of
+//! many independent Monitors (DESIGN.md §12).
+//!
+//! Builds a fleet of single-CPU VAX monitors with a rotating mini-OS
+//! guest mix (compute-bound, MTPR-to-IPL exit-heavy, transaction
+//! processing with KCALL disk commits), runs it once serially as the
+//! reference, then across increasing worker-thread counts. For every
+//! thread count the per-monitor outcomes are **asserted bit-identical**
+//! to the serial run — the determinism contract — and aggregate
+//! simulated instructions per host wall-clock second are reported with
+//! scaling efficiency against the host's core count.
+//!
+//! Usage: `cargo run --release -p vax-bench --bin fleet_throughput [-- --quick]`
+//!
+//! Writes `BENCH_fleet_throughput.json`.
+
+use vax_os::{boot_in_monitor, build_image, OsConfig, Workload};
+use vax_vmm::{Fleet, FleetReport, Monitor, MonitorConfig, RunExit, VmConfig};
+
+/// Cycle budget per monitor: large enough that every guest halts.
+const BUDGET: u64 = 64_000_000_000;
+
+struct Scale {
+    monitors: usize,
+    compute_iters: u32,
+    ipl_iters: u32,
+    txn_iters: u32,
+}
+
+impl Scale {
+    fn new(quick: bool) -> Scale {
+        if quick {
+            Scale {
+                monitors: 6,
+                compute_iters: 2_000,
+                ipl_iters: 1_000,
+                txn_iters: 400,
+            }
+        } else {
+            Scale {
+                monitors: 8,
+                compute_iters: 60_000,
+                ipl_iters: 30_000,
+                txn_iters: 8_000,
+            }
+        }
+    }
+}
+
+/// Builds the fleet deterministically: the same call always yields the
+/// same monitors, guest images, and boot state. Monitor `i` gets one of
+/// three multiprogrammed mini-OS guests by `i % 3`.
+fn build_fleet(scale: &Scale) -> Fleet {
+    let configs = [
+        OsConfig {
+            nproc: 2,
+            workload: Workload::Compute,
+            iterations: scale.compute_iters,
+            ..OsConfig::default()
+        },
+        OsConfig {
+            nproc: 1,
+            workload: Workload::IplHeavy,
+            iterations: scale.ipl_iters,
+            ..OsConfig::default()
+        },
+        OsConfig {
+            nproc: 2,
+            workload: Workload::Transaction,
+            iterations: scale.txn_iters,
+            ..OsConfig::default()
+        },
+    ];
+    let images: Vec<_> = configs
+        .iter()
+        .map(|cfg| build_image(cfg).expect("guest image builds"))
+        .collect();
+    let mut fleet = Fleet::new();
+    for i in 0..scale.monitors {
+        let mut monitor = Monitor::new(MonitorConfig::default());
+        boot_in_monitor(&mut monitor, &images[i % 3], VmConfig::default());
+        fleet.push(monitor);
+    }
+    fleet
+}
+
+fn check_halted(report: &FleetReport) {
+    for (i, o) in report.outcomes.iter().enumerate() {
+        assert_eq!(
+            o.exit,
+            RunExit::AllHalted,
+            "monitor {i} must halt within budget"
+        );
+    }
+}
+
+/// Population coefficient of variation (stddev / mean) of `xs`.
+fn cv(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / xs.len() as f64;
+    var.sqrt() / mean
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = Scale::new(quick);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Reference semantics: the serial run.
+    let mut fleet = build_fleet(&scale);
+    let serial = fleet.run_serial(BUDGET);
+    check_halted(&serial);
+    let serial_ips = serial.instrs_per_sec();
+    println!(
+        "fleet_throughput: {} monitors, host cores {cores}{}",
+        scale.monitors,
+        if quick { " (quick)" } else { "" }
+    );
+    println!(
+        "  serial: {:>12.0} instrs/sec  ({} simulated instructions, {:.3}s wall)",
+        serial_ips,
+        serial.total_instructions(),
+        serial.wall.as_secs_f64()
+    );
+
+    // Parallel sweeps, each proven bit-identical to serial.
+    let mut job_counts = vec![1usize, 2, 4];
+    if !job_counts.contains(&cores) {
+        job_counts.push(cores);
+    }
+    job_counts.sort_unstable();
+    job_counts.retain(|&j| j <= scale.monitors);
+
+    let mut rows = Vec::new();
+    for &jobs in &job_counts {
+        let mut fleet = build_fleet(&scale);
+        let parallel = fleet.run_parallel(BUDGET, jobs);
+        check_halted(&parallel);
+        assert_eq!(
+            parallel.outcomes, serial.outcomes,
+            "parallel run at {jobs} jobs diverged from serial — determinism contract broken"
+        );
+        let ips = parallel.instrs_per_sec();
+        let speedup = ips / serial_ips;
+        let efficiency = speedup / jobs.min(cores) as f64;
+        println!(
+            "  jobs {jobs}: {ips:>12.0} instrs/sec  speedup {speedup:>5.2}x  \
+             efficiency {:>5.1}%  bit-identical: yes",
+            100.0 * efficiency
+        );
+        rows.push(format!(
+            "    {{\"jobs\": {jobs}, \"wall_secs\": {:.6}, \"instrs_per_sec\": {ips:.0}, \
+             \"speedup\": {speedup:.3}, \"efficiency\": {efficiency:.3}, \
+             \"bit_identical\": true}}",
+            parallel.wall.as_secs_f64()
+        ));
+    }
+
+    // Per-monitor load profile: how evenly the shards weigh.
+    let instrs: Vec<u64> = serial
+        .outcomes
+        .iter()
+        .map(|o| o.counters.instructions)
+        .collect();
+    let cycles: Vec<u64> = serial.outcomes.iter().map(|o| o.cycles).collect();
+    println!(
+        "  per-monitor cycles cv {:.3}, instructions cv {:.3}",
+        cv(&cycles),
+        cv(&instrs)
+    );
+
+    let fmt_list = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"host_cores\": {cores},\n  \"monitors\": {},\n  \
+         \"budget_cycles\": {BUDGET},\n  \
+         \"serial\": {{\"wall_secs\": {:.6}, \"simulated_instructions\": {}, \
+         \"instrs_per_sec\": {serial_ips:.0}}},\n  \"parallel\": [\n{}\n  ],\n  \
+         \"per_monitor\": {{\n    \"instructions\": [{}],\n    \"cycles\": [{}],\n    \
+         \"instructions_cv\": {:.6},\n    \"cycles_cv\": {:.6}\n  }}\n}}\n",
+        scale.monitors,
+        serial.wall.as_secs_f64(),
+        serial.total_instructions(),
+        rows.join(",\n"),
+        fmt_list(&instrs),
+        fmt_list(&cycles),
+        cv(&instrs),
+        cv(&cycles),
+    );
+    std::fs::write("BENCH_fleet_throughput.json", json).expect("write BENCH_fleet_throughput.json");
+    println!("wrote BENCH_fleet_throughput.json");
+}

@@ -12,18 +12,22 @@
 //!   with exit tracing enabled: reports the VM-exit breakdown and the
 //!   measured emulation cost against the bare-machine cost of the same
 //!   instruction (the paper's §7.3 "10–12× native" comparison).
+//! * `shadow_cache_sweep` — the §7.2 experiment: a context-switch-heavy
+//!   multiprogrammed guest at `cache_slots = 1` (the paper's base
+//!   system) versus `4`, reporting shadow fill-fault counts and the
+//!   reduction ratio (the paper observed ~80% fewer fill faults).
 //!
-//! Usage: `cargo run --release -p vax-bench --bin sim_throughput`
+//! Usage: `cargo run --release -p vax-bench --bin sim_throughput [-- --quick]`
+//!
+//! `--quick` shrinks iteration counts for CI smoke runs.
 
 use std::time::Instant;
 use vax_arch::{MachineVariant, Protection, Psl, Pte};
+use vax_bench::e10_shadow_cache;
 use vax_cpu::{DecodeCacheStats, Machine, StepEvent};
 use vax_vmm::{ExitCause, Monitor, MonitorConfig, RunExit, VmConfig};
 
-const LOOP_ITERS: u32 = 200_000;
-const MAPPED_OUTER: u32 = 2_000;
 const MAPPED_PAGES: u32 = 16;
-const MTPR_ITERS: u32 = 2_000;
 
 /// S-space base virtual address.
 const S_BASE: u32 = 0x8000_0000;
@@ -135,10 +139,10 @@ struct VmMtprReport {
 /// Runs the MTPR-to-IPL loop as a VMM guest with exit tracing on and the
 /// same loop (plus its empty-control skeleton) bare, isolating the per-
 /// instruction virtualized and native costs.
-fn run_vm_mtpr() -> VmMtprReport {
+fn run_vm_mtpr(mtpr_iters: u32) -> VmMtprReport {
     let mtpr_loop = format!(
         "
-            movl #{MTPR_ITERS}, r2
+            movl #{mtpr_iters}, r2
         top:
             mtpr #10, #18
             sobgtr r2, top
@@ -147,7 +151,7 @@ fn run_vm_mtpr() -> VmMtprReport {
     );
     let skeleton = format!(
         "
-            movl #{MTPR_ITERS}, r2
+            movl #{mtpr_iters}, r2
         top:
             sobgtr r2, top
             halt
@@ -156,7 +160,7 @@ fn run_vm_mtpr() -> VmMtprReport {
     let guest = vax_asm::assemble_text(&mtpr_loop, 0x1000).unwrap();
     let with_mtpr = bare_cycles(&guest);
     let without = bare_cycles(&vax_asm::assemble_text(&skeleton, 0x1000).unwrap());
-    let bare_cost = (with_mtpr - without) as f64 / MTPR_ITERS as f64;
+    let bare_cost = (with_mtpr - without) as f64 / mtpr_iters as f64;
 
     let mut monitor = Monitor::new(MonitorConfig::default());
     monitor.enable_obs(4096);
@@ -170,7 +174,7 @@ fn run_vm_mtpr() -> VmMtprReport {
     let dc = monitor.machine().decode_cache_stats();
     let obs = monitor.obs().expect("tracing enabled");
     let h = obs.histogram(ExitCause::EmulMtprIpl);
-    assert_eq!(h.count(), MTPR_ITERS as u64, "every MTPR must trap");
+    assert_eq!(h.count(), mtpr_iters as u64, "every MTPR must trap");
     let mean = h.mean();
     VmMtprReport {
         emulation_traps: counters.vm_emulation_traps,
@@ -190,13 +194,20 @@ fn json_opt(v: Option<f64>) -> String {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (loop_iters, mapped_outer, mtpr_iters, reps) = if quick {
+        (20_000u32, 200u32, 500u32, 2)
+    } else {
+        (200_000, 2_000, 2_000, 6)
+    };
+
     // A long-immediate compute kernel: three-operand forms with 32-bit
     // immediates are the CISC encodings whose bytewise decode cost the
     // template cache amortizes (6-8 bytes per instruction).
     let compute = vax_asm::assemble_text(
         &format!(
             "
-                movl #{LOOP_ITERS}, r2
+                movl #{loop_iters}, r2
                 clrl r3
             top:
                 addl3 #0x01010101, r3, r4
@@ -213,14 +224,14 @@ fn main() {
     .unwrap();
     // 6 instructions per iteration + the 2-instruction prologue (HALT
     // does not retire).
-    let compute_instructions = LOOP_ITERS as u64 * 6 + 2;
+    let compute_instructions = loop_iters as u64 * 6 + 2;
 
     // The same machine with translation ON: walk a multi-page buffer so
     // every reference goes through the TLB.
     let mapped = vax_asm::assemble_text(
         &format!(
             "
-                movl #{MAPPED_OUTER}, r2
+                movl #{mapped_outer}, r2
             top:
                 movl #{data_base:#x}, r6
                 movl #{MAPPED_PAGES}, r7
@@ -237,7 +248,7 @@ fn main() {
     )
     .unwrap();
 
-    let (on, off) = best_alternating(&compute, 6, false);
+    let (on, off) = best_alternating(&compute, reps, false);
     assert_eq!(
         on.instructions, compute_instructions,
         "workload must retire fully"
@@ -252,7 +263,7 @@ fn main() {
     );
     let speedup = on.instrs_per_sec / off.instrs_per_sec;
 
-    let (mon, moff) = best_alternating(&mapped, 6, true);
+    let (mon, moff) = best_alternating(&mapped, reps, true);
     assert_eq!(
         mon.simulated_cycles, moff.simulated_cycles,
         "decode cache must not change simulated time"
@@ -262,7 +273,18 @@ fn main() {
         .expect("mapped workload must exercise the TLB");
     let mapped_speedup = mon.instrs_per_sec / moff.instrs_per_sec;
 
-    let vm = run_vm_mtpr();
+    let vm = run_vm_mtpr(mtpr_iters);
+
+    // §7.2: the multi-process shadow-table cache. Same context-switch
+    // workload, one shadow slot (the paper's base system) vs four.
+    let sweep_nproc = 4;
+    let slots1 = e10_shadow_cache(sweep_nproc, 1);
+    let slots4 = e10_shadow_cache(sweep_nproc, 4);
+    let fill_reduction = 1.0 - slots4.fills as f64 / slots1.fills.max(1) as f64;
+    assert!(
+        fill_reduction > 0.5,
+        "§7.2 cache must cut fill faults substantially (got {fill_reduction:.3})"
+    );
 
     println!("sim_throughput: compute loop, {compute_instructions} simulated instructions");
     println!("  decode cache on:  {:>12.0} instrs/sec", on.instrs_per_sec);
@@ -291,6 +313,14 @@ fn main() {
         "  mtpr-ipl cost: {:.1} cycles virtualized vs {:.1} bare = {:.1}x",
         vm.mtpr_ipl_mean_cost, vm.mtpr_ipl_bare_cost, vm.mtpr_ipl_ratio
     );
+    println!("shadow-cache sweep (§7.2), {sweep_nproc} guest processes");
+    println!(
+        "  fill faults: {} (1 slot) -> {} ({} slots), reduction {:.1}%",
+        slots1.fills,
+        slots4.fills,
+        slots4.slots,
+        100.0 * fill_reduction
+    );
 
     let json = format!(
         "{{\n  \"workload\": \"compute_loop_imm32\",\n  \"simulated_instructions\": {},\n  \
@@ -306,7 +336,10 @@ fn main() {
          \"exception_exits\": {},\n      \"interrupt_exits\": {}\n    }},\n    \
          \"decode_cache_invalidations\": {},\n    \"mtpr_ipl_exits\": {},\n    \
          \"mtpr_ipl_mean_cost_cycles\": {:.2},\n    \"mtpr_ipl_p99_cost_cycles\": {},\n    \
-         \"mtpr_ipl_bare_cost_cycles\": {:.2},\n    \"mtpr_ipl_ratio\": {:.2}\n  }}\n}}\n",
+         \"mtpr_ipl_bare_cost_cycles\": {:.2},\n    \"mtpr_ipl_ratio\": {:.2}\n  }},\n  \
+         \"shadow_cache_sweep\": {{\n    \"nproc\": {sweep_nproc},\n    \
+         \"slots_1_fills\": {},\n    \"slots_4_fills\": {},\n    \
+         \"slots_4_cache_hits\": {},\n    \"fill_fault_reduction\": {:.4}\n  }}\n}}\n",
         compute_instructions,
         on.simulated_cycles,
         on.instrs_per_sec,
@@ -329,6 +362,10 @@ fn main() {
         vm.mtpr_ipl_p99_cost,
         vm.mtpr_ipl_bare_cost,
         vm.mtpr_ipl_ratio,
+        slots1.fills,
+        slots4.fills,
+        slots4.hits,
+        fill_reduction,
     );
     std::fs::write("BENCH_sim_throughput.json", json).expect("write BENCH_sim_throughput.json");
     println!("wrote BENCH_sim_throughput.json");

@@ -1,0 +1,415 @@
+//! The fleet executor: many [`Monitor`]s, many host cores, one
+//! determinism contract.
+//!
+//! The paper's VMM time-multiplexes every VM onto a single VAX CPU
+//! (§5: quantum round-robin with the WAIT handshake), and [`Monitor`]
+//! faithfully does the same — one machine, one dispatch loop. Scaling
+//! *out* therefore shards whole Monitors: each one remains a
+//! paper-faithful single-CPU VAX, and a [`Fleet`] drives N of them to
+//! completion across a bounded pool of host threads. Monitors share no
+//! state (each owns its machine, memory, devices, and VMs), so the
+//! parallelism is embarrassing — which is exactly what makes the
+//! headline contract provable:
+//!
+//! **Determinism.** [`Fleet::run_parallel`] must produce, for every
+//! monitor, results bit-identical to [`Fleet::run_serial`] — cycles,
+//! [`CpuCounters`], per-VM [`VmStats`], halt reasons, console bytes.
+//! [`MonitorOutcome`] is `PartialEq` precisely so tests state this as
+//! `assert_eq!(parallel.outcomes, serial.outcomes)`, mirroring the
+//! existing cache-on/off and obs-on/off equivalence contracts
+//! (DESIGN.md §9, §10). Host thread scheduling may reorder *which*
+//! monitor runs when, never what any monitor computes.
+//!
+//! Work distribution is an atomic-claim queue: each worker claims the
+//! next unstarted monitor index and runs it to completion. Claim order
+//! affects only wall-clock interleaving; outcomes are indexed by
+//! monitor, so the report is always in fleet order.
+
+use crate::fault::VmmError;
+use crate::monitor::{Monitor, RunExit};
+use crate::vm::{VmState, VmStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+use vax_cpu::CpuCounters;
+use vax_obs::Metrics;
+
+/// Everything observable about one VM after a fleet run — the per-VM
+/// half of the determinism contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmOutcome {
+    /// The VM's display name.
+    pub name: String,
+    /// Run state at the end of the run.
+    pub state: VmState,
+    /// Full event statistics.
+    pub stats: VmStats,
+    /// Why fault containment halted the VM, if it did.
+    pub halt_reason: Option<VmmError>,
+    /// Accumulated virtual console output (not drained from the VM).
+    pub console: Vec<u8>,
+}
+
+/// Everything observable about one monitor after a fleet run. Two
+/// outcomes compare equal iff the runs were bit-identical in every
+/// architectural counter, accounting cell, and guest-visible byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorOutcome {
+    /// Why the monitor's run returned.
+    pub exit: RunExit,
+    /// The machine clock at the end of the run.
+    pub cycles: u64,
+    /// Architectural event counters.
+    pub counters: CpuCounters,
+    /// Cycles spent in VMM emulation paths.
+    pub vmm_cycles: u64,
+    /// VM-to-VM world switches performed.
+    pub world_switches: u64,
+    /// Per-VM outcomes, in creation order.
+    pub vms: Vec<VmOutcome>,
+}
+
+/// The result of one fleet run: per-monitor outcomes in fleet order,
+/// plus the host wall-clock the run took. `wall` is intentionally kept
+/// out of any equality: it is the one thing parallelism *is* allowed to
+/// change.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Worker threads the run used (1 for serial).
+    pub jobs: usize,
+    /// Host wall-clock time for the whole fleet.
+    pub wall: Duration,
+    /// One outcome per monitor, indexed exactly like the fleet.
+    pub outcomes: Vec<MonitorOutcome>,
+}
+
+impl FleetReport {
+    /// Total simulated instructions retired across the fleet.
+    pub fn total_instructions(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.counters.instructions).sum()
+    }
+
+    /// Total simulated cycles across the fleet.
+    pub fn total_cycles(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.cycles).sum()
+    }
+
+    /// Aggregate simulated instructions per host wall-clock second.
+    pub fn instrs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_instructions() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One monitor plus the outcome of its (single) run, behind a mutex so
+/// a worker can claim it. The monitor is never removed from the cell,
+/// which keeps the collection path total without unwraps.
+struct Cell {
+    monitor: Monitor,
+    outcome: Option<MonitorOutcome>,
+}
+
+/// Locks a cell, treating poison as recoverable: a poisoned cell only
+/// means another worker panicked mid-run, and the collector re-runs any
+/// cell left without an outcome.
+fn lock_cell(cell: &Mutex<Cell>) -> MutexGuard<'_, Cell> {
+    cell.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A set of independent [`Monitor`]s executed together — serially as
+/// the reference semantics, or across a bounded thread pool with
+/// bit-identical per-monitor results.
+///
+/// # Example
+///
+/// ```
+/// use vax_vmm::{Fleet, Monitor, MonitorConfig, VmConfig};
+///
+/// let program = vax_asm::assemble_text("halt", 0x1000)?;
+/// let mut fleet = Fleet::new();
+/// for i in 0..4 {
+///     let mut monitor = Monitor::new(MonitorConfig::default());
+///     let vm = monitor.create_vm(&format!("guest{i}"), VmConfig::default());
+///     monitor.vm_write_phys(vm, 0x1000, &program.bytes)?;
+///     monitor.boot_vm(vm, 0x1000);
+///     fleet.push(monitor);
+/// }
+/// let serial = fleet.run_serial(100_000);
+/// let parallel = fleet.run_parallel(100_000, 2);
+/// assert_eq!(serial.outcomes, parallel.outcomes);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Default)]
+pub struct Fleet {
+    members: Vec<Monitor>,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new() -> Fleet {
+        Fleet::default()
+    }
+
+    /// Adds a fully configured monitor; returns its fleet index.
+    pub fn push(&mut self, monitor: Monitor) -> usize {
+        self.members.push(monitor);
+        self.members.len() - 1
+    }
+
+    /// Number of monitors in the fleet.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the fleet has no monitors.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// A member monitor (for inspection after a run).
+    pub fn monitor(&self, index: usize) -> &Monitor {
+        &self.members[index]
+    }
+
+    /// A member monitor, mutable (setup between runs).
+    pub fn monitor_mut(&mut self, index: usize) -> &mut Monitor {
+        &mut self.members[index]
+    }
+
+    /// Snapshots one monitor's observable end state.
+    fn outcome(monitor: &Monitor, exit: RunExit) -> MonitorOutcome {
+        let vms = monitor
+            .vm_ids()
+            .map(|id| {
+                let vm = monitor.vm(id);
+                VmOutcome {
+                    name: vm.name.clone(),
+                    state: vm.state,
+                    stats: vm.stats,
+                    halt_reason: vm.halt_reason,
+                    console: vm.console_out.clone(),
+                }
+            })
+            .collect();
+        MonitorOutcome {
+            exit,
+            cycles: monitor.machine().cycles(),
+            counters: monitor.machine().counters(),
+            vmm_cycles: monitor.vmm_cycles(),
+            world_switches: monitor.world_switches(),
+            vms,
+        }
+    }
+
+    /// Runs every monitor to `budget` cycles (or all-halted) on the
+    /// calling thread, in fleet order. This is the reference semantics
+    /// the parallel mode is proven against.
+    pub fn run_serial(&mut self, budget: u64) -> FleetReport {
+        let start = Instant::now();
+        let outcomes = self
+            .members
+            .iter_mut()
+            .map(|m| {
+                let exit = m.run(budget);
+                Self::outcome(m, exit)
+            })
+            .collect();
+        FleetReport {
+            jobs: 1,
+            wall: start.elapsed(),
+            outcomes,
+        }
+    }
+
+    /// Runs every monitor to `budget` cycles (or all-halted) across at
+    /// most `jobs` worker threads, returning outcomes in fleet order.
+    ///
+    /// Per-monitor results are bit-identical to [`Fleet::run_serial`]:
+    /// monitors share nothing, each is claimed by exactly one worker,
+    /// and each runs exactly the code the serial mode runs. `jobs` is
+    /// clamped to `1..=fleet size`.
+    pub fn run_parallel(&mut self, budget: u64, jobs: usize) -> FleetReport {
+        let n = self.members.len();
+        let jobs = jobs.clamp(1, n.max(1));
+        let start = Instant::now();
+        let cells: Vec<Mutex<Cell>> = std::mem::take(&mut self.members)
+            .into_iter()
+            .map(|monitor| {
+                Mutex::new(Cell {
+                    monitor,
+                    outcome: None,
+                })
+            })
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Each index is claimed once, so this lock is
+                    // uncontended; it exists to move the Monitor across
+                    // the thread boundary safely.
+                    let mut cell = lock_cell(&cells[i]);
+                    let exit = cell.monitor.run(budget);
+                    cell.outcome = Some(Self::outcome(&cell.monitor, exit));
+                });
+            }
+        });
+        let mut outcomes = Vec::with_capacity(n);
+        for cell in cells {
+            let mut cell = cell.into_inner().unwrap_or_else(PoisonError::into_inner);
+            // A cell can lack an outcome only if its worker died before
+            // finishing; run it here so the report stays total (the
+            // monitor itself is deterministic, so this is equivalent).
+            let outcome = match cell.outcome.take() {
+                Some(o) => o,
+                None => {
+                    let exit = cell.monitor.run(budget);
+                    Self::outcome(&cell.monitor, exit)
+                }
+            };
+            outcomes.push(outcome);
+            self.members.push(cell.monitor);
+        }
+        FleetReport {
+            jobs,
+            wall: start.elapsed(),
+            outcomes,
+        }
+    }
+
+    /// Per-monitor metrics registries, in fleet order — the breakdown
+    /// half of `--metrics-out` in fleet mode.
+    pub fn per_monitor_metrics(&self) -> Vec<Metrics> {
+        self.members.iter().map(Monitor::metrics).collect()
+    }
+
+    /// Fleet-wide metrics: every monitor's registry merged (counters
+    /// summed, per-cause cost histograms folded), with rate gauges
+    /// recomputed from the merged counters and a `fleet_monitors`
+    /// counter recording the fleet size.
+    pub fn fleet_metrics(&self) -> Metrics {
+        let mut agg = Metrics::new();
+        for m in &self.members {
+            agg.merge(&m.metrics());
+        }
+        agg.counter("fleet_monitors", self.members.len() as u64);
+        let hits = agg.get_counter("tlb_hits").unwrap_or(0);
+        let misses = agg.get_counter("tlb_misses").unwrap_or(0);
+        let rate = (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64);
+        agg.gauge("tlb_hit_rate", rate);
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{MonitorConfig, VmConfig};
+
+    /// Compile-time Send audit: a Monitor (and everything inside it)
+    /// must be movable to a worker thread. A regression — an Rc, a
+    /// non-Send trait object on the bus — fails this at build time.
+    fn _assert_send<T: Send>() {}
+    #[allow(dead_code)]
+    fn _fleet_types_are_send() {
+        _assert_send::<Monitor>();
+        _assert_send::<Fleet>();
+        _assert_send::<MonitorOutcome>();
+        _assert_send::<FleetReport>();
+    }
+
+    fn counting_monitor(iters: u32) -> Monitor {
+        let src = format!(
+            "
+                movl #{iters}, r2
+            top:
+                addl2 #3, r3
+                sobgtr r2, top
+                halt
+            "
+        );
+        let program = vax_asm::assemble_text(&src, 0x1000).unwrap();
+        let mut monitor = Monitor::new(MonitorConfig::default());
+        let vm = monitor.create_vm("count", VmConfig::default());
+        monitor.vm_write_phys(vm, 0x1000, &program.bytes).unwrap();
+        monitor.boot_vm(vm, 0x1000);
+        monitor
+    }
+
+    fn fleet_of(sizes: &[u32]) -> Fleet {
+        let mut fleet = Fleet::new();
+        for &iters in sizes {
+            fleet.push(counting_monitor(iters));
+        }
+        fleet
+    }
+
+    const SIZES: [u32; 5] = [100, 2_000, 50, 700, 1_300];
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let serial = fleet_of(&SIZES).run_serial(10_000_000);
+        for jobs in [1, 2, 5, 64] {
+            let mut fleet = fleet_of(&SIZES);
+            let parallel = fleet.run_parallel(10_000_000, jobs);
+            assert_eq!(parallel.outcomes, serial.outcomes, "jobs = {jobs}");
+            assert_eq!(fleet.len(), SIZES.len(), "monitors returned to the fleet");
+        }
+        // Different workloads genuinely produced different outcomes, so
+        // the equality above is not vacuous.
+        assert_ne!(serial.outcomes[0], serial.outcomes[1]);
+    }
+
+    #[test]
+    fn outcomes_keep_fleet_order_and_monitors_stay_inspectable() {
+        let mut fleet = fleet_of(&SIZES);
+        let report = fleet.run_parallel(10_000_000, 3);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.exit, RunExit::AllHalted);
+            assert_eq!(
+                outcome.cycles,
+                fleet.monitor(i).machine().cycles(),
+                "outcome {i} is the monitor at index {i}"
+            );
+        }
+        // More iterations, more instructions: order was preserved.
+        let instrs: Vec<u64> = report
+            .outcomes
+            .iter()
+            .map(|o| o.counters.instructions)
+            .collect();
+        assert!(instrs[1] > instrs[0] && instrs[1] > instrs[3]);
+        assert_eq!(report.total_instructions(), instrs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn fleet_metrics_sum_per_monitor_registries() {
+        let mut fleet = fleet_of(&SIZES);
+        fleet.run_serial(10_000_000);
+        let per = fleet.per_monitor_metrics();
+        let agg = fleet.fleet_metrics();
+        for name in ["instructions", "cycles", "vm_emulation_traps"] {
+            let sum: u64 = per.iter().filter_map(|m| m.get_counter(name)).sum();
+            assert_eq!(agg.get_counter(name), Some(sum), "{name}");
+        }
+        assert_eq!(agg.get_counter("fleet_monitors"), Some(SIZES.len() as u64));
+    }
+
+    #[test]
+    fn empty_fleet_runs() {
+        let mut fleet = Fleet::new();
+        assert!(fleet.is_empty());
+        let serial = fleet.run_serial(1_000);
+        let parallel = fleet.run_parallel(1_000, 4);
+        assert!(serial.outcomes.is_empty() && parallel.outcomes.is_empty());
+        assert_eq!(fleet.fleet_metrics().get_counter("fleet_monitors"), Some(0));
+    }
+}

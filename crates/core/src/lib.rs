@@ -51,6 +51,7 @@ pub mod console;
 pub mod cost;
 pub mod emulate;
 pub mod fault;
+pub mod fleet;
 pub mod io;
 pub mod layout;
 pub mod monitor;
@@ -60,6 +61,7 @@ pub mod vm;
 pub use console::{ConsoleCommand, ConsoleError};
 pub use cost::VmmCosts;
 pub use fault::{mck, Containment, VmmError};
+pub use fleet::{Fleet, FleetReport, MonitorOutcome, VmOutcome};
 pub use io::{
     GUEST_IO_GPFN_BASE, GUEST_IO_PAGES, KCALL_CONSOLE_MAX_LEN, KCALL_CONSOLE_WRITE,
     KCALL_DISK_READ, KCALL_DISK_WRITE, KCALL_SET_UPTIME_CELL,

@@ -232,6 +232,16 @@ impl Monitor {
         self.vms[id.0].vm.stats
     }
 
+    /// Number of VMs created on this monitor.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Ids of every VM on this monitor, in creation order.
+    pub fn vm_ids(&self) -> impl Iterator<Item = VmId> + '_ {
+        (0..self.vms.len()).map(VmId)
+    }
+
     /// Cycles spent in VMM emulation paths so far.
     pub fn vmm_cycles(&self) -> u64 {
         self.vmm_cycles

@@ -40,7 +40,9 @@ pub trait MmioDevice {
 struct Slot {
     base: u32,
     len: u32,
-    device: Box<dyn MmioDevice>,
+    // `+ Send` so a whole Machine (and the Monitor above it) can move to
+    // a worker thread — the fleet executor shards Monitors across cores.
+    device: Box<dyn MmioDevice + Send>,
 }
 
 /// The bus: a set of device windows in I/O space.
@@ -61,7 +63,7 @@ impl Bus {
     ///
     /// Panics if the window is below [`IO_BASE_PA`] or overlaps an
     /// existing window.
-    pub fn attach(&mut self, base: u32, len: u32, device: Box<dyn MmioDevice>) {
+    pub fn attach(&mut self, base: u32, len: u32, device: Box<dyn MmioDevice + Send>) {
         assert!(base >= IO_BASE_PA, "device window below I/O space");
         for s in &self.slots {
             assert!(

@@ -51,6 +51,37 @@ impl Metrics {
             .map(|(_, v)| *v)
     }
 
+    /// Folds another snapshot into this one: counters are summed by name
+    /// (unknown names are appended in `other`'s order), histograms are
+    /// merged by name. Gauges are **not** merged — a gauge is a
+    /// point-in-time reading (a rate, a fraction) whose sum across
+    /// registries means nothing; callers aggregating registries must
+    /// recompute their gauges from the merged counters (as
+    /// `Fleet::fleet_metrics` does for the TLB hit rate).
+    pub fn merge(&mut self, other: &Metrics) -> &mut Metrics {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+        self
+    }
+
+    /// Histogram snapshot by name, if present.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
     /// Renders the snapshot as a JSON object with `counters`, `gauges`,
     /// and `histograms` sections. Histograms carry summary moments,
     /// bucket-resolved p50/p90/p99, and the raw non-empty buckets.
@@ -230,6 +261,37 @@ mod tests {
         let m = sample();
         assert_eq!(m.get_counter("instructions"), Some(1234));
         assert_eq!(m.get_counter("missing"), None);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_folds_histograms() {
+        let mut a = sample();
+        let mut b = sample();
+        b.counter("only_in_b", 7);
+        a.merge(&b);
+        assert_eq!(a.get_counter("instructions"), Some(2468));
+        assert_eq!(a.get_counter("only_in_b"), Some(7));
+        let h = a.get_histogram("exit_cost_emul_mtpr_ipl").unwrap();
+        assert_eq!(h.count(), 6, "3 samples from each side");
+        assert_eq!(h.sum(), 372);
+        // Gauges are point-in-time readings: merge leaves ours alone and
+        // never sums the other side's.
+        let j = a.to_json();
+        assert_eq!(j.matches("\"mips\"").count(), 1);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_either_way() {
+        let mut empty = Metrics::new();
+        empty.merge(&sample());
+        assert_eq!(empty.get_counter("instructions"), Some(1234));
+        let mut m = sample();
+        m.merge(&Metrics::new());
+        assert_eq!(m.get_counter("instructions"), Some(1234));
+        assert_eq!(
+            m.get_histogram("exit_cost_emul_mtpr_ipl").unwrap().count(),
+            3
+        );
     }
 
     #[test]

@@ -11,7 +11,16 @@
 //! $ vaxrun --metrics-out m.json ... # write counters/histograms (JSON,
 //!                                   # or Prometheus text for .prom)
 //! $ vaxrun --vm --trace-out t.json  # write a Chrome trace of VM exits
+//! $ vaxrun --fleet 8 --jobs 4 p.s   # 8 monitors across 4 host threads
+//! $ vaxrun --fleet 8@2 ...          # ... with 2 VMs per monitor
 //! ```
+//!
+//! Fleet mode (`--fleet M[@V]`) builds M independent monitors, each
+//! with V VMs booted on the same program, and drives them with the
+//! fleet executor — serially for `--jobs 1` (the default), across a
+//! bounded thread pool otherwise. Per-monitor results are bit-identical
+//! either way; `--metrics-out` then reports fleet-wide totals plus the
+//! per-monitor breakdown.
 //!
 //! The program runs in kernel mode with translation off (addresses are
 //! physical), console output goes through TXDB, and execution ends at
@@ -20,7 +29,7 @@
 use std::process::ExitCode;
 use vax_arch::{MachineVariant, Psl};
 use vax_cpu::{HaltReason, Machine, StepEvent};
-use vax_vmm::{chrome_trace, Metrics, Monitor, MonitorConfig, RunExit, VmConfig, VmState};
+use vax_vmm::{chrome_trace, Fleet, Metrics, Monitor, MonitorConfig, RunExit, VmConfig, VmState};
 
 struct Options {
     path: String,
@@ -31,14 +40,28 @@ struct Options {
     max_cycles: u64,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    /// (monitors, vms per monitor) when `--fleet` is given.
+    fleet: Option<(usize, usize)>,
+    jobs: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vaxrun [--vm] [--list] [--trace] [--base HEX] [--max-cycles N] \
-         [--metrics-out FILE] [--trace-out FILE] FILE.s"
+         [--metrics-out FILE] [--trace-out FILE] [--fleet M[@V]] [--jobs N] FILE.s"
     );
     ExitCode::from(2)
+}
+
+/// Parses a `--fleet` spec: `M` monitors, optionally `M@V` for V VMs
+/// per monitor.
+fn parse_fleet_spec(spec: &str) -> Option<(usize, usize)> {
+    let (m, v) = match spec.split_once('@') {
+        Some((m, v)) => (m, v.parse().ok()?),
+        None => (spec, 1usize),
+    };
+    let m = m.parse().ok()?;
+    (m >= 1 && v >= 1).then_some((m, v))
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
@@ -51,11 +74,24 @@ fn parse_args() -> Result<Options, ExitCode> {
         max_cycles: 1_000_000_000,
         metrics_out: None,
         trace_out: None,
+        fleet: None,
+        jobs: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--vm" => opts.vm = true,
+            "--fleet" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.fleet = Some(parse_fleet_spec(&v).ok_or_else(usage)?);
+            }
+            "--jobs" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.jobs = v.parse().map_err(|_| usage())?;
+                if opts.jobs == 0 {
+                    return Err(usage());
+                }
+            }
             "--list" => opts.list = true,
             "--trace" => opts.trace = true,
             "--base" => {
@@ -90,6 +126,115 @@ fn write_metrics(path: &str, metrics: &Metrics) -> std::io::Result<()> {
     std::fs::write(path, body)
 }
 
+/// Prints the per-cause exit-cost table from a metrics registry (works
+/// for one monitor's registry or a fleet-wide merge).
+fn print_exit_costs(metrics: &Metrics) {
+    for cause in vax_vmm::ExitCause::ALL {
+        if let Some(h) = metrics.get_histogram(&format!("exit_cost_{}", cause.name())) {
+            if h.count() > 0 {
+                eprintln!(
+                    "--   {:<18} {:>8}  mean {:>7.1}  p99 {:>6}  max {:>6} cycles",
+                    cause.name(),
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.99),
+                    h.max()
+                );
+            }
+        }
+    }
+}
+
+/// Fleet mode: `monitors` independent Monitors, each booting
+/// `vms_per_monitor` VMs on the same program, driven by the fleet
+/// executor.
+fn run_fleet(
+    opts: &Options,
+    program: &vax_asm::Program,
+    monitors: usize,
+    vms_per_monitor: usize,
+) -> ExitCode {
+    let obs = opts.trace || opts.metrics_out.is_some();
+    let mut fleet = Fleet::new();
+    for m in 0..monitors {
+        let mut monitor = Monitor::new(MonitorConfig::default());
+        if obs {
+            monitor.enable_obs(65536);
+        }
+        for v in 0..vms_per_monitor {
+            let vm = monitor.create_vm(&format!("m{m}.v{v}"), VmConfig::default());
+            if let Err(e) = monitor.vm_write_phys(vm, program.base, &program.bytes) {
+                eprintln!("vaxrun: loading program: {e}");
+                return ExitCode::FAILURE;
+            }
+            monitor.boot_vm(vm, program.base);
+        }
+        fleet.push(monitor);
+    }
+    let report = if opts.jobs > 1 {
+        fleet.run_parallel(opts.max_cycles, opts.jobs)
+    } else {
+        fleet.run_serial(opts.max_cycles)
+    };
+    let mut all_halted = true;
+    for (i, o) in report.outcomes.iter().enumerate() {
+        all_halted &=
+            o.exit == RunExit::AllHalted && o.vms.iter().all(|v| v.state == VmState::ConsoleHalt);
+        eprintln!(
+            "-- monitor {i}: {:?}, {} cycles, {} instructions, {} vm exits",
+            o.exit,
+            o.cycles,
+            o.counters.instructions,
+            o.counters.vm_exits()
+        );
+        for v in &o.vms {
+            if let Some(reason) = &v.halt_reason {
+                eprintln!("--   {}: halt reason: {reason}", v.name);
+            }
+        }
+    }
+    eprintln!(
+        "-- fleet: {} monitors x {} vms, {} jobs, {:.3}s wall, {:.0} aggregate instrs/sec",
+        monitors,
+        vms_per_monitor,
+        report.jobs,
+        report.wall.as_secs_f64(),
+        report.instrs_per_sec()
+    );
+    if opts.trace {
+        eprintln!("-- fleet-wide vm exit costs:");
+        print_exit_costs(&fleet.fleet_metrics());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let body = if path.ends_with(".prom") {
+            fleet.fleet_metrics().to_prometheus()
+        } else {
+            let per: Vec<String> = fleet
+                .per_monitor_metrics()
+                .iter()
+                .map(|m| m.to_json().trim_end().to_string())
+                .collect();
+            format!(
+                "{{\n\"fleet\": {},\n\"monitors\": [\n{}\n]\n}}\n",
+                fleet.fleet_metrics().to_json().trim_end(),
+                per.join(",\n")
+            )
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("vaxrun: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if opts.trace_out.is_some() {
+        eprintln!("vaxrun: --trace-out is per-monitor; not written in fleet mode");
+    }
+    if all_halted {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -115,6 +260,10 @@ fn main() -> ExitCode {
             vax_asm::listing(&program.bytes, program.base, &symbols)
         );
         return ExitCode::SUCCESS;
+    }
+
+    if let Some((monitors, vms_per_monitor)) = opts.fleet {
+        return run_fleet(&opts, &program, monitors, vms_per_monitor);
     }
 
     if opts.vm {

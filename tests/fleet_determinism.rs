@@ -1,0 +1,128 @@
+//! Fleet determinism (DESIGN.md §12): `Fleet::run_parallel` must be
+//! bit-identical, per monitor, to `Fleet::run_serial` — cycles, CPU
+//! counters, per-VM stats, halt reasons, and console output — for every
+//! worker-thread count, on a fleet mixing well-behaved mini-OS guests
+//! with adversarial KCALL guests from the fault-containment corpus.
+
+use vax_os::{boot_in_monitor, build_image, OsConfig, Workload};
+use vax_vmm::{Fleet, Monitor, MonitorConfig, VmConfig};
+
+const BUDGET: u64 = 40_000_000;
+
+/// Deterministic xorshift32 byte stream for the adversarial guests.
+struct XorShift(u32);
+
+impl XorShift {
+    fn next_u32(&mut self) -> u32 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.0 = x;
+        x
+    }
+
+    fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_u32() as u8).collect()
+    }
+}
+
+/// VM memory: 512 pages of 512 bytes (the `VmConfig` default).
+const MEM_BYTES: u32 = 0x40000;
+
+/// Boundary-value KCALL request blocks from the fault-containment
+/// corpus: (request gpa, FUNC, SECTOR, BUFFER, LEN).
+const KCALLS: [(u32, u32, u32, u32, u32); 5] = [
+    (0x300, 2, 1, 0x2000, 512),                   // ordinary disk write
+    (MEM_BYTES - 20, 1, 2, MEM_BYTES - 512, 512), // last valid block
+    (MEM_BYTES - 16, 1, 0, 0x2000, 512),          // STATUS straddles the end
+    (u32::MAX - 3, 2, 0, 0x2000, 512),            // block wraps the space
+    (0x300, 3, 0, MEM_BYTES - 2, 4096),           // console write leaking out
+];
+
+/// A monitor hosting two adversarial guests: a KCALL with a
+/// boundary-value request block, then a fall-through into seeded random
+/// bytes — exactly the fault-containment fuzz shape, minus proptest.
+fn adversarial_monitor(seed: u32) -> Monitor {
+    let mut rng = XorShift(seed);
+    let mut mon = Monitor::new(MonitorConfig::default());
+    for i in 0..2 {
+        let vm = mon.create_vm(&format!("adv{seed}.{i}"), VmConfig::default());
+        let (req, func, sector, buffer, len) = KCALLS[(rng.next_u32() as usize) % KCALLS.len()];
+        let prologue = vax_asm::assemble_text(&format!("mtpr #{req:#x}, #201"), 0x1000).unwrap();
+        mon.vm_write_phys(vm, 0x1000, &prologue.bytes).unwrap();
+        let code = rng.bytes(256);
+        mon.vm_write_phys(vm, 0x1000 + prologue.bytes.len() as u32, &code)
+            .unwrap();
+        for (off, field) in [(0, func), (4, sector), (8, buffer), (12, len), (16, 0)] {
+            let _ = mon.vm_write_phys(vm, req.wrapping_add(off), &field.to_le_bytes());
+        }
+        let scb_junk = rng.next_u32();
+        for off in (0..0x140u32).step_by(4) {
+            mon.vm_write_phys(vm, 0x200 + off, &scb_junk.to_le_bytes())
+                .unwrap();
+        }
+        mon.vm_load_disk(vm, 2, b"fleet sector").unwrap();
+        mon.boot_vm(vm, 0x1000);
+    }
+    mon
+}
+
+/// A monitor hosting one multiprogrammed mini-OS guest.
+fn os_monitor(workload: Workload, nproc: u32, iterations: u32) -> Monitor {
+    let img = build_image(&OsConfig {
+        nproc,
+        workload,
+        iterations,
+        ..OsConfig::default()
+    })
+    .unwrap();
+    let mut mon = Monitor::new(MonitorConfig::default());
+    boot_in_monitor(&mut mon, &img, VmConfig::default());
+    mon
+}
+
+/// Builds the mixed fleet deterministically: well-behaved guests
+/// (compute, MTPR-IPL-heavy with WAIT idling, disk-committing
+/// transactions, context-switch-heavy page touching) interleaved with
+/// adversarial KCALL guests.
+fn build_fleet() -> Fleet {
+    let mut fleet = Fleet::new();
+    fleet.push(os_monitor(Workload::Compute, 2, 60));
+    fleet.push(adversarial_monitor(0x9E3779B9));
+    fleet.push(os_monitor(Workload::IplHeavy, 1, 40));
+    fleet.push(adversarial_monitor(0x6C078965));
+    fleet.push(os_monitor(Workload::Transaction, 2, 24));
+    fleet.push(os_monitor(Workload::Touch, 4, 20));
+    fleet.push(adversarial_monitor(0xB5297A4D));
+    fleet
+}
+
+#[test]
+fn parallel_fleet_is_bit_identical_to_serial() {
+    let serial = build_fleet().run_serial(BUDGET);
+    assert_eq!(serial.outcomes.len(), 7);
+
+    // The host may expose any core count (CI runners vary); always cover
+    // under-subscribed, even, and over-subscribed splits of 7 monitors.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut job_counts = vec![1, 2, cores.max(2), 7, 16];
+    job_counts.dedup();
+
+    for jobs in job_counts {
+        let parallel = build_fleet().run_parallel(BUDGET, jobs);
+        assert_eq!(
+            parallel.outcomes, serial.outcomes,
+            "fleet outcomes diverged from serial at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn serial_rerun_is_bit_identical() {
+    // The reference itself must be reproducible, or the contract above
+    // would be vacuous.
+    let a = build_fleet().run_serial(BUDGET);
+    let b = build_fleet().run_serial(BUDGET);
+    assert_eq!(a.outcomes, b.outcomes);
+}

@@ -130,6 +130,46 @@ fn vaxrun_metrics_and_trace_outputs() {
 }
 
 #[test]
+fn vaxrun_fleet_mode() {
+    let dir = std::env::temp_dir().join("vaxrun_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_program(&dir, "fleet.s", HELLO);
+    let metrics_path = dir.join("fleet_metrics.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .args(["--fleet", "3@2", "--jobs", "2", "--metrics-out"])
+        .arg(&metrics_path)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("-- monitor 0: AllHalted"), "{stderr}");
+    assert!(stderr.contains("-- monitor 2: AllHalted"), "{stderr}");
+    assert!(
+        stderr.contains("-- fleet: 3 monitors x 2 vms, 2 jobs"),
+        "{stderr}"
+    );
+    // Fleet metrics JSON: the merged registry plus one entry per monitor.
+    let json = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(json.contains("\"fleet\""), "{json}");
+    assert!(json.contains("\"monitors\""), "{json}");
+    assert!(json.contains("\"fleet_monitors\""), "{json}");
+
+    // A fleet spec that is not M or M@V is a usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .args(["--fleet", "3@"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn vaxrun_usage_on_bad_flags() {
     let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
         .arg("--bogus")
