@@ -1,0 +1,179 @@
+//! Headless snapshot-subsystem benchmark (DESIGN.md §13): snapshot and
+//! restore latency, copy-on-write fork cost and page-sharing ratio, and
+//! a cross-monitor migration round-trip — each with its correctness
+//! contract asserted inline (restore bit-identity, fork sharing ≥ 80%,
+//! migrated guest output identical to an unmigrated run).
+//!
+//! Usage: `cargo run --release -p vax-bench --bin snapshot_bench [-- --quick]`
+//!
+//! Writes `BENCH_snapshot.json`.
+
+use std::time::Instant;
+use vax_os::{boot_in_monitor, build_image, OsConfig, Workload};
+use vax_snap::{fork_monitor, restore_monitor, snapshot_monitor};
+use vax_vmm::{Fleet, Monitor, MonitorConfig, RunExit, VmConfig};
+
+/// Cycle budget that lets every guest in this file halt.
+const BUDGET: u64 = 64_000_000_000;
+
+struct Scale {
+    iterations: u32,
+    split: u64,
+    reps: u32,
+    forks: usize,
+}
+
+impl Scale {
+    fn new(quick: bool) -> Scale {
+        if quick {
+            Scale {
+                iterations: 400,
+                split: 200_000,
+                reps: 5,
+                forks: 4,
+            }
+        } else {
+            Scale {
+                iterations: 20_000,
+                split: 5_000_000,
+                reps: 40,
+                forks: 16,
+            }
+        }
+    }
+}
+
+/// A monitor mid-flight through a multiprogrammed mini-OS guest — the
+/// realistic snapshot subject: warm TLB, populated shadow tables,
+/// console output in the buffers.
+fn subject(scale: &Scale) -> Monitor {
+    let image = build_image(&OsConfig {
+        nproc: 3,
+        workload: Workload::Mixed,
+        iterations: scale.iterations,
+        ..OsConfig::default()
+    })
+    .expect("guest image builds");
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    boot_in_monitor(&mut monitor, &image, VmConfig::default());
+    monitor.run(scale.split);
+    monitor
+}
+
+fn mean_secs(times: &[f64]) -> f64 {
+    times.iter().sum::<f64>() / times.len().max(1) as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = Scale::new(quick);
+    println!(
+        "snapshot_bench{}: subject guest nproc 3, {} iterations, split at {} cycles",
+        if quick { " (quick)" } else { "" },
+        scale.iterations,
+        scale.split
+    );
+
+    // --- snapshot + restore latency -------------------------------
+    let monitor = subject(&scale);
+    let mem_bytes = monitor.machine().mem().size();
+    let mut snap_times = Vec::new();
+    let mut bytes = Vec::new();
+    for _ in 0..scale.reps {
+        let t = Instant::now();
+        bytes = snapshot_monitor(&monitor).expect("snapshot");
+        snap_times.push(t.elapsed().as_secs_f64());
+    }
+    let mut restore_times = Vec::new();
+    let mut restored = None;
+    for _ in 0..scale.reps {
+        let t = Instant::now();
+        restored = Some(restore_monitor(&bytes).expect("restore"));
+        restore_times.push(t.elapsed().as_secs_f64());
+    }
+    // Bit-identity: the restored monitor re-serializes to the same image.
+    let restored = restored.expect("at least one rep");
+    assert_eq!(
+        snapshot_monitor(&restored).expect("re-snapshot"),
+        bytes,
+        "restore must reproduce the snapshotted state exactly"
+    );
+    let snap_s = mean_secs(&snap_times);
+    let restore_s = mean_secs(&restore_times);
+    println!(
+        "  snapshot: {} bytes ({}x smaller than the {} byte machine), {:.1} us",
+        bytes.len(),
+        mem_bytes as usize / bytes.len().max(1),
+        mem_bytes,
+        1e6 * snap_s
+    );
+    println!("  restore:  {:.1} us, bit-identical: yes", 1e6 * restore_s);
+
+    // --- copy-on-write fork ---------------------------------------
+    let mut parent = subject(&scale);
+    let t = Instant::now();
+    let mut children = fork_monitor(&mut parent, scale.forks).expect("fork");
+    let fork_s = t.elapsed().as_secs_f64() / scale.forks as f64;
+    // Every child (and the parent) runs to completion independently;
+    // sharing is measured after the children's guests have dirtied
+    // whatever they dirty.
+    let mut min_shared = 1.0f64;
+    for child in &mut children {
+        assert_eq!(child.run(BUDGET), RunExit::AllHalted);
+        min_shared = min_shared.min(child.machine().mem().shared_fraction());
+    }
+    assert_eq!(parent.run(BUDGET), RunExit::AllHalted);
+    assert!(
+        min_shared >= 0.8,
+        "fork must share >= 80% of pages after the run, got {min_shared:.3}"
+    );
+    println!(
+        "  fork: {} children, {:.1} us each, {:.1}% of pages still shared after running to halt",
+        scale.forks,
+        1e6 * fork_s,
+        100.0 * min_shared
+    );
+
+    // --- cross-monitor migration ----------------------------------
+    // Reference: the same guest, never migrated.
+    let mut reference = subject(&scale);
+    assert_eq!(reference.run(BUDGET), RunExit::AllHalted);
+    let ref_vm = reference.vm_ids().next().expect("one VM");
+    let ref_console = reference.vm(ref_vm).console_out.clone();
+    let ref_regs = reference.vm(ref_vm).regs;
+
+    let mut fleet = Fleet::new();
+    fleet.push(subject(&scale));
+    fleet.push(Monitor::new(MonitorConfig::default()));
+    let vm = fleet.monitor(0).vm_ids().next().expect("one VM");
+    let t = Instant::now();
+    let moved = fleet.migrate(vm, 0, 1).expect("migrate");
+    let migrate_s = t.elapsed().as_secs_f64();
+    assert_eq!(fleet.monitor_mut(1).run(BUDGET), RunExit::AllHalted);
+    let migrated = fleet.monitor(1).vm(moved);
+    assert_eq!(
+        migrated.console_out, ref_console,
+        "migrated guest console output must match the unmigrated run"
+    );
+    assert_eq!(
+        migrated.regs, ref_regs,
+        "migrated guest registers must match the unmigrated run"
+    );
+    println!(
+        "  migrate: {:.1} us round-trip, guest output identical: yes",
+        1e6 * migrate_s
+    );
+
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"mem_bytes\": {mem_bytes},\n  \
+         \"snapshot\": {{\"bytes\": {}, \"mean_secs\": {snap_s:.9}}},\n  \
+         \"restore\": {{\"mean_secs\": {restore_s:.9}, \"bit_identical\": true}},\n  \
+         \"fork\": {{\"children\": {}, \"mean_secs_per_child\": {fork_s:.9}, \
+         \"min_shared_fraction_after_run\": {min_shared:.6}, \"sharing_target\": 0.8}},\n  \
+         \"migration\": {{\"round_trip_secs\": {migrate_s:.9}, \"guest_identical\": true}}\n}}\n",
+        bytes.len(),
+        scale.forks,
+    );
+    std::fs::write("BENCH_snapshot.json", json).expect("write BENCH_snapshot.json");
+    println!("wrote BENCH_snapshot.json");
+}

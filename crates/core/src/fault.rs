@@ -118,6 +118,53 @@ pub enum VmmError {
         /// Length of the range in bytes.
         len: u32,
     },
+    /// Host API: a snapshot image failed validation on restore. Never
+    /// guest-attributable — the image, not the guest, is malformed.
+    Snapshot {
+        /// What was wrong with the image.
+        what: &'static str,
+    },
+}
+
+/// Every `&'static str` diagnostic the monitor's own code attaches to a
+/// [`VmmError`]. Snapshot restore re-interns serialized halt reasons
+/// against this table so a restored error is byte-for-byte (and
+/// pointer-for-pointer) the same value the uninterrupted run would
+/// produce. A diagnostic added to an emulation path without a row here
+/// still round-trips *by content* (str equality is content equality) via
+/// the leaked-string fallback in [`intern_diagnostic`].
+pub static KNOWN_DIAGNOSTICS: &[&str] = &[
+    "KCALL request block outside VM memory",
+    "window without a real device",
+    "access outside shadowed space",
+    "real machine halted during MMIO emulation",
+    "shadow fill did not converge",
+    "kernel stack not valid",
+    "exception frame push failed",
+    "guest SCB unreadable",
+    "guest exception vector empty",
+    "guest interrupt vector empty",
+    "guest CHM vector empty",
+    "guest PCB unreadable",
+    "guest PCB unwritable",
+    "guest_pte returned Filled",
+    "no real device attached",
+    "device rejected CSR write",
+    "real machine halt in VM mode",
+];
+
+/// Maps a serialized diagnostic message back to a `&'static str` for a
+/// restored [`VmmError`]. Known messages intern to the table entry;
+/// unknown ones are leaked (snapshot loaders cap message length, so the
+/// leak is bounded per restore) to preserve content equality with the
+/// original run.
+pub fn intern_diagnostic(msg: &str) -> &'static str {
+    for known in KNOWN_DIAGNOSTICS {
+        if *known == msg {
+            return known;
+        }
+    }
+    Box::leak(msg.to_owned().into_boxed_str())
 }
 
 /// What the monitor does with a [`VmmError`] raised while a VM runs.
@@ -155,7 +202,8 @@ impl VmmError {
             | VmmError::Internal { .. }
             | VmmError::DiskSector { .. }
             | VmmError::DiskBuffer { .. }
-            | VmmError::GuestRange { .. } => Containment::Halt,
+            | VmmError::GuestRange { .. }
+            | VmmError::Snapshot { .. } => Containment::Halt,
         }
     }
 
@@ -168,6 +216,7 @@ impl VmmError {
                 | VmmError::DiskSector { .. }
                 | VmmError::DiskBuffer { .. }
                 | VmmError::GuestRange { .. }
+                | VmmError::Snapshot { .. }
         )
     }
 }
@@ -218,6 +267,7 @@ impl core::fmt::Display for VmmError {
                     "guest-physical range {gpa:#010x}+{len:#x} outside VM memory"
                 )
             }
+            VmmError::Snapshot { what } => write!(f, "snapshot restore: {what}"),
         }
     }
 }
@@ -257,10 +307,26 @@ mod tests {
                 what: "guest PCB unreadable",
             },
             VmmError::Internal { what: "x" },
+            VmmError::Snapshot { what: "bad magic" },
         ] {
             assert_eq!(err.containment(), Containment::Halt, "{err:?}");
         }
         assert!(!VmmError::Internal { what: "x" }.is_guest_attributable());
+        assert!(!VmmError::Snapshot { what: "bad magic" }.is_guest_attributable());
+    }
+
+    #[test]
+    fn intern_diagnostic_round_trips_every_known_message() {
+        for msg in KNOWN_DIAGNOSTICS {
+            // A restored message must be the very same static string, so
+            // restored errors are indistinguishable from originals.
+            let serialized = String::from(*msg);
+            assert!(std::ptr::eq(
+                intern_diagnostic(&serialized).as_ptr(),
+                msg.as_ptr()
+            ));
+        }
+        assert_eq!(intern_diagnostic("no such message"), "no such message");
     }
 
     #[test]

@@ -26,8 +26,8 @@
 //! monitor, so the report is always in fleet order.
 
 use crate::fault::VmmError;
-use crate::monitor::{Monitor, RunExit};
-use crate::vm::{VmState, VmStats};
+use crate::monitor::{Monitor, RunExit, VmConfig, VmId};
+use crate::vm::{IoStrategy, VmState, VmStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -285,6 +285,103 @@ impl Fleet {
         }
     }
 
+    /// Moves a VM from one monitor to another — live migration as
+    /// snapshot-plus-restore over the fleet's own memory (DESIGN.md §13).
+    ///
+    /// The VM's complete guest-visible state crosses: registers,
+    /// privileged state, the guest-physical memory image, the virtual
+    /// disk, console buffers, statistics, and any pending events
+    /// (timestamps are rebased by the clock delta between the two
+    /// machines, preserving relative latency). The target admits it
+    /// through the normal creation path, so shadow tables start null and
+    /// refill on demand — the migrated guest computes bit-identically,
+    /// while the *monitor*-level accounting (world switches, fill
+    /// counts) lawfully differs from an unmigrated run. The source slot
+    /// is left halted at its virtual console; slot indices on both
+    /// monitors remain stable.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::Snapshot`] for bad indices or an
+    /// `EmulatedMmio` VM (its device state lives on the source bus and
+    /// cannot be extracted); [`VmmError::Internal`] if the source memory
+    /// image is unreadable (a VMM bug, not a guest condition).
+    pub fn migrate(&mut self, vm: VmId, from: usize, to: usize) -> Result<VmId, VmmError> {
+        if from >= self.members.len() || to >= self.members.len() {
+            return Err(VmmError::Snapshot {
+                what: "migration monitor index out of range",
+            });
+        }
+        if from == to {
+            return Err(VmmError::Snapshot {
+                what: "migration source and target are the same monitor",
+            });
+        }
+        if vm.0 >= self.members[from].vm_count() {
+            return Err(VmmError::Snapshot {
+                what: "migration VM id out of range",
+            });
+        }
+        let source_now = self.members[from].machine().cycles();
+        let target_now = self.members[to].machine().cycles();
+        let (mut image, shadow, memory) = {
+            let src = &self.members[from];
+            let v = src.vm(vm);
+            if v.io_strategy == IoStrategy::EmulatedMmio {
+                return Err(VmmError::Snapshot {
+                    what: "cannot migrate an EmulatedMmio VM",
+                });
+            }
+            let pa = v
+                .gpa_to_pa_len(0, v.mem_bytes())
+                .ok_or(VmmError::Internal {
+                    what: "migration source memory out of machine range",
+                })?;
+            let memory = src
+                .machine()
+                .mem()
+                .read_slice(pa, v.mem_bytes())
+                .map_err(|_| VmmError::Internal {
+                    what: "migration source memory unreadable",
+                })?
+                .into_owned();
+            (v.clone(), src.shadow(vm).config(), memory)
+        };
+        // Event timestamps are in source machine cycles; rebase them so
+        // the remaining latency carries over to the target clock.
+        if let VmState::Idle { until } = image.state {
+            image.state = VmState::Idle {
+                until: target_now + until.saturating_sub(source_now),
+            };
+        }
+        if let Some((at, irq, status_gpa)) = image.vdisk_pending {
+            image.vdisk_pending =
+                Some((target_now + at.saturating_sub(source_now), irq, status_gpa));
+        }
+        let config = VmConfig {
+            mem_pages: image.mem_pages,
+            shadow,
+            io_strategy: image.io_strategy,
+            dirty_strategy: image.dirty_strategy,
+            vdisk_sectors: image.vdisk.len() as u32,
+        };
+        let dst = &mut self.members[to];
+        let new_id = dst.create_vm(&image.name, config);
+        dst.vm_write_phys(new_id, 0, &memory)?;
+        image.mem_base_pfn = dst.vm(new_id).mem_base_pfn;
+        *dst.vm_mut(new_id) = image;
+        // The guest opened its S window with an MTPR to SLR on the
+        // source; the fresh shadow set here never saw that MTPR, so
+        // replay it. Without this, S-space touches after migration
+        // raise access violations (the creation-time "no SLR yet"
+        // protection) instead of fillable translation faults.
+        let slot = &mut dst.vms[new_id.0];
+        let slr = slot.vm.guest_slr;
+        slot.shadow.reset_guest_s(&mut dst.machine, slr);
+        self.members[from].vm_mut(vm).state = VmState::ConsoleHalt;
+        Ok(new_id)
+    }
+
     /// Per-monitor metrics registries, in fleet order — the breakdown
     /// half of `--metrics-out` in fleet mode.
     pub fn per_monitor_metrics(&self) -> Vec<Metrics> {
@@ -401,6 +498,57 @@ mod tests {
             assert_eq!(agg.get_counter(name), Some(sum), "{name}");
         }
         assert_eq!(agg.get_counter("fleet_monitors"), Some(SIZES.len() as u64));
+    }
+
+    #[test]
+    fn migrate_preserves_guest_computation() {
+        // Uninterrupted reference run.
+        let mut reference = counting_monitor(200_000);
+        reference.run(1_000_000_000);
+        let rid = reference.vm_ids().next().expect("one VM");
+        assert_eq!(reference.vm(rid).state, VmState::ConsoleHalt);
+        let expected_r3 = reference.vm(rid).regs[3];
+        assert_eq!(expected_r3, 3 * 200_000);
+
+        // Same workload, but moved to a different monitor mid-loop.
+        let mut fleet = Fleet::new();
+        fleet.push(counting_monitor(200_000));
+        fleet.push(Monitor::new(MonitorConfig::default()));
+        fleet.monitor_mut(0).run(50_000);
+        let vm = fleet.monitor(0).vm_ids().next().expect("one VM");
+        assert_eq!(fleet.monitor(0).vm(vm).state, VmState::Ready, "mid-run");
+        let moved = fleet.migrate(vm, 0, 1).expect("migrates");
+        assert_eq!(fleet.monitor(0).vm(vm).state, VmState::ConsoleHalt);
+        fleet.monitor_mut(1).run(1_000_000_000);
+        let m = fleet.monitor(1).vm(moved);
+        assert_eq!(m.state, VmState::ConsoleHalt);
+        assert_eq!(m.regs[3], expected_r3);
+        assert!(m.halt_reason.is_none());
+    }
+
+    #[test]
+    fn migrate_rejects_bad_requests() {
+        let mut fleet = fleet_of(&[10, 10]);
+        let vm = fleet.monitor(0).vm_ids().next().expect("one VM");
+        for (from, to) in [(0, 5), (5, 0), (0, 0)] {
+            assert!(
+                matches!(fleet.migrate(vm, from, to), Err(VmmError::Snapshot { .. })),
+                "{from} -> {to}"
+            );
+        }
+        let mut mmio = Monitor::new(MonitorConfig::default());
+        let mvm = mmio.create_vm(
+            "mmio",
+            VmConfig {
+                io_strategy: IoStrategy::EmulatedMmio,
+                ..VmConfig::default()
+            },
+        );
+        let idx = fleet.push(mmio);
+        assert!(matches!(
+            fleet.migrate(mvm, idx, 0),
+            Err(VmmError::Snapshot { .. })
+        ));
     }
 
     #[test]

@@ -60,15 +60,15 @@ pub mod vm;
 
 pub use console::{ConsoleCommand, ConsoleError};
 pub use cost::VmmCosts;
-pub use fault::{mck, Containment, VmmError};
+pub use fault::{intern_diagnostic, mck, Containment, VmmError, KNOWN_DIAGNOSTICS};
 pub use fleet::{Fleet, FleetReport, MonitorOutcome, VmOutcome};
 pub use io::{
     GUEST_IO_GPFN_BASE, GUEST_IO_PAGES, KCALL_CONSOLE_MAX_LEN, KCALL_CONSOLE_WRITE,
     KCALL_DISK_READ, KCALL_DISK_WRITE, KCALL_SET_UPTIME_CELL,
 };
 pub use layout::{FrameAllocator, VMM_BOUNDARY_VA, VMM_BOUNDARY_VPN};
-pub use monitor::{compress_mode, Monitor, MonitorConfig, RunExit, VmConfig, VmId};
-pub use shadow::{ShadowConfig, ShadowSet};
+pub use monitor::{compress_mode, Monitor, MonitorConfig, RunExit, SchedulerState, VmConfig, VmId};
+pub use shadow::{ShadowCacheState, ShadowConfig, ShadowSet};
 pub use vax_obs::{
     chrome_trace, ExitCause, Histogram, Metrics, Obs, ObsSink, TraceRecord, TraceRing,
 };

@@ -86,6 +86,20 @@ pub(crate) struct VmSlot {
     pub shadow: ShadowSet,
 }
 
+/// The monitor-level scheduler and accounting state a snapshot must
+/// carry: which VM's context the machine registers currently hold (the
+/// round-robin scan restarts after it, so losing it would diverge the
+/// schedule), plus the VMM's own accounting cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerState {
+    /// Index of the VM whose context was last loaded, if any.
+    pub current: Option<usize>,
+    /// Cycles spent in VMM emulation paths.
+    pub vmm_cycles: u64,
+    /// VM-to-VM world switches performed.
+    pub world_switches: u64,
+}
+
 /// Why [`Monitor::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunExit {
@@ -140,6 +154,28 @@ impl Monitor {
             world_switches: 0,
             obs: ObsSink::off(),
         }
+    }
+
+    /// Real frames [`Monitor::create_vm`] would consume for `config`:
+    /// the VM's memory block, its real SPT, and the shadow process-table
+    /// cache. Admission control for snapshot restore — `create_vm`
+    /// itself panics when real memory runs out (fixed allocation, no
+    /// paging), so untrusted reconstruction must check first against
+    /// [`Monitor::frames_remaining`].
+    pub fn admission_frames(config: &VmConfig) -> u64 {
+        let per_slot = u64::from(crate::layout::table_frames(config.shadow.p0_capacity))
+            + u64::from(crate::layout::table_frames(config.shadow.p1_capacity));
+        let vmm_region_pages = config.shadow.cache_slots as u64 * per_slot;
+        let spt_entries = u64::from(config.shadow.s_capacity) + vmm_region_pages;
+        let spt_frames = u64::from(crate::layout::table_frames(
+            u32::try_from(spt_entries).unwrap_or(u32::MAX),
+        ));
+        u64::from(config.mem_pages) + spt_frames + vmm_region_pages
+    }
+
+    /// Real frames still unallocated on this monitor.
+    pub fn frames_remaining(&self) -> u32 {
+        self.falloc.remaining()
     }
 
     /// Creates a VM. Its memory is a fixed contiguous block of real
@@ -240,6 +276,46 @@ impl Monitor {
     /// Ids of every VM on this monitor, in creation order.
     pub fn vm_ids(&self) -> impl Iterator<Item = VmId> + '_ {
         (0..self.vms.len()).map(VmId)
+    }
+
+    /// The configuration this monitor was created with.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// A VM's shadow-table state (snapshot capture, inspection).
+    pub fn shadow(&self, id: VmId) -> &ShadowSet {
+        &self.vms[id.0].shadow
+    }
+
+    /// A VM's shadow-table state, mutable (snapshot restore).
+    pub fn shadow_mut(&mut self, id: VmId) -> &mut ShadowSet {
+        &mut self.vms[id.0].shadow
+    }
+
+    /// Captures the scheduler/accounting state for a snapshot.
+    pub fn scheduler_state(&self) -> SchedulerState {
+        SchedulerState {
+            current: self.current,
+            vmm_cycles: self.vmm_cycles,
+            world_switches: self.world_switches,
+        }
+    }
+
+    /// Reinstates scheduler/accounting state captured by
+    /// [`Monitor::scheduler_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` names a VM this monitor does not have;
+    /// snapshot loaders validate first.
+    pub fn set_scheduler_state(&mut self, state: SchedulerState) {
+        if let Some(idx) = state.current {
+            assert!(idx < self.vms.len(), "current VM index out of range");
+        }
+        self.current = state.current;
+        self.vmm_cycles = state.vmm_cycles;
+        self.world_switches = state.world_switches;
     }
 
     /// Cycles spent in VMM emulation paths so far.

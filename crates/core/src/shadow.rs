@@ -72,6 +72,28 @@ pub struct ShadowSlot {
     pub last_used: u64,
 }
 
+/// The snapshot-portable half of a [`ShadowSet`]: slot keys, LRU state,
+/// and counters. The table *contents* (shadow PTEs) live in real memory
+/// frames and travel with the physical-memory image; the frame addresses
+/// themselves are deterministic from reconstruction ([`ShadowSet::new`]
+/// with the same [`FrameAllocator`] sequence re-derives them), so only
+/// the bookkeeping needs to cross the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowCacheState {
+    /// Guest PCBB key per slot, in slot order.
+    pub keys: Vec<Option<u32>>,
+    /// LRU stamp per slot, in slot order.
+    pub last_used: Vec<u64>,
+    /// Index of the active slot.
+    pub active: usize,
+    /// The LRU clock.
+    pub clock: u64,
+    /// Lifetime slot evictions.
+    pub evictions: u64,
+    /// Lifetime whole-set invalidations.
+    pub invalidations: u64,
+}
+
 /// What a fill attempt concluded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FillOutcome {
@@ -212,6 +234,46 @@ impl ShadowSet {
     /// Whole-set invalidations that discarded cached shadow state.
     pub fn invalidations(&self) -> u64 {
         self.invalidations
+    }
+
+    /// Captures the snapshot-portable shadow bookkeeping (§7.2 cache keys,
+    /// LRU state, counters). Pairs with [`ShadowSet::import_cache_state`].
+    pub fn export_cache_state(&self) -> ShadowCacheState {
+        ShadowCacheState {
+            keys: self.slots.iter().map(|s| s.key).collect(),
+            last_used: self.slots.iter().map(|s| s.last_used).collect(),
+            active: self.active,
+            clock: self.clock,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+        }
+    }
+
+    /// Reinstates shadow bookkeeping captured by
+    /// [`ShadowSet::export_cache_state`] into a freshly constructed set
+    /// with the same `cache_slots`. The shadow table contents must be
+    /// restored separately via the physical-memory image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's slot count or active index does not match
+    /// this set's configuration; snapshot loaders validate first.
+    pub fn import_cache_state(&mut self, state: ShadowCacheState) {
+        assert_eq!(state.keys.len(), self.slots.len(), "slot count mismatch");
+        assert_eq!(state.last_used.len(), self.slots.len());
+        assert!(state.active < self.slots.len(), "active slot out of range");
+        for (slot, (key, last_used)) in self
+            .slots
+            .iter_mut()
+            .zip(state.keys.into_iter().zip(state.last_used))
+        {
+            slot.key = key;
+            slot.last_used = last_used;
+        }
+        self.active = state.active;
+        self.clock = state.clock;
+        self.evictions = state.evictions;
+        self.invalidations = state.invalidations;
     }
 
     /// Values for the real MMU base registers while this VM runs:

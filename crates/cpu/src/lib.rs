@@ -60,5 +60,5 @@ pub use counters::CpuCounters;
 pub use event::{HaltReason, OperandLoc, OperandValue, StepEvent, VmExit, VmTrapInfo};
 pub use fixedvec::FixedVec;
 pub use icache::DecodeCacheStats;
-pub use machine::{Machine, TIMER_IPL};
+pub use machine::{Machine, MachineState, TimerState, TIMER_IPL};
 pub use sensitivity::{scan_sensitivity, ScanOutcome, SensitivityFinding};

@@ -10,7 +10,7 @@ use vax_arch::{
     AccessMode, CostModel, Exception, Ipr, MachineVariant, Psl, ScbVector, VirtAddr, VmPsl,
     PAGE_BYTES,
 };
-use vax_mem::{MemFault, Mmu, PhysMemory};
+use vax_mem::{MemFault, Mmu, MmuState, PhysMemory};
 
 /// The interval timer (ICCS/NICR/ICR).
 #[derive(Debug, Clone, Copy, Default)]
@@ -64,6 +64,76 @@ pub(crate) struct Console {
 
 /// Interrupt priority level of the interval timer.
 pub const TIMER_IPL: u8 = 24;
+
+/// Plain-data image of the interval timer for snapshot/restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimerState {
+    /// ICCS (RUN/IE/INT bits as on hardware).
+    pub iccs: u32,
+    /// NICR (negative reload value).
+    pub nicr: i64,
+    /// Current ICR count.
+    pub icr: i64,
+}
+
+/// Complete architectural + simulation state of a [`Machine`], minus
+/// physical memory and bus devices — the extraction/injection seam the
+/// snapshot subsystem builds on.
+///
+/// Everything that influences future execution or observable output is
+/// here, including the sub-tick TOD accumulator and the exit stamp, so a
+/// machine restored from this image and the original produce bit-identical
+/// cycles, counters, and console bytes. Two pieces are deliberately
+/// excluded:
+///
+/// - **Physical memory**: captured separately (it may be large and wants
+///   page-level compression / copy-on-write handling).
+/// - **Decoded-instruction cache**: [`Machine::import_state`] starts cold;
+///   the cache is proven cycle- and counter-neutral on/off, so this does
+///   not perturb determinism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineState {
+    /// General registers R0–R15.
+    pub regs: [u32; 16],
+    /// The full PSL (raw, including `PSL<VM>`).
+    pub psl_raw: u32,
+    /// The VMPSL register.
+    pub vmpsl: VmPsl,
+    /// Banked stack pointers (kernel…user, interrupt).
+    pub sp_bank: [u32; 5],
+    /// SCB base.
+    pub scbb: u32,
+    /// PCB base.
+    pub pcbb: u32,
+    /// ASTLVL.
+    pub astlvl: u32,
+    /// Software-interrupt summary.
+    pub sisr: u16,
+    /// Time-of-day register.
+    pub todr: u32,
+    /// Sub-tick TOD accumulator (cycles toward the next TODR tick).
+    pub todr_acc: u64,
+    /// Cycle-cost model in effect.
+    pub costs: CostModel,
+    /// Complete MMU image (registers, counters, exact TLB).
+    pub mmu: MmuState,
+    /// Undrained console output.
+    pub console_tx: Vec<u8>,
+    /// Queued console input.
+    pub console_rx: Vec<u8>,
+    /// Interval timer.
+    pub timer: TimerState,
+    /// Latched, undelivered device interrupt requests.
+    pub pending_irqs: Vec<IrqRequest>,
+    /// Cumulative simulated cycles.
+    pub cycles: u64,
+    /// Cycle stamp of the most recent VM exit.
+    pub exit_stamp: u64,
+    /// Event counters (raw; TLB totals live in the MMU image).
+    pub counters: CpuCounters,
+    /// Whether the processor has halted.
+    pub halted: bool,
+}
 
 /// The simulated VAX processor plus its memory and bus.
 ///
@@ -824,6 +894,92 @@ impl Machine {
     pub(crate) fn halt_double_fault(&mut self) -> StepEvent {
         self.halted = true;
         StepEvent::Halted(HaltReason::DoubleFault)
+    }
+
+    // ---- snapshot/restore seam ----
+
+    /// Captures the complete machine state except physical memory and bus
+    /// devices; see [`MachineState`].
+    pub fn export_state(&self) -> MachineState {
+        MachineState {
+            regs: self.regs,
+            psl_raw: self.psl.raw(),
+            vmpsl: self.vmpsl,
+            sp_bank: self.sp_bank,
+            scbb: self.scbb,
+            pcbb: self.pcbb,
+            astlvl: self.astlvl,
+            sisr: self.sisr,
+            todr: self.todr,
+            todr_acc: self.todr_acc,
+            costs: self.costs,
+            mmu: self.mmu.export_state(),
+            console_tx: self.console.tx_log.clone(),
+            console_rx: self.console.rx_queue.iter().copied().collect(),
+            timer: TimerState {
+                iccs: self.timer.iccs,
+                nicr: self.timer.nicr,
+                icr: self.timer.icr,
+            },
+            pending_irqs: self.pending_irqs.clone(),
+            cycles: self.cycles,
+            exit_stamp: self.exit_stamp,
+            counters: self.counters,
+            halted: self.halted,
+        }
+    }
+
+    /// Injects a previously exported state, bypassing the architectural
+    /// setters (no TLB invalidations, no stack re-banking — the image is
+    /// reinstated verbatim). Physical memory must be restored separately
+    /// by the caller. The decoded-instruction cache starts cold, which is
+    /// cycle- and counter-neutral.
+    pub fn import_state(&mut self, state: MachineState) {
+        self.regs = state.regs;
+        self.psl = Psl::from_raw(state.psl_raw);
+        self.vmpsl = state.vmpsl;
+        self.sp_bank = state.sp_bank;
+        self.scbb = state.scbb;
+        self.pcbb = state.pcbb;
+        self.astlvl = state.astlvl;
+        self.sisr = state.sisr;
+        self.todr = state.todr;
+        self.todr_acc = state.todr_acc;
+        self.costs = state.costs;
+        self.mmu.import_state(state.mmu);
+        self.console.tx_log = state.console_tx;
+        self.console.rx_queue = state.console_rx.into();
+        self.timer = IntervalTimer {
+            iccs: state.timer.iccs,
+            nicr: state.timer.nicr,
+            icr: state.timer.icr,
+        };
+        self.pending_irqs = state.pending_irqs;
+        self.cycles = state.cycles;
+        self.exit_stamp = state.exit_stamp;
+        self.counters = state.counters;
+        self.halted = state.halted;
+        self.icache.invalidate_all();
+        self.mem.clear_all_code_pages();
+    }
+
+    /// Replaces this machine's physical memory wholesale (snapshot restore
+    /// and copy-on-write forking). The decoded-instruction cache is
+    /// dropped: its entries are keyed by physical address into the old
+    /// contents.
+    pub fn replace_mem(&mut self, mem: PhysMemory) {
+        self.mem = mem;
+        self.icache.invalidate_all();
+        self.mem.clear_all_code_pages();
+    }
+
+    /// Forks this machine's memory copy-on-write (see
+    /// [`PhysMemory::fork`]), returning the child overlay. The parent's
+    /// decode cache stays valid — contents are unchanged — but write
+    /// tracking keeps working because all stores funnel through
+    /// [`PhysMemory`].
+    pub fn fork_mem(&mut self) -> PhysMemory {
+        self.mem.fork()
     }
 }
 

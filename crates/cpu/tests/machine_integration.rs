@@ -549,7 +549,7 @@ fn movc3_copies_and_sets_registers() {
     set_mode(&mut m, AccessMode::Kernel, 0x8000_1800);
     m.set_pc(0x8000_0400);
     run_to_halt(&mut m, 100);
-    assert_eq!(m.mem().read_slice(0x5100, 12).unwrap(), b"hello world!");
+    assert_eq!(&*m.mem().read_slice(0x5100, 12).unwrap(), b"hello world!");
     assert_eq!(m.reg(0), 0);
     assert_eq!(m.reg(1), 0x8000_500C);
     assert_eq!(m.reg(3), 0x8000_510C);

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! The VAX memory subsystem: physical memory, the translation buffer
 //! (TLB), and the page-table walker.
@@ -44,6 +45,6 @@ pub mod phys;
 pub mod tlb;
 
 pub use fault::MemFault;
-pub use mmu::{MemCounters, Mmu, ProbeOutcome, Translation};
+pub use mmu::{MemCounters, Mmu, MmuState, ProbeOutcome, Translation};
 pub use phys::PhysMemory;
-pub use tlb::{Tlb, TlbEntry};
+pub use tlb::{Tlb, TlbEntry, TlbState};

@@ -3,7 +3,7 @@
 
 use crate::fault::MemFault;
 use crate::phys::PhysMemory;
-use crate::tlb::{is_process_region, Tlb, TlbEntry};
+use crate::tlb::{is_process_region, Tlb, TlbEntry, TlbState};
 use vax_arch::va::{Region, VirtAddr, PAGE_BYTES, PAGE_SHIFT};
 use vax_arch::{AccessMode, CostModel, Pte};
 
@@ -40,6 +40,35 @@ pub struct MemCounters {
     pub m_bit_sets: u64,
     /// Modify faults raised (modified-architecture mode only).
     pub modify_faults: u64,
+}
+
+/// A plain-data image of an [`Mmu`] for snapshot/restore.
+///
+/// Imported through [`Mmu::import_state`] rather than the individual
+/// setters because the setters invalidate TLB entries as the architecture
+/// requires — a restore must instead reinstate the captured TLB exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MmuState {
+    /// Translation enable.
+    pub mapen: bool,
+    /// P0 page-table base (S-space VA).
+    pub p0br: u32,
+    /// P0 page-table length (PTE count).
+    pub p0lr: u32,
+    /// P1 page-table base (S-space VA).
+    pub p1br: u32,
+    /// P1 page-table length register.
+    pub p1lr: u32,
+    /// System page-table base (physical).
+    pub sbr: u32,
+    /// System page-table length (PTE count).
+    pub slr: u32,
+    /// Modify-fault (modified VAX) vs hardware modify-bit mode.
+    pub modify_fault_enabled: bool,
+    /// MMU event counters.
+    pub counters: MemCounters,
+    /// The complete TLB image.
+    pub tlb: TlbState,
 }
 
 /// Where a region's PTE for a given page lives.
@@ -176,6 +205,42 @@ impl Mmu {
     /// MMU event counters.
     pub fn counters(&self) -> MemCounters {
         self.counters
+    }
+
+    /// Captures the complete MMU state (registers, counters, TLB).
+    pub fn export_state(&self) -> MmuState {
+        MmuState {
+            mapen: self.mapen,
+            p0br: self.p0br,
+            p0lr: self.p0lr,
+            p1br: self.p1br,
+            p1lr: self.p1lr,
+            sbr: self.sbr,
+            slr: self.slr,
+            modify_fault_enabled: self.modify_fault_enabled,
+            counters: self.counters,
+            tlb: self.tlb.export_state(),
+        }
+    }
+
+    /// Replaces the complete MMU state, reinstating the captured TLB
+    /// verbatim (no invalidations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TLB image's slot count is not a power of two; see
+    /// [`Tlb::import_state`].
+    pub fn import_state(&mut self, state: MmuState) {
+        self.mapen = state.mapen;
+        self.p0br = state.p0br;
+        self.p0lr = state.p0lr;
+        self.p1br = state.p1br;
+        self.p1lr = state.p1lr;
+        self.sbr = state.sbr;
+        self.slr = state.slr;
+        self.modify_fault_enabled = state.modify_fault_enabled;
+        self.counters = state.counters;
+        self.tlb.import_state(state.tlb);
     }
 
     fn pte_location(&self, va: VirtAddr, write: bool) -> Result<PteLocation, MemFault> {

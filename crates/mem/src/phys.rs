@@ -1,6 +1,7 @@
-//! Simulated physical memory.
+//! Simulated physical memory, with copy-on-write forking.
 
 use crate::fault::MemFault;
+use std::sync::Arc;
 use vax_arch::va::{PAGE_BYTES, PAGE_SHIFT};
 
 /// A bank of simulated physical memory.
@@ -10,6 +11,15 @@ use vax_arch::va::{PAGE_BYTES, PAGE_SHIFT};
 /// CPU surfaces as a machine check — on the paper's virtual VAX, touching
 /// nonexistent memory is grounds for halting the VM (§5, "Hardware
 /// errors").
+///
+/// # Copy-on-write forking
+///
+/// [`PhysMemory::fork`] freezes the current contents into an [`Arc`]'d
+/// *base* shared between the parent and every child, and turns each of
+/// them into an overlay: reads of an untouched page come straight from the
+/// shared base, and the first write to a page copies that one page into
+/// the overlay (`O(dirty pages)`, not `O(size)`). An unforked memory pays
+/// no overlay cost beyond one well-predicted branch per access.
 ///
 /// # Example
 ///
@@ -24,7 +34,17 @@ use vax_arch::va::{PAGE_BYTES, PAGE_SHIFT};
 /// ```
 #[derive(Debug, Clone)]
 pub struct PhysMemory {
+    /// The private overlay. Holds every byte when unforked; holds only
+    /// materialized (resident) pages after a fork.
     bytes: Vec<u8>,
+    /// The frozen copy-on-write base shared with fork relatives, if any.
+    /// Always the same length as `bytes`.
+    base: Option<Arc<Vec<u8>>>,
+    /// Per-page: true if the page lives in `bytes` rather than `base`.
+    /// Empty (and unused) when `base` is `None`.
+    resident: Vec<bool>,
+    /// Number of `true` entries in `resident`.
+    resident_count: u32,
     /// Pages whose contents back decoded-instruction-cache entries. A
     /// write to a marked page is recorded in `dirty_code` so the CPU can
     /// invalidate the stale cache entries before its next decode
@@ -35,11 +55,18 @@ pub struct PhysMemory {
     dirty_code: Vec<u32>,
 }
 
-/// Equality is over memory *contents*; the decode-cache bookkeeping is
-/// transparent (two memories holding the same bytes are equal).
+/// Equality is over *effective* memory contents; the decode-cache
+/// bookkeeping and the copy-on-write representation are transparent (a
+/// freshly forked child equals its parent).
 impl PartialEq for PhysMemory {
     fn eq(&self, other: &PhysMemory) -> bool {
-        self.bytes == other.bytes
+        if self.size() != other.size() {
+            return false;
+        }
+        if self.base.is_none() && other.base.is_none() {
+            return self.bytes == other.bytes;
+        }
+        (0..self.pages()).all(|p| self.page(p) == other.page(p))
     }
 }
 
@@ -51,6 +78,9 @@ impl PhysMemory {
         let rounded = size.div_ceil(PAGE_BYTES) * PAGE_BYTES;
         PhysMemory {
             bytes: vec![0; rounded as usize],
+            base: None,
+            resident: Vec::new(),
+            resident_count: 0,
             code_pages: vec![false; (rounded >> PAGE_SHIFT) as usize],
             dirty_code: Vec::new(),
         }
@@ -89,6 +119,132 @@ impl PhysMemory {
                 self.dirty_code.push(pfn);
             }
         }
+    }
+
+    // ---- copy-on-write fork ----
+
+    /// One byte of effective contents (overlay if resident, base
+    /// otherwise).
+    #[inline]
+    fn byte_at(&self, i: usize) -> u8 {
+        match &self.base {
+            None => self.bytes[i],
+            Some(base) => {
+                if self.resident[i >> PAGE_SHIFT] {
+                    self.bytes[i]
+                } else {
+                    base[i]
+                }
+            }
+        }
+    }
+
+    /// Copies page `pfn` from the shared base into the private overlay so
+    /// it can be written. No-op when unforked or already resident.
+    #[inline]
+    fn materialize(&mut self, pfn: u32) {
+        let Some(base) = &self.base else { return };
+        let p = pfn as usize;
+        if self.resident[p] {
+            return;
+        }
+        let start = p << PAGE_SHIFT;
+        let end = start + PAGE_BYTES as usize;
+        self.bytes[start..end].copy_from_slice(&base[start..end]);
+        self.resident[p] = true;
+        self.resident_count += 1;
+    }
+
+    /// Materializes every page overlapping `[pa, pa+len)`.
+    #[inline]
+    fn ensure_resident(&mut self, pa: u32, len: u32) {
+        if self.base.is_none() || len == 0 {
+            return;
+        }
+        let first = pa >> PAGE_SHIFT;
+        let last = (pa + len - 1) >> PAGE_SHIFT;
+        for pfn in first..=last {
+            self.materialize(pfn);
+        }
+    }
+
+    /// Freezes the current effective contents into a shareable base and
+    /// turns `self` into an overlay over it with no resident pages.
+    ///
+    /// Cheap (`Arc` clone) when already frozen with nothing written since;
+    /// otherwise merges the overlay into a fresh base, `O(size)`.
+    fn freeze(&mut self) -> Arc<Vec<u8>> {
+        if let Some(base) = &self.base {
+            if self.resident_count == 0 {
+                return Arc::clone(base);
+            }
+        }
+        let mut merged = std::mem::take(&mut self.bytes);
+        if let Some(base) = &self.base {
+            for (p, resident) in self.resident.iter().enumerate() {
+                if !resident {
+                    let start = p << PAGE_SHIFT;
+                    let end = start + PAGE_BYTES as usize;
+                    merged[start..end].copy_from_slice(&base[start..end]);
+                }
+            }
+        }
+        let frozen = Arc::new(merged);
+        self.bytes = vec![0; frozen.len()];
+        self.resident = vec![false; (frozen.len() as u32 >> PAGE_SHIFT) as usize];
+        self.resident_count = 0;
+        self.base = Some(Arc::clone(&frozen));
+        frozen
+    }
+
+    /// Forks a copy-on-write child sharing every page with `self`.
+    ///
+    /// Both sides become overlays over a common frozen base: the child
+    /// starts with zero private pages, and each side pays one page copy on
+    /// its first write to any page. The child's decode-cache write
+    /// tracking starts clean (its CPU must start with a cold decode
+    /// cache).
+    pub fn fork(&mut self) -> PhysMemory {
+        let base = self.freeze();
+        let pages = (base.len() as u32 >> PAGE_SHIFT) as usize;
+        PhysMemory {
+            bytes: vec![0; base.len()],
+            resident: vec![false; pages],
+            resident_count: 0,
+            base: Some(base),
+            code_pages: vec![false; pages],
+            dirty_code: Vec::new(),
+        }
+    }
+
+    /// True if this memory shares a copy-on-write base with fork
+    /// relatives.
+    pub fn is_cow(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// Number of pages privately materialized since the last fork
+    /// (0 when unforked).
+    pub fn resident_pages(&self) -> u32 {
+        self.resident_count
+    }
+
+    /// Fraction of pages still shared with the copy-on-write base, in
+    /// `[0, 1]` (1.0 right after a fork, 0.0 when unforked or fully
+    /// diverged).
+    pub fn shared_fraction(&self) -> f64 {
+        if self.base.is_none() || self.pages() == 0 {
+            return 0.0;
+        }
+        1.0 - self.resident_count as f64 / self.pages() as f64
+    }
+
+    /// The effective contents of page `pfn`, or `None` past the end.
+    pub fn page(&self, pfn: u32) -> Option<&[u8]> {
+        if pfn >= self.pages() {
+            return None;
+        }
+        self.page_tail(pfn << PAGE_SHIFT)
     }
 
     // ---- decode-cache write tracking ----
@@ -130,7 +286,11 @@ impl PhysMemory {
             return None;
         }
         let end = (((pa >> PAGE_SHIFT) + 1) << PAGE_SHIFT).min(self.size());
-        Some(&self.bytes[pa as usize..end as usize])
+        let src: &[u8] = match &self.base {
+            Some(base) if !self.resident[(pa >> PAGE_SHIFT) as usize] => base,
+            _ => &self.bytes,
+        };
+        Some(&src[pa as usize..end as usize])
     }
 
     /// Reads one byte.
@@ -140,7 +300,7 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if `pa` is beyond physical memory.
     pub fn read_u8(&self, pa: u32) -> Result<u8, MemFault> {
         let i = self.check(pa, 1)?;
-        Ok(self.bytes[i])
+        Ok(self.byte_at(i))
     }
 
     /// Reads a little-endian 16-bit word.
@@ -150,7 +310,10 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if the range extends beyond memory.
     pub fn read_u16(&self, pa: u32) -> Result<u16, MemFault> {
         let i = self.check(pa, 2)?;
-        Ok(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]))
+        if self.base.is_none() {
+            return Ok(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]));
+        }
+        Ok(u16::from_le_bytes([self.byte_at(i), self.byte_at(i + 1)]))
     }
 
     /// Reads a little-endian 32-bit longword.
@@ -160,11 +323,19 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if the range extends beyond memory.
     pub fn read_u32(&self, pa: u32) -> Result<u32, MemFault> {
         let i = self.check(pa, 4)?;
+        if self.base.is_none() {
+            return Ok(u32::from_le_bytes([
+                self.bytes[i],
+                self.bytes[i + 1],
+                self.bytes[i + 2],
+                self.bytes[i + 3],
+            ]));
+        }
         Ok(u32::from_le_bytes([
-            self.bytes[i],
-            self.bytes[i + 1],
-            self.bytes[i + 2],
-            self.bytes[i + 3],
+            self.byte_at(i),
+            self.byte_at(i + 1),
+            self.byte_at(i + 2),
+            self.byte_at(i + 3),
         ]))
     }
 
@@ -175,6 +346,7 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if `pa` is beyond physical memory.
     pub fn write_u8(&mut self, pa: u32, v: u8) -> Result<(), MemFault> {
         let i = self.check(pa, 1)?;
+        self.ensure_resident(pa, 1);
         self.note_write(pa, 1);
         self.bytes[i] = v;
         Ok(())
@@ -187,6 +359,7 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if the range extends beyond memory.
     pub fn write_u16(&mut self, pa: u32, v: u16) -> Result<(), MemFault> {
         let i = self.check(pa, 2)?;
+        self.ensure_resident(pa, 2);
         self.note_write(pa, 2);
         self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
         Ok(())
@@ -199,6 +372,7 @@ impl PhysMemory {
     /// [`MemFault::NonExistent`] if the range extends beyond memory.
     pub fn write_u32(&mut self, pa: u32, v: u32) -> Result<(), MemFault> {
         let i = self.check(pa, 4)?;
+        self.ensure_resident(pa, 4);
         self.note_write(pa, 4);
         self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
         Ok(())
@@ -212,20 +386,38 @@ impl PhysMemory {
     pub fn write_slice(&mut self, pa: u32, data: &[u8]) -> Result<(), MemFault> {
         let i = self.check(pa, data.len() as u32)?;
         if !data.is_empty() {
+            self.ensure_resident(pa, data.len() as u32);
             self.note_write(pa, data.len() as u32);
         }
         self.bytes[i..i + data.len()].copy_from_slice(data);
         Ok(())
     }
 
-    /// Reads `len` bytes starting at `pa`.
+    /// Reads `len` bytes starting at `pa`, borrowing when the range lies
+    /// in one backing store and copying only when a forked range mixes
+    /// overlay and base pages.
     ///
     /// # Errors
     ///
     /// [`MemFault::NonExistent`] if the range extends beyond memory.
-    pub fn read_slice(&self, pa: u32, len: u32) -> Result<&[u8], MemFault> {
+    pub fn read_slice(&self, pa: u32, len: u32) -> Result<std::borrow::Cow<'_, [u8]>, MemFault> {
+        use std::borrow::Cow;
         let i = self.check(pa, len)?;
-        Ok(&self.bytes[i..i + len as usize])
+        let end = i + len as usize;
+        let Some(base) = &self.base else {
+            return Ok(Cow::Borrowed(&self.bytes[i..end]));
+        };
+        if len == 0 {
+            return Ok(Cow::Borrowed(&[]));
+        }
+        let first = pa >> PAGE_SHIFT;
+        let last = (pa + len - 1) >> PAGE_SHIFT;
+        let lead = self.resident[first as usize];
+        if (first..=last).all(|p| self.resident[p as usize] == lead) {
+            let src: &[u8] = if lead { &self.bytes } else { base };
+            return Ok(Cow::Borrowed(&src[i..end]));
+        }
+        Ok(Cow::Owned((i..end).map(|j| self.byte_at(j)).collect()))
     }
 
     /// Zero-fills the `len`-byte range at `pa`.
@@ -236,6 +428,7 @@ impl PhysMemory {
     pub fn zero_range(&mut self, pa: u32, len: u32) -> Result<(), MemFault> {
         let i = self.check(pa, len)?;
         if len > 0 {
+            self.ensure_resident(pa, len);
             self.note_write(pa, len);
         }
         self.bytes[i..i + len as usize].fill(0);
@@ -330,9 +523,91 @@ mod tests {
     fn slices() {
         let mut m = PhysMemory::new(512);
         m.write_slice(8, &[1, 2, 3, 4]).unwrap();
-        assert_eq!(m.read_slice(8, 4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(&*m.read_slice(8, 4).unwrap(), &[1, 2, 3, 4]);
         m.zero_range(8, 2).unwrap();
-        assert_eq!(m.read_slice(8, 4).unwrap(), &[0, 0, 3, 4]);
+        assert_eq!(&*m.read_slice(8, 4).unwrap(), &[0, 0, 3, 4]);
         assert!(m.write_slice(510, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn fork_shares_until_written() {
+        let mut parent = PhysMemory::new(8 * PAGE_BYTES);
+        parent.write_u32(0x10, 0xaaaa_bbbb).unwrap();
+        parent.write_u32(3 * PAGE_BYTES, 0x1234_5678).unwrap();
+        let mut child = parent.fork();
+        assert!(parent.is_cow() && child.is_cow());
+        assert_eq!(parent.resident_pages(), 0);
+        assert_eq!(child.resident_pages(), 0);
+        assert_eq!(child, parent);
+        assert_eq!(child.read_u32(0x10).unwrap(), 0xaaaa_bbbb);
+        assert_eq!(child.read_u32(3 * PAGE_BYTES).unwrap(), 0x1234_5678);
+
+        // Child write diverges one page; parent view unchanged.
+        child.write_u32(0x10, 0xdead_beef).unwrap();
+        assert_eq!(child.resident_pages(), 1);
+        assert_eq!(child.read_u32(0x10).unwrap(), 0xdead_beef);
+        assert_eq!(child.read_u32(0x14).unwrap(), 0, "rest of page copied");
+        assert_eq!(parent.read_u32(0x10).unwrap(), 0xaaaa_bbbb);
+        assert_eq!(parent.resident_pages(), 0);
+
+        // Parent write after fork does not leak into the child.
+        parent.write_u32(3 * PAGE_BYTES, 7).unwrap();
+        assert_eq!(child.read_u32(3 * PAGE_BYTES).unwrap(), 0x1234_5678);
+        assert!(child.shared_fraction() > 0.8);
+    }
+
+    #[test]
+    fn fork_twice_reuses_frozen_base() {
+        let mut parent = PhysMemory::new(4 * PAGE_BYTES);
+        parent.write_u8(0, 42).unwrap();
+        let a = parent.fork();
+        let b = parent.fork();
+        assert_eq!(a.read_u8(0).unwrap(), 42);
+        assert_eq!(b.read_u8(0).unwrap(), 42);
+        // Forking a diverged overlay re-freezes the merged contents.
+        parent.write_u8(PAGE_BYTES, 9).unwrap();
+        let c = parent.fork();
+        assert_eq!(c.read_u8(0).unwrap(), 42);
+        assert_eq!(c.read_u8(PAGE_BYTES).unwrap(), 9);
+        assert_eq!(a.read_u8(PAGE_BYTES).unwrap(), 0, "older fork unaffected");
+    }
+
+    #[test]
+    fn forked_reads_cross_residency_boundaries() {
+        let mut parent = PhysMemory::new(4 * PAGE_BYTES);
+        parent
+            .write_slice(PAGE_BYTES - 2, &[0x11, 0x22, 0x33, 0x44])
+            .unwrap();
+        let mut child = parent.fork();
+        // Make page 1 resident in the child, leave page 0 shared.
+        child.write_u8(PAGE_BYTES + 100, 1).unwrap();
+        // A straddling read mixes base (page 0) and overlay (page 1).
+        assert_eq!(child.read_u32(PAGE_BYTES - 2).unwrap(), 0x4433_2211);
+        assert_eq!(child.read_u16(PAGE_BYTES - 1).unwrap(), 0x3322);
+        let cow = child.read_slice(PAGE_BYTES - 2, 4).unwrap();
+        assert_eq!(&*cow, &[0x11, 0x22, 0x33, 0x44]);
+        assert!(
+            matches!(cow, std::borrow::Cow::Owned(_)),
+            "mixed range copies"
+        );
+        // A straddling write materializes both pages atomically.
+        child.write_u32(2 * PAGE_BYTES - 2, 0xffff_ffff).unwrap();
+        assert_eq!(child.read_u32(2 * PAGE_BYTES - 2).unwrap(), 0xffff_ffff);
+        assert_eq!(parent.read_u32(2 * PAGE_BYTES - 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn page_view_matches_effective_contents() {
+        let mut parent = PhysMemory::new(2 * PAGE_BYTES);
+        parent.write_u8(5, 7).unwrap();
+        let mut child = parent.fork();
+        assert_eq!(child.page(0).unwrap()[5], 7, "shared page via base");
+        child.write_u8(5, 8).unwrap();
+        assert_eq!(child.page(0).unwrap()[5], 8, "resident page via overlay");
+        assert_eq!(parent.page(0).unwrap()[5], 7);
+        assert!(child.page(2).is_none());
+        // page_tail picks the right source per page.
+        assert_eq!(child.page_tail(5).unwrap()[0], 8);
+        assert_eq!(parent.page_tail(5).unwrap()[0], 7);
     }
 }

@@ -25,6 +25,22 @@ pub struct TlbEntry {
     pub process: bool,
 }
 
+/// A plain-data image of a [`Tlb`] for snapshot/restore.
+///
+/// The TLB must round-trip *exactly*: misses charge cycles and the
+/// hit/miss counters fold into the CPU counters, so a flush-on-restore
+/// would make a restored machine observably diverge from the
+/// uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlbState {
+    /// Every slot, in index order (length is the slot count).
+    pub slots: Vec<Option<TlbEntry>>,
+    /// Lifetime hit count.
+    pub hits: u64,
+    /// Lifetime miss count.
+    pub misses: u64,
+}
+
 /// Direct-mapped translation buffer.
 ///
 /// # Example
@@ -163,6 +179,32 @@ impl Tlb {
     /// Number of currently valid entries.
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Captures the complete TLB state (slots and counters).
+    pub fn export_state(&self) -> TlbState {
+        TlbState {
+            slots: self.entries.clone(),
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Replaces the complete TLB state, including the slot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot count is zero or not a power of two (the
+    /// direct-mapped index masking depends on it); snapshot loaders
+    /// validate this before calling.
+    pub fn import_state(&mut self, state: TlbState) {
+        assert!(
+            state.slots.len().is_power_of_two(),
+            "TLB slots must be a power of two"
+        );
+        self.entries = state.slots;
+        self.hits = state.hits;
+        self.misses = state.misses;
     }
 }
 

@@ -43,6 +43,19 @@ impl Metrics {
         self
     }
 
+    /// Accumulates `delta` into a counter by name, creating it at `delta`
+    /// if absent. [`Metrics::counter`] re-samples a value from live state;
+    /// `bump` is for event-style counters a long-lived registry grows in
+    /// place — snapshot bytes written, VM forks, migrations — where the
+    /// registry itself is the only record of the total.
+    pub fn bump(&mut self, name: &str, delta: u64) -> &mut Metrics {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 += delta,
+            None => self.counters.push((name.to_string(), delta)),
+        }
+        self
+    }
+
     /// Counter value by name, if present.
     pub fn get_counter(&self, name: &str) -> Option<u64> {
         self.counters

@@ -1,0 +1,127 @@
+//! The snapshot failure taxonomy.
+//!
+//! Restore parses attacker-grade input: a snapshot file is just bytes,
+//! and every malformed byte must surface as a [`SnapshotError`] — never
+//! a panic, never an over-size allocation. The taxonomy mirrors the
+//! fault-containment discipline of DESIGN.md §11: each error converts
+//! into [`VmmError::Snapshot`] so callers that already route
+//! [`VmmError`] (the CLI, the fleet) need no second error channel.
+
+use vax_vmm::VmmError;
+
+/// Everything that can be wrong with a snapshot image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The image ends before a field it promises.
+    Truncated,
+    /// The leading magic is not `VAXSNAP1`.
+    BadMagic,
+    /// A format version this build does not speak.
+    UnsupportedVersion {
+        /// The version the image claims.
+        found: u32,
+    },
+    /// The payload checksum does not match its contents.
+    Checksum {
+        /// Checksum recorded in the image.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// Bytes remain after the last field the format defines.
+    TrailingBytes,
+    /// An enum discriminant outside its defined range.
+    BadDiscriminant {
+        /// Which field held the bad discriminant.
+        what: &'static str,
+    },
+    /// A structurally valid field whose value contradicts the rest of
+    /// the image (an index out of range, a size that cannot reproduce).
+    Invalid {
+        /// Which invariant the value violates.
+        what: &'static str,
+    },
+    /// The monitor uses a feature snapshots do not carry.
+    Unsupported {
+        /// The feature in question.
+        what: &'static str,
+    },
+}
+
+impl SnapshotError {
+    /// A static description, also used as the [`VmmError::Snapshot`]
+    /// payload.
+    pub fn what(self) -> &'static str {
+        match self {
+            SnapshotError::Truncated => "image truncated",
+            SnapshotError::BadMagic => "bad magic",
+            SnapshotError::UnsupportedVersion { .. } => "unsupported format version",
+            SnapshotError::Checksum { .. } => "checksum mismatch",
+            SnapshotError::TrailingBytes => "trailing bytes after image",
+            SnapshotError::BadDiscriminant { what } | SnapshotError::Invalid { what } => what,
+            SnapshotError::Unsupported { what } => what,
+        }
+    }
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot image truncated"),
+            SnapshotError::BadMagic => write!(f, "not a VAX snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch (recorded {expected:#018x}, computed {actual:#018x})"
+                )
+            }
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after snapshot image"),
+            SnapshotError::BadDiscriminant { what } => {
+                write!(f, "snapshot field out of range: {what}")
+            }
+            SnapshotError::Invalid { what } => write!(f, "snapshot invalid: {what}"),
+            SnapshotError::Unsupported { what } => write!(f, "snapshot unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<SnapshotError> for VmmError {
+    fn from(e: SnapshotError) -> VmmError {
+        VmmError::Snapshot { what: e.what() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_into_the_vmm_taxonomy() {
+        let e = SnapshotError::Invalid {
+            what: "current VM index out of range",
+        };
+        assert_eq!(
+            VmmError::from(e),
+            VmmError::Snapshot {
+                what: "current VM index out of range"
+            }
+        );
+        assert!(!VmmError::from(e).is_guest_attributable());
+    }
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::Checksum {
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .contains("checksum"));
+    }
+}

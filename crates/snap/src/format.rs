@@ -1,0 +1,1063 @@
+//! The `VAXSNAP1` wire format: framing, field order, and validation.
+//!
+//! Layout (DESIGN.md §13):
+//!
+//! ```text
+//! magic    "VAXSNAP1"            8 bytes
+//! version  u32                   currently 1
+//! length   u64                   payload byte count
+//! payload  ...                   monitor config, scheduler, machine
+//!                                state, memory (zero-page RLE), VMs
+//! checksum u64                   FNV-1a 64 over the payload
+//! ```
+//!
+//! Every multi-byte field is little-endian. [`encode`] is a pure
+//! function of the captured image — identical state encodes to identical
+//! bytes, which is what lets tests assert snapshot determinism as byte
+//! equality. [`decode`] treats the image as untrusted input: every
+//! discriminant is range-checked, every length validated against both
+//! the bytes present and the format's own caps, and every cross-field
+//! inconsistency (a `current` index past the VM count, a memory image
+//! that disagrees with the configured size) is an error — so the
+//! reconstruction path behind it can never panic.
+
+use crate::error::SnapshotError;
+use crate::image::{MonitorImage, VmImage};
+use crate::wire::{fnv1a64, Reader, Writer};
+use std::collections::VecDeque;
+use vax_arch::{AccessMode, CostModel, Protection, Psl, VmPsl};
+use vax_cpu::{CpuCounters, IrqRequest, MachineState, TimerState};
+use vax_mem::{MemCounters, MmuState, TlbEntry, TlbState};
+use vax_vmm::vm::{VirtualIrq, VirtualTimer};
+use vax_vmm::{
+    intern_diagnostic, DirtyStrategy, IoStrategy, MonitorConfig, SchedulerState, ShadowCacheState,
+    ShadowConfig, Vm, VmConfig, VmState, VmmCosts, VmmError,
+};
+
+/// The file magic.
+pub const MAGIC: &[u8; 8] = b"VAXSNAP1";
+/// The format version this build writes and the only one it reads.
+pub const VERSION: u32 = 1;
+
+const PAGE: usize = 512;
+
+// Structural caps. Each bounds an allocation or a reconstruction cost
+// that a length prefix alone cannot (zero RLE runs and table capacities
+// expand beyond their encoded size).
+const MAX_MEM_BYTES: u32 = 1 << 30;
+const MAX_VMS: u32 = 256;
+const MAX_TLB_SLOTS: u32 = 1 << 16;
+const MAX_NAME: usize = 256;
+const MAX_DIAG: usize = 256;
+const MAX_LOG_LINES: u32 = 1 << 16;
+const MAX_LOG_LINE: usize = 4096;
+const MAX_CONSOLE: usize = 1 << 24;
+const MAX_VDISK_SECTORS: u32 = 1 << 20;
+const MAX_PENDING: u32 = 4096;
+const MAX_CACHE_SLOTS: u32 = 4096;
+const MAX_TABLE_PAGES: u32 = 1 << 22;
+
+/// Frames the payload: magic, version, length, payload, checksum.
+pub fn encode(image: &MonitorImage) -> Vec<u8> {
+    let mut p = Writer::new();
+    write_payload(&mut p, image);
+    let payload = p.into_bytes();
+    let mut w = Writer::new();
+    w.bytes(MAGIC);
+    w.u32(VERSION);
+    w.u64(payload.len() as u64);
+    w.bytes(&payload);
+    w.u64(fnv1a64(&payload));
+    w.into_bytes()
+}
+
+/// Parses and fully validates an image. After this returns `Ok`, the
+/// reconstruction in [`crate::image::rebuild`] cannot hit a panicking
+/// importer.
+pub fn decode(bytes: &[u8]) -> Result<MonitorImage, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    if r.take(8)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let len = usize::try_from(r.u64()?).map_err(|_| SnapshotError::Truncated)?;
+    let payload = r.take(len)?;
+    let expected = r.u64()?;
+    if !r.is_empty() {
+        return Err(SnapshotError::TrailingBytes);
+    }
+    let actual = fnv1a64(payload);
+    if actual != expected {
+        return Err(SnapshotError::Checksum { expected, actual });
+    }
+    let mut p = Reader::new(payload);
+    let image = read_payload(&mut p)?;
+    if !p.is_empty() {
+        return Err(SnapshotError::TrailingBytes);
+    }
+    Ok(image)
+}
+
+fn write_payload(w: &mut Writer, image: &MonitorImage) {
+    write_monitor_config(w, &image.config);
+    write_scheduler(w, &image.sched);
+    write_machine(w, &image.machine);
+    w.rle_pages(&image.memory, PAGE);
+    w.u32(image.vms.len() as u32);
+    for vm in &image.vms {
+        write_vm_config(w, &vm.config);
+        write_vm(w, &vm.vm);
+        write_shadow(w, &vm.shadow);
+    }
+}
+
+fn read_payload(r: &mut Reader<'_>) -> Result<MonitorImage, SnapshotError> {
+    let config = read_monitor_config(r)?;
+    let sched = read_scheduler(r)?;
+    let machine = read_machine(r)?;
+    let mem_pages = (config.mem_bytes / PAGE as u32) as usize;
+    let memory = r.rle_pages(mem_pages, PAGE, "memory image")?;
+    let vm_count = r.u32()?;
+    if vm_count > MAX_VMS {
+        return Err(SnapshotError::Invalid {
+            what: "VM count over format cap",
+        });
+    }
+    if let Some(current) = sched.current {
+        if current >= vm_count as usize {
+            return Err(SnapshotError::Invalid {
+                what: "current VM index out of range",
+            });
+        }
+    }
+    let mut vms = Vec::new();
+    for _ in 0..vm_count {
+        let vm_config = read_vm_config(r)?;
+        let vm = read_vm(r, &vm_config)?;
+        let shadow = read_shadow(r, &vm_config)?;
+        vms.push(VmImage {
+            config: vm_config,
+            vm,
+            shadow,
+        });
+    }
+    Ok(MonitorImage {
+        config,
+        sched,
+        machine,
+        memory,
+        vms,
+    })
+}
+
+// ---- monitor-level state ----
+
+fn write_monitor_config(w: &mut Writer, c: &MonitorConfig) {
+    w.u32(c.mem_bytes);
+    w.u64(c.quantum);
+    w.u64(c.wait_timeout);
+    w.u64(c.vdisk_latency);
+    let v = &c.costs;
+    for field in [
+        v.dispatch,
+        v.chm,
+        v.rei,
+        v.mtpr_ipl,
+        v.mtpr_other,
+        v.shadow_fill,
+        v.modify_fault,
+        v.reflect,
+        v.virq_delivery,
+        v.context_switch,
+        v.kcall,
+        v.mmio_access,
+        v.wait,
+        v.world_switch,
+    ] {
+        w.u64(field);
+    }
+}
+
+fn read_monitor_config(r: &mut Reader<'_>) -> Result<MonitorConfig, SnapshotError> {
+    let mem_bytes = r.u32()?;
+    if mem_bytes == 0 || mem_bytes % PAGE as u32 != 0 || mem_bytes > MAX_MEM_BYTES {
+        return Err(SnapshotError::Invalid {
+            what: "machine memory size",
+        });
+    }
+    let quantum = r.u64()?;
+    if quantum == 0 {
+        return Err(SnapshotError::Invalid {
+            what: "zero scheduling quantum",
+        });
+    }
+    let wait_timeout = r.u64()?;
+    let vdisk_latency = r.u64()?;
+    let mut f = [0u64; 14];
+    for slot in &mut f {
+        *slot = r.u64()?;
+    }
+    Ok(MonitorConfig {
+        mem_bytes,
+        quantum,
+        wait_timeout,
+        vdisk_latency,
+        costs: VmmCosts {
+            dispatch: f[0],
+            chm: f[1],
+            rei: f[2],
+            mtpr_ipl: f[3],
+            mtpr_other: f[4],
+            shadow_fill: f[5],
+            modify_fault: f[6],
+            reflect: f[7],
+            virq_delivery: f[8],
+            context_switch: f[9],
+            kcall: f[10],
+            mmio_access: f[11],
+            wait: f[12],
+            world_switch: f[13],
+        },
+    })
+}
+
+fn write_scheduler(w: &mut Writer, s: &SchedulerState) {
+    w.opt_u32(s.current.map(|c| c as u32));
+    w.u64(s.vmm_cycles);
+    w.u64(s.world_switches);
+}
+
+fn read_scheduler(r: &mut Reader<'_>) -> Result<SchedulerState, SnapshotError> {
+    Ok(SchedulerState {
+        current: r.opt_u32("current VM")?.map(|c| c as usize),
+        vmm_cycles: r.u64()?,
+        world_switches: r.u64()?,
+    })
+}
+
+// ---- machine state ----
+
+fn write_vmpsl(w: &mut Writer, v: VmPsl) {
+    w.u8(v.cur_mode().bits() as u8);
+    w.u8(v.prv_mode().bits() as u8);
+    w.u8(v.ipl());
+}
+
+fn read_vmpsl(r: &mut Reader<'_>) -> Result<VmPsl, SnapshotError> {
+    let cur = r.u8()?;
+    let prv = r.u8()?;
+    let ipl = r.u8()?;
+    if cur > 3 || prv > 3 {
+        return Err(SnapshotError::BadDiscriminant { what: "VMPSL mode" });
+    }
+    if ipl > 31 {
+        return Err(SnapshotError::BadDiscriminant { what: "VMPSL IPL" });
+    }
+    Ok(VmPsl::new(
+        AccessMode::from_bits(u32::from(cur)),
+        AccessMode::from_bits(u32::from(prv)),
+    )
+    .with_ipl(ipl))
+}
+
+fn write_cost_model(w: &mut Writer, c: &CostModel) {
+    for field in [
+        c.base_instruction,
+        c.memory_reference,
+        c.tlb_miss_system,
+        c.tlb_miss_process,
+        c.exception_entry,
+        c.rei,
+        c.chm,
+        c.mtpr_ipl_fast,
+        c.mtpr_other,
+        c.context_switch,
+        c.probe_fast,
+        c.probevm,
+        c.movpsl,
+        c.string_per_byte,
+        c.set_modify_bit,
+        c.vm_emulation_trap,
+        c.device_csr,
+    ] {
+        w.u64(field);
+    }
+}
+
+fn read_cost_model(r: &mut Reader<'_>) -> Result<CostModel, SnapshotError> {
+    let mut f = [0u64; 17];
+    for slot in &mut f {
+        *slot = r.u64()?;
+    }
+    Ok(CostModel {
+        base_instruction: f[0],
+        memory_reference: f[1],
+        tlb_miss_system: f[2],
+        tlb_miss_process: f[3],
+        exception_entry: f[4],
+        rei: f[5],
+        chm: f[6],
+        mtpr_ipl_fast: f[7],
+        mtpr_other: f[8],
+        context_switch: f[9],
+        probe_fast: f[10],
+        probevm: f[11],
+        movpsl: f[12],
+        string_per_byte: f[13],
+        set_modify_bit: f[14],
+        vm_emulation_trap: f[15],
+        device_csr: f[16],
+    })
+}
+
+fn write_counters(w: &mut Writer, c: &CpuCounters) {
+    for field in [
+        c.instructions,
+        c.exceptions,
+        c.interrupts,
+        c.chm,
+        c.rei,
+        c.movpsl,
+        c.probe,
+        c.probevm,
+        c.mtpr_ipl,
+        c.mtpr_other,
+        c.vm_emulation_traps,
+        c.vm_exception_exits,
+        c.vm_interrupt_exits,
+        c.context_switches,
+        c.device_csr_accesses,
+        c.tlb_hits,
+        c.tlb_misses,
+    ] {
+        w.u64(field);
+    }
+}
+
+fn read_counters(r: &mut Reader<'_>) -> Result<CpuCounters, SnapshotError> {
+    let mut f = [0u64; 17];
+    for slot in &mut f {
+        *slot = r.u64()?;
+    }
+    Ok(CpuCounters {
+        instructions: f[0],
+        exceptions: f[1],
+        interrupts: f[2],
+        chm: f[3],
+        rei: f[4],
+        movpsl: f[5],
+        probe: f[6],
+        probevm: f[7],
+        mtpr_ipl: f[8],
+        mtpr_other: f[9],
+        vm_emulation_traps: f[10],
+        vm_exception_exits: f[11],
+        vm_interrupt_exits: f[12],
+        context_switches: f[13],
+        device_csr_accesses: f[14],
+        tlb_hits: f[15],
+        tlb_misses: f[16],
+    })
+}
+
+fn write_tlb(w: &mut Writer, t: &TlbState) {
+    w.u32(t.slots.len() as u32);
+    for slot in &t.slots {
+        match slot {
+            None => w.bool(false),
+            Some(e) => {
+                w.bool(true);
+                w.u32(e.tag);
+                w.u32(e.pfn);
+                w.u8(e.prot.bits() as u8);
+                w.bool(e.modified);
+                w.u32(e.pte_pa);
+                w.bool(e.process);
+            }
+        }
+    }
+    w.u64(t.hits);
+    w.u64(t.misses);
+}
+
+fn read_tlb(r: &mut Reader<'_>) -> Result<TlbState, SnapshotError> {
+    let n = r.u32()?;
+    // Tlb::import_state asserts on a non-power-of-two count; reject
+    // here so the importer can never fire.
+    if n == 0 || !n.is_power_of_two() || n > MAX_TLB_SLOTS {
+        return Err(SnapshotError::Invalid {
+            what: "TLB slot count",
+        });
+    }
+    let mut slots = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        if r.bool("TLB slot presence")? {
+            let tag = r.u32()?;
+            let pfn = r.u32()?;
+            let prot = r.u8()?;
+            if prot > 0xf {
+                return Err(SnapshotError::BadDiscriminant {
+                    what: "TLB protection code",
+                });
+            }
+            let modified = r.bool("TLB modified bit")?;
+            let pte_pa = r.u32()?;
+            let process = r.bool("TLB process bit")?;
+            slots.push(Some(TlbEntry {
+                tag,
+                pfn,
+                prot: Protection::from_bits(u32::from(prot)),
+                modified,
+                pte_pa,
+                process,
+            }));
+        } else {
+            slots.push(None);
+        }
+    }
+    Ok(TlbState {
+        slots,
+        hits: r.u64()?,
+        misses: r.u64()?,
+    })
+}
+
+fn write_mmu(w: &mut Writer, m: &MmuState) {
+    w.bool(m.mapen);
+    w.u32(m.p0br);
+    w.u32(m.p0lr);
+    w.u32(m.p1br);
+    w.u32(m.p1lr);
+    w.u32(m.sbr);
+    w.u32(m.slr);
+    w.bool(m.modify_fault_enabled);
+    w.u64(m.counters.walks);
+    w.u64(m.counters.m_bit_sets);
+    w.u64(m.counters.modify_faults);
+    write_tlb(w, &m.tlb);
+}
+
+fn read_mmu(r: &mut Reader<'_>) -> Result<MmuState, SnapshotError> {
+    Ok(MmuState {
+        mapen: r.bool("MAPEN")?,
+        p0br: r.u32()?,
+        p0lr: r.u32()?,
+        p1br: r.u32()?,
+        p1lr: r.u32()?,
+        sbr: r.u32()?,
+        slr: r.u32()?,
+        modify_fault_enabled: r.bool("modify-fault enable")?,
+        counters: MemCounters {
+            walks: r.u64()?,
+            m_bit_sets: r.u64()?,
+            modify_faults: r.u64()?,
+        },
+        tlb: read_tlb(r)?,
+    })
+}
+
+fn write_machine(w: &mut Writer, m: &MachineState) {
+    for reg in m.regs {
+        w.u32(reg);
+    }
+    w.u32(m.psl_raw);
+    write_vmpsl(w, m.vmpsl);
+    for sp in m.sp_bank {
+        w.u32(sp);
+    }
+    w.u32(m.scbb);
+    w.u32(m.pcbb);
+    w.u32(m.astlvl);
+    w.u16(m.sisr);
+    w.u32(m.todr);
+    w.u64(m.todr_acc);
+    write_cost_model(w, &m.costs);
+    write_mmu(w, &m.mmu);
+    w.blob(&m.console_tx);
+    w.blob(&m.console_rx);
+    w.u32(m.timer.iccs);
+    w.i64(m.timer.nicr);
+    w.i64(m.timer.icr);
+    w.u32(m.pending_irqs.len() as u32);
+    for irq in &m.pending_irqs {
+        w.u8(irq.ipl);
+        w.u16(irq.vector);
+    }
+    w.u64(m.cycles);
+    w.u64(m.exit_stamp);
+    write_counters(w, &m.counters);
+    w.bool(m.halted);
+}
+
+fn read_machine(r: &mut Reader<'_>) -> Result<MachineState, SnapshotError> {
+    let mut regs = [0u32; 16];
+    for reg in &mut regs {
+        *reg = r.u32()?;
+    }
+    let psl_raw = r.u32()?;
+    let vmpsl = read_vmpsl(r)?;
+    let mut sp_bank = [0u32; 5];
+    for sp in &mut sp_bank {
+        *sp = r.u32()?;
+    }
+    let scbb = r.u32()?;
+    let pcbb = r.u32()?;
+    let astlvl = r.u32()?;
+    let sisr = r.u16()?;
+    let todr = r.u32()?;
+    let todr_acc = r.u64()?;
+    let costs = read_cost_model(r)?;
+    let mmu = read_mmu(r)?;
+    let console_tx = r
+        .blob_capped(MAX_CONSOLE, "console output length")?
+        .to_vec();
+    let console_rx = r.blob_capped(MAX_CONSOLE, "console input length")?.to_vec();
+    let timer = TimerState {
+        iccs: r.u32()?,
+        nicr: r.i64()?,
+        icr: r.i64()?,
+    };
+    let n_irqs = r.u32()?;
+    if n_irqs > MAX_PENDING {
+        return Err(SnapshotError::Invalid {
+            what: "pending interrupt count",
+        });
+    }
+    let mut pending_irqs = Vec::new();
+    for _ in 0..n_irqs {
+        pending_irqs.push(IrqRequest {
+            ipl: r.u8()?,
+            vector: r.u16()?,
+        });
+    }
+    Ok(MachineState {
+        regs,
+        psl_raw,
+        vmpsl,
+        sp_bank,
+        scbb,
+        pcbb,
+        astlvl,
+        sisr,
+        todr,
+        todr_acc,
+        costs,
+        mmu,
+        console_tx,
+        console_rx,
+        timer,
+        pending_irqs,
+        cycles: r.u64()?,
+        exit_stamp: r.u64()?,
+        counters: read_counters(r)?,
+        halted: r.bool("halted")?,
+    })
+}
+
+// ---- per-VM state ----
+
+fn write_vm_config(w: &mut Writer, c: &VmConfig) {
+    w.u32(c.mem_pages);
+    w.u32(c.shadow.s_capacity);
+    w.u32(c.shadow.p0_capacity);
+    w.u32(c.shadow.p1_capacity);
+    w.u32(c.shadow.cache_slots as u32);
+    w.u32(c.shadow.prefill_group);
+    w.u8(match c.io_strategy {
+        IoStrategy::StartIo => 0,
+        IoStrategy::EmulatedMmio => 1,
+    });
+    w.u8(match c.dirty_strategy {
+        DirtyStrategy::ModifyFault => 0,
+        DirtyStrategy::ReadOnlyShadow => 1,
+    });
+    w.u32(c.vdisk_sectors);
+}
+
+fn read_vm_config(r: &mut Reader<'_>) -> Result<VmConfig, SnapshotError> {
+    let mem_pages = r.u32()?;
+    if mem_pages == 0 || mem_pages > MAX_MEM_BYTES / PAGE as u32 {
+        return Err(SnapshotError::Invalid {
+            what: "VM memory size",
+        });
+    }
+    let s_capacity = r.u32()?;
+    let p0_capacity = r.u32()?;
+    let p1_capacity = r.u32()?;
+    if s_capacity > MAX_TABLE_PAGES
+        || p0_capacity > MAX_TABLE_PAGES
+        || p1_capacity > MAX_TABLE_PAGES
+    {
+        return Err(SnapshotError::Invalid {
+            what: "shadow capacity over format cap",
+        });
+    }
+    let cache_slots = r.u32()?;
+    // ShadowSet::new asserts at least one slot; reject zero here.
+    if cache_slots == 0 || cache_slots > MAX_CACHE_SLOTS {
+        return Err(SnapshotError::Invalid {
+            what: "shadow cache slot count",
+        });
+    }
+    let prefill_group = r.u32()?;
+    if prefill_group == 0 {
+        return Err(SnapshotError::Invalid {
+            what: "zero prefill group",
+        });
+    }
+    let io_strategy = match r.u8()? {
+        0 => IoStrategy::StartIo,
+        1 => {
+            // The capture side refuses EmulatedMmio VMs; an image
+            // claiming one is either corrupt or from a future format.
+            return Err(SnapshotError::Unsupported {
+                what: "EmulatedMmio VM in snapshot",
+            });
+        }
+        _ => {
+            return Err(SnapshotError::BadDiscriminant {
+                what: "I/O strategy",
+            })
+        }
+    };
+    let dirty_strategy = match r.u8()? {
+        0 => DirtyStrategy::ModifyFault,
+        1 => DirtyStrategy::ReadOnlyShadow,
+        _ => {
+            return Err(SnapshotError::BadDiscriminant {
+                what: "dirty-bit strategy",
+            })
+        }
+    };
+    let vdisk_sectors = r.u32()?;
+    if vdisk_sectors > MAX_VDISK_SECTORS {
+        return Err(SnapshotError::Invalid {
+            what: "virtual disk size",
+        });
+    }
+    Ok(VmConfig {
+        mem_pages,
+        shadow: ShadowConfig {
+            s_capacity,
+            p0_capacity,
+            p1_capacity,
+            cache_slots: cache_slots as usize,
+            prefill_group,
+        },
+        io_strategy,
+        dirty_strategy,
+        vdisk_sectors,
+    })
+}
+
+fn write_vmm_error(w: &mut Writer, e: VmmError) {
+    match e {
+        VmmError::PageTableWalk { gpa } => {
+            w.u8(0);
+            w.u32(gpa);
+        }
+        VmmError::ProcessBaseNotS { base } => {
+            w.u8(1);
+            w.u32(base);
+        }
+        VmmError::PteFrame { gpfn } => {
+            w.u8(2);
+            w.u32(gpfn);
+        }
+        VmmError::NonexistentMemory { gpa } => {
+            w.u8(3);
+            w.u32(gpa);
+        }
+        VmmError::RealMachineCheck { code } => {
+            w.u8(4);
+            w.u32(code);
+        }
+        VmmError::Undeliverable { what } => {
+            w.u8(5);
+            w.str(what);
+        }
+        VmmError::GuestState { what } => {
+            w.u8(6);
+            w.str(what);
+        }
+        VmmError::Mmio { what } => {
+            w.u8(7);
+            w.str(what);
+        }
+        VmmError::Internal { what } => {
+            w.u8(8);
+            w.str(what);
+        }
+        VmmError::DiskSector { sector, capacity } => {
+            w.u8(9);
+            w.u32(sector);
+            w.u32(capacity);
+        }
+        VmmError::DiskBuffer { len } => {
+            w.u8(10);
+            w.u64(len as u64);
+        }
+        VmmError::GuestRange { gpa, len } => {
+            w.u8(11);
+            w.u32(gpa);
+            w.u32(len);
+        }
+        VmmError::Snapshot { what } => {
+            w.u8(12);
+            w.str(what);
+        }
+    }
+}
+
+fn read_vmm_error(r: &mut Reader<'_>) -> Result<VmmError, SnapshotError> {
+    let diag = |r: &mut Reader<'_>| -> Result<&'static str, SnapshotError> {
+        Ok(intern_diagnostic(
+            r.str_capped(MAX_DIAG, "diagnostic message")?,
+        ))
+    };
+    Ok(match r.u8()? {
+        0 => VmmError::PageTableWalk { gpa: r.u32()? },
+        1 => VmmError::ProcessBaseNotS { base: r.u32()? },
+        2 => VmmError::PteFrame { gpfn: r.u32()? },
+        3 => VmmError::NonexistentMemory { gpa: r.u32()? },
+        4 => VmmError::RealMachineCheck { code: r.u32()? },
+        5 => VmmError::Undeliverable { what: diag(r)? },
+        6 => VmmError::GuestState { what: diag(r)? },
+        7 => VmmError::Mmio { what: diag(r)? },
+        8 => VmmError::Internal { what: diag(r)? },
+        9 => VmmError::DiskSector {
+            sector: r.u32()?,
+            capacity: r.u32()?,
+        },
+        10 => VmmError::DiskBuffer {
+            len: usize::try_from(r.u64()?).map_err(|_| SnapshotError::Invalid {
+                what: "disk buffer length",
+            })?,
+        },
+        11 => VmmError::GuestRange {
+            gpa: r.u32()?,
+            len: r.u32()?,
+        },
+        12 => VmmError::Snapshot { what: diag(r)? },
+        _ => {
+            return Err(SnapshotError::BadDiscriminant {
+                what: "halt reason",
+            })
+        }
+    })
+}
+
+fn write_vm(w: &mut Writer, v: &Vm) {
+    w.str(&v.name);
+    w.u32(v.mem_base_pfn);
+    w.u32(v.mem_pages);
+    for reg in v.regs {
+        w.u32(reg);
+    }
+    w.u32(v.psl_flags.raw());
+    write_vmpsl(w, v.vmpsl);
+    for sp in v.vsp {
+        w.u32(sp);
+    }
+    w.u32(v.vsp_is);
+    w.bool(v.v_is);
+    w.u32(v.guest_scbb);
+    w.u32(v.guest_pcbb);
+    w.u32(v.guest_sbr);
+    w.u32(v.guest_slr);
+    w.u32(v.guest_p0br);
+    w.u32(v.guest_p0lr);
+    w.u32(v.guest_p1br);
+    w.u32(v.guest_p1lr);
+    w.bool(v.guest_mapen);
+    w.u32(v.guest_astlvl);
+    w.u16(v.guest_sisr);
+    w.u32(v.guest_todr);
+    w.u32(v.vtimer.iccs);
+    w.i64(v.vtimer.nicr);
+    w.i64(v.vtimer.icr);
+    w.blob(&v.console_out);
+    w.u32(v.vmm_log.len() as u32);
+    for line in &v.vmm_log {
+        w.str(line);
+    }
+    let console_in: Vec<u8> = v.console_in.iter().copied().collect();
+    w.blob(&console_in);
+    let mut disk = Vec::with_capacity(v.vdisk.len() * PAGE);
+    for sector in &v.vdisk {
+        disk.extend_from_slice(sector);
+    }
+    w.rle_pages(&disk, PAGE);
+    match v.vdisk_pending {
+        None => w.bool(false),
+        Some((at, irq, status_gpa)) => {
+            w.bool(true);
+            w.u64(at);
+            w.u8(irq.ipl);
+            w.u16(irq.vector);
+            w.u32(status_gpa);
+        }
+    }
+    w.opt_u32(v.uptime_cell);
+    match v.state {
+        VmState::Ready => w.u8(0),
+        VmState::Idle { until } => {
+            w.u8(1);
+            w.u64(until);
+        }
+        VmState::ConsoleHalt => w.u8(2),
+    }
+    match v.halt_reason {
+        None => w.bool(false),
+        Some(e) => {
+            w.bool(true);
+            write_vmm_error(w, e);
+        }
+    }
+    w.u32(v.pending_virqs.len() as u32);
+    for irq in &v.pending_virqs {
+        w.u8(irq.ipl);
+        w.u16(irq.vector);
+    }
+    w.u32(v.uptime_ticks);
+    let s = &v.stats;
+    for field in [
+        s.cycles_run,
+        s.vmm_cycles,
+        s.emulation_traps,
+        s.chm,
+        s.rei,
+        s.mtpr_ipl,
+        s.mtpr_other,
+        s.shadow_fills,
+        s.shadow_faults,
+        s.modify_faults,
+        s.dirty_upgrades,
+        s.probew_extra_traps,
+        s.reflected,
+        s.virqs,
+        s.guest_context_switches,
+        s.shadow_cache_hits,
+        s.shadow_cache_misses,
+        s.kcalls,
+        s.mmio_accesses,
+        s.waits,
+        s.guest_page_faults,
+        s.machine_checks,
+    ] {
+        w.u64(field);
+    }
+}
+
+fn read_vm(r: &mut Reader<'_>, config: &VmConfig) -> Result<Vm, SnapshotError> {
+    let name = r.str_capped(MAX_NAME, "VM name length")?.to_string();
+    let mem_base_pfn = r.u32()?;
+    let mem_pages = r.u32()?;
+    if mem_pages != config.mem_pages {
+        return Err(SnapshotError::Invalid {
+            what: "VM memory size disagrees with its config",
+        });
+    }
+    let mut regs = [0u32; 16];
+    for reg in &mut regs {
+        *reg = r.u32()?;
+    }
+    let psl_flags = Psl::from_raw(r.u32()?);
+    let vmpsl = read_vmpsl(r)?;
+    let mut vsp = [0u32; 4];
+    for sp in &mut vsp {
+        *sp = r.u32()?;
+    }
+    let vsp_is = r.u32()?;
+    let v_is = r.bool("virtual interrupt-stack flag")?;
+    let guest_scbb = r.u32()?;
+    let guest_pcbb = r.u32()?;
+    let guest_sbr = r.u32()?;
+    let guest_slr = r.u32()?;
+    let guest_p0br = r.u32()?;
+    let guest_p0lr = r.u32()?;
+    let guest_p1br = r.u32()?;
+    let guest_p1lr = r.u32()?;
+    let guest_mapen = r.bool("guest MAPEN")?;
+    let guest_astlvl = r.u32()?;
+    let guest_sisr = r.u16()?;
+    let guest_todr = r.u32()?;
+    let vtimer = VirtualTimer {
+        iccs: r.u32()?,
+        nicr: r.i64()?,
+        icr: r.i64()?,
+    };
+    let console_out = r
+        .blob_capped(MAX_CONSOLE, "console output length")?
+        .to_vec();
+    let n_log = r.u32()?;
+    if n_log > MAX_LOG_LINES {
+        return Err(SnapshotError::Invalid {
+            what: "VMM log line count",
+        });
+    }
+    let mut vmm_log = Vec::new();
+    for _ in 0..n_log {
+        vmm_log.push(
+            r.str_capped(MAX_LOG_LINE, "VMM log line length")?
+                .to_string(),
+        );
+    }
+    let console_in: VecDeque<u8> = r
+        .blob_capped(MAX_CONSOLE, "console input length")?
+        .iter()
+        .copied()
+        .collect();
+    let disk = r.rle_pages(config.vdisk_sectors as usize, PAGE, "virtual disk image")?;
+    let mut vdisk = Vec::with_capacity(config.vdisk_sectors as usize);
+    for chunk in disk.chunks_exact(PAGE) {
+        let mut sector = [0u8; 512];
+        sector.copy_from_slice(chunk);
+        vdisk.push(sector);
+    }
+    let vdisk_pending = if r.bool("pending disk I/O presence")? {
+        let at = r.u64()?;
+        let irq = VirtualIrq {
+            ipl: r.u8()?,
+            vector: r.u16()?,
+        };
+        Some((at, irq, r.u32()?))
+    } else {
+        None
+    };
+    let uptime_cell = r.opt_u32("uptime cell")?;
+    let state = match r.u8()? {
+        0 => VmState::Ready,
+        1 => VmState::Idle { until: r.u64()? },
+        2 => VmState::ConsoleHalt,
+        _ => return Err(SnapshotError::BadDiscriminant { what: "VM state" }),
+    };
+    let halt_reason = if r.bool("halt reason presence")? {
+        Some(read_vmm_error(r)?)
+    } else {
+        None
+    };
+    let n_virqs = r.u32()?;
+    if n_virqs > MAX_PENDING {
+        return Err(SnapshotError::Invalid {
+            what: "pending virtual interrupt count",
+        });
+    }
+    let mut pending_virqs = Vec::new();
+    for _ in 0..n_virqs {
+        pending_virqs.push(VirtualIrq {
+            ipl: r.u8()?,
+            vector: r.u16()?,
+        });
+    }
+    let uptime_ticks = r.u32()?;
+    let mut f = [0u64; 22];
+    for slot in &mut f {
+        *slot = r.u64()?;
+    }
+    Ok(Vm {
+        name,
+        mem_base_pfn,
+        mem_pages,
+        regs,
+        psl_flags,
+        vmpsl,
+        vsp,
+        vsp_is,
+        v_is,
+        guest_scbb,
+        guest_pcbb,
+        guest_sbr,
+        guest_slr,
+        guest_p0br,
+        guest_p0lr,
+        guest_p1br,
+        guest_p1lr,
+        guest_mapen,
+        guest_astlvl,
+        guest_sisr,
+        guest_todr,
+        vtimer,
+        console_out,
+        vmm_log,
+        console_in,
+        vdisk,
+        vdisk_pending,
+        uptime_cell,
+        real_io_base: None,
+        io_strategy: config.io_strategy,
+        dirty_strategy: config.dirty_strategy,
+        state,
+        halt_reason,
+        pending_virqs,
+        uptime_ticks,
+        stats: vax_vmm::VmStats {
+            cycles_run: f[0],
+            vmm_cycles: f[1],
+            emulation_traps: f[2],
+            chm: f[3],
+            rei: f[4],
+            mtpr_ipl: f[5],
+            mtpr_other: f[6],
+            shadow_fills: f[7],
+            shadow_faults: f[8],
+            modify_faults: f[9],
+            dirty_upgrades: f[10],
+            probew_extra_traps: f[11],
+            reflected: f[12],
+            virqs: f[13],
+            guest_context_switches: f[14],
+            shadow_cache_hits: f[15],
+            shadow_cache_misses: f[16],
+            kcalls: f[17],
+            mmio_accesses: f[18],
+            waits: f[19],
+            guest_page_faults: f[20],
+            machine_checks: f[21],
+        },
+    })
+}
+
+fn write_shadow(w: &mut Writer, s: &ShadowCacheState) {
+    // Slot count is implied by the VM config's cache_slots.
+    for key in &s.keys {
+        w.opt_u32(*key);
+    }
+    for lu in &s.last_used {
+        w.u64(*lu);
+    }
+    w.u32(s.active as u32);
+    w.u64(s.clock);
+    w.u64(s.evictions);
+    w.u64(s.invalidations);
+}
+
+fn read_shadow(r: &mut Reader<'_>, config: &VmConfig) -> Result<ShadowCacheState, SnapshotError> {
+    let slots = config.shadow.cache_slots;
+    let mut keys = Vec::new();
+    for _ in 0..slots {
+        keys.push(r.opt_u32("shadow slot key")?);
+    }
+    let mut last_used = Vec::new();
+    for _ in 0..slots {
+        last_used.push(r.u64()?);
+    }
+    let active = r.u32()? as usize;
+    // ShadowSet::import_cache_state asserts on these; reject here.
+    if active >= slots {
+        return Err(SnapshotError::Invalid {
+            what: "active shadow slot out of range",
+        });
+    }
+    Ok(ShadowCacheState {
+        keys,
+        last_used,
+        active,
+        clock: r.u64()?,
+        evictions: r.u64()?,
+        invalidations: r.u64()?,
+    })
+}

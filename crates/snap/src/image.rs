@@ -1,0 +1,185 @@
+//! Capture and reconstruction of a whole [`Monitor`].
+//!
+//! A snapshot does not serialize the monitor's internal structure — it
+//! serializes the *inputs* that reproduce it. Restore is
+//! reconstruction: [`Monitor::new`] with the captured config, then
+//! [`Monitor::create_vm`] per VM in creation order. Because the frame
+//! allocator is a deterministic bump allocator, this re-derives the
+//! exact physical frame layout (VM memory blocks, shadow page tables)
+//! of the snapshotted monitor; the serialized `mem_base_pfn` is checked
+//! against the re-derived one so a layout mismatch is an error, not a
+//! corrupted guest. With the skeleton in place, the captured physical
+//! memory image is written over the machine's (carrying the shadow
+//! table *contents* with it), the machine state — including the TLB,
+//! exactly — is injected, and the per-VM state and shadow bookkeeping
+//! are overwritten in place.
+//!
+//! The same skeleton-then-inject path serves copy-on-write forking:
+//! instead of a serialized memory image, the child machine adopts a
+//! [`PhysMemory`] forked from the parent, sharing every unmodified page.
+
+use crate::error::SnapshotError;
+use vax_cpu::MachineState;
+use vax_mem::PhysMemory;
+use vax_vmm::{IoStrategy, Monitor, MonitorConfig, SchedulerState, ShadowCacheState, Vm, VmConfig};
+
+/// Everything a snapshot carries for one VM.
+#[derive(Debug, Clone)]
+pub struct VmImage {
+    /// Creation parameters — replayed through [`Monitor::create_vm`].
+    pub config: VmConfig,
+    /// The VM's complete state, overwritten into the recreated slot.
+    pub vm: Vm,
+    /// Shadow process-table cache bookkeeping.
+    pub shadow: ShadowCacheState,
+}
+
+/// A captured monitor: the plain-data form between a live [`Monitor`]
+/// and the wire format.
+#[derive(Debug, Clone)]
+pub struct MonitorImage {
+    /// Monitor-wide configuration, replayed through [`Monitor::new`].
+    pub config: MonitorConfig,
+    /// Scheduler position and VMM accounting.
+    pub sched: SchedulerState,
+    /// Complete machine state (registers, MMU, TLB, console, timer).
+    pub machine: MachineState,
+    /// Full physical memory image. Empty when the image feeds a
+    /// copy-on-write fork, where memory crosses as a shared mapping
+    /// instead of bytes.
+    pub memory: Vec<u8>,
+    /// Per-VM state, in creation order.
+    pub vms: Vec<VmImage>,
+}
+
+/// Where a rebuilt monitor's physical memory comes from.
+pub enum MemSource {
+    /// The serialized image in [`MonitorImage::memory`].
+    Image,
+    /// A copy-on-write fork of a live machine's memory.
+    Forked(PhysMemory),
+}
+
+/// Captures a monitor into its plain-data image.
+///
+/// The monitor must be quiescent — between [`Monitor::run`] calls — which
+/// is the only state a caller outside the dispatch loop can observe
+/// anyway.
+///
+/// # Errors
+///
+/// [`SnapshotError::Unsupported`] if any VM uses `EmulatedMmio`: its
+/// device state lives behind the machine's bus and cannot be extracted.
+pub fn capture(monitor: &Monitor, with_memory: bool) -> Result<MonitorImage, SnapshotError> {
+    let mut vms = Vec::new();
+    for id in monitor.vm_ids() {
+        let vm = monitor.vm(id);
+        if vm.io_strategy == IoStrategy::EmulatedMmio || vm.real_io_base.is_some() {
+            return Err(SnapshotError::Unsupported {
+                what: "EmulatedMmio VM in snapshot",
+            });
+        }
+        let shadow = monitor.shadow(id);
+        vms.push(VmImage {
+            config: VmConfig {
+                mem_pages: vm.mem_pages,
+                shadow: shadow.config(),
+                io_strategy: vm.io_strategy,
+                dirty_strategy: vm.dirty_strategy,
+                vdisk_sectors: vm.vdisk.len() as u32,
+            },
+            vm: vm.clone(),
+            shadow: shadow.export_cache_state(),
+        });
+    }
+    let memory = if with_memory {
+        let mem = monitor.machine().mem();
+        mem.read_slice(0, mem.size())
+            .map_err(|_| SnapshotError::Invalid {
+                what: "machine memory unreadable",
+            })?
+            .into_owned()
+    } else {
+        Vec::new()
+    };
+    Ok(MonitorImage {
+        config: monitor.config().clone(),
+        sched: monitor.scheduler_state(),
+        machine: monitor.machine().export_state(),
+        memory,
+        vms,
+    })
+}
+
+/// Rebuilds a live monitor from an image.
+///
+/// For images that came through [`crate::format::decode`], validation
+/// has already run and this cannot panic; the residual checks here
+/// (admission, frame-layout reproduction) guard images built in process
+/// against monitors whose configuration cannot host them.
+///
+/// # Errors
+///
+/// [`SnapshotError::Invalid`] when the VMs do not fit in the configured
+/// machine memory, when reconstruction derives a different frame layout
+/// than the image records, or when the memory image does not match the
+/// configured size.
+pub fn rebuild(image: MonitorImage, mem: MemSource) -> Result<Monitor, SnapshotError> {
+    let mut monitor = Monitor::new(image.config.clone());
+    if let MemSource::Image = mem {
+        if image.memory.len() != monitor.machine().mem().size() as usize {
+            return Err(SnapshotError::Invalid {
+                what: "memory image size disagrees with configuration",
+            });
+        }
+    }
+    // Recreate every VM through the normal creation path. This re-runs
+    // the deterministic frame allocation sequence, so the skeleton's
+    // layout matches the snapshotted monitor frame for frame — checked
+    // below, because everything downstream (guest PTEs, shadow tables,
+    // the TLB image) encodes physical addresses from that layout.
+    let mut ids = Vec::new();
+    for vm_image in &image.vms {
+        if Monitor::admission_frames(&vm_image.config) > u64::from(monitor.frames_remaining()) {
+            return Err(SnapshotError::Invalid {
+                what: "VMs do not fit in machine memory",
+            });
+        }
+        let id = monitor.create_vm(&vm_image.vm.name, vm_image.config.clone());
+        if monitor.vm(id).mem_base_pfn != vm_image.vm.mem_base_pfn {
+            return Err(SnapshotError::Invalid {
+                what: "memory layout does not reproduce",
+            });
+        }
+        ids.push(id);
+    }
+    // Memory before machine state: importing the state resets the
+    // decode cache and re-arms code-page tracking against whatever
+    // memory is in place at that point.
+    match mem {
+        MemSource::Image => {
+            monitor
+                .machine_mut()
+                .mem_mut()
+                .write_slice(0, &image.memory)
+                .map_err(|_| SnapshotError::Invalid {
+                    what: "memory image does not fit the machine",
+                })?;
+        }
+        MemSource::Forked(forked) => {
+            if forked.size() != monitor.machine().mem().size() {
+                return Err(SnapshotError::Invalid {
+                    what: "forked memory size disagrees with configuration",
+                });
+            }
+            monitor.machine_mut().replace_mem(forked);
+        }
+    }
+    monitor.machine_mut().import_state(image.machine.clone());
+    for (id, vm_image) in ids.into_iter().zip(image.vms) {
+        *monitor.vm_mut(id) = vm_image.vm;
+        monitor.shadow_mut(id).import_cache_state(vm_image.shadow);
+    }
+    monitor.set_scheduler_state(image.sched);
+    Ok(monitor)
+}

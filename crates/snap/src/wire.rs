@@ -1,0 +1,401 @@
+//! Hand-rolled wire primitives: little-endian fields, length-prefixed
+//! blobs, zero-page run-length coding, and the FNV-1a checksum.
+//!
+//! The format is written and parsed by this crate alone — no serde, no
+//! derive magic — because the determinism contract demands byte-for-byte
+//! reproducible output and the security posture demands that every read
+//! be bounds-checked. [`Reader`] never allocates more than the input can
+//! justify: length prefixes are validated against the bytes actually
+//! remaining before any buffer is sized from them.
+
+use crate::error::SnapshotError;
+
+/// 64-bit FNV-1a over `bytes` — small, dependency-free, and stable
+/// across platforms, which is all a corruption check needs (this is an
+/// integrity checksum, not an authenticity MAC).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Append-only little-endian field writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// A bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Little-endian i64 (two's complement).
+    pub fn i64(&mut self, v: i64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// A u32 length prefix followed by the bytes.
+    pub fn blob(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.bytes(b);
+    }
+
+    /// A string as a blob of UTF-8.
+    pub fn str(&mut self, s: &str) {
+        self.blob(s.as_bytes());
+    }
+
+    /// An optional u32 (presence byte + value).
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u32(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Page-granular zero-run-length coding: `data` (whose length must be
+    /// a multiple of `page`) becomes alternating runs of
+    /// `(tag, page_count[, literal bytes])` where tag 0 is an all-zero
+    /// run and tag 1 carries the pages verbatim. Guest images are mostly
+    /// zero pages, so this is the entire compression story.
+    pub fn rle_pages(&mut self, data: &[u8], page: usize) {
+        debug_assert_eq!(data.len() % page, 0);
+        let total = data.len() / page;
+        self.u32(total as u32);
+        let is_zero = |p: usize| data[p * page..(p + 1) * page].iter().all(|&b| b == 0);
+        let mut p = 0;
+        while p < total {
+            let zero = is_zero(p);
+            let mut end = p + 1;
+            while end < total && is_zero(end) == zero {
+                end += 1;
+            }
+            self.u8(u8::from(!zero));
+            self.u32((end - p) as u32);
+            if !zero {
+                self.bytes(&data[p * page..end * page]);
+            }
+            p = end;
+        }
+    }
+}
+
+/// Bounds-checked little-endian field reader over an untrusted image.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// A strict bool: only 0 and 1 are valid encodings.
+    pub fn bool(&mut self, what: &'static str) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::BadDiscriminant { what }),
+        }
+    }
+
+    /// Little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(i64::from_le_bytes(a))
+    }
+
+    /// A length-prefixed blob. The prefix is validated against the bytes
+    /// remaining before any allocation, so a hostile length cannot force
+    /// an over-size buffer.
+    pub fn blob(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// A blob with a caller-imposed length cap (names, diagnostics).
+    pub fn blob_capped(
+        &mut self,
+        cap: usize,
+        what: &'static str,
+    ) -> Result<&'a [u8], SnapshotError> {
+        let b = self.blob()?;
+        if b.len() > cap {
+            return Err(SnapshotError::Invalid { what });
+        }
+        Ok(b)
+    }
+
+    /// A capped UTF-8 string.
+    pub fn str_capped(&mut self, cap: usize, what: &'static str) -> Result<&'a str, SnapshotError> {
+        let b = self.blob_capped(cap, what)?;
+        core::str::from_utf8(b).map_err(|_| SnapshotError::Invalid { what })
+    }
+
+    /// An optional u32.
+    pub fn opt_u32(&mut self, what: &'static str) -> Result<Option<u32>, SnapshotError> {
+        Ok(if self.bool(what)? {
+            Some(self.u32()?)
+        } else {
+            None
+        })
+    }
+
+    /// Decodes a [`Writer::rle_pages`] stream whose decoded size must be
+    /// exactly `expect_pages * page` bytes. Run counts are validated
+    /// against the expected total before any copy, bounding the
+    /// allocation by the caller's expectation rather than the image's
+    /// claims.
+    pub fn rle_pages(
+        &mut self,
+        expect_pages: usize,
+        page: usize,
+        what: &'static str,
+    ) -> Result<Vec<u8>, SnapshotError> {
+        let total = self.u32()? as usize;
+        if total != expect_pages {
+            return Err(SnapshotError::Invalid { what });
+        }
+        let mut out = vec![0u8; total * page];
+        let mut p = 0usize;
+        while p < total {
+            let literal = match self.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::BadDiscriminant { what }),
+            };
+            let run = self.u32()? as usize;
+            if run == 0 || run > total - p {
+                return Err(SnapshotError::Invalid { what });
+            }
+            if literal {
+                let bytes = self.take(run * page)?;
+                out[p * page..(p + run) * page].copy_from_slice(bytes);
+            }
+            p += run;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = Writer::new();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 7);
+        w.i64(-42);
+        w.bool(true);
+        w.opt_u32(Some(9));
+        w.opt_u32(None);
+        w.str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert!(r.bool("b").unwrap());
+        assert_eq!(r.opt_u32("o").unwrap(), Some(9));
+        assert_eq!(r.opt_u32("o").unwrap(), None);
+        assert_eq!(r.str_capped(16, "s").unwrap(), "héllo");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.u64(7);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert_eq!(r.u64(), Err(SnapshotError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_blob_length_cannot_force_allocation() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX); // promises 4 GiB that are not there
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.blob(), Err(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn rle_round_trips_sparse_and_dense_data() {
+        const PAGE: usize = 8;
+        for data in [
+            vec![0u8; 64],
+            {
+                let mut d = vec![0u8; 64];
+                d[17] = 3;
+                d[40..48].fill(0xff);
+                d
+            },
+            (0..64u8).collect::<Vec<u8>>(),
+        ] {
+            let mut w = Writer::new();
+            w.rle_pages(&data, PAGE);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.rle_pages(8, PAGE, "m").unwrap(), data);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn rle_zero_dominant_image_is_small() {
+        let mut data = vec![0u8; 512 * 1024];
+        data[0] = 1;
+        let mut w = Writer::new();
+        w.rle_pages(&data, 512);
+        assert!(
+            w.len() < 600,
+            "1 literal page + run headers, got {}",
+            w.len()
+        );
+    }
+
+    #[test]
+    fn rle_rejects_run_overflow_and_wrong_total() {
+        const PAGE: usize = 8;
+        let mut w = Writer::new();
+        w.u32(4); // 4 pages
+        w.u8(0);
+        w.u32(9); // zero run longer than the image
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.rle_pages(4, PAGE, "m"),
+            Err(SnapshotError::Invalid { .. })
+        ));
+        let mut w = Writer::new();
+        w.rle_pages(&[0u8; 32], PAGE);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.rle_pages(5, PAGE, "m"),
+            Err(SnapshotError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -13,6 +13,12 @@
 //! $ vaxrun --vm --trace-out t.json  # write a Chrome trace of VM exits
 //! $ vaxrun --fleet 8 --jobs 4 p.s   # 8 monitors across 4 host threads
 //! $ vaxrun --fleet 8@2 ...          # ... with 2 VMs per monitor
+//! $ vaxrun --vm --max-cycles 50000 --snapshot-out s.vaxsnap p.s
+//!                                   # run part way, save the monitor
+//! $ vaxrun --restore s.vaxsnap      # resume it (no source needed);
+//!                                   # bit-identical to never stopping
+//! $ vaxrun --vm --fork 4 p.s        # run, then fork 4 copy-on-write
+//!                                   # children and resume each
 //! ```
 //!
 //! Fleet mode (`--fleet M[@V]`) builds M independent monitors, each
@@ -43,12 +49,17 @@ struct Options {
     /// (monitors, vms per monitor) when `--fleet` is given.
     fleet: Option<(usize, usize)>,
     jobs: usize,
+    snapshot_out: Option<String>,
+    restore: Option<String>,
+    fork: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vaxrun [--vm] [--list] [--trace] [--base HEX] [--max-cycles N] \
-         [--metrics-out FILE] [--trace-out FILE] [--fleet M[@V]] [--jobs N] FILE.s"
+         [--metrics-out FILE] [--trace-out FILE] [--fleet M[@V]] [--jobs N] \
+         [--snapshot-out FILE] [--fork K] FILE.s\n       vaxrun --restore FILE \
+         [--max-cycles N] [--snapshot-out FILE] [--fork K] [--metrics-out FILE]"
     );
     ExitCode::from(2)
 }
@@ -76,6 +87,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         trace_out: None,
         fleet: None,
         jobs: 1,
+        snapshot_out: None,
+        restore: None,
+        fork: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -104,12 +118,21 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             "--metrics-out" => opts.metrics_out = Some(args.next().ok_or_else(usage)?),
             "--trace-out" => opts.trace_out = Some(args.next().ok_or_else(usage)?),
+            "--snapshot-out" => opts.snapshot_out = Some(args.next().ok_or_else(usage)?),
+            "--restore" => opts.restore = Some(args.next().ok_or_else(usage)?),
+            "--fork" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.fork = v.parse().map_err(|_| usage())?;
+                if opts.fork == 0 {
+                    return Err(usage());
+                }
+            }
             "--help" | "-h" => return Err(usage()),
             f if !f.starts_with('-') && opts.path.is_empty() => opts.path = f.to_string(),
             _ => return Err(usage()),
         }
     }
-    if opts.path.is_empty() {
+    if opts.path.is_empty() && opts.restore.is_none() {
         return Err(usage());
     }
     Ok(opts)
@@ -124,6 +147,103 @@ fn write_metrics(path: &str, metrics: &Metrics) -> std::io::Result<()> {
         metrics.to_json()
     };
     std::fs::write(path, body)
+}
+
+/// Post-run snapshot duties shared by `--vm` and `--restore` modes:
+/// `--snapshot-out` serializes the quiescent monitor, `--fork K` forks
+/// it into K copy-on-write children and resumes each under the same
+/// cycle budget. Returns (snapshot bytes written, forks made) for the
+/// metrics registry.
+fn snapshot_duties(monitor: &mut Monitor, opts: &Options) -> Result<(u64, u64), ExitCode> {
+    let mut snap_bytes = 0u64;
+    if let Some(path) = &opts.snapshot_out {
+        match vax_snap::snapshot_monitor(monitor) {
+            Ok(bytes) => {
+                snap_bytes = bytes.len() as u64;
+                if let Err(e) = std::fs::write(path, &bytes) {
+                    eprintln!("vaxrun: {path}: {e}");
+                    return Err(ExitCode::FAILURE);
+                }
+                eprintln!("-- vaxrun: snapshot: {snap_bytes} bytes -> {path}");
+            }
+            Err(e) => {
+                eprintln!("vaxrun: --snapshot-out: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    if opts.fork > 0 {
+        let mut children = match vax_snap::fork_monitor(monitor, opts.fork) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("vaxrun: --fork: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        for (i, child) in children.iter_mut().enumerate() {
+            let exit = child.run(opts.max_cycles);
+            eprintln!(
+                "-- fork {i}: {exit:?}, {:.1}% of memory still shared with the parent",
+                100.0 * child.machine().mem().shared_fraction(),
+            );
+        }
+    }
+    Ok((snap_bytes, opts.fork as u64))
+}
+
+/// `--restore` mode: reconstruct a monitor from a snapshot file and
+/// resume it. No assembly source is involved — the guests, their
+/// memory, and the machine clock all come from the image.
+fn run_restored(opts: &Options, path: &str) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("vaxrun: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut monitor = match vax_snap::restore_monitor(&bytes) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("vaxrun: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exit = monitor.run(opts.max_cycles);
+    let mut all_halted = exit == RunExit::AllHalted;
+    let ids: Vec<_> = monitor.vm_ids().collect();
+    for id in ids {
+        let out = monitor.vm_console_output(id);
+        print!("{}", String::from_utf8_lossy(&out));
+        let guest = monitor.vm(id);
+        all_halted &= guest.state == VmState::ConsoleHalt;
+        eprintln!(
+            "-- vaxrun: {}: {exit:?}, state {:?}",
+            guest.name, guest.state
+        );
+        if let Some(reason) = &guest.halt_reason {
+            eprintln!("-- vaxrun: {}: halt reason: {reason}", guest.name);
+        }
+    }
+    let (snap_bytes, forks) = match snapshot_duties(&mut monitor, opts) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    if let Some(mpath) = &opts.metrics_out {
+        let mut metrics = monitor.metrics();
+        metrics
+            .bump("snapshot_bytes_written", snap_bytes)
+            .bump("snapshot_forks", forks);
+        if let Err(e) = write_metrics(mpath, &metrics) {
+            eprintln!("vaxrun: {mpath}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if all_halted {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Prints the per-cause exit-cost table from a metrics registry (works
@@ -228,6 +348,9 @@ fn run_fleet(
     if opts.trace_out.is_some() {
         eprintln!("vaxrun: --trace-out is per-monitor; not written in fleet mode");
     }
+    if opts.snapshot_out.is_some() || opts.fork > 0 {
+        eprintln!("vaxrun: --snapshot-out/--fork are per-monitor; not applied in fleet mode");
+    }
     if all_halted {
         ExitCode::SUCCESS
     } else {
@@ -240,6 +363,10 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
+    if let Some(path) = &opts.restore {
+        let path = path.clone();
+        return run_restored(&opts, &path);
+    }
     let source = match std::fs::read_to_string(&opts.path) {
         Ok(s) => s,
         Err(e) => {
@@ -298,6 +425,7 @@ fn main() -> ExitCode {
         for l in &guest.vmm_log {
             eprintln!("-- vmm: {l}");
         }
+        let guest_state = guest.state;
         if opts.trace {
             if let Some(obs) = monitor.obs() {
                 eprintln!("-- vm exits ({} total):", obs.total_exits());
@@ -316,8 +444,18 @@ fn main() -> ExitCode {
                 }
             }
         }
+        let (snap_bytes, forks) = match snapshot_duties(&mut monitor, &opts) {
+            Ok(v) => v,
+            Err(code) => return code,
+        };
         if let Some(path) = &opts.metrics_out {
-            if let Err(e) = write_metrics(path, &monitor.metrics()) {
+            let mut metrics = monitor.metrics();
+            if snap_bytes > 0 || forks > 0 {
+                metrics
+                    .bump("snapshot_bytes_written", snap_bytes)
+                    .bump("snapshot_forks", forks);
+            }
+            if let Err(e) = write_metrics(path, &metrics) {
                 eprintln!("vaxrun: {path}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -332,13 +470,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        return if exit == RunExit::AllHalted && guest.state == VmState::ConsoleHalt {
+        return if exit == RunExit::AllHalted && guest_state == VmState::ConsoleHalt {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         };
     }
 
+    if opts.snapshot_out.is_some() || opts.fork > 0 {
+        eprintln!("vaxrun: --snapshot-out/--fork need a monitor; use --vm");
+        return ExitCode::FAILURE;
+    }
     let mut m = Machine::new(MachineVariant::Modified, 2 * 1024 * 1024);
     if opts.trace {
         m.enable_trace(16);

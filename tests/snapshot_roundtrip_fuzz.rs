@@ -1,0 +1,99 @@
+//! Snapshot round-trip fuzzing over the monitor-fuzz corpus: for
+//! arbitrary (usually malformed) guest code, interrupting a run with
+//! snapshot → restore must be invisible — the restored monitor's
+//! cycles, counters, halt reasons, and console bytes are bit-identical
+//! to the run that was never interrupted, both standalone and under the
+//! parallel fleet executor at any job count.
+
+use proptest::prelude::*;
+use vax_snap::{restore_monitor, snapshot_monitor};
+use vax_vmm::{Fleet, Monitor, MonitorConfig, VmConfig};
+
+/// Same construction as `monitor_fuzz`: arbitrary code at the boot
+/// address and a semi-plausible SCB so reflections sometimes land in
+/// more garbage instead of always console-halting.
+fn fuzz_monitor(code: &[u8], scb_junk: u32) -> Monitor {
+    let mut mon = Monitor::new(MonitorConfig::default());
+    let vm = mon.create_vm("fuzz", VmConfig::default());
+    mon.vm_write_phys(vm, 0x1000, code).unwrap();
+    for off in (0..0x140u32).step_by(4) {
+        mon.vm_write_phys(vm, 0x200 + off, &scb_junk.to_le_bytes())
+            .unwrap();
+    }
+    mon.boot_vm(vm, 0x1000);
+    mon
+}
+
+/// Bit-identity oracle: the snapshot encoder is a pure function of
+/// monitor state, so two monitors in the same state serialize to the
+/// same bytes — machine registers, TLB, counters, memory, console
+/// output, halt reasons, everything.
+fn must_match(a: &Monitor, b: &Monitor) {
+    assert_eq!(
+        snapshot_monitor(a).unwrap(),
+        snapshot_monitor(b).unwrap(),
+        "restored and uninterrupted runs diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip_resume_is_bit_identical(
+        code in proptest::collection::vec(any::<u8>(), 1..512),
+        scb_junk in any::<u32>(),
+        split in 1_000u64..400_000,
+    ) {
+        let mut reference = fuzz_monitor(&code, scb_junk);
+        reference.run(split);
+        let exit_ref = reference.run(2_000_000);
+
+        let mut original = fuzz_monitor(&code, scb_junk);
+        original.run(split);
+        let bytes = snapshot_monitor(&original).unwrap();
+        let mut restored = restore_monitor(&bytes).unwrap();
+        let exit_restored = restored.run(2_000_000);
+
+        prop_assert_eq!(exit_restored, exit_ref);
+        must_match(&restored, &reference);
+    }
+
+    #[test]
+    fn fleet_parallel_resume_after_restore_is_bit_identical(
+        codes in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..256), any::<u32>()),
+            2..5,
+        ),
+        jobs in 1usize..6,
+        split in 1_000u64..200_000,
+    ) {
+        // Reference: uninterrupted, serial (the fleet's own determinism
+        // contract already proves serial == parallel).
+        let mut reference = Fleet::new();
+        for (code, junk) in &codes {
+            reference.push(fuzz_monitor(code, *junk));
+        }
+        reference.run_serial(split);
+        let ref_report = reference.run_serial(1_000_000);
+
+        // Subject: run in parallel, snapshot every monitor, restore
+        // into a fresh fleet, resume in parallel.
+        let mut first = Fleet::new();
+        for (code, junk) in &codes {
+            first.push(fuzz_monitor(code, *junk));
+        }
+        first.run_parallel(split, jobs);
+        let mut resumed = Fleet::new();
+        for i in 0..first.len() {
+            let bytes = snapshot_monitor(first.monitor(i)).unwrap();
+            resumed.push(restore_monitor(&bytes).unwrap());
+        }
+        let report = resumed.run_parallel(1_000_000, jobs);
+
+        prop_assert_eq!(&report.outcomes, &ref_report.outcomes, "jobs = {}", jobs);
+        for i in 0..resumed.len() {
+            must_match(resumed.monitor(i), reference.monitor(i));
+        }
+    }
+}
