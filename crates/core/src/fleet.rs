@@ -302,10 +302,12 @@ impl Fleet {
     ///
     /// # Errors
     ///
-    /// [`VmmError::Snapshot`] for bad indices or an
-    /// `EmulatedMmio` VM (its device state lives on the source bus and
-    /// cannot be extracted); [`VmmError::Internal`] if the source memory
-    /// image is unreadable (a VMM bug, not a guest condition).
+    /// [`VmmError::Snapshot`] for bad indices, an `EmulatedMmio` VM
+    /// (its device state lives on the source bus and cannot be
+    /// extracted), or a target monitor without enough free real memory
+    /// to admit the VM; [`VmmError::Internal`] if the source memory
+    /// image is unreadable (a VMM bug, not a guest condition). On any
+    /// error the source VM is untouched.
     pub fn migrate(&mut self, vm: VmId, from: usize, to: usize) -> Result<VmId, VmmError> {
         if from >= self.members.len() || to >= self.members.len() {
             return Err(VmmError::Snapshot {
@@ -366,6 +368,15 @@ impl Fleet {
             vdisk_sectors: image.vdisk.len() as u32,
         };
         let dst = &mut self.members[to];
+        // Admission control: create_vm's frame allocator asserts when
+        // real memory runs out (fixed allocation, no paging), so a
+        // target without room must be refused here — an error, not a
+        // host panic. Mirrors the check snapshot restore applies.
+        if Monitor::admission_frames(&config) > u64::from(dst.frames_remaining()) {
+            return Err(VmmError::Snapshot {
+                what: "VM does not fit in target monitor",
+            });
+        }
         let new_id = dst.create_vm(&image.name, config);
         dst.vm_write_phys(new_id, 0, &memory)?;
         image.mem_base_pfn = dst.vm(new_id).mem_base_pfn;
@@ -549,6 +560,32 @@ mod tests {
             fleet.migrate(mvm, idx, 0),
             Err(VmmError::Snapshot { .. })
         ));
+    }
+
+    #[test]
+    fn migrate_into_a_full_monitor_is_an_error_not_a_panic() {
+        // The target's 64 KiB of real memory cannot admit a default
+        // 256 KiB VM; migrate must refuse before the frame allocator
+        // asserts, leaving both monitors untouched.
+        let mut fleet = Fleet::new();
+        fleet.push(counting_monitor(10));
+        fleet.push(Monitor::new(MonitorConfig {
+            mem_bytes: 64 * 1024,
+            ..MonitorConfig::default()
+        }));
+        let vm = fleet.monitor(0).vm_ids().next().expect("one VM");
+        assert!(matches!(
+            fleet.migrate(vm, 0, 1),
+            Err(VmmError::Snapshot {
+                what: "VM does not fit in target monitor"
+            })
+        ));
+        assert_eq!(fleet.monitor(0).vm(vm).state, VmState::Ready);
+        assert_eq!(fleet.monitor(1).vm_count(), 0);
+
+        // A roomy target still admits it — the check is not over-strict.
+        fleet.push(Monitor::new(MonitorConfig::default()));
+        fleet.migrate(vm, 0, 2).expect("fits");
     }
 
     #[test]

@@ -57,6 +57,25 @@ const MAX_PENDING: u32 = 4096;
 const MAX_CACHE_SLOTS: u32 = 4096;
 const MAX_TABLE_PAGES: u32 = 1 << 22;
 
+// Global materialization budget. The per-field caps above bound each
+// allocation individually; this bounds their *sum*, so a few-KB hostile
+// image cannot claim the memory cap plus 256 maximal zero-RLE vdisks
+// (~129 GiB) one legal field at a time. [`validate_caps`] enforces the
+// same budget at capture, so a monitor that snapshots is a monitor that
+// restores.
+const MAX_TOTAL_BYTES: u64 = 2 * MAX_MEM_BYTES as u64;
+
+/// Deducts `bytes` of materialized decode output from the budget.
+fn charge(remaining: &mut u64, bytes: u64) -> Result<(), SnapshotError> {
+    if bytes > *remaining {
+        return Err(SnapshotError::Invalid {
+            what: "image over decode size budget",
+        });
+    }
+    *remaining -= bytes;
+    Ok(())
+}
+
 /// Frames the payload: magic, version, length, payload, checksum.
 pub fn encode(image: &MonitorImage) -> Vec<u8> {
     let mut p = Writer::new();
@@ -75,6 +94,12 @@ pub fn encode(image: &MonitorImage) -> Vec<u8> {
 /// reconstruction in [`crate::image::rebuild`] cannot hit a panicking
 /// importer.
 pub fn decode(bytes: &[u8]) -> Result<MonitorImage, SnapshotError> {
+    decode_with_budget(bytes, MAX_TOTAL_BYTES)
+}
+
+/// [`decode`] with an explicit materialization budget — the seam that
+/// lets tests exercise the aggregate limit without multi-GiB images.
+pub(crate) fn decode_with_budget(bytes: &[u8], budget: u64) -> Result<MonitorImage, SnapshotError> {
     let mut r = Reader::new(bytes);
     if r.take(8)? != MAGIC {
         return Err(SnapshotError::BadMagic);
@@ -94,11 +119,105 @@ pub fn decode(bytes: &[u8]) -> Result<MonitorImage, SnapshotError> {
         return Err(SnapshotError::Checksum { expected, actual });
     }
     let mut p = Reader::new(payload);
-    let image = read_payload(&mut p)?;
+    let mut remaining = budget;
+    let image = read_payload(&mut p, &mut remaining)?;
     if !p.is_empty() {
         return Err(SnapshotError::TrailingBytes);
     }
     Ok(image)
+}
+
+/// Checks a captured image against every structural cap [`decode`]
+/// enforces, including the aggregate [`MAX_TOTAL_BYTES`] budget. Called
+/// by [`crate::image::capture`] so that a monitor whose legitimate
+/// running state outgrew the wire format (an undrained console past
+/// [`MAX_CONSOLE`], a marathon `vmm_log`) fails **at snapshot** with
+/// [`SnapshotError::Unsupported`] — never the trap of an image that
+/// encodes fine but can never be restored.
+pub(crate) fn validate_caps(image: &MonitorImage) -> Result<(), SnapshotError> {
+    validate_caps_with_budget(image, MAX_TOTAL_BYTES)
+}
+
+/// [`validate_caps`] with an explicit aggregate budget (test seam).
+pub(crate) fn validate_caps_with_budget(
+    image: &MonitorImage,
+    budget: u64,
+) -> Result<(), SnapshotError> {
+    let unsupported = |what| Err(SnapshotError::Unsupported { what });
+    let diag_fits = |e: VmmError| match e {
+        VmmError::Undeliverable { what }
+        | VmmError::GuestState { what }
+        | VmmError::Mmio { what }
+        | VmmError::Internal { what }
+        | VmmError::Snapshot { what } => what.len() <= MAX_DIAG,
+        _ => true,
+    };
+    if image.config.mem_bytes > MAX_MEM_BYTES {
+        return unsupported("machine memory over snapshot cap");
+    }
+    // The wire format carries memory as whole pages; decode rejects a
+    // misaligned size, so refuse to capture one.
+    if !image.config.mem_bytes.is_multiple_of(PAGE as u32) {
+        return unsupported("machine memory not page-aligned");
+    }
+    if image.vms.len() > MAX_VMS as usize {
+        return unsupported("VM count over snapshot cap");
+    }
+    let m = &image.machine;
+    if m.mmu.tlb.slots.len() > MAX_TLB_SLOTS as usize {
+        return unsupported("TLB slot count over snapshot cap");
+    }
+    if m.pending_irqs.len() > MAX_PENDING as usize {
+        return unsupported("pending interrupt count over snapshot cap");
+    }
+    if m.console_tx.len() > MAX_CONSOLE || m.console_rx.len() > MAX_CONSOLE {
+        return unsupported("machine console buffer over snapshot cap");
+    }
+    // Mirror of decode's running total: memory by configured size, then
+    // every variable-length buffer the decoder materializes.
+    let mut total =
+        u64::from(image.config.mem_bytes) + m.console_tx.len() as u64 + m.console_rx.len() as u64;
+    for vm in &image.vms {
+        if vm.vm.name.len() > MAX_NAME {
+            return unsupported("VM name over snapshot cap");
+        }
+        let s = &vm.config.shadow;
+        if s.s_capacity > MAX_TABLE_PAGES
+            || s.p0_capacity > MAX_TABLE_PAGES
+            || s.p1_capacity > MAX_TABLE_PAGES
+            || s.cache_slots > MAX_CACHE_SLOTS as usize
+        {
+            return unsupported("shadow configuration over snapshot cap");
+        }
+        if vm.vm.console_out.len() > MAX_CONSOLE || vm.vm.console_in.len() > MAX_CONSOLE {
+            return unsupported("VM console buffer over snapshot cap");
+        }
+        if vm.vm.vmm_log.len() > MAX_LOG_LINES as usize {
+            return unsupported("VMM log line count over snapshot cap");
+        }
+        if vm.vm.vmm_log.iter().any(|l| l.len() > MAX_LOG_LINE) {
+            return unsupported("VMM log line over snapshot cap");
+        }
+        if vm.vm.vdisk.len() > MAX_VDISK_SECTORS as usize {
+            return unsupported("virtual disk over snapshot cap");
+        }
+        if vm.vm.pending_virqs.len() > MAX_PENDING as usize {
+            return unsupported("pending virtual interrupt count over snapshot cap");
+        }
+        if let Some(e) = vm.vm.halt_reason {
+            if !diag_fits(e) {
+                return unsupported("halt diagnostic over snapshot cap");
+            }
+        }
+        total += vm.vm.console_out.len() as u64
+            + vm.vm.console_in.len() as u64
+            + vm.vm.vmm_log.iter().map(|l| l.len() as u64).sum::<u64>()
+            + vm.vm.vdisk.len() as u64 * PAGE as u64;
+    }
+    if total > budget {
+        return unsupported("monitor state over snapshot size budget");
+    }
+    Ok(())
 }
 
 fn write_payload(w: &mut Writer, image: &MonitorImage) {
@@ -114,11 +233,12 @@ fn write_payload(w: &mut Writer, image: &MonitorImage) {
     }
 }
 
-fn read_payload(r: &mut Reader<'_>) -> Result<MonitorImage, SnapshotError> {
+fn read_payload(r: &mut Reader<'_>, remaining: &mut u64) -> Result<MonitorImage, SnapshotError> {
     let config = read_monitor_config(r)?;
     let sched = read_scheduler(r)?;
-    let machine = read_machine(r)?;
+    let machine = read_machine(r, remaining)?;
     let mem_pages = (config.mem_bytes / PAGE as u32) as usize;
+    charge(remaining, u64::from(config.mem_bytes))?;
     let memory = r.rle_pages(mem_pages, PAGE, "memory image")?;
     let vm_count = r.u32()?;
     if vm_count > MAX_VMS {
@@ -136,7 +256,7 @@ fn read_payload(r: &mut Reader<'_>) -> Result<MonitorImage, SnapshotError> {
     let mut vms = Vec::new();
     for _ in 0..vm_count {
         let vm_config = read_vm_config(r)?;
-        let vm = read_vm(r, &vm_config)?;
+        let vm = read_vm(r, &vm_config, remaining)?;
         let shadow = read_shadow(r, &vm_config)?;
         vms.push(VmImage {
             config: vm_config,
@@ -492,7 +612,7 @@ fn write_machine(w: &mut Writer, m: &MachineState) {
     w.bool(m.halted);
 }
 
-fn read_machine(r: &mut Reader<'_>) -> Result<MachineState, SnapshotError> {
+fn read_machine(r: &mut Reader<'_>, remaining: &mut u64) -> Result<MachineState, SnapshotError> {
     let mut regs = [0u32; 16];
     for reg in &mut regs {
         *reg = r.u32()?;
@@ -511,10 +631,12 @@ fn read_machine(r: &mut Reader<'_>) -> Result<MachineState, SnapshotError> {
     let todr_acc = r.u64()?;
     let costs = read_cost_model(r)?;
     let mmu = read_mmu(r)?;
-    let console_tx = r
-        .blob_capped(MAX_CONSOLE, "console output length")?
-        .to_vec();
-    let console_rx = r.blob_capped(MAX_CONSOLE, "console input length")?.to_vec();
+    let console_tx = r.blob_capped(MAX_CONSOLE, "console output length")?;
+    charge(remaining, console_tx.len() as u64)?;
+    let console_tx = console_tx.to_vec();
+    let console_rx = r.blob_capped(MAX_CONSOLE, "console input length")?;
+    charge(remaining, console_rx.len() as u64)?;
+    let console_rx = console_rx.to_vec();
     let timer = TimerState {
         iccs: r.u32()?,
         nicr: r.i64()?,
@@ -852,7 +974,11 @@ fn write_vm(w: &mut Writer, v: &Vm) {
     }
 }
 
-fn read_vm(r: &mut Reader<'_>, config: &VmConfig) -> Result<Vm, SnapshotError> {
+fn read_vm(
+    r: &mut Reader<'_>,
+    config: &VmConfig,
+    remaining: &mut u64,
+) -> Result<Vm, SnapshotError> {
     let name = r.str_capped(MAX_NAME, "VM name length")?.to_string();
     let mem_base_pfn = r.u32()?;
     let mem_pages = r.u32()?;
@@ -890,9 +1016,9 @@ fn read_vm(r: &mut Reader<'_>, config: &VmConfig) -> Result<Vm, SnapshotError> {
         nicr: r.i64()?,
         icr: r.i64()?,
     };
-    let console_out = r
-        .blob_capped(MAX_CONSOLE, "console output length")?
-        .to_vec();
+    let console_out = r.blob_capped(MAX_CONSOLE, "console output length")?;
+    charge(remaining, console_out.len() as u64)?;
+    let console_out = console_out.to_vec();
     let n_log = r.u32()?;
     if n_log > MAX_LOG_LINES {
         return Err(SnapshotError::Invalid {
@@ -901,16 +1027,14 @@ fn read_vm(r: &mut Reader<'_>, config: &VmConfig) -> Result<Vm, SnapshotError> {
     }
     let mut vmm_log = Vec::new();
     for _ in 0..n_log {
-        vmm_log.push(
-            r.str_capped(MAX_LOG_LINE, "VMM log line length")?
-                .to_string(),
-        );
+        let line = r.str_capped(MAX_LOG_LINE, "VMM log line length")?;
+        charge(remaining, line.len() as u64)?;
+        vmm_log.push(line.to_string());
     }
-    let console_in: VecDeque<u8> = r
-        .blob_capped(MAX_CONSOLE, "console input length")?
-        .iter()
-        .copied()
-        .collect();
+    let console_in = r.blob_capped(MAX_CONSOLE, "console input length")?;
+    charge(remaining, console_in.len() as u64)?;
+    let console_in: VecDeque<u8> = console_in.iter().copied().collect();
+    charge(remaining, u64::from(config.vdisk_sectors) * PAGE as u64)?;
     let disk = r.rle_pages(config.vdisk_sectors as usize, PAGE, "virtual disk image")?;
     let mut vdisk = Vec::with_capacity(config.vdisk_sectors as usize);
     for chunk in disk.chunks_exact(PAGE) {
@@ -1060,4 +1184,44 @@ fn read_shadow(r: &mut Reader<'_>, config: &VmConfig) -> Result<ShadowCacheState
         evictions: r.u64()?,
         invalidations: r.u64()?,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::capture;
+    use vax_vmm::Monitor;
+
+    fn captured() -> (MonitorImage, Vec<u8>) {
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.create_vm("a", VmConfig::default());
+        m.create_vm("b", VmConfig::default());
+        let image = capture(&m, true).expect("capture");
+        let bytes = encode(&image);
+        (image, bytes)
+    }
+
+    #[test]
+    fn decode_enforces_an_aggregate_materialization_budget() {
+        let (image, bytes) = captured();
+        assert!(decode_with_budget(&bytes, MAX_TOTAL_BYTES).is_ok());
+        // Every field here is within its individual cap; only the
+        // running total trips. Memory alone consumes this budget, so
+        // the first vdisk charge goes over.
+        let err = decode_with_budget(&bytes, u64::from(image.config.mem_bytes))
+            .expect_err("aggregate over budget");
+        assert_eq!(err.what(), "image over decode size budget");
+        // A budget below even the memory image fails on the memory
+        // charge, before its allocation.
+        assert!(decode_with_budget(&bytes, 1024).is_err());
+    }
+
+    #[test]
+    fn capture_validation_mirrors_the_decode_budget() {
+        let (image, _) = captured();
+        assert!(validate_caps(&image).is_ok());
+        let err = validate_caps_with_budget(&image, u64::from(image.config.mem_bytes))
+            .expect_err("over budget");
+        assert_eq!(err.what(), "monitor state over snapshot size budget");
+    }
 }

@@ -68,8 +68,14 @@ pub enum MemSource {
 ///
 /// # Errors
 ///
-/// [`SnapshotError::Unsupported`] if any VM uses `EmulatedMmio`: its
-/// device state lives behind the machine's bus and cannot be extracted.
+/// [`SnapshotError::Unsupported`] if any VM uses `EmulatedMmio` (its
+/// device state lives behind the machine's bus and cannot be
+/// extracted), or if the monitor's state exceeds a structural cap of
+/// the wire format (an undrained console or `vmm_log` past its cap,
+/// memory over the format's 1 GiB limit, aggregate state over the
+/// global size budget). Capture enforces every cap [`crate::format::decode`]
+/// checks, so an image this function produces is always restorable —
+/// oversize state fails here, not at restore.
 pub fn capture(monitor: &Monitor, with_memory: bool) -> Result<MonitorImage, SnapshotError> {
     let mut vms = Vec::new();
     for id in monitor.vm_ids() {
@@ -102,13 +108,15 @@ pub fn capture(monitor: &Monitor, with_memory: bool) -> Result<MonitorImage, Sna
     } else {
         Vec::new()
     };
-    Ok(MonitorImage {
+    let image = MonitorImage {
         config: monitor.config().clone(),
         sched: monitor.scheduler_state(),
         machine: monitor.machine().export_state(),
         memory,
         vms,
-    })
+    };
+    crate::format::validate_caps(&image)?;
+    Ok(image)
 }
 
 /// Rebuilds a live monitor from an image.

@@ -54,8 +54,11 @@ use vax_vmm::Monitor;
 /// # Errors
 ///
 /// [`SnapshotError::Unsupported`] if any VM uses `EmulatedMmio` (bus
-/// device state cannot be extracted); [`SnapshotError::Invalid`] if the
-/// machine memory is unreadable (a VMM bug).
+/// device state cannot be extracted) or the monitor's state exceeds a
+/// structural cap of the wire format — capture enforces every cap the
+/// decoder does, so a snapshot this function returns is always
+/// restorable; [`SnapshotError::Invalid`] if the machine memory is
+/// unreadable (a VMM bug).
 pub fn snapshot_monitor(monitor: &Monitor) -> Result<Vec<u8>, SnapshotError> {
     Ok(encode(&capture(monitor, true)?))
 }
@@ -65,7 +68,10 @@ pub fn snapshot_monitor(monitor: &Monitor) -> Result<Vec<u8>, SnapshotError> {
 /// The bytes are untrusted: framing, checksum, every discriminant, and
 /// every cross-field invariant are validated before any state is
 /// injected, so a malformed image is always an error and never a panic
-/// or an over-size allocation. The restored monitor has observability
+/// or an over-size allocation — each variable-length field is capped
+/// individually, and a global budget bounds the *total* bytes a decode
+/// may materialize, so stacking many individually-legal fields cannot
+/// amplify a small image into gigabytes. The restored monitor has observability
 /// off (tracing is proven non-intrusive, so this cannot perturb the
 /// resumed run).
 ///

@@ -216,6 +216,49 @@ fn emulated_mmio_vms_are_rejected() {
 }
 
 #[test]
+fn oversize_state_fails_at_snapshot_not_at_restore() {
+    // A monitor whose legitimate running state exceeds a wire-format
+    // cap must be refused at capture — the alternative is an image that
+    // encodes fine but can never be restored.
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    let vm = monitor.create_vm("chatty", VmConfig::default());
+
+    monitor.vm_mut(vm).vmm_log.push("x".repeat(4097));
+    assert!(matches!(
+        snapshot_monitor(&monitor),
+        Err(SnapshotError::Unsupported {
+            what: "VMM log line over snapshot cap"
+        })
+    ));
+    monitor.vm_mut(vm).vmm_log.clear();
+
+    monitor.vm_mut(vm).vmm_log = vec![String::from("line"); 65_537];
+    assert!(matches!(
+        snapshot_monitor(&monitor),
+        Err(SnapshotError::Unsupported {
+            what: "VMM log line count over snapshot cap"
+        })
+    ));
+    monitor.vm_mut(vm).vmm_log.clear();
+
+    // Back under the caps, the same monitor snapshots and restores.
+    let bytes = snapshot_monitor(&monitor).expect("legal again");
+    assert!(restore_monitor(&bytes).is_ok());
+}
+
+#[test]
+fn oversize_vm_name_fails_at_snapshot() {
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    monitor.create_vm(&"n".repeat(257), VmConfig::default());
+    assert!(matches!(
+        snapshot_monitor(&monitor),
+        Err(SnapshotError::Unsupported {
+            what: "VM name over snapshot cap"
+        })
+    ));
+}
+
+#[test]
 fn rebuild_applies_admission_control() {
     let monitor = os_monitor();
     let mut image = capture(&monitor, true).expect("capture");
