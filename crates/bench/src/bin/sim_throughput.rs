@@ -3,8 +3,11 @@
 //! Three workloads, one report (`BENCH_sim_throughput.json`):
 //!
 //! * `compute_loop_imm32` — the decode-cache stress kernel, run bare with
-//!   translation off. No address translation happens, so its TLB hit
-//!   rate is reported as `null`, not a misleading `0.0`.
+//!   translation off across all three execution tiers (`interp`, `cache`,
+//!   `trans`); the report's `exec_tier` section records per-tier
+//!   throughput and the translated tier's superblock statistics. No
+//!   address translation happens, so its TLB hit rate is reported as
+//!   `null`, not a misleading `0.0`.
 //! * `mapped_loop` — the same machine with a host-built system page
 //!   table and translation on, touching a multi-page buffer so the TLB
 //!   actually works for a living and the hit rate is a real number.
@@ -24,7 +27,7 @@
 use std::time::Instant;
 use vax_arch::{MachineVariant, Protection, Psl, Pte};
 use vax_bench::e10_shadow_cache;
-use vax_cpu::{DecodeCacheStats, Machine, StepEvent};
+use vax_cpu::{DecodeCacheStats, ExecTier, Machine, StepEvent, TransStats};
 use vax_vmm::{ExitCause, Monitor, MonitorConfig, RunExit, VmConfig};
 
 const MAPPED_PAGES: u32 = 16;
@@ -40,6 +43,7 @@ struct Measurement {
     simulated_cycles: u64,
     tlb_hit_rate: Option<f64>,
     cache_stats: DecodeCacheStats,
+    trans_stats: TransStats,
 }
 
 /// Builds an identity-mapped system page table at `spt_pa` covering
@@ -56,9 +60,9 @@ fn enable_identity_s_map(m: &mut Machine, spt_pa: u32, pages: u32) {
     mmu.set_mapen(true);
 }
 
-fn run_once(program: &vax_asm::Program, decode_cache: bool, mapped: bool) -> Measurement {
+fn run_once(program: &vax_asm::Program, tier: ExecTier, mapped: bool) -> Measurement {
     let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
-    m.set_decode_cache_enabled(decode_cache);
+    m.set_exec_tier(tier);
     let load_pa = if mapped {
         program.base - S_BASE
     } else {
@@ -83,30 +87,32 @@ fn run_once(program: &vax_asm::Program, decode_cache: bool, mapped: bool) -> Mea
         simulated_cycles: m.cycles(),
         tlb_hit_rate: counters.tlb_hit_rate_opt(),
         cache_stats: m.decode_cache_stats(),
+        trans_stats: m.trans_stats(),
     }
 }
 
-/// Alternates cache-on / cache-off runs so both configurations sample
-/// the same host-CPU conditions, returning the best of each.
-fn best_alternating(
+/// Interleaves runs of every tier so all configurations sample the same
+/// host-CPU conditions, returning the best of each in `tiers` order.
+fn best_tier_sweep(
     program: &vax_asm::Program,
     n: u32,
     mapped: bool,
-) -> (Measurement, Measurement) {
-    let (ons, offs): (Vec<Measurement>, Vec<Measurement>) = (0..n)
-        .map(|_| {
-            (
-                run_once(program, true, mapped),
-                run_once(program, false, mapped),
-            )
+    tiers: &[ExecTier],
+) -> Vec<Measurement> {
+    let mut per_tier: Vec<Vec<Measurement>> = tiers.iter().map(|_| Vec::new()).collect();
+    for _ in 0..n {
+        for (i, tier) in tiers.iter().enumerate() {
+            per_tier[i].push(run_once(program, *tier, mapped));
+        }
+    }
+    per_tier
+        .into_iter()
+        .map(|ms| {
+            ms.into_iter()
+                .max_by(|a, b| a.instrs_per_sec.total_cmp(&b.instrs_per_sec))
+                .unwrap()
         })
-        .unzip();
-    let best = |ms: Vec<Measurement>| {
-        ms.into_iter()
-            .max_by(|a, b| a.instrs_per_sec.total_cmp(&b.instrs_per_sec))
-            .unwrap()
-    };
-    (best(ons), best(offs))
+        .collect()
 }
 
 /// Simulated cycles a bare (unvirtualized) machine spends on one run of
@@ -248,22 +254,39 @@ fn main() {
     )
     .unwrap();
 
-    let (on, off) = best_alternating(&compute, reps, false);
-    assert_eq!(
-        on.instructions, compute_instructions,
-        "workload must retire fully"
+    let mut sweep = best_tier_sweep(
+        &compute,
+        reps,
+        false,
+        &[ExecTier::Interp, ExecTier::Cache, ExecTier::Trans],
     );
-    assert_eq!(
-        on.simulated_cycles, off.simulated_cycles,
-        "decode cache must not change simulated time"
-    );
+    let trans = sweep.pop().unwrap();
+    let on = sweep.pop().unwrap();
+    let off = sweep.pop().unwrap();
+    for m in [&off, &on, &trans] {
+        assert_eq!(
+            m.instructions, compute_instructions,
+            "workload must retire fully in every tier"
+        );
+        assert_eq!(
+            m.simulated_cycles, on.simulated_cycles,
+            "execution tier must not change simulated time"
+        );
+    }
     assert_eq!(
         on.tlb_hit_rate, None,
         "translation-off run has no TLB traffic"
     );
+    assert!(
+        trans.trans_stats.blocks_executed > 0,
+        "trans tier must actually run superblocks on the compute loop"
+    );
     let speedup = on.instrs_per_sec / off.instrs_per_sec;
+    let trans_speedup = trans.instrs_per_sec / on.instrs_per_sec;
 
-    let (mon, moff) = best_alternating(&mapped, reps, true);
+    let mut msweep = best_tier_sweep(&mapped, reps, true, &[ExecTier::Interp, ExecTier::Cache]);
+    let mon = msweep.pop().unwrap();
+    let moff = msweep.pop().unwrap();
     assert_eq!(
         mon.simulated_cycles, moff.simulated_cycles,
         "decode cache must not change simulated time"
@@ -294,8 +317,20 @@ fn main() {
     );
     println!("  speedup:          {speedup:>12.2}x");
     println!(
-        "  cache hits/misses: {}/{}  tlb hit rate: n/a (translation off)",
-        on.cache_stats.hits, on.cache_stats.misses
+        "  translated:       {:>12.0} instrs/sec ({trans_speedup:.2}x vs cache)",
+        trans.instrs_per_sec
+    );
+    println!(
+        "  superblocks: {} translated, {} executed, {} uops, {} interrupt / {} bail side exits",
+        trans.trans_stats.blocks_translated,
+        trans.trans_stats.blocks_executed,
+        trans.trans_stats.uops_executed,
+        trans.trans_stats.side_exit_interrupt,
+        trans.trans_stats.side_exit_bail
+    );
+    println!(
+        "  cache hits/misses/bytewise: {}/{}/{}  tlb hit rate: n/a (translation off)",
+        on.cache_stats.hits, on.cache_stats.misses, on.cache_stats.bytewise_fallbacks
     );
     println!("mapped loop, {} simulated instructions", mon.instructions);
     println!(
@@ -328,7 +363,14 @@ fn main() {
          \"instrs_per_sec_cache_on\": {:.0},\n  \"instrs_per_sec_cache_off\": {:.0},\n  \
          \"speedup\": {:.3},\n  \
          \"decode_cache_hits\": {},\n  \"decode_cache_misses\": {},\n  \
+         \"decode_cache_bytewise_fallbacks\": {},\n  \
          \"tlb_hit_rate\": {},\n  \
+         \"exec_tier\": {{\n    \"interp\": {{ \"instrs_per_sec\": {:.0} }},\n    \
+         \"cache\": {{ \"instrs_per_sec\": {:.0} }},\n    \
+         \"trans\": {{\n      \"instrs_per_sec\": {:.0},\n      \
+         \"speedup_vs_cache\": {:.3},\n      \"blocks_translated\": {},\n      \
+         \"blocks_executed\": {},\n      \"uops_executed\": {},\n      \
+         \"side_exit_interrupt\": {},\n      \"side_exit_bail\": {}\n    }}\n  }},\n  \
          \"mapped_loop\": {{\n    \"simulated_instructions\": {},\n    \
          \"simulated_cycles\": {},\n    \"instrs_per_sec_cache_on\": {:.0},\n    \
          \"speedup\": {:.3},\n    \"tlb_hit_rate\": {}\n  }},\n  \
@@ -347,7 +389,17 @@ fn main() {
         speedup,
         on.cache_stats.hits,
         on.cache_stats.misses,
+        on.cache_stats.bytewise_fallbacks,
         json_opt(on.tlb_hit_rate),
+        off.instrs_per_sec,
+        on.instrs_per_sec,
+        trans.instrs_per_sec,
+        trans_speedup,
+        trans.trans_stats.blocks_translated,
+        trans.trans_stats.blocks_executed,
+        trans.trans_stats.uops_executed,
+        trans.trans_stats.side_exit_interrupt,
+        trans.trans_stats.side_exit_bail,
         mon.instructions,
         mon.simulated_cycles,
         mon.instrs_per_sec,

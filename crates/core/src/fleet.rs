@@ -31,7 +31,7 @@ use crate::vm::{IoStrategy, VmState, VmStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
-use vax_cpu::CpuCounters;
+use vax_cpu::{CpuCounters, ExecTier};
 use vax_obs::Metrics;
 
 /// Everything observable about one VM after a fleet run — the per-VM
@@ -178,6 +178,16 @@ impl Fleet {
     /// A member monitor, mutable (setup between runs).
     pub fn monitor_mut(&mut self, index: usize) -> &mut Monitor {
         &mut self.members[index]
+    }
+
+    /// Selects the execution tier on every member monitor, so
+    /// `--exec-tier` applies fleet-wide before [`Fleet::run_parallel`].
+    /// Per-monitor outcomes stay bit-identical across tiers (the same
+    /// determinism contract parallelism is held to).
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        for m in &mut self.members {
+            m.set_exec_tier(tier);
+        }
     }
 
     /// Snapshots one monitor's observable end state.
@@ -474,6 +484,25 @@ mod tests {
         // Different workloads genuinely produced different outcomes, so
         // the equality above is not vacuous.
         assert_ne!(serial.outcomes[0], serial.outcomes[1]);
+    }
+
+    #[test]
+    fn exec_tiers_are_invisible_to_fleet_outcomes() {
+        // The same fleet must produce bit-identical outcomes under every
+        // execution tier, serial and parallel alike — the three-way
+        // equivalence contract extended to fleet scale.
+        let reference = fleet_of(&SIZES).run_serial(10_000_000);
+        for tier in [ExecTier::Interp, ExecTier::Cache, ExecTier::Trans] {
+            let mut fleet = fleet_of(&SIZES);
+            fleet.set_exec_tier(tier);
+            assert!(fleet.members.iter().all(|m| m.exec_tier() == tier));
+            let mut serial_fleet = fleet_of(&SIZES);
+            serial_fleet.set_exec_tier(tier);
+            let serial = serial_fleet.run_serial(10_000_000);
+            let parallel = fleet.run_parallel(10_000_000, 3);
+            assert_eq!(serial.outcomes, reference.outcomes, "{tier:?} serial");
+            assert_eq!(parallel.outcomes, reference.outcomes, "{tier:?} parallel");
+        }
     }
 
     #[test]

@@ -9,8 +9,8 @@ use crate::shadow::{ShadowConfig, ShadowSet};
 use crate::vm::{DirtyStrategy, IoStrategy, VirtualIrq, VirtualTimer, Vm, VmState, VmStats};
 use std::collections::VecDeque;
 use vax_arch::{AccessMode, Exception, MachineVariant, Opcode, Psl, ScbVector, VmPsl};
-use vax_cpu::{Machine, StepEvent, VmExit, IO_BASE_PA};
-use vax_obs::{ExitCause, Metrics, Obs, ObsSink};
+use vax_cpu::{ExecTier, Machine, StepEvent, VmExit, IO_BASE_PA};
+use vax_obs::{ExitCause, Histogram, Metrics, Obs, ObsSink};
 
 /// Identifies a VM within a [`Monitor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -339,6 +339,19 @@ impl Monitor {
         self.obs = ObsSink::off();
     }
 
+    /// Selects the execution tier for this monitor's real machine.
+    /// Deterministically invisible: guests produce bit-identical state,
+    /// cycles, and counters under every tier (enforced by the three-way
+    /// equivalence fuzzers).
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        self.machine.set_exec_tier(tier);
+    }
+
+    /// The currently selected execution tier.
+    pub fn exec_tier(&self) -> ExecTier {
+        self.machine.exec_tier()
+    }
+
     /// The collected observations, if tracing is enabled.
     pub fn obs(&self) -> Option<&Obs> {
         self.obs.state()
@@ -361,7 +374,23 @@ impl Monitor {
         let dc = self.machine.decode_cache_stats();
         m.counter("decode_cache_hits", dc.hits);
         m.counter("decode_cache_misses", dc.misses);
+        m.counter("decode_cache_bytewise_fallbacks", dc.bytewise_fallbacks);
         m.counter("decode_cache_invalidations", dc.invalidations);
+        m.gauge("decode_cache_hit_rate", dc.hit_rate());
+        let ts = self.machine.trans_stats();
+        m.counter("trans_blocks_translated", ts.blocks_translated);
+        m.counter("trans_blocks_executed", ts.blocks_executed);
+        m.counter("trans_uops_executed", ts.uops_executed);
+        m.counter("trans_side_exit_interrupt", ts.side_exit_interrupt);
+        m.counter("trans_side_exit_bail", ts.side_exit_bail);
+        m.counter("trans_invalidations", ts.invalidations);
+        if ts.blocks_translated > 0 {
+            let mut h = Histogram::new();
+            for (len, n) in ts.len_hist.iter().enumerate() {
+                h.record_n(len as u64, *n);
+            }
+            m.histogram("superblock_length", &h);
+        }
         let (evictions, invalidations) = self.vms.iter().fold((0, 0), |(e, i), s| {
             (e + s.shadow.evictions(), i + s.shadow.invalidations())
         });

@@ -397,12 +397,7 @@ impl Machine {
         // Drain write notifications before trusting any entry: a store
         // into a cached code page (self-modifying code, VMM writes,
         // modify-bit writeback) invalidates that page's templates.
-        if self.mem.has_dirty_code() {
-            for pfn in self.mem.take_dirty_code_pages() {
-                self.icache.invalidate_page(pfn);
-                self.mem.clear_code_page(pfn);
-            }
-        }
+        self.drain_dirty_code();
         let pc = self.pc();
         let mode = self.psl.cur_mode();
         let Some(pa) = self.fetch_pa_probe(VirtAddr::new(pc), mode) else {

@@ -57,11 +57,11 @@ impl Machine {
         })
     }
 
-    fn set_nzvc(&mut self, n: bool, z: bool, v: bool, c: bool) {
+    pub(crate) fn set_nzvc(&mut self, n: bool, z: bool, v: bool, c: bool) {
         self.psl.set_nzvc(n, z, v, c);
     }
 
-    fn set_nzv_keep_c(&mut self, value: u32, width: u32) {
+    pub(crate) fn set_nzv_keep_c(&mut self, value: u32, width: u32) {
         let m = mask_width(value, width);
         let sign = match width {
             1 => m & 0x80 != 0,
@@ -424,10 +424,13 @@ impl Machine {
                 Ok(ExecOutcome::Retired)
             }
             Sobgeq | Sobgtr => {
-                let DecOp::Loc { loc, old } = d.operands[0] else {
+                let DecOp::Loc {
+                    loc,
+                    old: Some(old),
+                } = d.operands[0]
+                else {
                     unreachable!()
                 };
-                let old = old.expect("modify operand");
                 let new = old.wrapping_sub(1);
                 let target = d.operands[1].value();
                 let saved = self.begin_commit(d);
@@ -447,10 +450,13 @@ impl Machine {
             }
             Aoblss | Aobleq => {
                 let limit = d.operands[0].value() as i32;
-                let DecOp::Loc { loc, old } = d.operands[1] else {
+                let DecOp::Loc {
+                    loc,
+                    old: Some(old),
+                } = d.operands[1]
+                else {
                     unreachable!()
                 };
-                let old = old.expect("modify operand");
                 let new = old.wrapping_add(1);
                 let target = d.operands[2].value();
                 let saved = self.begin_commit(d);
@@ -543,7 +549,9 @@ impl Machine {
                 self.counters.chm += 1;
                 self.cycles += self.costs.chm;
                 let code = d.operands[0].value() as u16 as i16 as i32 as u32;
-                let target = op.chm_target().expect("CHM opcode");
+                let Some(target) = op.chm_target() else {
+                    unreachable!()
+                };
                 let _ = self.begin_commit(d);
                 Err(Exception::ChangeMode { target, code }.into())
             }
@@ -560,7 +568,7 @@ impl Machine {
         }
     }
 
-    fn condition(&self, op: Opcode) -> bool {
+    pub(crate) fn condition(&self, op: Opcode) -> bool {
         use Opcode::*;
         let n = self.psl.flag(Psl::N);
         let z = self.psl.flag(Psl::Z);
@@ -598,10 +606,14 @@ impl Machine {
         let (a, b, loc) = match op {
             Addl2 | Subl2 | Mull2 | Divl2 | Bisl2 | Bicl2 | Xorl2 => {
                 let src = d.operands[0].value();
-                let DecOp::Loc { loc, old } = d.operands[1] else {
+                let DecOp::Loc {
+                    loc,
+                    old: Some(old),
+                } = d.operands[1]
+                else {
                     unreachable!()
                 };
-                (src, old.expect("modify"), loc)
+                (src, old, loc)
             }
             Addl3 | Subl3 | Mull3 | Divl3 | Bisl3 | Bicl3 | Xorl3 => {
                 let DecOp::Loc { loc, .. } = d.operands[2] else {
@@ -610,10 +622,14 @@ impl Machine {
                 (d.operands[0].value(), d.operands[1].value(), loc)
             }
             Incl | Decl | Incb | Decb => {
-                let DecOp::Loc { loc, old } = d.operands[0] else {
+                let DecOp::Loc {
+                    loc,
+                    old: Some(old),
+                } = d.operands[0]
+                else {
                     unreachable!()
                 };
-                (1, old.expect("modify"), loc)
+                (1, old, loc)
             }
             _ => unreachable!(),
         };
@@ -918,7 +934,7 @@ impl Machine {
         self.mmu.set_p1br(p1br);
         self.mmu.set_p1lr(p1lr & 0x3f_ffff);
         self.mmu.tlb_mut().invalidate_process();
-        self.icache.invalidate_all();
+        self.invalidate_code_caches();
         // Push the saved PSL and PC for the REI that completes the switch.
         self.push(psl).map_err(Abort::Fault)?;
         self.push(pc).map_err(Abort::Fault)?;
@@ -958,7 +974,7 @@ impl Machine {
     }
 }
 
-fn sign_extend(v: u32, width: u32) -> i32 {
+pub(crate) fn sign_extend(v: u32, width: u32) -> i32 {
     match width {
         1 => v as u8 as i8 as i32,
         2 => v as u16 as i16 as i32,
@@ -967,7 +983,7 @@ fn sign_extend(v: u32, width: u32) -> i32 {
 }
 
 /// Arithmetic shift; returns (result, overflow).
-fn ash(src: u32, cnt: i8) -> (u32, bool) {
+pub(crate) fn ash(src: u32, cnt: i8) -> (u32, bool) {
     let s = src as i32;
     if cnt >= 0 {
         let c = cnt.min(32) as u32;

@@ -373,14 +373,32 @@ pub struct DecodeCacheStats {
     pub hits: u64,
     /// Lookups that found no matching template.
     pub misses: u64,
+    /// Misses that could not be filled because the instruction was not
+    /// templatable — most commonly a page-crossing encoding — and so
+    /// fell back to bytewise decode (a subset of `misses`).
+    pub bytewise_fallbacks: u64,
     /// Invalidation events (whole-cache and per-page combined).
     pub invalidations: u64,
+}
+
+impl DecodeCacheStats {
+    /// Hit fraction over all lookups, or `None` when there have been no
+    /// lookups at all (so reports can render `null`/0 instead of NaN).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total != 0).then(|| self.hits as f64 / total as f64)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     pa: u32,
     gen: u32,
+    /// Saturating execution counter, bumped on every cache hit. The
+    /// translation tier reads this to find hot block heads; dropping the
+    /// entry (any invalidation) drops the heat with it, so remapped or
+    /// rewritten pages cannot retranslate from stale hotness.
+    heat: u32,
     tpl: InstTemplate,
 }
 
@@ -443,15 +461,20 @@ impl DecodeCache {
     ) -> Option<&InstTemplate> {
         let idx = Self::slot(pa);
         match self.slots[idx] {
-            Some(ref e) if e.pa == pa && e.gen == self.gen => {
+            Some(ref mut e) if e.pa == pa && e.gen == self.gen => {
                 self.stats.hits += 1;
+                e.heat = e.heat.saturating_add(1);
             }
             _ => {
                 self.stats.misses += 1;
-                let tpl = fill()?;
+                let Some(tpl) = fill() else {
+                    self.stats.bytewise_fallbacks += 1;
+                    return None;
+                };
                 self.slots[idx] = Some(Entry {
                     pa,
                     gen: self.gen,
+                    heat: 0,
                     tpl,
                 });
             }
@@ -459,11 +482,31 @@ impl DecodeCache {
         self.slots[idx].as_ref().map(|e| &e.tpl)
     }
 
+    /// Returns the cached template for `pa` without touching statistics
+    /// or heat — used by the translator when walking a candidate block.
+    #[inline]
+    pub fn peek(&self, pa: u32) -> Option<&InstTemplate> {
+        match self.slots[Self::slot(pa)] {
+            Some(ref e) if e.pa == pa && e.gen == self.gen => Some(&e.tpl),
+            _ => None,
+        }
+    }
+
+    /// The hotness counter for `pa` (0 when not cached). Stats-free.
+    #[inline]
+    pub fn heat(&self, pa: u32) -> u32 {
+        match self.slots[Self::slot(pa)] {
+            Some(ref e) if e.pa == pa && e.gen == self.gen => e.heat,
+            _ => 0,
+        }
+    }
+
     #[cfg(test)]
     pub fn insert(&mut self, pa: u32, tpl: InstTemplate) {
         self.slots[Self::slot(pa)] = Some(Entry {
             pa,
             gen: self.gen,
+            heat: 0,
             tpl,
         });
     }
@@ -625,5 +668,49 @@ mod tests {
         c.invalidate_page(8);
         assert!(c.lookup(0x1000).is_none());
         assert_eq!(c.lookup(0x1200), Some(t));
+    }
+
+    #[test]
+    fn heat_accumulates_and_invalidation_drops_it() {
+        let mut c = DecodeCache::new();
+        let t = tpl_of(&[0xD0, 0x05, 0x50]);
+        assert_eq!(c.heat(0x1000), 0);
+        for _ in 0..3 {
+            c.get_or_insert(0x1000, || Some(t));
+        }
+        // Insert miss, then two hits.
+        assert_eq!(c.heat(0x1000), 2);
+        assert_eq!(c.peek(0x1000), Some(&t));
+        // Per-page invalidation drops the counter with the entry.
+        c.invalidate_page(8);
+        assert_eq!(c.heat(0x1000), 0);
+        assert!(c.peek(0x1000).is_none());
+        // Rebuild, then whole-cache invalidation drops it too.
+        for _ in 0..3 {
+            c.get_or_insert(0x1000, || Some(t));
+        }
+        assert_eq!(c.heat(0x1000), 2);
+        c.invalidate_all();
+        assert_eq!(c.heat(0x1000), 0);
+    }
+
+    #[test]
+    fn bytewise_fallbacks_are_counted() {
+        let mut c = DecodeCache::new();
+        assert!(c.get_or_insert(0x1000, || None).is_none());
+        assert!(c.get_or_insert(0x1000, || None).is_none());
+        let s = c.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.bytewise_fallbacks, 2);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        let mut c = DecodeCache::new();
+        assert_eq!(c.stats().hit_rate(), None);
+        let t = tpl_of(&[0xD0, 0x05, 0x50]);
+        c.get_or_insert(0x1000, || Some(t));
+        c.get_or_insert(0x1000, || Some(t));
+        assert_eq!(c.stats().hit_rate(), Some(0.5));
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! A behavioral VAX-subset CPU simulator with the ISCA '91 virtualization
 //! microcode extensions.
@@ -54,11 +55,14 @@ pub mod fixedvec;
 pub mod icache;
 pub mod machine;
 pub mod sensitivity;
+pub mod trans;
+pub mod uop;
 
 pub use bus::{Bus, IrqRequest, MmioDevice, IO_BASE_PA};
 pub use counters::CpuCounters;
 pub use event::{HaltReason, OperandLoc, OperandValue, StepEvent, VmExit, VmTrapInfo};
 pub use fixedvec::FixedVec;
 pub use icache::DecodeCacheStats;
-pub use machine::{Machine, MachineState, TimerState, TIMER_IPL};
+pub use machine::{ExecTier, Machine, MachineState, TimerState, TIMER_IPL};
 pub use sensitivity::{scan_sensitivity, ScanOutcome, SensitivityFinding};
+pub use trans::TransStats;

@@ -5,6 +5,7 @@ use crate::bus::{Bus, IrqRequest, IO_BASE_PA};
 use crate::counters::CpuCounters;
 use crate::event::{HaltReason, StepEvent, VmExit};
 use crate::icache::{DecodeCache, DecodeCacheStats};
+use crate::trans::{TransCache, TransStats};
 use std::collections::VecDeque;
 use vax_arch::{
     AccessMode, CostModel, Exception, Ipr, MachineVariant, Psl, ScbVector, VirtAddr, VmPsl,
@@ -65,6 +66,44 @@ pub(crate) struct Console {
 /// Interrupt priority level of the interval timer.
 pub const TIMER_IPL: u8 = 24;
 
+/// Which execution tier the step loop uses. Every tier produces
+/// bit-identical architectural state, cycle counts, and
+/// [`CpuCounters`] — only wall-clock speed (and the diagnostic
+/// [`DecodeCacheStats`]/[`TransStats`]) differ.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecTier {
+    /// Bytewise decode and interpretation of every instruction.
+    Interp,
+    /// Decode-cache-served interpretation (the default).
+    #[default]
+    Cache,
+    /// Decode cache plus superblock µop translation of hot code, with the
+    /// interpreter as the fallback for everything the translator gates
+    /// off (mapped or VM-mode execution, sensitive instructions, faults).
+    Trans,
+}
+
+impl ExecTier {
+    /// Parses a tier name as used by `vaxrun --exec-tier`.
+    pub fn from_name(name: &str) -> Option<ExecTier> {
+        match name {
+            "interp" => Some(ExecTier::Interp),
+            "cache" => Some(ExecTier::Cache),
+            "trans" => Some(ExecTier::Trans),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`interp`, `cache`, `trans`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecTier::Interp => "interp",
+            ExecTier::Cache => "cache",
+            ExecTier::Trans => "trans",
+        }
+    }
+}
+
 /// Plain-data image of the interval timer for snapshot/restore.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TimerState {
@@ -88,9 +127,10 @@ pub struct TimerState {
 ///
 /// - **Physical memory**: captured separately (it may be large and wants
 ///   page-level compression / copy-on-write handling).
-/// - **Decoded-instruction cache**: [`Machine::import_state`] starts cold;
-///   the cache is proven cycle- and counter-neutral on/off, so this does
-///   not perturb determinism.
+/// - **Decoded-instruction and translated-superblock caches**:
+///   [`Machine::import_state`] starts both cold; each tier is proven
+///   cycle- and counter-neutral on/off, so this does not perturb
+///   determinism.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineState {
     /// General registers R0–R15.
@@ -177,6 +217,9 @@ pub struct Machine {
     /// Decoded-instruction cache, keyed by opcode physical address.
     pub(crate) icache: DecodeCache,
     pub(crate) icache_enabled: bool,
+    /// Translated-superblock cache, keyed by entry physical address.
+    pub(crate) trans: TransCache,
+    exec_tier: ExecTier,
     pub(crate) bus: Bus,
     pub(crate) console: Console,
     pub(crate) timer: IntervalTimer,
@@ -226,6 +269,8 @@ impl Machine {
             mem: PhysMemory::new(mem_bytes),
             icache: DecodeCache::new(),
             icache_enabled: true,
+            trans: TransCache::new(),
+            exec_tier: ExecTier::default(),
             bus: Bus::new(),
             console: Console::default(),
             timer: IntervalTimer::default(),
@@ -244,9 +289,11 @@ impl Machine {
         self.variant
     }
 
-    /// Replaces the cycle-cost model.
+    /// Replaces the cycle-cost model. Translated superblocks fold cycle
+    /// charges in at translate time, so they are all dropped here.
     pub fn set_costs(&mut self, costs: CostModel) {
         self.costs = costs;
+        self.trans.invalidate_all();
     }
 
     /// The cycle-cost model in effect.
@@ -282,15 +329,34 @@ impl Machine {
         c
     }
 
-    /// Enables or disables the decoded-instruction cache. Disabling
-    /// drops all entries and write-tracking state; cycle counts and
-    /// [`Machine::counters`] are unaffected either way.
-    pub fn set_decode_cache_enabled(&mut self, on: bool) {
-        self.icache_enabled = on;
-        if !on {
+    /// Selects the execution tier. Switching drops all translated
+    /// superblocks; switching to [`ExecTier::Interp`] also drops the
+    /// decode cache and its write-tracking state. Cycle counts and
+    /// [`Machine::counters`] are unaffected by the choice.
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        self.exec_tier = tier;
+        self.icache_enabled = tier != ExecTier::Interp;
+        self.trans.invalidate_all();
+        if tier == ExecTier::Interp {
             self.icache.invalidate_all();
             self.mem.clear_all_code_pages();
         }
+    }
+
+    /// The execution tier in effect.
+    pub fn exec_tier(&self) -> ExecTier {
+        self.exec_tier
+    }
+
+    /// Enables or disables the decoded-instruction cache — the historical
+    /// two-tier switch, now an alias for [`Machine::set_exec_tier`] with
+    /// [`ExecTier::Cache`]/[`ExecTier::Interp`].
+    pub fn set_decode_cache_enabled(&mut self, on: bool) {
+        self.set_exec_tier(if on {
+            ExecTier::Cache
+        } else {
+            ExecTier::Interp
+        });
     }
 
     /// Whether the decoded-instruction cache is enabled.
@@ -298,17 +364,44 @@ impl Machine {
         self.icache_enabled
     }
 
-    /// Drops every decoded-instruction cache entry. Embedders (the VMM)
-    /// call this after rewriting guest page tables or memory images
-    /// outside the machine's own store paths.
+    /// Drops every decoded-instruction cache entry and translated
+    /// superblock. Embedders (the VMM) call this after rewriting guest
+    /// page tables or memory images outside the machine's own store paths.
     pub fn invalidate_decode_cache(&mut self) {
+        self.invalidate_code_caches();
+    }
+
+    /// Drops all derived-code state: decode-cache templates and
+    /// translated superblocks. Every invalidation edge that kills one
+    /// must kill both.
+    pub(crate) fn invalidate_code_caches(&mut self) {
         self.icache.invalidate_all();
+        self.trans.invalidate_all();
+    }
+
+    /// Drains self-modifying-code notifications: every physical page
+    /// written since the last drain loses its decode-cache templates and
+    /// translated superblocks before either cache is trusted again.
+    pub(crate) fn drain_dirty_code(&mut self) {
+        if self.mem.has_dirty_code() {
+            for pfn in self.mem.take_dirty_code_pages() {
+                self.icache.invalidate_page(pfn);
+                self.trans.invalidate_page(pfn);
+                self.mem.clear_code_page(pfn);
+            }
+        }
     }
 
     /// Decode-cache hit/miss statistics (diagnostic; not part of the
     /// architectural counters).
     pub fn decode_cache_stats(&self) -> DecodeCacheStats {
         self.icache.stats()
+    }
+
+    /// Translation-tier statistics (diagnostic; not part of the
+    /// architectural counters).
+    pub fn trans_stats(&self) -> TransStats {
+        self.trans.stats()
     }
 
     /// General register `i` (0–15; 15 is the PC).
@@ -709,27 +802,27 @@ impl Machine {
             Isp => self.set_isp(value),
             P0br => {
                 self.mmu.set_p0br(value);
-                self.icache.invalidate_all();
+                self.invalidate_code_caches();
             }
             P0lr => {
                 self.mmu.set_p0lr(value & 0x3f_ffff);
-                self.icache.invalidate_all();
+                self.invalidate_code_caches();
             }
             P1br => {
                 self.mmu.set_p1br(value);
-                self.icache.invalidate_all();
+                self.invalidate_code_caches();
             }
             P1lr => {
                 self.mmu.set_p1lr(value & 0x3f_ffff);
-                self.icache.invalidate_all();
+                self.invalidate_code_caches();
             }
             Sbr => {
                 self.mmu.set_sbr(value);
-                self.icache.invalidate_all();
+                self.invalidate_code_caches();
             }
             Slr => {
                 self.mmu.set_slr(value & 0x3f_ffff);
-                self.icache.invalidate_all();
+                self.invalidate_code_caches();
             }
             Pcbb => self.pcbb = value,
             Scbb => self.scbb = value,
@@ -751,11 +844,11 @@ impl Machine {
             Txdb => self.console.tx_log.push(value as u8),
             Mapen => {
                 self.mmu.set_mapen(value & 1 != 0);
-                self.icache.invalidate_all();
+                self.invalidate_code_caches();
             }
             Tbia => {
                 self.mmu.tlb_mut().invalidate_all();
-                self.icache.invalidate_all();
+                self.invalidate_code_caches();
             }
             Tbis => {
                 // Targeted decode-cache invalidation needs the physical
@@ -764,8 +857,11 @@ impl Machine {
                 // invalidate everything to stay conservative.
                 let va = VirtAddr::new(value);
                 match self.mmu.tlb().peek(va) {
-                    Some(e) => self.icache.invalidate_page(e.pfn),
-                    None => self.icache.invalidate_all(),
+                    Some(e) => {
+                        self.icache.invalidate_page(e.pfn);
+                        self.trans.invalidate_page(e.pfn);
+                    }
+                    None => self.invalidate_code_caches(),
                 }
                 self.mmu.tlb_mut().invalidate_single(va);
             }
@@ -853,29 +949,52 @@ impl Machine {
             };
         }
 
-        if let Some((ring, cap)) = &mut self.trace {
-            if ring.len() == *cap {
-                ring.pop_front();
+        // Translated fast path: executes a whole superblock (charging
+        // cycles and ticking devices per retired µop exactly as the
+        // interpreter path below does per instruction) or declines.
+        if self.exec_tier == ExecTier::Trans {
+            if let Some(event) = self.step_translated() {
+                return event;
             }
-            ring.push_back(self.regs[15]);
         }
+
+        self.trace_push(self.regs[15]);
         let cycles_before = self.cycles;
         let event = self.execute_one();
 
         // Advance time-based devices by the cycles actually consumed.
-        let now = self.cycles;
-        let delta = (now - cycles_before).max(1);
+        let delta = (self.cycles - cycles_before).max(1);
+        self.post_instruction_tick(delta);
+        event
+    }
+
+    /// Records a retiring instruction's PC in the trace ring, if tracing
+    /// is enabled. Shared by the interpreter and translated tiers.
+    pub(crate) fn trace_push(&mut self, pc: u32) {
+        if let Some((ring, cap)) = &mut self.trace {
+            if ring.len() == *cap {
+                ring.pop_front();
+            }
+            ring.push_back(pc);
+        }
+    }
+
+    /// Advances time-based devices by `delta` cycles after an instruction
+    /// (or µop) retires, and reports whether an interrupt became
+    /// deliverable — the translated tier uses that to side-exit.
+    pub(crate) fn post_instruction_tick(&mut self, delta: u64) -> bool {
         self.timer.tick(delta);
         self.todr_acc += delta;
         if self.todr_acc >= 100 {
             self.todr = self.todr.wrapping_add(1);
             self.todr_acc = 0;
         }
+        let now = self.cycles;
         let Machine {
             bus, pending_irqs, ..
         } = self;
         bus.tick_into(now, pending_irqs);
-        event
+        self.pending_interrupt().is_some()
     }
 
     /// Runs until halt, a VM exit, or `max_steps` instructions.
@@ -959,7 +1078,7 @@ impl Machine {
         self.exit_stamp = state.exit_stamp;
         self.counters = state.counters;
         self.halted = state.halted;
-        self.icache.invalidate_all();
+        self.invalidate_code_caches();
         self.mem.clear_all_code_pages();
     }
 
@@ -969,7 +1088,7 @@ impl Machine {
     /// contents.
     pub fn replace_mem(&mut self, mem: PhysMemory) {
         self.mem = mem;
-        self.icache.invalidate_all();
+        self.invalidate_code_caches();
         self.mem.clear_all_code_pages();
     }
 

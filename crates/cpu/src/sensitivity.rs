@@ -11,6 +11,11 @@
 //! without giving a monitor control — and verifies that the modified
 //! architecture repairs it.
 
+// Diagnostic scan harness: every unwrap targets a machine this module
+// constructs itself with statically in-bounds addresses, so failures are
+// programming errors, not runtime conditions worth plumbing.
+#![allow(clippy::unwrap_used)]
+
 use crate::event::{StepEvent, VmExit};
 use crate::machine::Machine;
 use vax_arch::opcode::SensitiveData;

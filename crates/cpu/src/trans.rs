@@ -1,0 +1,572 @@
+//! The superblock translation execution tier.
+//!
+//! Hot straight-line guest code — discovered by the execution counter the
+//! decode cache keeps per entry — is chained into **superblocks**: runs of
+//! lowered µops ([`crate::uop`]) starting at a hot PC and ending at the
+//! first branch, sensitive/untranslatable instruction, page boundary, or
+//! [`MAX_BLOCK_UOPS`]. Executing a block is a tight match-dispatch loop
+//! with no per-instruction decode, operand re-materialization, or event
+//! plumbing — while retiring each µop with the same register file, PSL,
+//! cycle charge, counters, trace-ring pushes, and timer/bus ticks as the
+//! interpreter, bit for bit. The interpreter remains the oracle.
+//!
+//! # Gating and the side-exit protocol
+//!
+//! Translation only runs with memory mapping off, outside VM mode, and
+//! with `PSL<IV>` clear (so no translated arithmetic can trap on integer
+//! overflow); everything else — including every EmulatedMmio path, which
+//! lives in mapped or IO space — takes the interpreter. Inside a block,
+//! each µop either retires completely or bails **before mutating any
+//! state** (the only runtime bail is divide-by-zero), so a side exit
+//! simply stops the loop and lets the interpreter re-execute the
+//! instruction, raising the architecturally correct fault with the
+//! correct charges. A deliverable interrupt ends the block after the
+//! current µop retires; the next `step()` delivers it exactly as the
+//! interpreter would have.
+//!
+//! # Invalidation edges
+//!
+//! Blocks are keyed by entry physical address (== virtual, mapping off)
+//! and die on every edge that kills decode-cache entries: self-modifying
+//! code (dirty code-page drain at block entry — device ticks cannot touch
+//! memory, so nothing can rewrite a page mid-block), TBIA/TBIS, MAPEN and
+//! page-table base writes, LDPCTX, snapshot import, memory replacement,
+//! and cost-model changes (cycle charges are folded into µops at
+//! translate time).
+
+use crate::bus::IO_BASE_PA;
+use crate::decode::mask_width;
+use crate::event::StepEvent;
+use crate::exec::{ash, sign_extend};
+use crate::icache::parse_template;
+use crate::machine::Machine;
+use crate::uop::{lower, AluOp, MovXf, Uop, UopKind, MAX_BLOCK_UOPS};
+use vax_arch::{Psl, PAGE_BYTES, PAGE_SHIFT};
+
+/// Translation-cache slot count; a power of two with at least one page of
+/// slots (so per-page invalidation scans a contiguous range).
+const TSLOTS: usize = 4096;
+
+/// Decode-cache hits at one PC before a superblock forms there.
+const HOT_THRESHOLD: u32 = 16;
+
+/// Translation-tier statistics (diagnostic only — like
+/// [`DecodeCacheStats`](crate::DecodeCacheStats), deliberately not part of
+/// the architectural [`CpuCounters`](crate::CpuCounters), which are
+/// bit-identical across execution tiers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransStats {
+    /// Superblocks formed (re-translations after invalidation included).
+    pub blocks_translated: u64,
+    /// Block executions that retired at least one µop.
+    pub blocks_executed: u64,
+    /// µops (== guest instructions) retired by the translated tier.
+    pub uops_executed: u64,
+    /// Blocks cut short because an interrupt became deliverable mid-block.
+    pub side_exit_interrupt: u64,
+    /// µops that bailed to the interpreter pre-mutation (divide-by-zero).
+    pub side_exit_bail: u64,
+    /// Invalidation events (whole-cache and per-page combined).
+    pub invalidations: u64,
+    /// Histogram of superblock lengths at translate time, indexed by µop
+    /// count (index 0 unused; blocks have at least one µop).
+    pub len_hist: [u64; MAX_BLOCK_UOPS + 1],
+}
+
+impl Default for TransStats {
+    fn default() -> TransStats {
+        TransStats {
+            blocks_translated: 0,
+            blocks_executed: 0,
+            uops_executed: 0,
+            side_exit_interrupt: 0,
+            side_exit_bail: 0,
+            invalidations: 0,
+            len_hist: [0; MAX_BLOCK_UOPS + 1],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TransEntry {
+    pa: u32,
+    gen: u32,
+    block: Box<[Uop]>,
+}
+
+/// Direct-mapped cache of translated superblocks keyed by entry physical
+/// address. An **empty** block is a negative marker: the PC is hot but its
+/// first instruction does not lower, so the tier stops re-walking it.
+#[derive(Debug)]
+pub(crate) struct TransCache {
+    slots: Box<[Option<TransEntry>; TSLOTS]>,
+    /// Generation counter: bumping it is an O(1) `invalidate_all`.
+    gen: u32,
+    stats: TransStats,
+}
+
+impl TransCache {
+    pub fn new() -> TransCache {
+        TransCache {
+            slots: vec![None; TSLOTS]
+                .into_boxed_slice()
+                .try_into()
+                .unwrap_or_else(|_| unreachable!()),
+            gen: 0,
+            stats: TransStats::default(),
+        }
+    }
+
+    #[inline]
+    fn slot(pa: u32) -> usize {
+        pa as usize & (TSLOTS - 1)
+    }
+
+    /// Removes and returns the block keyed at `pa`, if current. Taking
+    /// (rather than borrowing) lets the machine execute the block while
+    /// mutating itself; nothing during block execution can invalidate it
+    /// (device ticks have no memory access), so restoring afterwards is
+    /// sound.
+    #[inline]
+    fn take(&mut self, pa: u32) -> Option<Box<[Uop]>> {
+        let idx = Self::slot(pa);
+        match self.slots[idx] {
+            Some(ref e) if e.pa == pa && e.gen == self.gen => {
+                self.slots[idx].take().map(|e| e.block)
+            }
+            _ => None,
+        }
+    }
+
+    /// Puts a block (back) in the cache under the current generation.
+    fn insert(&mut self, pa: u32, block: Box<[Uop]>) {
+        self.slots[Self::slot(pa)] = Some(TransEntry {
+            pa,
+            gen: self.gen,
+            block,
+        });
+    }
+
+    /// Invalidates every block (TBIA, MAPEN/base-register writes, LDPCTX,
+    /// tier switches, cost-model changes, snapshot import).
+    pub fn invalidate_all(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        self.stats.invalidations += 1;
+        if self.gen == 0 {
+            self.slots.fill(None);
+        }
+    }
+
+    /// Invalidates all blocks whose entry lies in physical page `pfn`
+    /// (self-modifying code, TBIS). Blocks never span a page, so the
+    /// entry's page covers every instruction in the block.
+    pub fn invalidate_page(&mut self, pfn: u32) {
+        let first = Self::slot(pfn << PAGE_SHIFT);
+        for idx in first..first + PAGE_BYTES as usize {
+            if let Some(e) = &self.slots[idx] {
+                if e.pa >> PAGE_SHIFT == pfn {
+                    self.slots[idx] = None;
+                }
+            }
+        }
+        self.stats.invalidations += 1;
+    }
+
+    pub fn stats(&self) -> TransStats {
+        self.stats
+    }
+}
+
+impl Machine {
+    /// Attempts one translated-tier step at the current PC.
+    ///
+    /// `None` means "this step is the interpreter's" — the tier is gated
+    /// off, the PC has no (non-empty) block yet, or the block's first µop
+    /// bailed. In every `None` case **nothing was mutated**, so the caller
+    /// falls through to the ordinary interpreter path. `Some(ev)` means at
+    /// least one instruction retired exactly as the interpreter would have
+    /// retired it.
+    pub(crate) fn step_translated(&mut self) -> Option<StepEvent> {
+        // Gate: mapping on (VA != PA, faults possible mid-operand), VM
+        // mode (sensitive-op dispatch), or PSL<IV> set (translated
+        // arithmetic could trap on overflow) all fall back to the
+        // interpreter. EmulatedMmio/device paths live behind mapping or
+        // IO-space fetches, which the gates below also exclude.
+        if self.mmu.mapen() || self.psl.vm() || self.psl.flag(Psl::IV) {
+            return None;
+        }
+        // Honor self-modifying-code notifications before trusting any
+        // block, mirroring the decode cache's drain.
+        self.drain_dirty_code();
+        let entry = self.regs[15];
+        if entry >= IO_BASE_PA {
+            return None;
+        }
+        let Some(block) = self.trans.take(entry) else {
+            self.maybe_translate(entry);
+            return None;
+        };
+        if block.is_empty() {
+            // Negative marker: hot but untranslatable first instruction.
+            self.trans.insert(entry, block);
+            return None;
+        }
+        let mut executed = 0u64;
+        for (i, u) in block.iter().enumerate() {
+            let cur_pc = self.regs[15];
+            if !self.exec_uop(u) {
+                // Pre-mutation bail: the interpreter re-executes this
+                // instruction and raises the fault with correct charges.
+                self.trans.stats.side_exit_bail += 1;
+                break;
+            }
+            // Retire exactly as `Machine::step` + `execute_one` would:
+            // trace push of the instruction's PC, instruction counter,
+            // the folded cycle charge, then timer/TODR/bus ticks.
+            self.trace_push(cur_pc);
+            executed += 1;
+            self.counters.instructions += 1;
+            self.cycles += u.cyc;
+            if self.post_instruction_tick(u.cyc.max(1)) {
+                // A deliverable interrupt ends the block; the next step()
+                // delivers it, exactly as under the interpreter.
+                if i + 1 < block.len() {
+                    self.trans.stats.side_exit_interrupt += 1;
+                }
+                break;
+            }
+        }
+        if executed > 0 {
+            self.trans.stats.blocks_executed += 1;
+            self.trans.stats.uops_executed += executed;
+        }
+        self.trans.insert(entry, block);
+        (executed > 0).then_some(StepEvent::Ok)
+    }
+
+    /// Forms a superblock at `entry` once the decode cache reports it hot.
+    /// Walks forward lowering templates until a block-ending µop (branch),
+    /// an untranslatable instruction, the page boundary, or the length
+    /// cap. Always inserts the result — an empty block is the negative
+    /// marker that stops re-walking a hot-but-untranslatable PC.
+    fn maybe_translate(&mut self, entry: u32) {
+        if self.icache.heat(entry) < HOT_THRESHOLD {
+            return;
+        }
+        let page = entry >> PAGE_SHIFT;
+        let mut uops: Vec<Uop> = Vec::with_capacity(8);
+        let mut pa = entry;
+        while uops.len() < MAX_BLOCK_UOPS && pa >> PAGE_SHIFT == page {
+            let Some(tpl) = self.template_at(pa) else {
+                break;
+            };
+            let Some(u) = lower(&tpl, pa, &self.costs) else {
+                break;
+            };
+            let ends = u.ends_block();
+            pa = u.next_pc;
+            uops.push(u);
+            if ends {
+                break;
+            }
+        }
+        if !uops.is_empty() {
+            // Register the page for self-modifying-code tracking, exactly
+            // as the decode cache does for its own entries.
+            self.mem.note_code_page(page);
+            self.trans.stats.blocks_translated += 1;
+            self.trans.stats.len_hist[uops.len().min(MAX_BLOCK_UOPS)] += 1;
+        }
+        self.trans.insert(entry, uops.into_boxed_slice());
+    }
+
+    /// The baked template at `pa`: served from the decode cache when
+    /// present, else parsed fresh (without inserting, so decode-cache
+    /// statistics stay a faithful record of the decode path).
+    fn template_at(&mut self, pa: u32) -> Option<crate::icache::InstTemplate> {
+        if let Some(t) = self.icache.peek(pa) {
+            return Some(*t);
+        }
+        let mut t = self.mem.page_tail(pa).and_then(parse_template)?;
+        t.bake(pa);
+        Some(t)
+    }
+
+    /// Writes register `r` at width `w`, merging into the old value below
+    /// a longword — the register half of [`Machine::write_loc`].
+    #[inline]
+    fn write_reg_w(&mut self, r: u8, value: u32, w: u8) {
+        let old = self.regs[r as usize];
+        self.regs[r as usize] = match w {
+            1 => (old & !0xff) | (value & 0xff),
+            2 => (old & !0xffff) | (value & 0xffff),
+            _ => value,
+        };
+    }
+
+    /// Executes one µop. Returns `false` — with **no state mutated** — to
+    /// bail to the interpreter (divide by zero, the only runtime bail;
+    /// overflow traps are excluded by the PSL<IV> gate). Each arm retires
+    /// bit-identically to the interpreter over the same instruction:
+    /// destination write, PC update, then condition codes.
+    fn exec_uop(&mut self, u: &Uop) -> bool {
+        match u.kind {
+            UopKind::Nop => {
+                self.regs[15] = u.next_pc;
+            }
+            UopKind::Mov { src, dst, w, xf } => {
+                let s = src.val(&self.regs);
+                let value = match xf {
+                    MovXf::Id => s,
+                    MovXf::Com => !s,
+                    MovXf::SextB => s as u8 as i8 as i32 as u32,
+                    MovXf::SextW => s as u16 as i16 as i32 as u32,
+                };
+                self.write_reg_w(dst, value, w);
+                self.regs[15] = u.next_pc;
+                self.set_nzv_keep_c(value, w as u32);
+            }
+            UopKind::CvtNarrow {
+                src,
+                dst,
+                w,
+                from_w,
+            } => {
+                let s = src.val(&self.regs);
+                let overflow = match (from_w, w) {
+                    (4, 1) => i8::try_from(s as i32).is_err(),
+                    (2, 1) => i8::try_from(s as u16 as i16 as i32).is_err(),
+                    _ => i16::try_from(s as i32).is_err(),
+                };
+                self.write_reg_w(dst, s, w);
+                self.regs[15] = u.next_pc;
+                self.set_nzv_keep_c(s, w as u32);
+                if overflow {
+                    self.psl.set_flag(Psl::V, true);
+                }
+            }
+            UopKind::Mneg { src, dst } => {
+                let s = src.val(&self.regs);
+                let value = 0u32.wrapping_sub(s);
+                self.write_reg_w(dst, value, 4);
+                self.regs[15] = u.next_pc;
+                self.set_nzvc(
+                    (value as i32) < 0,
+                    value == 0,
+                    s == 0x8000_0000,
+                    s != 0, // borrow out of 0 - src
+                );
+            }
+            UopKind::Clr { dst, w } => {
+                self.write_reg_w(dst, 0, w);
+                self.regs[15] = u.next_pc;
+                self.psl.set_flag(Psl::N, false);
+                self.psl.set_flag(Psl::Z, true);
+                self.psl.set_flag(Psl::V, false);
+            }
+            UopKind::Tst { src, w } => {
+                let v = src.val(&self.regs);
+                self.regs[15] = u.next_pc;
+                self.set_nzv_keep_c(v, w as u32);
+                self.psl.set_flag(Psl::C, false);
+            }
+            UopKind::Cmp { a, b, w } => {
+                let (av, bv) = (a.val(&self.regs), b.val(&self.regs));
+                let w = w as u32;
+                let (sa, sb) = (sign_extend(av, w), sign_extend(bv, w));
+                let (ua, ub) = (mask_width(av, w), mask_width(bv, w));
+                self.regs[15] = u.next_pc;
+                self.set_nzvc(sa < sb, sa == sb, false, ua < ub);
+            }
+            UopKind::Bit { a, b } => {
+                let r = a.val(&self.regs) & b.val(&self.regs);
+                self.regs[15] = u.next_pc;
+                self.set_nzv_keep_c(r, 4);
+            }
+            UopKind::Alu { op, a, b, dst } => {
+                let av = a.val(&self.regs);
+                let bv = b.val(&self.regs);
+                let (value, vflag, cflag) = match op {
+                    AluOp::Add => {
+                        let r = bv.wrapping_add(av);
+                        (r, ((av ^ r) & (bv ^ r)) >> 31 != 0, r < av)
+                    }
+                    AluOp::Sub => {
+                        let r = bv.wrapping_sub(av);
+                        (r, ((bv ^ av) & (bv ^ r)) >> 31 != 0, bv < av)
+                    }
+                    AluOp::Mul => {
+                        let wide = (av as i32 as i64) * (bv as i32 as i64);
+                        let r = wide as u32;
+                        (r, wide != r as i32 as i64, false)
+                    }
+                    AluOp::Div => {
+                        if av == 0 {
+                            return false; // bail: interpreter raises the fault
+                        }
+                        if bv == 0x8000_0000 && av == 0xffff_ffff {
+                            (bv, true, false) // overflow: dividend, V set
+                        } else {
+                            (((bv as i32) / (av as i32)) as u32, false, false)
+                        }
+                    }
+                    AluOp::Bis => (av | bv, false, self.psl.flag(Psl::C)),
+                    AluOp::Bic => (!av & bv, false, self.psl.flag(Psl::C)),
+                    AluOp::Xor => (av ^ bv, false, self.psl.flag(Psl::C)),
+                };
+                self.write_reg_w(dst, value, 4);
+                self.regs[15] = u.next_pc;
+                self.set_nzvc(value & 0x8000_0000 != 0, value == 0, vflag, cflag);
+            }
+            UopKind::IncDec { r, byte, dec } => {
+                let w: u32 = if byte { 1 } else { 4 };
+                let b = mask_width(self.regs[r as usize], w);
+                let (value, vflag, cflag) = if dec {
+                    let res = b.wrapping_sub(1);
+                    (res, ((b ^ 1) & (b ^ res)) >> 31 != 0, b < 1)
+                } else {
+                    let res = b.wrapping_add(1);
+                    (res, ((1 ^ res) & (b ^ res)) >> 31 != 0, res < 1)
+                };
+                // Byte-width condition codes use the byte result.
+                let (value, vflag, cflag) = if byte {
+                    let m = mask_width(value, 1);
+                    let v = if dec { b == 0x80 } else { b == 0x7f };
+                    let c = if dec { b == 0 } else { m == 0 };
+                    (m, v, c)
+                } else {
+                    (value, vflag, cflag)
+                };
+                self.write_reg_w(r, value, w as u8);
+                self.regs[15] = u.next_pc;
+                let m = mask_width(value, w);
+                let sign = if byte {
+                    m & 0x80 != 0
+                } else {
+                    m & 0x8000_0000 != 0
+                };
+                self.set_nzvc(sign, m == 0, vflag, cflag);
+            }
+            UopKind::Ashl { cnt, src, dst } => {
+                let c = cnt.val(&self.regs) as u8 as i8;
+                let (value, overflow) = ash(src.val(&self.regs), c);
+                self.write_reg_w(dst, value, 4);
+                self.regs[15] = u.next_pc;
+                self.set_nzvc((value as i32) < 0, value == 0, overflow, false);
+            }
+            UopKind::Movpsl { dst } => {
+                // The movpsl cycle charge is folded into `u.cyc`; the
+                // counter retires here. VM mode never reaches this tier,
+                // so the visible PSL is the right source.
+                self.counters.movpsl += 1;
+                let value = self.psl.raw_visible();
+                self.write_reg_w(dst, value, 4);
+                self.regs[15] = u.next_pc;
+            }
+            UopKind::Br { target } => {
+                self.regs[15] = target;
+            }
+            UopKind::BCond { cond, target } => {
+                let take = self.condition(cond);
+                self.regs[15] = if take { target } else { u.next_pc };
+            }
+            UopKind::Blb { src, set, target } => {
+                let v = src.val(&self.regs);
+                let take = (v & 1 == 1) == set;
+                self.regs[15] = if take { target } else { u.next_pc };
+            }
+            UopKind::Sob { r, gtr, target } => {
+                let old = self.regs[r as usize];
+                let new = old.wrapping_sub(1);
+                self.regs[r as usize] = new;
+                let take = if gtr {
+                    (new as i32) > 0
+                } else {
+                    (new as i32) >= 0
+                };
+                self.regs[15] = if take { target } else { u.next_pc };
+                let v = old == 0x8000_0000;
+                self.set_nzvc((new as i32) < 0, new == 0, v, self.psl.flag(Psl::C));
+            }
+            UopKind::Aob {
+                limit,
+                r,
+                lss,
+                target,
+            } => {
+                let lim = limit.val(&self.regs) as i32;
+                let old = self.regs[r as usize];
+                let new = old.wrapping_add(1);
+                self.regs[r as usize] = new;
+                let take = if lss {
+                    (new as i32) < lim
+                } else {
+                    (new as i32) <= lim
+                };
+                self.regs[15] = if take { target } else { u.next_pc };
+                let v = old == 0x7fff_ffff;
+                self.set_nzvc((new as i32) < 0, new == 0, v, self.psl.flag(Psl::C));
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vax_arch::CostModel;
+
+    fn block_of(n: usize) -> Box<[Uop]> {
+        let c = CostModel::default();
+        vec![
+            Uop {
+                kind: UopKind::Nop,
+                cyc: c.base_instruction,
+                next_pc: 0,
+            };
+            n
+        ]
+        .into_boxed_slice()
+    }
+
+    #[test]
+    fn take_restore_round_trip() {
+        let mut t = TransCache::new();
+        assert!(t.take(0x1000).is_none());
+        t.insert(0x1000, block_of(3));
+        let b = t.take(0x1000).expect("present");
+        assert_eq!(b.len(), 3);
+        assert!(t.take(0x1000).is_none(), "take removes");
+        t.insert(0x1000, b);
+        assert!(t.take(0x1000).is_some());
+    }
+
+    #[test]
+    fn invalidate_all_is_generational() {
+        let mut t = TransCache::new();
+        t.insert(0x1000, block_of(1));
+        t.invalidate_all();
+        assert!(t.take(0x1000).is_none());
+        assert_eq!(t.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn page_invalidation_is_targeted() {
+        let mut t = TransCache::new();
+        t.insert(0x1000, block_of(1)); // pfn 8
+        t.insert(0x1200, block_of(2)); // pfn 9
+        t.invalidate_page(8);
+        assert!(t.take(0x1000).is_none());
+        assert_eq!(t.take(0x1200).map(|b| b.len()), Some(2));
+    }
+
+    #[test]
+    fn slot_aliasing_misses() {
+        let mut t = TransCache::new();
+        t.insert(0x1000, block_of(1));
+        assert!(t.take(0x1000 + TSLOTS as u32).is_none());
+        // The aliasing take above evicted nothing.
+        assert!(t.take(0x1000).is_some());
+    }
+}

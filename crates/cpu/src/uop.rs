@@ -1,0 +1,438 @@
+//! The threaded-µop intermediate representation.
+//!
+//! [`lower`] turns one decoded-and-baked [`InstTemplate`] into one
+//! [`Uop`]: a self-contained micro-operation whose operand sources are
+//! resolved to either an immediate constant or a register number, whose
+//! branch targets are absolute addresses, and whose entire cycle charge
+//! (i-stream fetch events × memory-reference, plus the base-instruction
+//! and any opcode-specific charge) is folded into a single constant. The
+//! translated execution tier in `trans.rs` dispatches over [`UopKind`]
+//! with none of the per-step decode, operand materialization, or event
+//! plumbing of the interpreter — while producing bit-identical
+//! architectural state, cycle counts, and counters.
+//!
+//! Only instructions that touch **no memory** lower: register/literal
+//! moves, converts, ALU ops, and branches. Everything else — memory
+//! operands, privileged or sensitive instructions, faulting encodings —
+//! returns `None` and ends superblock formation, leaving those
+//! instructions to the interpreter (the oracle).
+
+use crate::decode::DecOp;
+use crate::event::OperandLoc;
+use crate::icache::InstTemplate;
+use vax_arch::{CostModel, Opcode};
+
+/// Maximum µops per superblock (and the length-histogram bound).
+pub const MAX_BLOCK_UOPS: usize = 32;
+
+/// A µop operand source, resolved at translate time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
+    /// A literal or immediate folded from the instruction bytes.
+    Imm(u32),
+    /// A general register, masked to the operand width at read time.
+    Reg { r: u8, w: u8 },
+}
+
+impl Src {
+    /// The operand's input value against the live register file —
+    /// exactly what materialization would have produced.
+    #[inline]
+    pub fn val(&self, regs: &[u32; 16]) -> u32 {
+        match *self {
+            Src::Imm(v) => v,
+            Src::Reg { r, w } => crate::decode::mask_width(regs[r as usize], w as u32),
+        }
+    }
+}
+
+/// Longword ALU operation selector (the 2- and 3-operand integer forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Bis,
+    Bic,
+    Xor,
+}
+
+/// Value transform applied by a widening/copying move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MovXf {
+    /// Plain copy (MOVx, MOVZxx).
+    Id,
+    /// One's complement (MCOML).
+    Com,
+    /// Sign-extend the low byte (CVTBL, CVTBW).
+    SextB,
+    /// Sign-extend the low word (CVTWL).
+    SextW,
+}
+
+/// The operation a µop performs. Branch targets are absolute (valid only
+/// with mapping off, where VA == PA and the template bake resolved them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UopKind {
+    /// NOP.
+    Nop,
+    /// Move family: write `xf(src)` at width `w`, N/Z from the result,
+    /// V clear, C kept.
+    Mov { src: Src, dst: u8, w: u8, xf: MovXf },
+    /// Narrowing convert (CVTLB/CVTWB/CVTLW): sets V on signed overflow.
+    CvtNarrow {
+        src: Src,
+        dst: u8,
+        w: u8,
+        from_w: u8,
+    },
+    /// MNEGL, with its borrow/overflow flag shape.
+    Mneg { src: Src, dst: u8 },
+    /// CLRx.
+    Clr { dst: u8, w: u8 },
+    /// TSTx.
+    Tst { src: Src, w: u8 },
+    /// CMPx.
+    Cmp { a: Src, b: Src, w: u8 },
+    /// BITL.
+    Bit { a: Src, b: Src },
+    /// Longword ALU op, 2- or 3-operand form normalized to `dst = b op a`.
+    Alu { op: AluOp, a: Src, b: Src, dst: u8 },
+    /// INCx/DECx on a register.
+    IncDec { r: u8, byte: bool, dec: bool },
+    /// ASHL.
+    Ashl { cnt: Src, src: Src, dst: u8 },
+    /// MOVPSL (never taken in VM mode: translation is gated off there).
+    Movpsl { dst: u8 },
+    /// Unconditional branch.
+    Br { target: u32 },
+    /// Conditional branch; `cond` is the original opcode for the shared
+    /// condition evaluator.
+    BCond { cond: Opcode, target: u32 },
+    /// BLBS/BLBC.
+    Blb { src: Src, set: bool, target: u32 },
+    /// SOBGEQ/SOBGTR.
+    Sob { r: u8, gtr: bool, target: u32 },
+    /// AOBLSS/AOBLEQ.
+    Aob {
+        limit: Src,
+        r: u8,
+        lss: bool,
+        target: u32,
+    },
+}
+
+/// One translated micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Uop {
+    pub kind: UopKind,
+    /// Folded cycle charge: `fetch_events × memory_reference +
+    /// base_instruction` plus any opcode-specific charge (MOVPSL).
+    pub cyc: u64,
+    /// Address of the following instruction (== the fall-through PC;
+    /// VA == PA with mapping off).
+    pub next_pc: u32,
+}
+
+impl Uop {
+    /// Whether this µop may redirect control flow, ending a superblock.
+    pub fn ends_block(&self) -> bool {
+        matches!(
+            self.kind,
+            UopKind::Br { .. }
+                | UopKind::BCond { .. }
+                | UopKind::Blb { .. }
+                | UopKind::Sob { .. }
+                | UopKind::Aob { .. }
+        )
+    }
+}
+
+/// A baked operand slot, reinterpreted for lowering.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Imm(u32),
+    RegRead { r: u8, w: u8 },
+    RegModify(u8),
+    RegWrite(u8),
+    Target(u32),
+}
+
+/// Lowers one baked template at `pa` into a µop, or `None` for anything
+/// the translated tier does not handle (which ends the superblock).
+pub(crate) fn lower(tpl: &InstTemplate, pa: u32, costs: &CostModel) -> Option<Uop> {
+    use Opcode::*;
+    if !tpl.simple {
+        return None;
+    }
+    // Reinterpret the baked operand array + register-patch list: a patch
+    // marks a register-sourced slot (read or modify), an unpatched slot
+    // is a folded constant, branch target, or register write destination.
+    let mut slots = [Slot::Imm(0); 6];
+    for (i, b) in tpl.baked.iter().enumerate() {
+        slots[i] = match *b {
+            DecOp::Value(v) => Slot::Imm(v),
+            DecOp::Branch(t) => Slot::Target(t),
+            DecOp::Loc {
+                loc: OperandLoc::Reg(r),
+                ..
+            } => Slot::RegWrite(r),
+            // Simple templates never carry memory locations or addresses.
+            DecOp::Loc { .. } | DecOp::Addr(_) => return None,
+        };
+    }
+    for p in &tpl.patches {
+        slots[p.idx as usize] = if p.modify {
+            Slot::RegModify(p.reg)
+        } else {
+            Slot::RegRead {
+                r: p.reg,
+                w: p.width,
+            }
+        };
+    }
+    let src = |i: usize| match slots[i] {
+        Slot::Imm(v) => Some(Src::Imm(v)),
+        Slot::RegRead { r, w } => Some(Src::Reg { r, w }),
+        _ => None,
+    };
+    let wdst = |i: usize| match slots[i] {
+        Slot::RegWrite(r) => Some(r),
+        _ => None,
+    };
+    let mdst = |i: usize| match slots[i] {
+        Slot::RegModify(r) => Some(r),
+        _ => None,
+    };
+    let tgt = |i: usize| match slots[i] {
+        Slot::Target(t) => Some(t),
+        _ => None,
+    };
+
+    let op = tpl.op;
+    let kind = match op {
+        Nop => UopKind::Nop,
+        Movl | Movzbl | Movzwl | Movzbw | Movb | Movw | Mcoml | Cvtbl | Cvtbw | Cvtwl => {
+            let w = match op {
+                Movb => 1,
+                Movw | Movzbw | Cvtbw => 2,
+                _ => 4,
+            };
+            let xf = match op {
+                Mcoml => MovXf::Com,
+                Cvtbl | Cvtbw => MovXf::SextB,
+                Cvtwl => MovXf::SextW,
+                _ => MovXf::Id,
+            };
+            UopKind::Mov {
+                src: src(0)?,
+                dst: wdst(1)?,
+                w,
+                xf,
+            }
+        }
+        Mnegl => UopKind::Mneg {
+            src: src(0)?,
+            dst: wdst(1)?,
+        },
+        Cvtlb | Cvtwb | Cvtlw => {
+            let (from_w, w) = match op {
+                Cvtlb => (4, 1),
+                Cvtwb => (2, 1),
+                _ => (4, 2),
+            };
+            UopKind::CvtNarrow {
+                src: src(0)?,
+                dst: wdst(1)?,
+                w,
+                from_w,
+            }
+        }
+        Clrl | Clrb | Clrw => UopKind::Clr {
+            dst: wdst(0)?,
+            w: match op {
+                Clrb => 1,
+                Clrw => 2,
+                _ => 4,
+            },
+        },
+        Tstl | Tstb | Tstw => UopKind::Tst {
+            src: src(0)?,
+            w: match op {
+                Tstb => 1,
+                Tstw => 2,
+                _ => 4,
+            },
+        },
+        Cmpl | Cmpb | Cmpw => UopKind::Cmp {
+            a: src(0)?,
+            b: src(1)?,
+            w: match op {
+                Cmpb => 1,
+                Cmpw => 2,
+                _ => 4,
+            },
+        },
+        Bitl => UopKind::Bit {
+            a: src(0)?,
+            b: src(1)?,
+        },
+        Addl2 | Subl2 | Mull2 | Divl2 | Bisl2 | Bicl2 | Xorl2 => {
+            let r = mdst(1)?;
+            UopKind::Alu {
+                op: alu_of(op),
+                a: src(0)?,
+                b: Src::Reg { r, w: 4 },
+                dst: r,
+            }
+        }
+        Addl3 | Subl3 | Mull3 | Divl3 | Bisl3 | Bicl3 | Xorl3 => UopKind::Alu {
+            op: alu_of(op),
+            a: src(0)?,
+            b: src(1)?,
+            dst: wdst(2)?,
+        },
+        Incl | Decl | Incb | Decb => UopKind::IncDec {
+            r: mdst(0)?,
+            byte: matches!(op, Incb | Decb),
+            dec: matches!(op, Decl | Decb),
+        },
+        Ashl => UopKind::Ashl {
+            cnt: src(0)?,
+            src: src(1)?,
+            dst: wdst(2)?,
+        },
+        Movpsl => UopKind::Movpsl { dst: wdst(0)? },
+        Brb | Brw => UopKind::Br { target: tgt(0)? },
+        Bneq | Beql | Bgtr | Bleq | Bgeq | Blss | Bgtru | Blequ | Bvc | Bvs | Bgequ | Blssu => {
+            UopKind::BCond {
+                cond: op,
+                target: tgt(0)?,
+            }
+        }
+        Blbs | Blbc => UopKind::Blb {
+            src: src(0)?,
+            set: op == Blbs,
+            target: tgt(1)?,
+        },
+        Sobgeq | Sobgtr => UopKind::Sob {
+            r: mdst(0)?,
+            gtr: op == Sobgtr,
+            target: tgt(1)?,
+        },
+        Aoblss | Aobleq => UopKind::Aob {
+            limit: src(0)?,
+            r: mdst(1)?,
+            lss: op == Aoblss,
+            target: tgt(2)?,
+        },
+        // Everything else — memory operands, privileged/sensitive ops,
+        // stack and string instructions — stays with the interpreter.
+        _ => return None,
+    };
+    let mut cyc = tpl.fetch_events as u64 * costs.memory_reference + costs.base_instruction;
+    if op == Movpsl {
+        cyc += costs.movpsl;
+    }
+    Some(Uop {
+        kind,
+        cyc,
+        next_pc: pa.wrapping_add(tpl.len as u32),
+    })
+}
+
+fn alu_of(op: Opcode) -> AluOp {
+    use Opcode::*;
+    match op {
+        Addl2 | Addl3 => AluOp::Add,
+        Subl2 | Subl3 => AluOp::Sub,
+        Mull2 | Mull3 => AluOp::Mul,
+        Divl2 | Divl3 => AluOp::Div,
+        Bisl2 | Bisl3 => AluOp::Bis,
+        Bicl2 | Bicl3 => AluOp::Bic,
+        Xorl2 | Xorl3 => AluOp::Xor,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icache::parse_template;
+
+    fn lowered(bytes: &[u8], pa: u32) -> Option<Uop> {
+        let mut t = parse_template(bytes).expect("parseable");
+        t.bake(pa);
+        lower(&t, pa, &CostModel::default())
+    }
+
+    #[test]
+    fn lowers_movl_literal_to_register() {
+        // MOVL #5, R0
+        let u = lowered(&[0xD0, 0x05, 0x50], 0x1000).unwrap();
+        assert_eq!(
+            u.kind,
+            UopKind::Mov {
+                src: Src::Imm(5),
+                dst: 0,
+                w: 4,
+                xf: MovXf::Id
+            }
+        );
+        assert_eq!(u.next_pc, 0x1003);
+        let c = CostModel::default();
+        assert_eq!(u.cyc, 3 * c.memory_reference + c.base_instruction);
+        assert!(!u.ends_block());
+    }
+
+    #[test]
+    fn lowers_two_op_alu_as_modify() {
+        // ADDL2 R1, R2
+        let u = lowered(&[0xC0, 0x51, 0x52], 0x1000).unwrap();
+        assert_eq!(
+            u.kind,
+            UopKind::Alu {
+                op: AluOp::Add,
+                a: Src::Reg { r: 1, w: 4 },
+                b: Src::Reg { r: 2, w: 4 },
+                dst: 2
+            }
+        );
+    }
+
+    #[test]
+    fn lowers_sobgtr_with_absolute_target() {
+        // SOBGTR R2, .-3 (displacement -5 from after the byte)
+        let u = lowered(&[0xF5, 0x52, 0xFB], 0x1000).unwrap();
+        let UopKind::Sob { r, gtr, target } = u.kind else {
+            panic!("not a sob: {u:?}");
+        };
+        assert_eq!((r, gtr, target), (2, true, 0x0FFE));
+        assert!(u.ends_block());
+    }
+
+    #[test]
+    fn rejects_memory_operands_and_sensitive_ops() {
+        // MOVL (R1), R0 — memory operand (non-simple template).
+        assert!(lowered(&[0xD0, 0x61, 0x50], 0x1000).is_none());
+        // MTPR #0, #18 — privileged.
+        assert!(lowered(&[0xDA, 0x00, 0x12], 0x1000).is_none());
+        // PUSHL R0 — stack write.
+        assert!(lowered(&[0xDD, 0x50], 0x1000).is_none());
+        // HALT.
+        assert!(lowered(&[0x00], 0x1000).is_none());
+    }
+
+    #[test]
+    fn folds_movpsl_charge() {
+        // MOVPSL R3
+        let u = lowered(&[0xDC, 0x53], 0x1000).unwrap();
+        assert_eq!(u.kind, UopKind::Movpsl { dst: 3 });
+        let c = CostModel::default();
+        assert_eq!(
+            u.cyc,
+            2 * c.memory_reference + c.base_instruction + c.movpsl
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Integration tests for the translated-superblock execution tier: the
+//! three-way bit-identity contract on a hot compute loop, self-modifying
+//! code that overwrites a currently translated superblock, cost-model
+//! retuning, and the tier-selection API itself.
+
+use vax_arch::{CostModel, MachineVariant, Psl};
+use vax_cpu::{CpuCounters, ExecTier, Machine, StepEvent};
+
+/// Full observable outcome of a bare kernel-mode run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    regs: [u32; 16],
+    psl_raw: u32,
+    cycles: u64,
+    counters: CpuCounters,
+}
+
+fn machine_with(code: &[u8], tier: ExecTier) -> Machine {
+    let mut m = Machine::new(MachineVariant::Standard, 256 * 1024);
+    m.set_exec_tier(tier);
+    m.mem_mut().write_slice(0x1000, code).unwrap();
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_reg(14, 0x8000);
+    m.set_pc(0x1000);
+    m
+}
+
+fn run_to_halt(m: &mut Machine) -> Outcome {
+    for _ in 0..1_000_000 {
+        match m.step() {
+            StepEvent::Ok => {}
+            StepEvent::Halted(_) => break,
+            other => panic!("unexpected {other:?} at pc={:#x}", m.pc()),
+        }
+    }
+    assert!(m.halted(), "program must halt");
+    Outcome {
+        regs: std::array::from_fn(|i| m.reg(i)),
+        psl_raw: m.psl().raw(),
+        cycles: m.cycles(),
+        counters: m.counters(),
+    }
+}
+
+fn compute_loop(iters: u32) -> Vec<u8> {
+    vax_asm::assemble_text(
+        &format!(
+            "
+                movl #{iters}, r2
+                clrl r3
+            top:
+                addl3 #0x01010101, r3, r4
+                bicl3 #0x0F0F0F0F, r4, r5
+                xorl3 #0x55AA55AA, r5, r3
+                addl2 #0x12345678, r3
+                sobgtr r2, top
+                halt
+            "
+        ),
+        0x1000,
+    )
+    .unwrap()
+    .bytes
+}
+
+#[test]
+fn compute_loop_is_bit_identical_across_tiers_and_superblocks_run() {
+    let code = compute_loop(500);
+    let mut interp = machine_with(&code, ExecTier::Interp);
+    let oracle = run_to_halt(&mut interp);
+    assert_eq!(interp.trans_stats().blocks_executed, 0);
+
+    let mut cached = machine_with(&code, ExecTier::Cache);
+    assert_eq!(run_to_halt(&mut cached), oracle);
+    assert_eq!(cached.trans_stats().blocks_executed, 0);
+
+    let mut trans = machine_with(&code, ExecTier::Trans);
+    assert_eq!(run_to_halt(&mut trans), oracle);
+    let ts = trans.trans_stats();
+    assert!(ts.blocks_translated > 0, "loop must be translated");
+    assert!(
+        ts.blocks_executed > 400,
+        "most iterations must run translated (got {})",
+        ts.blocks_executed
+    );
+    assert!(ts.uops_executed >= 5 * ts.blocks_executed);
+    // The superblock ends at its branch: 5 µops per full block.
+    assert!(ts.len_hist[5] > 0, "expected 5-µop superblocks");
+}
+
+#[test]
+fn smc_overwrite_of_translated_block_invalidates_and_stays_identical() {
+    // 60-iteration loop; at iteration 30 it patches its own ADDL2 #3
+    // (opcode 0xC0) into SUBL2 (0xC2). The block is long since hot and
+    // translated when the store lands on its page.
+    let src = "
+            movl #60, r2
+            clrl r3
+        top:
+            addl2 #3, r3
+            cmpl r2, #30
+            bneq skip
+            movb #0xC2, @#0x0
+        skip:
+            sobgtr r2, top
+            halt
+    ";
+    let program = vax_asm::assemble_text(src, 0x1000).unwrap();
+    let mut bytes = program.bytes.clone();
+    let addl_off = bytes
+        .windows(3)
+        .position(|w| w == [0xC0, 0x03, 0x53])
+        .expect("addl2 #3, r3");
+    let movb_off = bytes
+        .windows(8)
+        .position(|w| w == [0x90, 0x8F, 0xC2, 0x9F, 0x00, 0x00, 0x00, 0x00])
+        .expect("movb #C2, @#0");
+    let target = (0x1000 + addl_off as u32).to_le_bytes();
+    bytes[movb_off + 4..movb_off + 8].copy_from_slice(&target);
+
+    let mut interp = machine_with(&bytes, ExecTier::Interp);
+    let oracle = run_to_halt(&mut interp);
+    // The arithmetic genuinely flipped sign mid-run.
+    assert_ne!(oracle.regs[3], 3 * 60);
+
+    let mut trans = machine_with(&bytes, ExecTier::Trans);
+    assert_eq!(run_to_halt(&mut trans), oracle);
+    let ts = trans.trans_stats();
+    assert!(
+        ts.blocks_translated >= 2,
+        "block must be retranslated after the overwrite (translated {})",
+        ts.blocks_translated
+    );
+    assert!(ts.blocks_executed > 0);
+    assert!(
+        ts.invalidations > 0,
+        "the SMC store must invalidate the translation cache"
+    );
+}
+
+#[test]
+fn set_costs_drops_translations_and_stays_identical() {
+    let code = compute_loop(200);
+    let slow = CostModel {
+        base_instruction: 7,
+        memory_reference: 3,
+        ..CostModel::default()
+    };
+
+    let mut interp = machine_with(&code, ExecTier::Interp);
+    interp.set_costs(slow);
+    let oracle = run_to_halt(&mut interp);
+
+    let mut trans = machine_with(&code, ExecTier::Trans);
+    trans.set_costs(slow);
+    let got = run_to_halt(&mut trans);
+    assert_eq!(
+        got, oracle,
+        "folded cycle charges must track the cost model"
+    );
+    assert!(trans.trans_stats().blocks_executed > 0);
+}
+
+#[test]
+fn tier_api_round_trips_and_cache_alias_works() {
+    let mut m = Machine::new(MachineVariant::Standard, 64 * 1024);
+    assert_eq!(m.exec_tier(), ExecTier::Cache);
+    for tier in [ExecTier::Interp, ExecTier::Cache, ExecTier::Trans] {
+        m.set_exec_tier(tier);
+        assert_eq!(m.exec_tier(), tier);
+    }
+    // The legacy toggle aliases the tier selection.
+    m.set_decode_cache_enabled(false);
+    assert_eq!(m.exec_tier(), ExecTier::Interp);
+    assert!(!m.decode_cache_enabled());
+    m.set_decode_cache_enabled(true);
+    assert_eq!(m.exec_tier(), ExecTier::Cache);
+    assert!(m.decode_cache_enabled());
+    // Name round-trip for the CLI flag.
+    for tier in [ExecTier::Interp, ExecTier::Cache, ExecTier::Trans] {
+        assert_eq!(ExecTier::from_name(tier.name()), Some(tier));
+    }
+    assert_eq!(ExecTier::from_name("warp"), None);
+}

@@ -59,6 +59,21 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Records `n` identical samples of value `v` in one step —
+    /// equivalent to calling [`Histogram::record`]`(v)` `n` times.
+    /// Lets callers fold pre-aggregated counts (e.g. a per-length
+    /// superblock table) without a per-sample loop.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(v)] += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -192,6 +207,25 @@ mod tests {
         assert_eq!(h.quantile(1.0), 100);
         // A quantile never undershoots the true value's bucket lower edge.
         assert!(h.quantile(0.5) >= 10);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut bulk = Histogram::new();
+        let mut looped = Histogram::new();
+        bulk.record_n(7, 4);
+        bulk.record_n(900, 2);
+        bulk.record_n(3, 0); // no-op: must not disturb min/max
+        for _ in 0..4 {
+            looped.record(7);
+        }
+        for _ in 0..2 {
+            looped.record(900);
+        }
+        assert_eq!(bulk, looped);
+        assert_eq!(bulk.count(), 6);
+        assert_eq!(bulk.min(), 7);
+        assert_eq!(bulk.max(), 900);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! $ vaxrun --list program.s         # print the listing, don't run
 //! $ vaxrun --base 2000 program.s    # load address (hex, default 1000)
 //! $ vaxrun --trace program.s        # dump the last PCs on exit
+//! $ vaxrun --exec-tier trans p.s    # translated superblocks for hot code
 //! $ vaxrun --vm --trace program.s   # print a VM-exit cost breakdown
 //! $ vaxrun --metrics-out m.json ... # write counters/histograms (JSON,
 //!                                   # or Prometheus text for .prom)
@@ -34,7 +35,7 @@
 
 use std::process::ExitCode;
 use vax_arch::{MachineVariant, Psl};
-use vax_cpu::{HaltReason, Machine, StepEvent};
+use vax_cpu::{ExecTier, HaltReason, Machine, StepEvent};
 use vax_vmm::{chrome_trace, Fleet, Metrics, Monitor, MonitorConfig, RunExit, VmConfig, VmState};
 
 struct Options {
@@ -52,14 +53,20 @@ struct Options {
     snapshot_out: Option<String>,
     restore: Option<String>,
     fork: usize,
+    exec_tier: ExecTier,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vaxrun [--vm] [--list] [--trace] [--base HEX] [--max-cycles N] \
-         [--metrics-out FILE] [--trace-out FILE] [--fleet M[@V]] [--jobs N] \
-         [--snapshot-out FILE] [--fork K] FILE.s\n       vaxrun --restore FILE \
-         [--max-cycles N] [--snapshot-out FILE] [--fork K] [--metrics-out FILE]"
+         [--exec-tier interp|cache|trans] [--metrics-out FILE] [--trace-out FILE] \
+         [--fleet M[@V]] [--jobs N] [--snapshot-out FILE] [--fork K] FILE.s\n       \
+         vaxrun --restore FILE [--max-cycles N] [--snapshot-out FILE] [--fork K] \
+         [--metrics-out FILE]\n\n       --exec-tier selects how guest code executes: \
+         'interp' (bytewise decode every\n       instruction), 'cache' (PA-keyed decode \
+         cache, the default), or 'trans'\n       (decode cache + translated superblocks \
+         for hot straight-line code). All\n       tiers produce bit-identical \
+         architectural state, cycles, and counters."
     );
     ExitCode::from(2)
 }
@@ -90,11 +97,19 @@ fn parse_args() -> Result<Options, ExitCode> {
         snapshot_out: None,
         restore: None,
         fork: 0,
+        exec_tier: ExecTier::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--vm" => opts.vm = true,
+            "--exec-tier" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.exec_tier = ExecTier::from_name(&v).ok_or_else(|| {
+                    eprintln!("vaxrun: unknown exec tier {v:?} (interp, cache, trans)");
+                    usage()
+                })?;
+            }
             "--fleet" => {
                 let v = args.next().ok_or_else(usage)?;
                 opts.fleet = Some(parse_fleet_spec(&v).ok_or_else(usage)?);
@@ -291,6 +306,9 @@ fn run_fleet(
         }
         fleet.push(monitor);
     }
+    // One call fans the tier out to every member, so parallel workers
+    // all run the same way.
+    fleet.set_exec_tier(opts.exec_tier);
     let report = if opts.jobs > 1 {
         fleet.run_parallel(opts.max_cycles, opts.jobs)
     } else {
@@ -395,6 +413,7 @@ fn main() -> ExitCode {
 
     if opts.vm {
         let mut monitor = Monitor::new(MonitorConfig::default());
+        monitor.set_exec_tier(opts.exec_tier);
         if opts.trace || opts.trace_out.is_some() || opts.metrics_out.is_some() {
             monitor.enable_obs(65536);
         }
@@ -482,6 +501,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut m = Machine::new(MachineVariant::Modified, 2 * 1024 * 1024);
+    m.set_exec_tier(opts.exec_tier);
     if opts.trace {
         m.enable_trace(16);
     }
@@ -540,7 +560,16 @@ fn main() -> ExitCode {
         metrics.counter("cycles", m.cycles());
         metrics.counter("decode_cache_hits", dc.hits);
         metrics.counter("decode_cache_misses", dc.misses);
+        metrics.counter("decode_cache_bytewise_fallbacks", dc.bytewise_fallbacks);
         metrics.counter("decode_cache_invalidations", dc.invalidations);
+        metrics.gauge("decode_cache_hit_rate", dc.hit_rate());
+        let ts = m.trans_stats();
+        metrics.counter("trans_blocks_translated", ts.blocks_translated);
+        metrics.counter("trans_blocks_executed", ts.blocks_executed);
+        metrics.counter("trans_uops_executed", ts.uops_executed);
+        metrics.counter("trans_side_exit_interrupt", ts.side_exit_interrupt);
+        metrics.counter("trans_side_exit_bail", ts.side_exit_bail);
+        metrics.counter("trans_invalidations", ts.invalidations);
         metrics.gauge("tlb_hit_rate", c.tlb_hit_rate_opt());
         if let Err(e) = write_metrics(path, &metrics) {
             eprintln!("vaxrun: {path}: {e}");

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use vax_arch::Opcode;
 use vax_arch::{MachineVariant, Psl};
 use vax_asm::{Asm, Operand, Reg};
-use vax_cpu::{CpuCounters, HaltReason, Machine, StepEvent};
+use vax_cpu::{CpuCounters, ExecTier, HaltReason, Machine, StepEvent};
 use vax_vmm::{Monitor, MonitorConfig, VmConfig};
 
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +59,33 @@ fn arb_step() -> impl Strategy<Value = Step> {
 
 fn emit(steps: &[Step]) -> Vec<u8> {
     let mut a = Asm::new(0x1000);
+    emit_body(&mut a, steps);
+    a.halt().unwrap();
+    a.assemble().unwrap().bytes
+}
+
+/// The same step sequence wrapped in a 25-iteration loop (above the
+/// translator's hot threshold), so the body becomes a translated
+/// superblock and runs both interpreted (cold) and translated (hot)
+/// within one program. AP (R12) is the loop counter — the step generators
+/// only touch R0–R11.
+fn emit_looped(steps: &[Step]) -> Vec<u8> {
+    let mut a = Asm::new(0x1000);
+    a.movl(Operand::Imm(25), Operand::Reg(Reg::Ap)).unwrap();
+    let top = a.label();
+    let done = a.label();
+    a.bind(top).unwrap();
+    emit_body(&mut a, steps);
+    a.decl(Operand::Reg(Reg::Ap)).unwrap();
+    a.beql(done).unwrap();
+    // A word branch: fuzzed bodies can outgrow a byte displacement.
+    a.brw(top).unwrap();
+    a.bind(done).unwrap();
+    a.halt().unwrap();
+    a.assemble().unwrap().bytes
+}
+
+fn emit_body(a: &mut Asm, steps: &[Step]) {
     let r = |n: u8| Operand::Reg(Reg::from_number(n));
     for s in steps {
         let _ = match *s {
@@ -114,23 +141,21 @@ fn emit(steps: &[Step]) -> Vec<u8> {
                 a.bind(taken).unwrap();
                 a.movl(Operand::Imm(2), r(d)).unwrap();
                 a.bind(done).unwrap();
-                &mut a
+                &mut *a
             }
         };
     }
-    a.halt().unwrap();
-    a.assemble().unwrap().bytes
 }
 
 /// Runs the program on a bare machine in kernel mode, translation off,
-/// with the decode cache on or off; returns the full observable outcome.
+/// under the given execution tier; returns the full observable outcome.
 fn run_machine_full(
     variant: MachineVariant,
     code: &[u8],
-    decode_cache: bool,
+    tier: ExecTier,
 ) -> ([u32; 10], u64, CpuCounters) {
     let mut m = Machine::new(variant, 256 * 1024);
-    m.set_decode_cache_enabled(decode_cache);
+    m.set_exec_tier(tier);
     m.mem_mut().write_slice(0x1000, code).unwrap();
     let mut psl = Psl::new();
     psl.set_ipl(31);
@@ -149,7 +174,7 @@ fn run_machine_full(
 
 /// Runs the program on a bare machine with the decode cache enabled.
 fn run_machine(variant: MachineVariant, code: &[u8]) -> [u32; 10] {
-    run_machine_full(variant, code, true).0
+    run_machine_full(variant, code, ExecTier::Cache).0
 }
 
 /// Runs the program as a VM guest.
@@ -188,11 +213,31 @@ proptest! {
     fn decode_cache_is_invisible(steps in proptest::collection::vec(arb_step(), 1..60)) {
         let code = emit(&steps);
         for variant in [MachineVariant::Standard, MachineVariant::Modified] {
-            let cached = run_machine_full(variant, &code, true);
-            let bytewise = run_machine_full(variant, &code, false);
+            let cached = run_machine_full(variant, &code, ExecTier::Cache);
+            let bytewise = run_machine_full(variant, &code, ExecTier::Interp);
             prop_assert_eq!(cached.0, bytewise.0, "registers, {:?}", variant);
             prop_assert_eq!(cached.1, bytewise.1, "cycles, {:?}", variant);
             prop_assert_eq!(cached.2, bytewise.2, "counters, {:?}", variant);
+        }
+    }
+
+    /// The three-way tier contract, fuzzed on a hot loop: the same body
+    /// run 25 times (crossing the translator's hot threshold mid-run)
+    /// must produce identical registers, cycles, and counters under the
+    /// interpreter, the decode cache, and the translation tier.
+    #[test]
+    fn translation_tier_is_invisible(steps in proptest::collection::vec(arb_step(), 1..40)) {
+        let code = emit_looped(&steps);
+        for variant in [MachineVariant::Standard, MachineVariant::Modified] {
+            let interp = run_machine_full(variant, &code, ExecTier::Interp);
+            let cached = run_machine_full(variant, &code, ExecTier::Cache);
+            let trans = run_machine_full(variant, &code, ExecTier::Trans);
+            prop_assert_eq!(interp.0, cached.0, "interp vs cache registers, {:?}", variant);
+            prop_assert_eq!(interp.1, cached.1, "interp vs cache cycles, {:?}", variant);
+            prop_assert_eq!(&interp.2, &cached.2, "interp vs cache counters, {:?}", variant);
+            prop_assert_eq!(interp.0, trans.0, "interp vs trans registers, {:?}", variant);
+            prop_assert_eq!(interp.1, trans.1, "interp vs trans cycles, {:?}", variant);
+            prop_assert_eq!(&interp.2, &trans.2, "interp vs trans counters, {:?}", variant);
         }
     }
 }
