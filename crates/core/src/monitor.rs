@@ -339,6 +339,25 @@ impl Monitor {
         self.obs = ObsSink::off();
     }
 
+    /// Enables cycle-attributed guest profiling on this monitor's
+    /// machine, sampling every `sample_interval` simulated cycles, plus
+    /// working-set write tracking and per-superblock introspection.
+    /// Non-perturbing: guest state, cycles, and counters are
+    /// bit-identical with profiling on or off.
+    pub fn enable_profiling(&mut self, sample_interval: u64) {
+        self.machine.enable_profiling(sample_interval);
+    }
+
+    /// Disables profiling, discarding collected profiles.
+    pub fn disable_profiling(&mut self) {
+        self.machine.disable_profiling();
+    }
+
+    /// The profiler state, when profiling is enabled.
+    pub fn prof(&self) -> Option<&vax_obs::Prof> {
+        self.machine.prof()
+    }
+
     /// Selects the execution tier for this monitor's real machine.
     /// Deterministically invisible: guests produce bit-identical state,
     /// cycles, and counters under every tier (enforced by the three-way
@@ -404,6 +423,14 @@ impl Monitor {
         });
         m.counter("reflected_machine_checks", machine_checks);
         m.counter("security_halts", security_halts);
+        let (modify_faults, dirty_upgrades) = self.vms.iter().fold((0, 0), |(mf, du), s| {
+            (
+                mf + s.vm.stats.modify_faults,
+                du + s.vm.stats.dirty_upgrades,
+            )
+        });
+        m.counter("modify_faults", modify_faults);
+        m.counter("dirty_upgrades", dirty_upgrades);
         m.gauge("tlb_hit_rate", c.tlb_hit_rate_opt());
         if let Some(obs) = self.obs.state() {
             m.counter("trace_records", obs.trace().total());
@@ -415,7 +442,59 @@ impl Monitor {
                 }
             }
         }
+        if let Some(p) = self.machine.prof() {
+            self.profile_metrics(&mut m, p);
+        }
         m
+    }
+
+    /// The profiler's families: per-tier attribution counters, page-level
+    /// cycle and dirty-rate histograms, working-set counts, and the
+    /// per-superblock introspection. All counters/histograms, so
+    /// [`Metrics::merge`] produces correct fleet-wide profiles.
+    fn profile_metrics(&self, m: &mut Metrics, p: &vax_obs::Prof) {
+        m.counter("profile_samples", p.samples());
+        m.counter("profile_overflow_cycles", p.overflow_cycles());
+        m.counter("profile_events_dropped", p.events_dropped());
+        for tier in vax_obs::ProfTier::ALL {
+            m.counter(
+                &format!("profile_instructions_{}", tier.name()),
+                p.retired(tier),
+            );
+            m.counter(
+                &format!("profile_cycles_{}", tier.name()),
+                p.attributed(tier),
+            );
+        }
+        if p.dirty_rate().count() > 0 {
+            m.histogram("profile_dirty_rate", p.dirty_rate());
+        }
+        let pages = p.page_buckets();
+        if !pages.is_empty() {
+            let mut h = Histogram::new();
+            for (_, cycles) in &pages {
+                h.record(*cycles);
+            }
+            m.histogram("profile_page_cycles", &h);
+        }
+        let mem = self.machine.mem();
+        if mem.write_tracking_enabled() {
+            m.counter("dirty_pages", u64::from(mem.dirty_page_count()));
+            m.counter("touched_pages", u64::from(mem.touched_page_count()));
+            m.counter("dirty_page_events", mem.dirty_page_events());
+        }
+        let blocks = self.machine.superblock_profiles();
+        if !blocks.is_empty() {
+            m.counter("hot_superblocks", blocks.len() as u64);
+            let mut cyc = Histogram::new();
+            let mut execs = Histogram::new();
+            for b in &blocks {
+                cyc.record(b.cycles_retired);
+                execs.record(b.executions);
+            }
+            m.histogram("superblock_cycles_retired", &cyc);
+            m.histogram("superblock_executions", &execs);
+        }
     }
 
     /// Coarse exit classification from the exit packet alone. Handlers

@@ -12,6 +12,7 @@ use vax_arch::{
     PAGE_BYTES,
 };
 use vax_mem::{MemFault, Mmu, MmuState, PhysMemory};
+use vax_obs::prof::{Prof, ProfEventKind, ProfSink, ProfTier};
 
 /// The interval timer (ICCS/NICR/ICR).
 #[derive(Debug, Clone, Copy, Default)]
@@ -230,6 +231,10 @@ pub struct Machine {
     pub(crate) decode_scratch: Option<Box<crate::decode::Decoded>>,
     /// Optional PC trace ring (debugging aid).
     trace: Option<(VecDeque<u32>, usize)>,
+    /// Cycle-attributed guest profiler ([`ProfSink::Off`] by default —
+    /// one discriminant test per retire). Like the decode caches, not
+    /// part of [`MachineState`]: purely diagnostic, never fed back.
+    pub(crate) prof: ProfSink,
     pub(crate) cycles: u64,
     /// Cycle count at the instant the most recent VM exit began, before
     /// any microcode trap-entry charge — the observability layer's
@@ -277,6 +282,7 @@ impl Machine {
             pending_irqs: Vec::new(),
             decode_scratch: Some(Box::new(crate::decode::Decoded::empty())),
             trace: None,
+            prof: ProfSink::Off,
             cycles: 0,
             exit_stamp: 0,
             counters: CpuCounters::default(),
@@ -377,6 +383,7 @@ impl Machine {
     pub(crate) fn invalidate_code_caches(&mut self) {
         self.icache.invalidate_all();
         self.trans.invalidate_all();
+        self.prof_event(ProfEventKind::Invalidate, 0, 0);
     }
 
     /// Drains self-modifying-code notifications: every physical page
@@ -388,6 +395,7 @@ impl Machine {
                 self.icache.invalidate_page(pfn);
                 self.trans.invalidate_page(pfn);
                 self.mem.clear_code_page(pfn);
+                self.prof_event(ProfEventKind::SmcDrain, pfn << vax_arch::PAGE_SHIFT, pfn);
             }
         }
     }
@@ -402,6 +410,12 @@ impl Machine {
     /// architectural counters).
     pub fn trans_stats(&self) -> TransStats {
         self.trans.stats()
+    }
+
+    /// Per-superblock profiles ranked by cycles retired (the hot-block
+    /// table). Populated only while profiling is enabled.
+    pub fn superblock_profiles(&self) -> Vec<crate::trans::SuperblockProfile> {
+        self.trans.profiles()
     }
 
     /// General register `i` (0–15; 15 is the PC).
@@ -589,6 +603,58 @@ impl Machine {
             .as_ref()
             .map(|(ring, _)| ring.iter().copied().collect())
             .unwrap_or_default()
+    }
+
+    // ---- profiling (vax-prof) ----
+
+    /// Enables cycle-attributed profiling, sampling every
+    /// `sample_interval` simulated cycles, and working-set write tracking
+    /// on memory. Re-enabling resets both. Observational only: the
+    /// profiler reads the clock and PC, never feeds anything back, so
+    /// architectural state, cycles, and counters stay bit-identical —
+    /// the equivalence fuzzers enforce this for all three tiers.
+    pub fn enable_profiling(&mut self, sample_interval: u64) {
+        self.prof = ProfSink::on(sample_interval, self.cycles);
+        self.mem.enable_write_tracking();
+        self.trans.clear_profiles();
+    }
+
+    /// Disables profiling and working-set tracking, dropping their state
+    /// (including per-superblock profiles).
+    pub fn disable_profiling(&mut self) {
+        self.prof = ProfSink::Off;
+        self.mem.disable_write_tracking();
+        self.trans.clear_profiles();
+    }
+
+    /// Whether profiling is enabled.
+    pub fn profiling_enabled(&self) -> bool {
+        self.prof.is_on()
+    }
+
+    /// The profiler state, when enabled.
+    pub fn prof(&self) -> Option<&Prof> {
+        self.prof.state()
+    }
+
+    /// Records one retiring instruction with the profiler: a discriminant
+    /// test when off; when on, an array add plus a deadline compare, with
+    /// the interval-sample slow path also polling working-set progress.
+    #[inline]
+    pub(crate) fn prof_retire(&mut self, tier: ProfTier, pc: u32) {
+        if let ProfSink::On(p) = &mut self.prof {
+            if p.observe(tier, pc, self.cycles) {
+                p.note_dirty(self.mem.dirty_page_events());
+            }
+        }
+    }
+
+    /// Records a superblock lifecycle event with the profiler, if on.
+    #[inline]
+    pub(crate) fn prof_event(&mut self, kind: ProfEventKind, pa: u32, arg: u32) {
+        if let ProfSink::On(p) = &mut self.prof {
+            p.note_event(kind, pa, arg, self.cycles);
+        }
     }
 
     // ---- virtual memory access (routing RAM vs. I/O space) ----
@@ -860,6 +926,11 @@ impl Machine {
                     Some(e) => {
                         self.icache.invalidate_page(e.pfn);
                         self.trans.invalidate_page(e.pfn);
+                        self.prof_event(
+                            ProfEventKind::Invalidate,
+                            e.pfn << vax_arch::PAGE_SHIFT,
+                            1,
+                        );
                     }
                     None => self.invalidate_code_caches(),
                 }
@@ -958,13 +1029,27 @@ impl Machine {
             }
         }
 
-        self.trace_push(self.regs[15]);
+        let pc = self.regs[15];
+        self.trace_push(pc);
         let cycles_before = self.cycles;
+        let instrs_before = self.counters.instructions;
         let event = self.execute_one();
 
         // Advance time-based devices by the cycles actually consumed.
         let delta = (self.cycles - cycles_before).max(1);
         self.post_instruction_tick(delta);
+        // Attribution is by retire path: a Trans-tier machine retiring
+        // here went through the (decode-cached) interpreter. Faulting
+        // or exiting instructions don't retire; their cycles fold into
+        // the next sample's delta.
+        if self.counters.instructions != instrs_before {
+            let tier = if self.icache_enabled {
+                ProfTier::Cache
+            } else {
+                ProfTier::Interp
+            };
+            self.prof_retire(tier, pc);
+        }
         event
     }
 

@@ -94,6 +94,40 @@ struct TransEntry {
     block: Box<[Uop]>,
 }
 
+/// Per-superblock introspection record — one row of the ranked hot-block
+/// table. Only maintained while the machine is profiling (the cache's
+/// profile map is empty otherwise, so the bookkeeping is free when off);
+/// rows are cumulative per entry PA and survive invalidation and
+/// retranslation so churn is visible in `translations`/`invalidations`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SuperblockProfile {
+    /// Entry physical address of the block.
+    pub entry_pa: u32,
+    /// µop count at the most recent translation.
+    pub len: u16,
+    /// Decode-cache heat at the most recent translation.
+    pub heat: u32,
+    /// Times this PA was (re)translated while profiling.
+    pub translations: u64,
+    /// Block executions that retired at least one µop.
+    pub executions: u64,
+    /// µops (== guest instructions) retired by this block.
+    pub uops_retired: u64,
+    /// Simulated cycles retired by this block.
+    pub cycles_retired: u64,
+    /// Executions cut short by a deliverable interrupt mid-block.
+    pub side_exit_interrupt: u64,
+    /// Executions that bailed to the interpreter pre-mutation.
+    pub side_exit_bail: u64,
+    /// Invalidations that killed this block (whole-cache or its page).
+    pub invalidations: u64,
+}
+
+/// Cap on tracked per-superblock profiles; a run hot in more distinct
+/// entry PAs than this keeps stats for the first [`SB_PROFILE_CAP`] and
+/// counts the rest in [`TransStats::blocks_translated`] only.
+const SB_PROFILE_CAP: usize = 8192;
+
 /// Direct-mapped cache of translated superblocks keyed by entry physical
 /// address. An **empty** block is a negative marker: the PC is hot but its
 /// first instruction does not lower, so the tier stops re-walking it.
@@ -103,6 +137,9 @@ pub(crate) struct TransCache {
     /// Generation counter: bumping it is an O(1) `invalidate_all`.
     gen: u32,
     stats: TransStats,
+    /// Per-superblock profiles keyed by entry PA; empty unless the
+    /// machine is profiling.
+    profiles: std::collections::HashMap<u32, SuperblockProfile>,
 }
 
 impl TransCache {
@@ -114,6 +151,7 @@ impl TransCache {
                 .unwrap_or_else(|_| unreachable!()),
             gen: 0,
             stats: TransStats::default(),
+            profiles: std::collections::HashMap::new(),
         }
     }
 
@@ -155,6 +193,10 @@ impl TransCache {
         if self.gen == 0 {
             self.slots.fill(None);
         }
+        // Free when not profiling (empty map).
+        for p in self.profiles.values_mut() {
+            p.invalidations += 1;
+        }
     }
 
     /// Invalidates all blocks whose entry lies in physical page `pfn`
@@ -170,10 +212,73 @@ impl TransCache {
             }
         }
         self.stats.invalidations += 1;
+        for p in self.profiles.values_mut() {
+            if p.entry_pa >> PAGE_SHIFT == pfn {
+                p.invalidations += 1;
+            }
+        }
     }
 
     pub fn stats(&self) -> TransStats {
         self.stats
+    }
+
+    // ---- per-superblock profiling (populated only while profiling) ----
+
+    /// Records a (re)translation at `pa` into its profile row.
+    pub(crate) fn note_translate(&mut self, pa: u32, len: u16, heat: u32) {
+        if self.profiles.len() >= SB_PROFILE_CAP && !self.profiles.contains_key(&pa) {
+            return;
+        }
+        let p = self.profiles.entry(pa).or_default();
+        p.entry_pa = pa;
+        p.len = len;
+        p.heat = heat;
+        p.translations += 1;
+    }
+
+    /// Records one block execution at `pa` into its profile row.
+    pub(crate) fn note_block_exec(
+        &mut self,
+        pa: u32,
+        uops: u64,
+        cycles: u64,
+        bailed: bool,
+        interrupted: bool,
+    ) {
+        // Entry may be absent past the cap, or when profiling was enabled
+        // after the block was translated — count it then, heat/len 0.
+        if self.profiles.len() >= SB_PROFILE_CAP && !self.profiles.contains_key(&pa) {
+            return;
+        }
+        let p = self.profiles.entry(pa).or_default();
+        p.entry_pa = pa;
+        p.executions += 1;
+        p.uops_retired += uops;
+        p.cycles_retired += cycles;
+        if bailed {
+            p.side_exit_bail += 1;
+        }
+        if interrupted {
+            p.side_exit_interrupt += 1;
+        }
+    }
+
+    /// The hot-block table: every tracked profile ranked by cycles
+    /// retired (descending), ties broken by entry PA for determinism.
+    pub fn profiles(&self) -> Vec<SuperblockProfile> {
+        let mut out: Vec<SuperblockProfile> = self.profiles.values().copied().collect();
+        out.sort_by(|a, b| {
+            b.cycles_retired
+                .cmp(&a.cycles_retired)
+                .then(a.entry_pa.cmp(&b.entry_pa))
+        });
+        out
+    }
+
+    /// Drops all per-superblock profiles (profiling toggled).
+    pub(crate) fn clear_profiles(&mut self) {
+        self.profiles.clear();
     }
 }
 
@@ -212,12 +317,16 @@ impl Machine {
             return None;
         }
         let mut executed = 0u64;
+        let cycles_at_entry = self.cycles;
+        let mut bailed = false;
+        let mut interrupted = false;
         for (i, u) in block.iter().enumerate() {
             let cur_pc = self.regs[15];
             if !self.exec_uop(u) {
                 // Pre-mutation bail: the interpreter re-executes this
                 // instruction and raises the fault with correct charges.
                 self.trans.stats.side_exit_bail += 1;
+                bailed = true;
                 break;
             }
             // Retire exactly as `Machine::step` + `execute_one` would:
@@ -227,11 +336,14 @@ impl Machine {
             executed += 1;
             self.counters.instructions += 1;
             self.cycles += u.cyc;
-            if self.post_instruction_tick(u.cyc.max(1)) {
+            let deliverable = self.post_instruction_tick(u.cyc.max(1));
+            self.prof_retire(vax_obs::ProfTier::Trans, cur_pc);
+            if deliverable {
                 // A deliverable interrupt ends the block; the next step()
                 // delivers it, exactly as under the interpreter.
                 if i + 1 < block.len() {
                     self.trans.stats.side_exit_interrupt += 1;
+                    interrupted = true;
                 }
                 break;
             }
@@ -239,6 +351,15 @@ impl Machine {
         if executed > 0 {
             self.trans.stats.blocks_executed += 1;
             self.trans.stats.uops_executed += executed;
+            if self.prof.is_on() {
+                self.trans.note_block_exec(
+                    entry,
+                    executed,
+                    self.cycles - cycles_at_entry,
+                    bailed,
+                    interrupted,
+                );
+            }
         }
         self.trans.insert(entry, block);
         (executed > 0).then_some(StepEvent::Ok)
@@ -276,6 +397,11 @@ impl Machine {
             self.mem.note_code_page(page);
             self.trans.stats.blocks_translated += 1;
             self.trans.stats.len_hist[uops.len().min(MAX_BLOCK_UOPS)] += 1;
+            if self.prof.is_on() {
+                let heat = self.icache.heat(entry);
+                self.trans.note_translate(entry, uops.len() as u16, heat);
+                self.prof_event(vax_obs::ProfEventKind::Translate, entry, uops.len() as u32);
+            }
         }
         self.trans.insert(entry, uops.into_boxed_slice());
     }

@@ -53,6 +53,46 @@ pub struct PhysMemory {
     code_pages: Vec<bool>,
     /// Marked pages written since the last [`PhysMemory::take_dirty_code_pages`].
     dirty_code: Vec<u32>,
+    /// Optional working-set write tracker (profiling / incremental
+    /// snapshots). `None` — the default — costs one predictable branch
+    /// per write; see [`PhysMemory::enable_write_tracking`].
+    tracker: Option<Box<WriteTracker>>,
+}
+
+/// Working-set telemetry state: which pages the guest has written.
+///
+/// Purely observational — it is written to by the same
+/// [`PhysMemory::note_write`] funnel that feeds self-modifying-code
+/// tracking and never affects memory contents, so enabling it cannot
+/// perturb execution. `dirty` is the *drainable* set (an incremental
+/// snapshot consumes it via [`PhysMemory::take_dirty_pages`]); `touched`
+/// accumulates for the life of the tracker; `dirty_events` counts
+/// page-dirtying transitions monotonically across drains so a sampler
+/// can difference it into per-interval dirty rates.
+#[derive(Debug, Clone)]
+struct WriteTracker {
+    touched: Vec<bool>,
+    touched_count: u32,
+    dirty: Vec<bool>,
+    dirty_count: u32,
+    dirty_events: u64,
+}
+
+impl WriteTracker {
+    /// The clean→dirty transition, at most once per page per drain
+    /// interval; kept out of line so the per-write fast path in
+    /// `note_write` stays one load and one predictable branch.
+    #[cold]
+    #[inline(never)]
+    fn mark_dirty(&mut self, p: usize) {
+        self.dirty[p] = true;
+        self.dirty_count += 1;
+        self.dirty_events += 1;
+        if !self.touched[p] {
+            self.touched[p] = true;
+            self.touched_count += 1;
+        }
+    }
 }
 
 /// Equality is over *effective* memory contents; the decode-cache
@@ -83,6 +123,7 @@ impl PhysMemory {
             resident_count: 0,
             code_pages: vec![false; (rounded >> PAGE_SHIFT) as usize],
             dirty_code: Vec::new(),
+            tracker: None,
         }
     }
 
@@ -109,7 +150,8 @@ impl PhysMemory {
         }
     }
 
-    /// Records a write over `[pa, pa+len)` against the code-page marks.
+    /// Records a write over `[pa, pa+len)` against the code-page marks
+    /// and, when enabled, the working-set tracker.
     #[inline]
     fn note_write(&mut self, pa: u32, len: u32) {
         let first = pa >> PAGE_SHIFT;
@@ -117,6 +159,17 @@ impl PhysMemory {
         for pfn in first..=last {
             if self.code_pages[pfn as usize] {
                 self.dirty_code.push(pfn);
+            }
+        }
+        if let Some(t) = &mut self.tracker {
+            for pfn in first..=last {
+                // Dirty implies touched (drains clear only the dirty
+                // side), so an already-dirty page — the overwhelmingly
+                // common case — needs no further bookkeeping.
+                let p = pfn as usize;
+                if !t.dirty[p] {
+                    t.mark_dirty(p);
+                }
             }
         }
     }
@@ -214,6 +267,7 @@ impl PhysMemory {
             base: Some(base),
             code_pages: vec![false; pages],
             dirty_code: Vec::new(),
+            tracker: None,
         }
     }
 
@@ -227,6 +281,21 @@ impl PhysMemory {
     /// (0 when unforked).
     pub fn resident_pages(&self) -> u32 {
         self.resident_count
+    }
+
+    /// The page numbers privately materialized since the last fork, in
+    /// ascending order (empty when unforked). Because materialization
+    /// happens on — and only on — the write paths, this is an exact,
+    /// independently-derived record of the pages written since the fork;
+    /// the working-set oracle tests compare it against
+    /// [`PhysMemory::dirty_pages`].
+    pub fn resident_page_numbers(&self) -> Vec<u32> {
+        self.resident
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r)
+            .map(|(p, _)| p as u32)
+            .collect()
     }
 
     /// Fraction of pages still shared with the copy-on-write base, in
@@ -276,6 +345,98 @@ impl PhysMemory {
     /// contain duplicates; empty drains allocate nothing).
     pub fn take_dirty_code_pages(&mut self) -> Vec<u32> {
         std::mem::take(&mut self.dirty_code)
+    }
+
+    // ---- working-set write tracking ----
+
+    /// Enables working-set telemetry: from now on every write marks its
+    /// pages touched and dirty (see [`WriteTracker`]). Re-enabling resets
+    /// the tracker. Observational only — contents, faults, and timing on
+    /// the simulated clock are unaffected.
+    pub fn enable_write_tracking(&mut self) {
+        let pages = self.pages() as usize;
+        self.tracker = Some(Box::new(WriteTracker {
+            touched: vec![false; pages],
+            touched_count: 0,
+            dirty: vec![false; pages],
+            dirty_count: 0,
+            dirty_events: 0,
+        }));
+    }
+
+    /// Disables working-set telemetry and drops its state.
+    pub fn disable_write_tracking(&mut self) {
+        self.tracker = None;
+    }
+
+    /// Whether working-set telemetry is enabled.
+    pub fn write_tracking_enabled(&self) -> bool {
+        self.tracker.is_some()
+    }
+
+    /// Distinct pages written since tracking was enabled or the dirty set
+    /// was last drained (0 when tracking is off).
+    pub fn dirty_page_count(&self) -> u32 {
+        self.tracker.as_ref().map_or(0, |t| t.dirty_count)
+    }
+
+    /// Distinct pages written since tracking was enabled (0 when off).
+    pub fn touched_page_count(&self) -> u32 {
+        self.tracker.as_ref().map_or(0, |t| t.touched_count)
+    }
+
+    /// Monotonic count of page-dirtying events — unlike
+    /// [`PhysMemory::dirty_page_count`], never reset by a drain — so a
+    /// sampler can difference it into per-interval dirty rates.
+    #[inline]
+    pub fn dirty_page_events(&self) -> u64 {
+        self.tracker.as_ref().map_or(0, |t| t.dirty_events)
+    }
+
+    /// The current dirty-page set in ascending order, without draining.
+    pub fn dirty_pages(&self) -> Vec<u32> {
+        self.tracker.as_ref().map_or_else(Vec::new, |t| {
+            t.dirty
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| **d)
+                .map(|(p, _)| p as u32)
+                .collect()
+        })
+    }
+
+    /// Drains and returns the dirty-page set in ascending order — the
+    /// seam an incremental snapshot consumes: pages dirtied after this
+    /// call land in the next drain. Touched pages and the monotonic
+    /// event count are unaffected.
+    pub fn take_dirty_pages(&mut self) -> Vec<u32> {
+        match &mut self.tracker {
+            None => Vec::new(),
+            Some(t) => {
+                let pages: Vec<u32> = t
+                    .dirty
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| **d)
+                    .map(|(p, _)| p as u32)
+                    .collect();
+                t.dirty.fill(false);
+                t.dirty_count = 0;
+                pages
+            }
+        }
+    }
+
+    /// The touched-page set (since enable) in ascending order.
+    pub fn touched_pages(&self) -> Vec<u32> {
+        self.tracker.as_ref().map_or_else(Vec::new, |t| {
+            t.touched
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| **d)
+                .map(|(p, _)| p as u32)
+                .collect()
+        })
     }
 
     /// The bytes from `pa` through the end of its physical page — the
@@ -609,5 +770,85 @@ mod tests {
         // page_tail picks the right source per page.
         assert_eq!(child.page_tail(5).unwrap()[0], 8);
         assert_eq!(parent.page_tail(5).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn write_tracking_off_by_default_and_reports_nothing() {
+        let mut m = PhysMemory::new(4 * PAGE_BYTES);
+        m.write_u32(0, 1).unwrap();
+        assert!(!m.write_tracking_enabled());
+        assert_eq!(m.dirty_page_count(), 0);
+        assert_eq!(m.touched_page_count(), 0);
+        assert_eq!(m.dirty_page_events(), 0);
+        assert!(m.dirty_pages().is_empty());
+        assert!(m.take_dirty_pages().is_empty());
+        assert!(m.touched_pages().is_empty());
+    }
+
+    #[test]
+    fn write_tracking_counts_distinct_pages_and_drains() {
+        let mut m = PhysMemory::new(4 * PAGE_BYTES);
+        m.enable_write_tracking();
+        m.write_u8(0, 1).unwrap(); // page 0
+        m.write_u8(4, 2).unwrap(); // page 0 again — still one page
+        m.write_u16(PAGE_BYTES - 1, 0xabcd).unwrap(); // straddles pages 0-1
+        m.write_u32(3 * PAGE_BYTES, 9).unwrap(); // page 3
+        assert_eq!(m.dirty_pages(), vec![0, 1, 3]);
+        assert_eq!(m.dirty_page_count(), 3);
+        assert_eq!(m.touched_page_count(), 3);
+        assert_eq!(m.dirty_page_events(), 3);
+        // Drain: dirty resets, touched and the monotonic count survive.
+        assert_eq!(m.take_dirty_pages(), vec![0, 1, 3]);
+        assert_eq!(m.dirty_page_count(), 0);
+        assert_eq!(m.touched_page_count(), 3);
+        assert_eq!(m.dirty_page_events(), 3);
+        // Re-dirtying a touched page counts as a fresh event post-drain.
+        m.write_u8(0, 3).unwrap();
+        assert_eq!(m.dirty_pages(), vec![0]);
+        assert_eq!(m.dirty_page_events(), 4);
+        assert_eq!(m.touched_pages(), vec![0, 1, 3]);
+        m.disable_write_tracking();
+        assert_eq!(m.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn write_tracking_covers_slice_and_zero_paths() {
+        let mut m = PhysMemory::new(4 * PAGE_BYTES);
+        m.enable_write_tracking();
+        m.write_slice(PAGE_BYTES - 4, &[1; 8]).unwrap(); // pages 0-1
+        m.zero_range(2 * PAGE_BYTES, PAGE_BYTES).unwrap(); // page 2
+        m.write_slice(0, &[]).unwrap(); // empty: no pages
+        m.zero_range(0, 0).unwrap();
+        assert_eq!(m.dirty_pages(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn write_tracking_matches_fork_residency_oracle() {
+        // The CoW overlay materializes a page on — and only on — its
+        // first write, independently of the tracker: the two mechanisms
+        // must name exactly the same pages.
+        let mut m = PhysMemory::new(8 * PAGE_BYTES);
+        m.write_u32(0x10, 0xdead_beef).unwrap(); // pre-fork write, not counted
+        let _child = m.fork();
+        m.enable_write_tracking();
+        m.write_u8(PAGE_BYTES, 1).unwrap();
+        m.write_u32(5 * PAGE_BYTES + 12, 0).unwrap(); // same-value write counts
+        m.write_slice(7 * PAGE_BYTES - 2, &[1, 2, 3]).unwrap();
+        assert_eq!(m.dirty_pages(), m.resident_page_numbers());
+        assert_eq!(m.dirty_pages(), vec![1, 5, 6, 7]);
+    }
+
+    #[test]
+    fn fork_children_start_with_tracking_off() {
+        let mut m = PhysMemory::new(2 * PAGE_BYTES);
+        m.enable_write_tracking();
+        m.write_u8(0, 1).unwrap();
+        let mut child = m.fork();
+        assert!(!child.write_tracking_enabled());
+        child.write_u8(PAGE_BYTES, 1).unwrap();
+        assert_eq!(child.dirty_page_count(), 0);
+        // The parent keeps tracking across the fork.
+        assert!(m.write_tracking_enabled());
+        assert_eq!(m.touched_pages(), vec![0]);
     }
 }

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Library (non-test) code must justify every panic site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! Observability for the VAX VMM: exit-reason tracing, per-cause
 //! cycle-cost histograms, and a metrics exposition layer.
@@ -41,11 +43,15 @@
 pub mod cause;
 pub mod hist;
 pub mod metrics;
+pub mod prof;
 pub mod ring;
 pub mod sink;
 
 pub use cause::ExitCause;
 pub use hist::Histogram;
-pub use metrics::{chrome_trace, Metrics};
+pub use metrics::{chrome_trace, chrome_trace_with_events, Metrics};
+pub use prof::{
+    PcBucket, Prof, ProfEvent, ProfEventKind, ProfSink, ProfTier, DEFAULT_SAMPLE_INTERVAL,
+};
 pub use ring::{TraceRecord, TraceRing};
 pub use sink::{Obs, ObsSink};

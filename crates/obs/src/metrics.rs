@@ -7,6 +7,7 @@
 //! exposition layer never touches live VMM state and needs no deps.
 
 use crate::hist::Histogram;
+use crate::prof::ProfEvent;
 use crate::ring::TraceRecord;
 
 /// A snapshot of counters, gauges, and histograms ready for exposition.
@@ -145,23 +146,27 @@ impl Metrics {
     }
 
     /// Renders the snapshot as Prometheus text exposition (version 0.0.4):
-    /// `vax_`-prefixed metric names, cumulative `le` buckets with a final
-    /// `+Inf`, and `_sum`/`_count` series per histogram.
+    /// `vax_`-prefixed metric names, a `# HELP` / `# TYPE` annotation pair
+    /// for every family, cumulative `le` buckets with a final `+Inf`, and
+    /// `_sum`/`_count` series per histogram.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
         for (name, v) in &self.counters {
             let m = prom_name(name);
-            out.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
+            let help = prom_help(name);
+            out.push_str(&format!("# HELP {m} {help}\n# TYPE {m} counter\n{m} {v}\n"));
         }
         for (name, v) in &self.gauges {
             if let Some(x) = v {
                 let m = prom_name(name);
-                out.push_str(&format!("# TYPE {m} gauge\n{m} {x}\n"));
+                let help = prom_help(name);
+                out.push_str(&format!("# HELP {m} {help}\n# TYPE {m} gauge\n{m} {x}\n"));
             }
         }
         for (name, h) in &self.histograms {
             let m = prom_name(name);
-            out.push_str(&format!("# TYPE {m} histogram\n"));
+            let help = prom_help(name);
+            out.push_str(&format!("# HELP {m} {help}\n# TYPE {m} histogram\n"));
             let mut acc = 0u64;
             for (edge, cum) in h.cumulative() {
                 acc = cum;
@@ -191,6 +196,50 @@ fn prom_name(name: &str) -> String {
     m
 }
 
+/// One-line `# HELP` text for a metric family. Known families get a
+/// specific description; anything else falls back to a generic line so
+/// every exported family is annotated (the exposition test rejects
+/// unannotated families).
+fn prom_help(name: &str) -> &'static str {
+    match name {
+        "instructions" => "Guest instructions retired (tier-invariant)",
+        "cycles" | "simulated_cycles" => "Simulated machine cycles",
+        "vmm_cycles" => "Cycles charged to VMM software emulation paths",
+        "vm_exits" => "Guest-to-VMM exits of all causes",
+        "world_switches" => "VM world switches performed by the monitor",
+        "trace_records" => "Exit-trace records captured in the ring",
+        "trace_records_dropped" => "Exit-trace records dropped at ring capacity",
+        "fleet_monitors" => "Monitors aggregated into this registry",
+        "tlb_hit_rate" => "TLB hits over lookups, point-in-time",
+        "decode_cache_hit_rate" => "Decode-cache hits over lookups, point-in-time",
+        "superblock_length" => "Superblock lengths in uops at translate time",
+        "profile_samples" => "Profiler interval samples taken",
+        "profile_overflow_cycles" => "Sampled cycles past the PC-bucket cap",
+        "profile_events_dropped" => "Superblock lifecycle events dropped at cap",
+        "profile_dirty_rate" => "Pages newly dirtied per profiler sampling interval",
+        "profile_page_cycles" => "Sampled cycles attributed per guest page",
+        "dirty_pages" => "Distinct pages written since tracking enabled or last drain",
+        "touched_pages" => "Distinct pages written since tracking enabled",
+        "dirty_page_events" => "Monotonic count of page-dirtying events",
+        "modify_faults" => "Guest modify faults taken via the shadow tables",
+        "dirty_upgrades" => "Shadow PTEs upgraded to writable after a modify fault",
+        "hot_superblocks" => "Translated superblocks with per-block profiles",
+        "superblock_cycles_retired" => "Cycles retired per profiled superblock",
+        "superblock_executions" => "Executions per profiled superblock",
+        _ => {
+            if name.starts_with("exit_cost_") {
+                "Exit-to-resume cost in simulated cycles for this exit cause"
+            } else if name.starts_with("profile_instructions_") {
+                "Instructions retired through this execution path while profiling"
+            } else if name.starts_with("profile_cycles_") {
+                "Sampled cycles attributed to this execution path"
+            } else {
+                "Simulated-machine metric (see DESIGN.md for semantics)"
+            }
+        }
+    }
+}
+
 /// Renders traced exits as Chrome trace-event JSON (the `about:tracing` /
 /// Perfetto format): one complete (`ph: "X"`) event per record, with
 /// `ts` = exit-start simulated cycles and `dur` = exit-to-resume cost.
@@ -200,12 +249,25 @@ pub fn chrome_trace<'a, I>(records: I) -> String
 where
     I: IntoIterator<Item = &'a TraceRecord>,
 {
+    chrome_trace_with_events(records, &[])
+}
+
+/// [`chrome_trace`] plus superblock lifecycle events from the profiler:
+/// each [`ProfEvent`] becomes an instant (`ph: "i"`) event on its own
+/// `tid` (99) so translate / invalidate / SMC-drain activity lines up on
+/// the same simulated-cycle timeline as the VM exits.
+pub fn chrome_trace_with_events<'a, I>(records: I, events: &[ProfEvent]) -> String
+where
+    I: IntoIterator<Item = &'a TraceRecord>,
+{
     let mut out = String::with_capacity(1024);
     out.push_str("{\"traceEvents\": [");
-    for (i, rec) in records.into_iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for rec in records {
+        if !first {
             out.push(',');
         }
+        first = false;
         out.push_str(&format!(
             "\n  {{\"name\": \"{}\", \"cat\": \"vmexit\", \"ph\": \"X\", \"ts\": {}, \
              \"dur\": {}, \"pid\": 0, \"tid\": {}, \"args\": {{\"pc\": \"{:#010x}\"}}}}",
@@ -214,6 +276,21 @@ where
             rec.cost_cycles,
             rec.ring,
             rec.guest_pc
+        ));
+    }
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n  {{\"name\": \"{}\", \"cat\": \"superblock\", \"ph\": \"i\", \"s\": \"t\", \
+             \"ts\": {}, \"pid\": 0, \"tid\": 99, \
+             \"args\": {{\"pa\": \"{:#010x}\", \"arg\": {}}}}}",
+            ev.kind.name(),
+            ev.cycles,
+            ev.pa,
+            ev.arg
         ));
     }
     out.push_str("\n], \"displayTimeUnit\": \"ns\"}\n");
@@ -305,6 +382,131 @@ mod tests {
             m.get_histogram("exit_cost_emul_mtpr_ipl").unwrap().count(),
             3
         );
+    }
+
+    /// Satellite: every exported family must carry `# HELP` and `# TYPE`
+    /// annotations. Parses the exposition the way a scraper would and
+    /// rejects any sample whose family was not annotated first.
+    #[test]
+    fn prometheus_every_family_is_annotated() {
+        let mut sb = Histogram::new();
+        sb.record_n(7, 3);
+        let mut m = sample();
+        m.counter("profile_samples", 42)
+            .counter("profile_cycles_trans", 9000)
+            .counter("made_up_metric_nobody_registered", 1)
+            .histogram("superblock_cycles_retired", &sb);
+        let text = m.to_prometheus();
+        let mut helped: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut typed: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (fam, help) = rest.split_once(' ').expect("HELP has text");
+                assert!(!help.trim().is_empty(), "empty HELP for {fam}");
+                helped.insert(fam);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split_whitespace().next().expect("TYPE has family"));
+            } else if !line.is_empty() {
+                let sample_name = line.split([' ', '{']).next().expect("sample name");
+                let family = sample_name
+                    .strip_suffix("_bucket")
+                    .or_else(|| sample_name.strip_suffix("_sum"))
+                    .or_else(|| sample_name.strip_suffix("_count"))
+                    .unwrap_or(sample_name);
+                assert!(
+                    helped.contains(family) || helped.contains(sample_name),
+                    "unannotated family for sample {sample_name}: missing # HELP"
+                );
+                assert!(
+                    typed.contains(family) || typed.contains(sample_name),
+                    "unannotated family for sample {sample_name}: missing # TYPE"
+                );
+            }
+        }
+        assert!(helped.contains("vax_profile_samples"));
+        assert!(helped.contains("vax_superblock_cycles_retired"));
+        assert!(helped.contains("vax_made_up_metric_nobody_registered"));
+    }
+
+    /// Satellite: `Metrics::merge` over `record_n`-built histograms and
+    /// the profile families — disjoint registries append, overlapping
+    /// registries fold, and gauges are left for the caller to recompute.
+    #[test]
+    fn merge_record_n_profile_families() {
+        // Overlapping: same superblock family on both sides.
+        let mut ha = Histogram::new();
+        ha.record_n(100, 4); // 4 blocks retiring 100 cycles each
+        let mut hb = Histogram::new();
+        hb.record_n(100, 2);
+        hb.record_n(7, 5);
+        let mut a = Metrics::new();
+        a.counter("profile_samples", 10)
+            .gauge("profile_coverage", Some(0.5))
+            .histogram("superblock_cycles_retired", &ha);
+        let mut b = Metrics::new();
+        b.counter("profile_samples", 32)
+            .counter("profile_cycles_trans", 640)
+            .gauge("profile_coverage", Some(0.9))
+            .histogram("superblock_cycles_retired", &hb)
+            .histogram("profile_dirty_rate", &hb);
+        a.merge(&b);
+        assert_eq!(a.get_counter("profile_samples"), Some(42));
+        // Disjoint counter appended.
+        assert_eq!(a.get_counter("profile_cycles_trans"), Some(640));
+        let h = a
+            .get_histogram("superblock_cycles_retired")
+            .expect("merged");
+        assert_eq!(h.count(), 11, "4 + 2 + 5 record_n'd samples");
+        assert_eq!(h.sum(), 4 * 100 + 2 * 100 + 5 * 7);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.min(), 7);
+        // Disjoint histogram appended whole.
+        assert_eq!(
+            a.get_histogram("profile_dirty_rate").map(|h| h.count()),
+            Some(7)
+        );
+        // Gauges: ours kept as-is, theirs never summed in — the caller
+        // recomputes (the Fleet tlb_hit_rate pattern).
+        let j = a.to_json();
+        assert_eq!(j.matches("\"profile_coverage\"").count(), 1);
+        assert!(j.contains("\"profile_coverage\": 0.500000"));
+    }
+
+    #[test]
+    fn chrome_trace_includes_superblock_lifecycle_events() {
+        use crate::prof::{ProfEvent, ProfEventKind};
+        let recs = [TraceRecord {
+            cause: ExitCause::EmulMtprIpl,
+            ring: 0,
+            guest_pc: 0x1000,
+            start_cycles: 100,
+            cost_cycles: 90,
+        }];
+        let events = [
+            ProfEvent {
+                kind: ProfEventKind::Translate,
+                pa: 0x2000,
+                arg: 12,
+                cycles: 50,
+            },
+            ProfEvent {
+                kind: ProfEventKind::SmcDrain,
+                pa: 0x2000,
+                arg: 16,
+                cycles: 400,
+            },
+        ];
+        let t = chrome_trace_with_events(recs.iter(), &events);
+        assert!(t.contains("\"name\": \"sb_translate\""));
+        assert!(t.contains("\"name\": \"sb_smc_drain\""));
+        assert!(t.contains("\"cat\": \"superblock\""));
+        assert!(t.contains("\"ph\": \"i\""));
+        assert!(t.contains("\"pa\": \"0x00002000\""));
+        assert_eq!(t.matches('{').count(), t.matches('}').count());
+        // Events-only export (no exit records) still renders valid JSON.
+        let none: [TraceRecord; 0] = [];
+        let only = chrome_trace_with_events(none.iter(), &events);
+        assert!(only.starts_with("{\"traceEvents\": [\n  {\"name\": \"sb_translate\""));
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! `vax-prof`: cycle-attributed guest profiling.
+//!
+//! The paper's evaluation (§4, §7) attributes VMM overhead to a handful
+//! of hot exits and shadow faults; this module provides the matching
+//! *in-guest* attribution — where do the guest's own cycles go, which
+//! execution tier retired them, and which pages does the guest write.
+//!
+//! # Sampling model
+//!
+//! The profiler is driven from the CPU's retire path on the **simulated**
+//! clock. Every retiring instruction (or µop) makes one cheap
+//! [`Prof::observe`] call: an array increment plus a compare against the
+//! next sample deadline. When the simulated clock crosses the deadline,
+//! the *entire* cycle delta since the previous sample is attributed to
+//! the sampled `(tier, PC)` bucket — so the attributed totals tile the
+//! profiled run (no cycle is counted twice, none is lost except the tail
+//! after the final sample), and the per-instruction cost stays far below
+//! the 5% overhead budget the bench enforces.
+//!
+//! # Non-perturbation contract
+//!
+//! Like [`crate::ObsSink`], the profiler only ever *reads* the simulated
+//! clock and PC; it never feeds anything back into execution. Enabling
+//! it must leave architectural state, cycles, and counters bit-identical
+//! — the repo's equivalence fuzzers enforce this for all three execution
+//! tiers.
+
+use crate::hist::Histogram;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Default sampling interval in simulated cycles. At the simulator's
+/// 1–5 cycles per instruction this samples every few hundred
+/// instructions — dense enough that even short runs resolve their hot
+/// loops, sparse enough to stay inside the 5% overhead budget.
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 1024;
+
+/// Cap on distinct `(tier, PC)` attribution buckets; cycles sampled past
+/// the cap are accumulated in [`Prof::overflow_cycles`] rather than
+/// silently dropped.
+const MAX_BUCKETS: usize = 65_536;
+
+/// Cap on retained lifecycle events; later events bump
+/// [`Prof::events_dropped`] instead of growing without bound.
+const MAX_EVENTS: usize = 65_536;
+
+/// One-multiply mixer for the bucket map. The keys are packed
+/// `(tier, pc)` pairs the profiler controls entirely, so the std
+/// DoS-resistant SipHash buys nothing here and costs more than the
+/// sampled attribution itself.
+#[derive(Default)]
+struct BucketHasher(u64);
+
+impl Hasher for BucketHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; only the fixed-width paths below run in
+        // practice (tuple fields hash via write_u8/write_u32).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci-multiply mix; xor-folding the rotated input keeps
+        // page-aligned PCs from clustering in the low bucket bits.
+        let x = self.0.rotate_left(29) ^ v;
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type BucketMap = HashMap<(u8, u32), u64, BuildHasherDefault<BucketHasher>>;
+
+/// The execution path that retired a sampled instruction.
+///
+/// This is attribution by *retire path*, not by the machine's configured
+/// tier: a machine in the translated tier still retires untranslatable
+/// instructions through the decode-cache interpreter path, and those
+/// cycles show up under [`ProfTier::Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProfTier {
+    /// Bytewise interpreter (decode cache off).
+    Interp = 0,
+    /// Decode-cached interpreter path.
+    Cache = 1,
+    /// Translated-superblock µop dispatch.
+    Trans = 2,
+}
+
+impl ProfTier {
+    /// Number of tiers.
+    pub const COUNT: usize = 3;
+
+    /// Every tier, in index order.
+    pub const ALL: [ProfTier; ProfTier::COUNT] =
+        [ProfTier::Interp, ProfTier::Cache, ProfTier::Trans];
+
+    /// Dense index for per-tier arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (used in metric names and stack frames).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfTier::Interp => "interp",
+            ProfTier::Cache => "cache",
+            ProfTier::Trans => "trans",
+        }
+    }
+}
+
+/// What happened to a translated superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfEventKind {
+    /// A superblock was formed at `pa` (`arg` = µop count).
+    Translate,
+    /// Translated blocks were invalidated (`arg` = 1 if targeted at the
+    /// page containing `pa`, 0 for a whole-cache invalidation).
+    Invalidate,
+    /// A self-modifying-code drain killed the blocks in page `arg`
+    /// (`pa` = the page's base physical address).
+    SmcDrain,
+}
+
+impl ProfEventKind {
+    /// Stable name for trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfEventKind::Translate => "sb_translate",
+            ProfEventKind::Invalidate => "sb_invalidate",
+            ProfEventKind::SmcDrain => "sb_smc_drain",
+        }
+    }
+}
+
+/// One superblock lifecycle event on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfEvent {
+    /// What happened.
+    pub kind: ProfEventKind,
+    /// Entry (or page base) physical address.
+    pub pa: u32,
+    /// Kind-specific argument (µop count / targeted flag / pfn).
+    pub arg: u32,
+    /// Simulated cycle count when it happened.
+    pub cycles: u64,
+}
+
+/// One ranked row of the per-`(tier, PC)` cycle attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcBucket {
+    /// Retire path of the samples.
+    pub tier: ProfTier,
+    /// Sampled program counter.
+    pub pc: u32,
+    /// Simulated cycles attributed to this bucket.
+    pub cycles: u64,
+}
+
+/// Interval-sampling guest profiler state. Construct via
+/// [`ProfSink::on`]; drive via [`Prof::observe`] from the retire path.
+#[derive(Debug, Clone)]
+pub struct Prof {
+    interval: u64,
+    /// Simulated clock at the last attribution boundary.
+    last_attr: u64,
+    next_sample: u64,
+    samples: u64,
+    /// Exact per-tier retired-instruction counts (one add per retire).
+    retired: [u64; ProfTier::COUNT],
+    /// Sampled per-tier cycle attribution.
+    attributed: [u64; ProfTier::COUNT],
+    buckets: BucketMap,
+    overflow_cycles: u64,
+    /// Cumulative dirty-page events seen at the last sample (the memory
+    /// side reports a monotonic count; the profiler differences it).
+    dirty_seen: u64,
+    dirty_rate: Histogram,
+    events: Vec<ProfEvent>,
+    events_dropped: u64,
+}
+
+impl Prof {
+    fn new(interval: u64, now: u64) -> Prof {
+        let interval = interval.max(1);
+        Prof {
+            interval,
+            last_attr: now,
+            next_sample: now + interval,
+            samples: 0,
+            retired: [0; ProfTier::COUNT],
+            attributed: [0; ProfTier::COUNT],
+            buckets: BucketMap::default(),
+            overflow_cycles: 0,
+            dirty_seen: 0,
+            dirty_rate: Histogram::new(),
+            events: Vec::new(),
+            events_dropped: 0,
+        }
+    }
+
+    /// Observes one retiring instruction at `pc` on `tier` with the
+    /// simulated clock at `now`. Returns `true` when an interval sample
+    /// fired (the caller may then report working-set progress via
+    /// [`Prof::note_dirty`]).
+    #[inline]
+    pub fn observe(&mut self, tier: ProfTier, pc: u32, now: u64) -> bool {
+        self.retired[tier.index()] += 1;
+        if now < self.next_sample {
+            return false;
+        }
+        self.sample(tier, pc, now);
+        true
+    }
+
+    /// The cold half of [`Prof::observe`]: attribute everything since the
+    /// last boundary to the sampled `(tier, pc)`. Kept out of line so the
+    /// per-retire fast path stays a load, an add, and a compare.
+    #[cold]
+    #[inline(never)]
+    fn sample(&mut self, tier: ProfTier, pc: u32, now: u64) {
+        let delta = now - self.last_attr;
+        self.last_attr = now;
+        self.next_sample = now + self.interval;
+        self.samples += 1;
+        self.attributed[tier.index()] += delta;
+        let key = (tier.index() as u8, pc);
+        if self.buckets.len() >= MAX_BUCKETS && !self.buckets.contains_key(&key) {
+            self.overflow_cycles += delta;
+        } else {
+            *self.buckets.entry(key).or_insert(0) += delta;
+        }
+    }
+
+    /// Records the memory side's monotonic dirty-page event count at a
+    /// sample boundary; the difference from the previous boundary is one
+    /// entry in the per-interval dirty-rate histogram.
+    #[inline]
+    pub fn note_dirty(&mut self, cumulative_dirty_events: u64) {
+        let newly = cumulative_dirty_events.saturating_sub(self.dirty_seen);
+        self.dirty_seen = cumulative_dirty_events;
+        self.dirty_rate.record(newly);
+    }
+
+    /// Records a superblock lifecycle event.
+    pub fn note_event(&mut self, kind: ProfEventKind, pa: u32, arg: u32, cycles: u64) {
+        if self.events.len() >= MAX_EVENTS {
+            self.events_dropped += 1;
+            return;
+        }
+        self.events.push(ProfEvent {
+            kind,
+            pa,
+            arg,
+            cycles,
+        });
+    }
+
+    /// The sampling interval in simulated cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of interval samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Exact count of instructions retired through `tier` while profiling.
+    pub fn retired(&self, tier: ProfTier) -> u64 {
+        self.retired[tier.index()]
+    }
+
+    /// Sampled cycles attributed to `tier`.
+    pub fn attributed(&self, tier: ProfTier) -> u64 {
+        self.attributed[tier.index()]
+    }
+
+    /// Total attributed cycles across all tiers (tiles the profiled run
+    /// up to the tail after the final sample).
+    pub fn attributed_total(&self) -> u64 {
+        self.attributed.iter().sum()
+    }
+
+    /// Cycles sampled after the bucket table filled up.
+    pub fn overflow_cycles(&self) -> u64 {
+        self.overflow_cycles
+    }
+
+    /// Per-interval newly-dirtied-page histogram.
+    pub fn dirty_rate(&self) -> &Histogram {
+        &self.dirty_rate
+    }
+
+    /// Superblock lifecycle events, oldest first.
+    pub fn events(&self) -> &[ProfEvent] {
+        &self.events
+    }
+
+    /// Lifecycle events dropped after the retention cap.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// The `(tier, PC)` attribution ranked by cycles (descending), ties
+    /// broken by tier then PC so the output is deterministic.
+    pub fn pc_buckets(&self) -> Vec<PcBucket> {
+        let mut out: Vec<PcBucket> = self
+            .buckets
+            .iter()
+            .map(|(&(t, pc), &cycles)| PcBucket {
+                tier: ProfTier::ALL[t as usize],
+                pc,
+                cycles,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.cycles
+                .cmp(&a.cycles)
+                .then(a.tier.cmp(&b.tier))
+                .then(a.pc.cmp(&b.pc))
+        });
+        out
+    }
+
+    /// Per-page cycle attribution (PC buckets rolled up by VAX page),
+    /// ranked by cycles descending, ties broken by page number.
+    pub fn page_buckets(&self) -> Vec<(u32, u64)> {
+        let mut pages: HashMap<u32, u64> = HashMap::new();
+        for (&(_, pc), &cycles) in &self.buckets {
+            *pages.entry(pc >> 9).or_insert(0) += cycles;
+        }
+        let mut out: Vec<(u32, u64)> = pages.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Renders the attribution as collapsed-stack (flamegraph) text:
+    /// one `guest;tier_X;page_0xNNNNN;pc_0xNNNNNNNN cycles` line per
+    /// bucket, ranked. Feed straight into `flamegraph.pl` or speedscope.
+    pub fn collapsed_stack(&self) -> String {
+        let mut out = String::new();
+        for b in self.pc_buckets() {
+            out.push_str(&format!(
+                "guest;tier_{};page_0x{:05x};pc_0x{:08x} {}\n",
+                b.tier.name(),
+                b.pc >> 9,
+                b.pc,
+                b.cycles
+            ));
+        }
+        if self.overflow_cycles > 0 {
+            out.push_str(&format!("guest;overflow {}\n", self.overflow_cycles));
+        }
+        out
+    }
+}
+
+/// Enum-dispatch profiler sink, mirroring [`crate::ObsSink`]: the CPU
+/// step loop holds one of these and the `Off` variant makes the retire
+/// hook a single discriminant test.
+#[derive(Debug, Clone, Default)]
+pub enum ProfSink {
+    /// Profiling disabled; every hook is a no-op.
+    #[default]
+    Off,
+    /// Profiling enabled; boxed so the machine stays small when off.
+    On(Box<Prof>),
+}
+
+impl ProfSink {
+    /// A disabled sink.
+    pub fn off() -> ProfSink {
+        ProfSink::Off
+    }
+
+    /// An enabled sink sampling every `interval` simulated cycles,
+    /// with the clock currently at `now`.
+    pub fn on(interval: u64, now: u64) -> ProfSink {
+        ProfSink::On(Box::new(Prof::new(interval, now)))
+    }
+
+    /// Whether profiling is enabled.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        matches!(self, ProfSink::On(_))
+    }
+
+    /// The profiler state, when enabled.
+    pub fn state(&self) -> Option<&Prof> {
+        match self {
+            ProfSink::Off => None,
+            ProfSink::On(p) => Some(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_attributes_whole_deltas() {
+        let mut p = Prof::new(100, 0);
+        // 40 retires of 10 cycles each; samples fire when the clock
+        // crosses 100, 200, 300, 400.
+        let mut now = 0;
+        for _ in 0..40 {
+            now += 10;
+            p.observe(ProfTier::Cache, 0x1000, now);
+        }
+        assert_eq!(p.samples(), 4);
+        assert_eq!(p.retired(ProfTier::Cache), 40);
+        assert_eq!(p.attributed(ProfTier::Cache), 400);
+        assert_eq!(p.attributed_total(), 400);
+        let b = p.pc_buckets();
+        assert_eq!(b.len(), 1);
+        assert_eq!((b[0].pc, b[0].cycles), (0x1000, 400));
+    }
+
+    #[test]
+    fn attribution_tiles_across_tiers() {
+        let mut p = Prof::new(50, 0);
+        p.observe(ProfTier::Interp, 0x100, 60); // sample: 60 to interp
+        p.observe(ProfTier::Trans, 0x200, 130); // sample: 70 to trans
+        p.observe(ProfTier::Trans, 0x200, 150); // no sample
+        assert_eq!(p.attributed(ProfTier::Interp), 60);
+        assert_eq!(p.attributed(ProfTier::Trans), 70);
+        assert_eq!(p.attributed_total(), 130);
+        assert_eq!(p.retired(ProfTier::Trans), 2);
+    }
+
+    #[test]
+    fn collapsed_stack_is_ranked_and_parseable() {
+        let mut p = Prof::new(1, 0);
+        p.observe(ProfTier::Cache, 0x1000, 10);
+        p.observe(ProfTier::Trans, 0x2000, 100);
+        let text = p.collapsed_stack();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Ranked: the 90-cycle trans bucket first.
+        assert_eq!(lines[0], "guest;tier_trans;page_0x00010;pc_0x00002000 90");
+        assert_eq!(lines[1], "guest;tier_cache;page_0x00008;pc_0x00001000 10");
+        for l in lines {
+            let (stack, n) = l.rsplit_once(' ').expect("space-separated");
+            assert!(stack.starts_with("guest;tier_"));
+            n.parse::<u64>().expect("numeric suffix");
+        }
+    }
+
+    #[test]
+    fn page_buckets_roll_up_pcs() {
+        let mut p = Prof::new(1, 0);
+        p.observe(ProfTier::Cache, 0x1000, 10);
+        p.observe(ProfTier::Cache, 0x1004, 30); // same page, +20
+        p.observe(ProfTier::Cache, 0x2000, 35); // other page, +5
+        let pages = p.page_buckets();
+        assert_eq!(pages, vec![(0x8, 30), (0x10, 5)]);
+    }
+
+    #[test]
+    fn dirty_rate_differences_monotonic_counts() {
+        let mut p = Prof::new(1, 0);
+        p.note_dirty(3);
+        p.note_dirty(3);
+        p.note_dirty(10);
+        assert_eq!(p.dirty_rate().count(), 3);
+        assert_eq!(p.dirty_rate().sum(), 10);
+        assert_eq!(p.dirty_rate().max(), 7);
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let mut p = Prof::new(1, 0);
+        for i in 0..(MAX_EVENTS + 5) {
+            p.note_event(ProfEventKind::Translate, i as u32, 1, i as u64);
+        }
+        assert_eq!(p.events().len(), MAX_EVENTS);
+        assert_eq!(p.events_dropped(), 5);
+    }
+
+    #[test]
+    fn bucket_cap_accumulates_overflow() {
+        let mut p = Prof::new(1, 0);
+        let mut now = 0;
+        for pc in 0..(MAX_BUCKETS as u32 + 3) {
+            now += 1;
+            p.observe(ProfTier::Interp, pc * 4, now);
+        }
+        assert_eq!(p.pc_buckets().len(), MAX_BUCKETS);
+        assert_eq!(p.overflow_cycles(), 3);
+        assert!(p.collapsed_stack().contains("guest;overflow 3\n"));
+    }
+
+    #[test]
+    fn sink_off_is_default_and_stateless() {
+        let s = ProfSink::default();
+        assert!(!s.is_on());
+        assert!(s.state().is_none());
+        let s = ProfSink::on(256, 1000);
+        assert!(s.is_on());
+        assert_eq!(s.state().map(|p| p.interval()), Some(256));
+    }
+}

@@ -35,8 +35,15 @@
 
 use std::process::ExitCode;
 use vax_arch::{MachineVariant, Psl};
-use vax_cpu::{ExecTier, HaltReason, Machine, StepEvent};
-use vax_vmm::{chrome_trace, Fleet, Metrics, Monitor, MonitorConfig, RunExit, VmConfig, VmState};
+use vax_cpu::{ExecTier, HaltReason, Machine, StepEvent, SuperblockProfile};
+use vax_vmm::{
+    chrome_trace, chrome_trace_with_events, Fleet, Metrics, Monitor, MonitorConfig, Prof, ProfTier,
+    RunExit, VmConfig, VmState, DEFAULT_SAMPLE_INTERVAL,
+};
+
+/// Upper bound on `--trace-depth`: 16M records is ~512 MiB of ring, far
+/// beyond anything useful but a guard against typo'd byte counts.
+const MAX_TRACE_DEPTH: usize = 1 << 24;
 
 struct Options {
     path: String,
@@ -54,19 +61,31 @@ struct Options {
     restore: Option<String>,
     fork: usize,
     exec_tier: ExecTier,
+    profile: bool,
+    profile_out: Option<String>,
+    trace_depth: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vaxrun [--vm] [--list] [--trace] [--base HEX] [--max-cycles N] \
          [--exec-tier interp|cache|trans] [--metrics-out FILE] [--trace-out FILE] \
+         [--trace-depth N] [--profile] [--profile-out FILE] \
          [--fleet M[@V]] [--jobs N] [--snapshot-out FILE] [--fork K] FILE.s\n       \
          vaxrun --restore FILE [--max-cycles N] [--snapshot-out FILE] [--fork K] \
          [--metrics-out FILE]\n\n       --exec-tier selects how guest code executes: \
          'interp' (bytewise decode every\n       instruction), 'cache' (PA-keyed decode \
          cache, the default), or 'trans'\n       (decode cache + translated superblocks \
          for hot straight-line code). All\n       tiers produce bit-identical \
-         architectural state, cycles, and counters."
+         architectural state, cycles, and counters.\n\n       --profile samples the \
+         guest PC on the simulated clock and prints a\n       cycle-attributed profile \
+         on exit (per-tier split, hot pages, hot\n       superblocks, working set); \
+         --profile-out additionally writes a\n       collapsed-stack file for flamegraph \
+         tools and implies --profile.\n       Profiling never perturbs the guest: \
+         architectural state, cycles, and\n       counters are bit-identical with it on \
+         or off.\n\n       --trace-depth sets the VM-exit trace ring capacity in records \
+         (default\n       65536, max 16777216); deeper rings keep more history for \
+         --trace-out."
     );
     ExitCode::from(2)
 }
@@ -98,6 +117,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         restore: None,
         fork: 0,
         exec_tier: ExecTier::default(),
+        profile: false,
+        profile_out: None,
+        trace_depth: 65536,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -133,6 +155,19 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             "--metrics-out" => opts.metrics_out = Some(args.next().ok_or_else(usage)?),
             "--trace-out" => opts.trace_out = Some(args.next().ok_or_else(usage)?),
+            "--trace-depth" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.trace_depth = v.parse().map_err(|_| usage())?;
+                if opts.trace_depth == 0 || opts.trace_depth > MAX_TRACE_DEPTH {
+                    eprintln!("vaxrun: --trace-depth must be 1..={MAX_TRACE_DEPTH}");
+                    return Err(usage());
+                }
+            }
+            "--profile" => opts.profile = true,
+            "--profile-out" => {
+                opts.profile_out = Some(args.next().ok_or_else(usage)?);
+                opts.profile = true;
+            }
             "--snapshot-out" => opts.snapshot_out = Some(args.next().ok_or_else(usage)?),
             "--restore" => opts.restore = Some(args.next().ok_or_else(usage)?),
             "--fork" => {
@@ -280,6 +315,104 @@ fn print_exit_costs(metrics: &Metrics) {
     }
 }
 
+/// Prints the cycle-attributed profile for one machine: the per-tier
+/// attribution split, the hottest guest pages, the hot-superblock
+/// table, and working-set telemetry. Shared by `--vm` and bare modes.
+fn print_profile(prof: &Prof, blocks: &[SuperblockProfile], mem: &vax_mem::PhysMemory) {
+    let total = prof.attributed_total().max(1);
+    eprintln!(
+        "-- profile: {} samples (interval {} cycles), {} cycles attributed",
+        prof.samples(),
+        prof.interval(),
+        prof.attributed_total()
+    );
+    for tier in ProfTier::ALL {
+        let cyc = prof.attributed(tier);
+        if cyc == 0 && prof.retired(tier) == 0 {
+            continue;
+        }
+        eprintln!(
+            "--   tier {:<7} {:>12} instrs  {:>12} cycles ({:>5.1}%)",
+            tier.name(),
+            prof.retired(tier),
+            cyc,
+            100.0 * cyc as f64 / total as f64
+        );
+    }
+    if prof.overflow_cycles() > 0 {
+        eprintln!(
+            "--   (bucket table full: {} cycles in overflow)",
+            prof.overflow_cycles()
+        );
+    }
+    let pages = prof.page_buckets();
+    if !pages.is_empty() {
+        eprintln!("-- hot pages:");
+        for &(page, cyc) in pages.iter().take(8) {
+            eprintln!(
+                "--   page {:#07x} ({:#010x}..)  {:>12} cycles ({:>5.1}%)",
+                page,
+                page << vax_arch::PAGE_SHIFT,
+                cyc,
+                100.0 * cyc as f64 / total as f64
+            );
+        }
+    }
+    if !blocks.is_empty() {
+        eprintln!(
+            "-- hot superblocks (top {} of {}):",
+            blocks.len().min(8),
+            blocks.len()
+        );
+        eprintln!(
+            "--   {:<10} {:>4} {:>5} {:>9} {:>11} {:>12} {:>6} {:>6} {:>6}",
+            "entry", "len", "heat", "execs", "uops", "cycles", "irq", "bail", "inval"
+        );
+        for b in blocks.iter().take(8) {
+            eprintln!(
+                "--   {:#010x} {:>4} {:>5} {:>9} {:>11} {:>12} {:>6} {:>6} {:>6}",
+                b.entry_pa,
+                b.len,
+                b.heat,
+                b.executions,
+                b.uops_retired,
+                b.cycles_retired,
+                b.side_exit_interrupt,
+                b.side_exit_bail,
+                b.invalidations
+            );
+        }
+    }
+    if mem.write_tracking_enabled() {
+        eprintln!(
+            "-- working set: {} pages touched, {} dirty, {} dirty-page events",
+            mem.touched_page_count(),
+            mem.dirty_page_count(),
+            mem.dirty_page_events()
+        );
+        let dr = prof.dirty_rate();
+        if dr.count() > 0 {
+            eprintln!(
+                "--   dirty rate: mean {:.2} p99 {} max {} new dirty pages / interval",
+                dr.mean(),
+                dr.quantile(0.99),
+                dr.max()
+            );
+        }
+    }
+}
+
+/// Writes a collapsed-stack profile (`--profile-out`); errors are
+/// reported and turned into a failure exit code by the caller.
+fn write_profile_out(path: &str, body: &str) -> Result<(), ExitCode> {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("vaxrun: {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    eprintln!("-- vaxrun: collapsed-stack profile -> {path}");
+    Ok(())
+}
+
 /// Fleet mode: `monitors` independent Monitors, each booting
 /// `vms_per_monitor` VMs on the same program, driven by the fleet
 /// executor.
@@ -294,7 +427,7 @@ fn run_fleet(
     for m in 0..monitors {
         let mut monitor = Monitor::new(MonitorConfig::default());
         if obs {
-            monitor.enable_obs(65536);
+            monitor.enable_obs(opts.trace_depth);
         }
         for v in 0..vms_per_monitor {
             let vm = monitor.create_vm(&format!("m{m}.v{v}"), VmConfig::default());
@@ -309,6 +442,9 @@ fn run_fleet(
     // One call fans the tier out to every member, so parallel workers
     // all run the same way.
     fleet.set_exec_tier(opts.exec_tier);
+    if opts.profile {
+        fleet.set_profiling(Some(DEFAULT_SAMPLE_INTERVAL));
+    }
     let report = if opts.jobs > 1 {
         fleet.run_parallel(opts.max_cycles, opts.jobs)
     } else {
@@ -342,6 +478,32 @@ fn run_fleet(
     if opts.trace {
         eprintln!("-- fleet-wide vm exit costs:");
         print_exit_costs(&fleet.fleet_metrics());
+    }
+    if opts.profile {
+        for i in 0..fleet.len() {
+            let monitor = fleet.monitor(i);
+            if let Some(prof) = monitor.prof() {
+                eprintln!("-- monitor {i} profile:");
+                print_profile(
+                    prof,
+                    &monitor.machine().superblock_profiles(),
+                    monitor.machine().mem(),
+                );
+            }
+        }
+    }
+    if let Some(path) = &opts.profile_out {
+        // One flamegraph across the fleet: members' collapsed stacks
+        // concatenate cleanly because each line carries full context.
+        let mut body = String::new();
+        for i in 0..fleet.len() {
+            if let Some(prof) = fleet.monitor(i).prof() {
+                body.push_str(&prof.collapsed_stack());
+            }
+        }
+        if let Err(code) = write_profile_out(path, &body) {
+            return code;
+        }
     }
     if let Some(path) = &opts.metrics_out {
         let body = if path.ends_with(".prom") {
@@ -415,7 +577,10 @@ fn main() -> ExitCode {
         let mut monitor = Monitor::new(MonitorConfig::default());
         monitor.set_exec_tier(opts.exec_tier);
         if opts.trace || opts.trace_out.is_some() || opts.metrics_out.is_some() {
-            monitor.enable_obs(65536);
+            monitor.enable_obs(opts.trace_depth);
+        }
+        if opts.profile {
+            monitor.enable_profiling(DEFAULT_SAMPLE_INTERVAL);
         }
         let vm = monitor.create_vm("vaxrun", VmConfig::default());
         if let Err(e) = monitor.vm_write_phys(vm, program.base, &program.bytes) {
@@ -463,6 +628,22 @@ fn main() -> ExitCode {
                 }
             }
         }
+        if let Some(prof) = monitor.prof() {
+            print_profile(
+                prof,
+                &monitor.machine().superblock_profiles(),
+                monitor.machine().mem(),
+            );
+        }
+        if let Some(path) = &opts.profile_out {
+            let body = monitor
+                .prof()
+                .map(Prof::collapsed_stack)
+                .unwrap_or_default();
+            if let Err(code) = write_profile_out(path, &body) {
+                return code;
+            }
+        }
         let (snap_bytes, forks) = match snapshot_duties(&mut monitor, &opts) {
             Ok(v) => v,
             Err(code) => return code,
@@ -480,9 +661,14 @@ fn main() -> ExitCode {
             }
         }
         if let Some(path) = &opts.trace_out {
+            // With profiling on, superblock lifecycle events ride along
+            // as instant events on their own trace row.
             let trace = monitor
                 .obs()
-                .map(|o| chrome_trace(o.trace().iter()))
+                .map(|o| match monitor.prof() {
+                    Some(p) => chrome_trace_with_events(o.trace().iter(), p.events()),
+                    None => chrome_trace(o.trace().iter()),
+                })
                 .unwrap_or_default();
             if let Err(e) = std::fs::write(path, trace) {
                 eprintln!("vaxrun: {path}: {e}");
@@ -504,6 +690,9 @@ fn main() -> ExitCode {
     m.set_exec_tier(opts.exec_tier);
     if opts.trace {
         m.enable_trace(16);
+    }
+    if opts.profile {
+        m.enable_profiling(DEFAULT_SAMPLE_INTERVAL);
     }
     if m.mem_mut()
         .write_slice(program.base, &program.bytes)
@@ -550,6 +739,15 @@ fn main() -> ExitCode {
         let pcs: Vec<String> = m.recent_pcs().iter().map(|p| format!("{p:#x}")).collect();
         eprintln!("-- trace: {}", pcs.join(" "));
     }
+    if let Some(prof) = m.prof() {
+        print_profile(prof, &m.superblock_profiles(), m.mem());
+    }
+    if let Some(path) = &opts.profile_out {
+        let body = m.prof().map(Prof::collapsed_stack).unwrap_or_default();
+        if let Err(code) = write_profile_out(path, &body) {
+            return code;
+        }
+    }
     if let Some(path) = &opts.metrics_out {
         let c = m.counters();
         let dc = m.decode_cache_stats();
@@ -571,6 +769,22 @@ fn main() -> ExitCode {
         metrics.counter("trans_side_exit_bail", ts.side_exit_bail);
         metrics.counter("trans_invalidations", ts.invalidations);
         metrics.gauge("tlb_hit_rate", c.tlb_hit_rate_opt());
+        if let Some(p) = m.prof() {
+            metrics
+                .counter("profile_samples", p.samples())
+                .counter("profile_overflow_cycles", p.overflow_cycles());
+            for tier in ProfTier::ALL {
+                metrics
+                    .counter(
+                        &format!("profile_instructions_{}", tier.name()),
+                        p.retired(tier),
+                    )
+                    .counter(
+                        &format!("profile_cycles_{}", tier.name()),
+                        p.attributed(tier),
+                    );
+            }
+        }
         if let Err(e) = write_metrics(path, &metrics) {
             eprintln!("vaxrun: {path}: {e}");
             return ExitCode::FAILURE;

@@ -158,3 +158,110 @@ fn metrics_exposition_covers_counters_and_histograms() {
     assert!(trace.contains("\"traceEvents\""));
     assert!(trace.contains("emul_mtpr_ipl"));
 }
+
+/// Like [`run_guest`] with the profiler on; the simulation outcome must
+/// match the unprofiled runs bit for bit.
+fn run_guest_profiled() -> (Monitor, u64, CpuCounters) {
+    let program = vax_asm::assemble_text(GUEST, 0x1000).unwrap();
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    monitor.enable_obs(256);
+    monitor.enable_profiling(64);
+    let vm = monitor.create_vm("guest", VmConfig::default());
+    monitor
+        .vm_write_phys(vm, program.base, &program.bytes)
+        .unwrap();
+    monitor.boot_vm(vm, program.base);
+    let exit = monitor.run(500_000_000);
+    assert_eq!(exit, RunExit::AllHalted);
+    let cycles = monitor.machine().cycles();
+    let counters = monitor.machine().counters();
+    (monitor, cycles, counters)
+}
+
+#[test]
+fn profiling_never_perturbs_cycles_or_counters() {
+    let (_, cycles_off, counters_off) = run_guest(false);
+    let (monitor, cycles_on, counters_on) = run_guest_profiled();
+    assert_eq!(cycles_on, cycles_off, "profiling changed simulated time");
+    assert_eq!(counters_on, counters_off, "profiling changed counters");
+    let prof = monitor.prof().expect("profiling enabled");
+    assert!(prof.samples() > 0, "the run must cross sample boundaries");
+    assert!(prof.attributed_total() > 0);
+}
+
+#[test]
+fn profiling_off_by_default_and_discarded_on_disable() {
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    assert!(monitor.prof().is_none(), "profiling must be off by default");
+    assert!(!monitor.machine().mem().write_tracking_enabled());
+    monitor.enable_profiling(64);
+    assert!(monitor.prof().is_some());
+    assert!(monitor.machine().mem().write_tracking_enabled());
+    monitor.disable_profiling();
+    assert!(monitor.prof().is_none());
+    assert!(!monitor.machine().mem().write_tracking_enabled());
+}
+
+#[test]
+fn profile_metrics_exposition() {
+    let (monitor, _, counters) = run_guest_profiled();
+    let m = monitor.metrics();
+
+    // The exact retire counts split the instruction counter by tier.
+    let by_tier: u64 = vax_vmm::ProfTier::ALL
+        .iter()
+        .map(|t| {
+            m.get_counter(&format!("profile_instructions_{}", t.name()))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(by_tier, counters.instructions);
+    assert!(m.get_counter("profile_samples").unwrap_or(0) > 0);
+    assert!(m.get_counter("dirty_pages").unwrap_or(0) > 0);
+    assert!(
+        m.get_counter("touched_pages").unwrap_or(0) >= m.get_counter("dirty_pages").unwrap_or(0)
+    );
+
+    // Prometheus exposition carries the profile families, annotated.
+    let prom = m.to_prometheus();
+    assert!(
+        prom.contains("# TYPE vax_profile_samples counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("# HELP vax_profile_cycles_cache"), "{prom}");
+    assert!(prom.contains("vax_dirty_pages "), "{prom}");
+
+    // The collapsed stack is one frame path + count per line.
+    let prof = monitor.prof().unwrap();
+    let folded = prof.collapsed_stack();
+    for line in folded.lines() {
+        let (frames, count) = line.rsplit_once(' ').expect("frames <space> count");
+        assert!(frames.starts_with("guest;"), "{line}");
+        count.parse::<u64>().expect("count is a number");
+    }
+}
+
+#[test]
+fn profile_metrics_merge_across_monitors() {
+    // Two profiled monitors merged (the Fleet path): counter families
+    // sum, histogram families fold — fleet-wide profiles need no
+    // bespoke aggregation code.
+    let (a, _, _) = run_guest_profiled();
+    let (b, _, _) = run_guest_profiled();
+    let ma = a.metrics();
+    let mb = b.metrics();
+    let mut merged = ma.clone();
+    merged.merge(&mb);
+    for name in ["profile_samples", "profile_cycles_cache", "dirty_pages"] {
+        assert_eq!(
+            merged.get_counter(name),
+            Some(ma.get_counter(name).unwrap_or(0) + mb.get_counter(name).unwrap_or(0)),
+            "{name} must sum across monitors"
+        );
+    }
+    let fold = merged.get_histogram("profile_page_cycles").unwrap();
+    let ha = ma.get_histogram("profile_page_cycles").unwrap();
+    let hb = mb.get_histogram("profile_page_cycles").unwrap();
+    assert_eq!(fold.count(), ha.count() + hb.count());
+    assert_eq!(fold.sum(), ha.sum() + hb.sum());
+}

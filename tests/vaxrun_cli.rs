@@ -170,6 +170,90 @@ fn vaxrun_fleet_mode() {
 }
 
 #[test]
+fn vaxrun_profile_mode() {
+    let dir = std::env::temp_dir().join("vaxrun_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_program(&dir, "profile.s", HELLO);
+    let folded_path = dir.join("profile.folded");
+
+    // --vm --profile: summary on stderr, collapsed stack on disk, and
+    // profile families in the metrics registry.
+    let metrics_path = dir.join("profile_metrics.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .arg("--vm")
+        .arg("--profile-out")
+        .arg(&folded_path)
+        .arg("--metrics-out")
+        .arg(&metrics_path)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "hi there\n");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("-- profile:"), "{stderr}");
+    assert!(stderr.contains("tier cache"), "{stderr}");
+    assert!(stderr.contains("-- working set:"), "{stderr}");
+    let folded = std::fs::read_to_string(&folded_path).unwrap();
+    assert!(folded.contains("guest;tier_"), "{folded}");
+    let json = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(json.contains("\"profile_samples\""), "{json}");
+    assert!(json.contains("\"profile_cycles_cache\""), "{json}");
+    assert!(json.contains("\"dirty_pages\""), "{json}");
+
+    // Bare mode: --profile alone prints the summary too.
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .arg("--profile")
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("-- profile:"), "{stderr}");
+}
+
+#[test]
+fn vaxrun_trace_depth_flag() {
+    let dir = std::env::temp_dir().join("vaxrun_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = write_program(&dir, "depth.s", HELLO);
+    let trace_path = dir.join("depth_trace.json");
+
+    // A valid depth works end to end.
+    let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+        .args(["--vm", "--trace-depth", "128", "--trace-out"])
+        .arg(&trace_path)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+
+    // Out-of-range depths are usage errors (exit code 2).
+    for bad in ["0", "16777217", "banana"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+            .args(["--vm", "--trace-depth", bad])
+            .arg(&prog)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "--trace-depth {bad}");
+    }
+}
+
+#[test]
 fn vaxrun_usage_on_bad_flags() {
     let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
         .arg("--bogus")
