@@ -10,7 +10,10 @@
 
 use std::time::Instant;
 use vax_os::{boot_in_monitor, build_image, OsConfig, Workload};
-use vax_snap::{fork_monitor, restore_monitor, snapshot_monitor};
+use vax_snap::{
+    fork_monitor, restore_chain, restore_monitor, snapshot_chain_base, snapshot_delta,
+    snapshot_digest, snapshot_monitor,
+};
 use vax_vmm::{Fleet, Monitor, MonitorConfig, RunExit, VmConfig};
 
 /// Cycle budget that lets every guest in this file halt.
@@ -47,14 +50,21 @@ impl Scale {
 /// realistic snapshot subject: warm TLB, populated shadow tables,
 /// console output in the buffers.
 fn subject(scale: &Scale) -> Monitor {
+    subject_with(scale, Workload::Mixed, false)
+}
+
+fn subject_with(scale: &Scale, workload: Workload, track: bool) -> Monitor {
     let image = build_image(&OsConfig {
         nproc: 3,
-        workload: Workload::Mixed,
+        workload,
         iterations: scale.iterations,
         ..OsConfig::default()
     })
     .expect("guest image builds");
     let mut monitor = Monitor::new(MonitorConfig::default());
+    if track {
+        monitor.enable_dirty_tracking();
+    }
     boot_in_monitor(&mut monitor, &image, VmConfig::default());
     monitor.run(scale.split);
     monitor
@@ -134,6 +144,53 @@ fn main() {
         100.0 * min_shared
     );
 
+    // --- incremental delta snapshots ------------------------------
+    // A compute-bound guest is mostly idle memory-wise: after the base,
+    // each segment dirties a handful of pages, so the delta must come
+    // out an order of magnitude smaller than the full image.
+    let mut chained = subject_with(&scale, Workload::Compute, true);
+    let t = Instant::now();
+    let base = snapshot_chain_base(&mut chained).expect("base snapshot");
+    let base_s = t.elapsed().as_secs_f64();
+    let segment = (scale.split / 20).max(1_000);
+    let mut digest = snapshot_digest(&base);
+    let mut deltas = Vec::new();
+    let mut delta_times = Vec::new();
+    for _ in 0..3 {
+        chained.run(segment);
+        let t = Instant::now();
+        let d = snapshot_delta(&mut chained, digest).expect("delta snapshot");
+        delta_times.push(t.elapsed().as_secs_f64());
+        digest = snapshot_digest(&d);
+        deltas.push(d);
+    }
+    let delta_bytes = deltas.iter().map(Vec::len).max().unwrap_or(0);
+    let full_after = snapshot_monitor(&chained).expect("full snapshot of source");
+    assert!(
+        delta_bytes * 10 <= full_after.len(),
+        "delta ({delta_bytes} bytes) must be >= 10x smaller than the full \
+         snapshot ({} bytes) on a mostly-idle guest",
+        full_after.len()
+    );
+    // Chain bit-identity: base + deltas reassemble the source exactly.
+    let rechained = restore_chain(&base, &deltas).expect("chain restore");
+    assert_eq!(
+        snapshot_monitor(&rechained).expect("re-snapshot"),
+        full_after,
+        "restore_chain must reproduce the source state exactly"
+    );
+    let delta_s = mean_secs(&delta_times);
+    println!(
+        "  delta: {} bytes largest of {} links ({}x smaller than the {} byte full image), \
+         {:.1} us capture (full: {:.1} us), chain restore bit-identical: yes",
+        delta_bytes,
+        deltas.len(),
+        full_after.len() / delta_bytes.max(1),
+        full_after.len(),
+        1e6 * delta_s,
+        1e6 * base_s,
+    );
+
     // --- cross-monitor migration ----------------------------------
     // Reference: the same guest, never migrated.
     let mut reference = subject(&scale);
@@ -164,15 +221,90 @@ fn main() {
         1e6 * migrate_s
     );
 
+    // --- pre-copy live migration downtime -------------------------
+    // Stop-and-copy downtime is the whole round-trip above (the source
+    // is frozen throughout). Pre-copy ships memory while the source
+    // runs, so its stop window covers only the residual dirty pages
+    // plus the state transfer. Best-of-N wall times on both sides; the
+    // deterministic page-count proxy is the hard assert.
+    let mut stopcopy_times = Vec::new();
+    for _ in 0..scale.reps.min(5) {
+        let mut fleet = Fleet::new();
+        fleet.push(subject(&scale));
+        fleet.push(Monitor::new(MonitorConfig::default()));
+        let vm = fleet.monitor(0).vm_ids().next().expect("one VM");
+        let t = Instant::now();
+        fleet.migrate(vm, 0, 1).expect("migrate");
+        stopcopy_times.push(t.elapsed().as_secs_f64());
+    }
+    let mut live_downtimes = Vec::new();
+    let mut live_report = None;
+    for _ in 0..scale.reps.min(5) {
+        let mut fleet = Fleet::new();
+        fleet.push(subject(&scale));
+        fleet.push(Monitor::new(MonitorConfig::default()));
+        let vm = fleet.monitor(0).vm_ids().next().expect("one VM");
+        let report = fleet
+            .migrate_live(vm, 0, 1, scale.split / 10, 8)
+            .expect("live migration");
+        assert!(
+            report.final_pages < report.total_pages,
+            "pre-copy must leave the stop phase fewer pages ({}) than a full \
+             copy ({})",
+            report.final_pages,
+            report.total_pages
+        );
+        live_downtimes.push(report.downtime.as_secs_f64());
+        // Guest correctness: the live-migrated guest finishes with the
+        // same console bytes and registers as the unmigrated reference.
+        assert_eq!(fleet.monitor_mut(1).run(BUDGET), RunExit::AllHalted);
+        let migrated = fleet.monitor(1).vm(report.vm);
+        assert_eq!(migrated.console_out, ref_console);
+        assert_eq!(migrated.regs, ref_regs);
+        live_report = Some(report);
+    }
+    let live_report = live_report.expect("at least one live rep");
+    let best = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let stopcopy_best = best(&stopcopy_times);
+    let live_best = best(&live_downtimes);
+    assert!(
+        live_best < stopcopy_best,
+        "pre-copy downtime ({:.1} us) must undercut stop-and-copy ({:.1} us)",
+        1e6 * live_best,
+        1e6 * stopcopy_best
+    );
+    println!(
+        "  migrate-live: downtime {:.1} us vs stop-and-copy {:.1} us ({} rounds, \
+         {} of {} pages left for the stop phase)",
+        1e6 * live_best,
+        1e6 * stopcopy_best,
+        live_report.rounds,
+        live_report.final_pages,
+        live_report.total_pages,
+    );
+
     let json = format!(
         "{{\n  \"quick\": {quick},\n  \"mem_bytes\": {mem_bytes},\n  \
          \"snapshot\": {{\"bytes\": {}, \"mean_secs\": {snap_s:.9}}},\n  \
          \"restore\": {{\"mean_secs\": {restore_s:.9}, \"bit_identical\": true}},\n  \
          \"fork\": {{\"children\": {}, \"mean_secs_per_child\": {fork_s:.9}, \
          \"min_shared_fraction_after_run\": {min_shared:.6}, \"sharing_target\": 0.8}},\n  \
-         \"migration\": {{\"round_trip_secs\": {migrate_s:.9}, \"guest_identical\": true}}\n}}\n",
+         \"migration\": {{\"round_trip_secs\": {migrate_s:.9}, \"guest_identical\": true}},\n  \
+         \"delta\": {{\"bytes\": {delta_bytes}, \"full_bytes\": {}, \"links\": {}, \
+         \"mean_capture_secs\": {delta_s:.9}, \"full_capture_secs\": {base_s:.9}, \
+         \"size_ratio_target\": 10, \"chain_bit_identical\": true}},\n  \
+         \"migration_live\": {{\"downtime_secs\": {live_best:.9}, \
+         \"stop_and_copy_secs\": {stopcopy_best:.9}, \"rounds\": {}, \
+         \"precopy_pages\": {}, \"final_pages\": {}, \"total_pages\": {}, \
+         \"guest_identical\": true}}\n}}\n",
         bytes.len(),
         scale.forks,
+        full_after.len(),
+        deltas.len(),
+        live_report.rounds,
+        live_report.precopy_pages,
+        live_report.final_pages,
+        live_report.total_pages,
     );
     std::fs::write("BENCH_snapshot.json", json).expect("write BENCH_snapshot.json");
     println!("wrote BENCH_snapshot.json");

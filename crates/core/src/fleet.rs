@@ -31,8 +31,33 @@ use crate::vm::{IoStrategy, VmState, VmStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+use vax_arch::va::PAGE_BYTES;
 use vax_cpu::{CpuCounters, ExecTier};
 use vax_obs::Metrics;
+
+/// What a pre-copy live migration did — the convergence record and the
+/// downtime split [`Fleet::migrate_live`] reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveMigration {
+    /// The VM's id on the target monitor.
+    pub vm: VmId,
+    /// Pre-copy rounds executed (source running).
+    pub rounds: u32,
+    /// The VM's memory size in pages — what stop-and-copy ships stopped.
+    pub total_pages: u64,
+    /// Dirty pages re-shipped across all pre-copy rounds (source
+    /// running).
+    pub precopy_pages: u64,
+    /// Residual dirty pages shipped in the stop phase. The page-count
+    /// proxy for downtime: pre-copy wins when this is far below
+    /// `total_pages`.
+    pub final_pages: u64,
+    /// Wall-clock time the source was stopped (final ship + state
+    /// transfer).
+    pub downtime: Duration,
+    /// Wall-clock time for the whole migration, pre-copy included.
+    pub total: Duration,
+}
 
 /// Everything observable about one VM after a fleet run — the per-VM
 /// half of the determinism contract.
@@ -332,6 +357,13 @@ impl Fleet {
     /// image is unreadable (a VMM bug, not a guest condition). On any
     /// error the source VM is untouched.
     pub fn migrate(&mut self, vm: VmId, from: usize, to: usize) -> Result<VmId, VmmError> {
+        self.check_migration(vm, from, to)?;
+        let memory = self.read_vm_memory(vm, from)?;
+        self.admit_migrated(vm, from, to, memory)
+    }
+
+    /// Shared migration preflight: index validity and extractability.
+    fn check_migration(&self, vm: VmId, from: usize, to: usize) -> Result<(), VmmError> {
         if from >= self.members.len() || to >= self.members.len() {
             return Err(VmmError::Snapshot {
                 what: "migration monitor index out of range",
@@ -347,30 +379,56 @@ impl Fleet {
                 what: "migration VM id out of range",
             });
         }
+        if self.members[from].vm(vm).io_strategy == IoStrategy::EmulatedMmio {
+            return Err(VmmError::Snapshot {
+                what: "cannot migrate an EmulatedMmio VM",
+            });
+        }
+        Ok(())
+    }
+
+    /// The VM's guest-physical window on the source's real machine:
+    /// (machine byte address of gpa 0, machine page of gpa 0, size).
+    fn vm_window(&self, vm: VmId, from: usize) -> Result<(u32, u32, u32), VmmError> {
+        let v = self.members[from].vm(vm);
+        let pa = v
+            .gpa_to_pa_len(0, v.mem_bytes())
+            .ok_or(VmmError::Internal {
+                what: "migration source memory out of machine range",
+            })?;
+        Ok((pa, pa / PAGE_BYTES, v.mem_bytes()))
+    }
+
+    /// Copies out the VM's full guest-physical memory image.
+    fn read_vm_memory(&self, vm: VmId, from: usize) -> Result<Vec<u8>, VmmError> {
+        let (pa, _, len) = self.vm_window(vm, from)?;
+        Ok(self.members[from]
+            .machine()
+            .mem()
+            .read_slice(pa, len)
+            .map_err(|_| VmmError::Internal {
+                what: "migration source memory unreadable",
+            })?
+            .into_owned())
+    }
+
+    /// The stop phase shared by stop-and-copy and pre-copy migration:
+    /// given the (already assembled) guest memory image, moves the VM's
+    /// state to the target, replays the SLR shadow setup, and halts the
+    /// source slot. `check_migration` must have passed.
+    fn admit_migrated(
+        &mut self,
+        vm: VmId,
+        from: usize,
+        to: usize,
+        memory: Vec<u8>,
+    ) -> Result<VmId, VmmError> {
         let source_now = self.members[from].machine().cycles();
         let target_now = self.members[to].machine().cycles();
-        let (mut image, shadow, memory) = {
+        let source_tracking = self.members[from].dirty_tracking_enabled();
+        let (mut image, shadow) = {
             let src = &self.members[from];
-            let v = src.vm(vm);
-            if v.io_strategy == IoStrategy::EmulatedMmio {
-                return Err(VmmError::Snapshot {
-                    what: "cannot migrate an EmulatedMmio VM",
-                });
-            }
-            let pa = v
-                .gpa_to_pa_len(0, v.mem_bytes())
-                .ok_or(VmmError::Internal {
-                    what: "migration source memory out of machine range",
-                })?;
-            let memory = src
-                .machine()
-                .mem()
-                .read_slice(pa, v.mem_bytes())
-                .map_err(|_| VmmError::Internal {
-                    what: "migration source memory unreadable",
-                })?
-                .into_owned();
-            (v.clone(), src.shadow(vm).config(), memory)
+            (src.vm(vm).clone(), src.shadow(vm).config())
         };
         // Event timestamps are in source machine cycles; rebase them so
         // the remaining latency carries over to the target clock.
@@ -412,8 +470,141 @@ impl Fleet {
         let slot = &mut dst.vms[new_id.0];
         let slr = slot.vm.guest_slr;
         slot.shadow.reset_guest_s(&mut dst.machine, slr);
+        // A tracked source means someone (an incremental-snapshot chain,
+        // a profiler) depends on dirty-page telemetry following the
+        // workload — carry the enablement to the target instead of
+        // silently dropping it.
+        if source_tracking && !self.members[to].dirty_tracking_enabled() {
+            self.members[to].enable_dirty_tracking();
+        }
         self.members[from].vm_mut(vm).state = VmState::ConsoleHalt;
         Ok(new_id)
+    }
+
+    /// Live-migrates a VM with iterative pre-copy (DESIGN.md §16).
+    ///
+    /// Stop-and-copy ([`Fleet::migrate`]) freezes the source for the
+    /// whole memory copy. Pre-copy ships the full memory image while the
+    /// source keeps executing, then converges in rounds: run the source
+    /// for `round_budget` cycles, drain the write tracker, re-ship only
+    /// the pages the guest dirtied. The source is stopped only for the
+    /// *final* round, so downtime covers the residual dirty set plus the
+    /// register-state transfer — O(last round's dirty pages), not
+    /// O(memory).
+    ///
+    /// Termination policy: rounds end when the dirty set falls to at
+    /// most `max(total_pages / 64, 1)` pages (the residual is cheaper to
+    /// ship stopped than to chase), when a round stops shrinking the set
+    /// (the guest dirties faster than a round ships — more pre-copy is
+    /// pure overhead), or after `max_rounds` (a hard bound so a hostile
+    /// writer cannot stall migration forever).
+    ///
+    /// Write tracking is enabled on the source for the duration if it
+    /// was off, and restored afterwards; note that the rounds *drain*
+    /// the source's dirty set, so an incremental-snapshot chain on the
+    /// source must be re-based afterwards. The migrated guest computes
+    /// bit-identically to a stop-and-copy migration at the same stop
+    /// point; the source's extra `run` cycles are the lawful difference.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`Fleet::migrate`]. On error the source VM
+    /// keeps running (tracking enablement is restored).
+    pub fn migrate_live(
+        &mut self,
+        vm: VmId,
+        from: usize,
+        to: usize,
+        round_budget: u64,
+        max_rounds: u32,
+    ) -> Result<LiveMigration, VmmError> {
+        let start = Instant::now();
+        self.check_migration(vm, from, to)?;
+        let (_, first_pfn, mem_bytes) = self.vm_window(vm, from)?;
+        let total_pages = u64::from(mem_bytes / PAGE_BYTES);
+        let was_tracking = self.members[from].dirty_tracking_enabled();
+        if !was_tracking {
+            self.members[from].enable_dirty_tracking();
+        }
+        // Clear dirt older than the baseline copy: everything below is
+        // captured by the full-memory read, so only writes after this
+        // drain need re-shipping.
+        let _ = self.members[from]
+            .machine_mut()
+            .mem_mut()
+            .take_dirty_pages();
+        let restore_tracking = |fleet: &mut Fleet| {
+            if !was_tracking {
+                fleet.members[from].disable_dirty_tracking();
+            }
+        };
+        let mut staging = match self.read_vm_memory(vm, from) {
+            Ok(m) => m,
+            Err(e) => {
+                restore_tracking(self);
+                return Err(e);
+            }
+        };
+        let threshold = (total_pages / 64).max(1);
+        let mut rounds = 0u32;
+        let mut precopy_pages = 0u64;
+        let mut last_dirty = u64::MAX;
+        while rounds < max_rounds {
+            let exit = self.members[from].run(round_budget);
+            rounds += 1;
+            let shipped = self.ship_dirty(vm, from, first_pfn, total_pages, &mut staging);
+            precopy_pages += shipped;
+            if shipped <= threshold || shipped >= last_dirty || exit == RunExit::AllHalted {
+                break;
+            }
+            last_dirty = shipped;
+        }
+        // Stop phase: the source no longer runs; everything from here to
+        // the target resuming is downtime.
+        let stop = Instant::now();
+        let final_pages = self.ship_dirty(vm, from, first_pfn, total_pages, &mut staging);
+        restore_tracking(self);
+        let new_id = self.admit_migrated(vm, from, to, staging)?;
+        Ok(LiveMigration {
+            vm: new_id,
+            rounds,
+            total_pages,
+            precopy_pages,
+            final_pages,
+            downtime: stop.elapsed(),
+            total: start.elapsed(),
+        })
+    }
+
+    /// Drains the source tracker and re-copies the dirtied pages inside
+    /// the VM's window into the staging image. Returns pages shipped.
+    fn ship_dirty(
+        &mut self,
+        _vm: VmId,
+        from: usize,
+        first_pfn: u32,
+        total_pages: u64,
+        staging: &mut [u8],
+    ) -> u64 {
+        let dirty = self.members[from]
+            .machine_mut()
+            .mem_mut()
+            .take_dirty_pages();
+        let mem = self.members[from].machine().mem();
+        let mut shipped = 0u64;
+        for pfn in dirty {
+            // The tracker covers the whole real machine; only pages in
+            // this VM's window travel.
+            if pfn < first_pfn || u64::from(pfn - first_pfn) >= total_pages {
+                continue;
+            }
+            if let Some(page) = mem.page(pfn) {
+                let off = (pfn - first_pfn) as usize * PAGE_BYTES as usize;
+                staging[off..off + PAGE_BYTES as usize].copy_from_slice(page);
+                shipped += 1;
+            }
+        }
+        shipped
     }
 
     /// Per-monitor metrics registries, in fleet order — the breakdown
@@ -436,6 +627,26 @@ impl Fleet {
         let misses = agg.get_counter("tlb_misses").unwrap_or(0);
         let rate = (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64);
         agg.gauge("tlb_hit_rate", rate);
+        // Merge drops gauges by design; the fleet-wide dirty/touched
+        // levels are the sums of the per-monitor levels (disjoint
+        // memories), recomputed here from the sources.
+        let tracked: Vec<&Monitor> = self
+            .members
+            .iter()
+            .filter(|m| m.dirty_tracking_enabled())
+            .collect();
+        if !tracked.is_empty() {
+            let dirty: u64 = tracked
+                .iter()
+                .map(|m| u64::from(m.machine().mem().dirty_page_count()))
+                .sum();
+            let touched: u64 = tracked
+                .iter()
+                .map(|m| u64::from(m.machine().mem().touched_page_count()))
+                .sum();
+            agg.gauge("dirty_pages", Some(dirty as f64));
+            agg.gauge("touched_pages", Some(touched as f64));
+        }
         agg
     }
 }
@@ -628,6 +839,76 @@ mod tests {
         // A roomy target still admits it — the check is not over-strict.
         fleet.push(Monitor::new(MonitorConfig::default()));
         fleet.migrate(vm, 0, 2).expect("fits");
+    }
+
+    #[test]
+    fn migrate_live_preserves_guest_computation() {
+        // Uninterrupted reference run.
+        let mut reference = counting_monitor(200_000);
+        reference.run(1_000_000_000);
+        let rid = reference.vm_ids().next().expect("one VM");
+        let expected_r3 = reference.vm(rid).regs[3];
+        assert_eq!(expected_r3, 3 * 200_000);
+
+        // Same workload, pre-copy migrated mid-loop. The source keeps
+        // executing during the rounds; the target finishes the rest.
+        let mut fleet = Fleet::new();
+        fleet.push(counting_monitor(200_000));
+        fleet.push(Monitor::new(MonitorConfig::default()));
+        fleet.monitor_mut(0).run(50_000);
+        let vm = fleet.monitor(0).vm_ids().next().expect("one VM");
+        let report = fleet.migrate_live(vm, 0, 1, 25_000, 8).expect("migrates");
+        assert_eq!(fleet.monitor(0).vm(vm).state, VmState::ConsoleHalt);
+        assert!(report.rounds >= 1 && report.rounds <= 8);
+        // The compute loop dirties almost nothing, so the stop phase
+        // ships a small residue — the whole point of pre-copy.
+        assert!(
+            report.final_pages < report.total_pages,
+            "stop phase shipped {} of {} pages",
+            report.final_pages,
+            report.total_pages
+        );
+        // Tracking was borrowed for the migration, not leaked.
+        assert!(!fleet.monitor(0).dirty_tracking_enabled());
+        fleet.monitor_mut(1).run(1_000_000_000);
+        let m = fleet.monitor(1).vm(report.vm);
+        assert_eq!(m.state, VmState::ConsoleHalt);
+        assert_eq!(m.regs[3], expected_r3);
+        assert!(m.halt_reason.is_none());
+    }
+
+    #[test]
+    fn migrate_carries_write_tracking_to_the_target() {
+        // A tracked source means a snapshot chain or profiler depends on
+        // dirty telemetry following the workload: both migration paths
+        // must arm the target rather than silently going dark.
+        for live in [false, true] {
+            let mut fleet = Fleet::new();
+            fleet.push(counting_monitor(1_000));
+            fleet.push(Monitor::new(MonitorConfig::default()));
+            fleet.monitor_mut(0).enable_dirty_tracking();
+            let vm = fleet.monitor(0).vm_ids().next().expect("one VM");
+            if live {
+                fleet.migrate_live(vm, 0, 1, 10_000, 4).expect("migrates");
+            } else {
+                fleet.migrate(vm, 0, 1).expect("migrates");
+            }
+            assert!(
+                fleet.monitor(1).dirty_tracking_enabled(),
+                "live={live}: target must be tracking"
+            );
+            assert!(
+                fleet.monitor(0).dirty_tracking_enabled(),
+                "live={live}: source enablement untouched"
+            );
+        }
+        // An untracked source migrates without arming anything.
+        let mut fleet = Fleet::new();
+        fleet.push(counting_monitor(1_000));
+        fleet.push(Monitor::new(MonitorConfig::default()));
+        let vm = fleet.monitor(0).vm_ids().next().expect("one VM");
+        fleet.migrate(vm, 0, 1).expect("migrates");
+        assert!(!fleet.monitor(1).dirty_tracking_enabled());
     }
 
     #[test]

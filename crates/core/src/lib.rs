@@ -61,7 +61,7 @@ pub mod vm;
 pub use console::{ConsoleCommand, ConsoleError};
 pub use cost::VmmCosts;
 pub use fault::{intern_diagnostic, mck, Containment, VmmError, KNOWN_DIAGNOSTICS};
-pub use fleet::{Fleet, FleetReport, MonitorOutcome, VmOutcome};
+pub use fleet::{Fleet, FleetReport, LiveMigration, MonitorOutcome, VmOutcome};
 pub use io::{
     GUEST_IO_GPFN_BASE, GUEST_IO_PAGES, KCALL_CONSOLE_MAX_LEN, KCALL_CONSOLE_WRITE,
     KCALL_DISK_READ, KCALL_DISK_WRITE, KCALL_SET_UPTIME_CELL,

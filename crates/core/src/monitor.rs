@@ -358,6 +358,29 @@ impl Monitor {
         self.machine.prof()
     }
 
+    /// Enables working-set write tracking on this monitor's machine
+    /// without the profiler — the seam incremental (delta) snapshots
+    /// and pre-copy migration build on. Idempotent on an
+    /// already-tracking machine; re-enabling after a disable starts
+    /// from a clean bitmap.
+    pub fn enable_dirty_tracking(&mut self) {
+        self.machine.enable_write_tracking();
+    }
+
+    /// Disables write tracking, discarding the dirty/touched bitmaps.
+    /// No-op while the profiler is active (the profiler owns tracking
+    /// for its working-set telemetry).
+    pub fn disable_dirty_tracking(&mut self) {
+        if self.machine.prof().is_none() {
+            self.machine.disable_write_tracking();
+        }
+    }
+
+    /// Whether write tracking is currently enabled.
+    pub fn dirty_tracking_enabled(&self) -> bool {
+        self.machine.write_tracking_enabled()
+    }
+
     /// Selects the execution tier for this monitor's real machine.
     /// Deterministically invisible: guests produce bit-identical state,
     /// cycles, and counters under every tier (enforced by the three-way
@@ -432,6 +455,17 @@ impl Monitor {
         m.counter("modify_faults", modify_faults);
         m.counter("dirty_upgrades", dirty_upgrades);
         m.gauge("tlb_hit_rate", c.tlb_hit_rate_opt());
+        let mem = self.machine.mem();
+        if mem.write_tracking_enabled() {
+            // Levels, not counters: a `take_dirty_pages` drain (delta
+            // snapshot, pre-copy round) drops them back toward zero, so
+            // summing successive scrapes — what counter merge does —
+            // double-counts and moves backwards. Only the event count
+            // is monotonic.
+            m.gauge("dirty_pages", Some(f64::from(mem.dirty_page_count())));
+            m.gauge("touched_pages", Some(f64::from(mem.touched_page_count())));
+            m.counter("dirty_page_events", mem.dirty_page_events());
+        }
         if let Some(obs) = self.obs.state() {
             m.counter("trace_records", obs.trace().total());
             m.counter("trace_records_dropped", obs.trace().dropped());
@@ -476,12 +510,6 @@ impl Monitor {
                 h.record(*cycles);
             }
             m.histogram("profile_page_cycles", &h);
-        }
-        let mem = self.machine.mem();
-        if mem.write_tracking_enabled() {
-            m.counter("dirty_pages", u64::from(mem.dirty_page_count()));
-            m.counter("touched_pages", u64::from(mem.touched_page_count()));
-            m.counter("dirty_page_events", mem.dirty_page_events());
         }
         let blocks = self.machine.superblock_profiles();
         if !blocks.is_empty() {

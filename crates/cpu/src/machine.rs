@@ -174,6 +174,11 @@ pub struct MachineState {
     pub counters: CpuCounters,
     /// Whether the processor has halted.
     pub halted: bool,
+    /// Whether working-set write tracking was enabled on memory. The
+    /// tracker's bitmaps are not state — only the enablement crosses, so
+    /// a restored machine keeps producing dirty-page deltas. Importing
+    /// re-arms a fresh (clean) tracker when set.
+    pub write_tracking: bool,
 }
 
 /// The simulated VAX processor plus its memory and bus.
@@ -630,6 +635,29 @@ impl Machine {
     /// Whether profiling is enabled.
     pub fn profiling_enabled(&self) -> bool {
         self.prof.is_on()
+    }
+
+    /// Enables working-set write tracking on memory without the
+    /// profiler — the seam incremental snapshots consume (each
+    /// `snapshot_delta` drains [`vax_mem::PhysMemory::take_dirty_pages`]).
+    /// Re-enabling resets the tracker. Observational only, like
+    /// profiling: architectural state, cycles, and counters are
+    /// unaffected.
+    pub fn enable_write_tracking(&mut self) {
+        self.mem.enable_write_tracking();
+    }
+
+    /// Disables working-set write tracking, dropping the tracker. A
+    /// no-op while profiling is on would leave the profiler's dirty-rate
+    /// sampling blind, so this also applies under profiling; prefer
+    /// [`Machine::disable_profiling`] to tear both down together.
+    pub fn disable_write_tracking(&mut self) {
+        self.mem.disable_write_tracking();
+    }
+
+    /// Whether working-set write tracking is enabled.
+    pub fn write_tracking_enabled(&self) -> bool {
+        self.mem.write_tracking_enabled()
     }
 
     /// The profiler state, when enabled.
@@ -1130,6 +1158,7 @@ impl Machine {
             exit_stamp: self.exit_stamp,
             counters: self.counters,
             halted: self.halted,
+            write_tracking: self.mem.write_tracking_enabled(),
         }
     }
 
@@ -1165,16 +1194,35 @@ impl Machine {
         self.halted = state.halted;
         self.invalidate_code_caches();
         self.mem.clear_all_code_pages();
+        // Write-tracking enablement is machine state (an incremental
+        // snapshot chain must keep producing deltas after a restore);
+        // the bitmaps themselves are not, so the imported tracker
+        // starts clean.
+        if state.write_tracking {
+            if !self.mem.write_tracking_enabled() {
+                self.mem.enable_write_tracking();
+            }
+        } else {
+            self.mem.disable_write_tracking();
+        }
     }
 
     /// Replaces this machine's physical memory wholesale (snapshot restore
     /// and copy-on-write forking). The decoded-instruction cache is
     /// dropped: its entries are keyed by physical address into the old
-    /// contents.
+    /// contents. Write-tracking enablement carries over: if the outgoing
+    /// memory was tracked and the incoming one is not, a fresh tracker is
+    /// armed, sized to the *new* memory — the old bitmaps never survive a
+    /// swap, so a differently-sized replacement cannot leave a stale,
+    /// mis-sized bitmap behind.
     pub fn replace_mem(&mut self, mem: PhysMemory) {
+        let was_tracking = self.mem.write_tracking_enabled();
         self.mem = mem;
         self.invalidate_code_caches();
         self.mem.clear_all_code_pages();
+        if was_tracking && !self.mem.write_tracking_enabled() {
+            self.mem.enable_write_tracking();
+        }
     }
 
     /// Forks this machine's memory copy-on-write (see
@@ -1296,5 +1344,56 @@ mod tests {
         assert_eq!(m.reg(14), 0x7FC);
         assert_eq!(m.pop().unwrap(), 0x1234_5678);
         assert_eq!(m.reg(14), 0x800);
+    }
+
+    #[test]
+    fn replace_mem_rearms_tracking_sized_to_the_new_memory() {
+        // Regression: enable_write_tracking sizes its bitmaps from
+        // pages() at enable time. Swapping in a *larger* memory must not
+        // leave the old 8-page bitmap behind — a write past the old size
+        // would index out of bounds (a host panic) or go untracked.
+        let mut m = Machine::new(MachineVariant::Standard, 8 * 512);
+        m.enable_write_tracking();
+        m.mem_mut().write_u8(0, 1).unwrap();
+        assert_eq!(m.mem().dirty_page_count(), 1);
+
+        m.replace_mem(PhysMemory::new(64 * 512));
+        assert!(
+            m.write_tracking_enabled(),
+            "tracking enablement survives a memory swap"
+        );
+        assert_eq!(m.mem().dirty_page_count(), 0, "fresh tracker starts clean");
+        // The write far past the old memory's size is tracked, not a panic.
+        m.mem_mut().write_u8(63 * 512, 1).unwrap();
+        assert_eq!(m.mem().dirty_pages(), vec![63]);
+
+        // Shrinking works the same way.
+        m.replace_mem(PhysMemory::new(2 * 512));
+        m.mem_mut().write_u8(512, 1).unwrap();
+        assert_eq!(m.mem().dirty_pages(), vec![1]);
+
+        // An untracked machine stays untracked across a swap.
+        let mut plain = Machine::new(MachineVariant::Standard, 4096);
+        plain.replace_mem(PhysMemory::new(4096));
+        assert!(!plain.write_tracking_enabled());
+    }
+
+    #[test]
+    fn state_round_trip_carries_write_tracking_enablement() {
+        let mut m = Machine::new(MachineVariant::Standard, 4096);
+        m.enable_write_tracking();
+        let state = m.export_state();
+        assert!(state.write_tracking);
+
+        let mut restored = Machine::new(MachineVariant::Standard, 4096);
+        restored.import_state(state);
+        assert!(restored.write_tracking_enabled(), "import re-arms tracking");
+        restored.mem_mut().write_u8(0, 1).unwrap();
+        assert_eq!(restored.mem().dirty_page_count(), 1);
+
+        // And the off state imports as off.
+        m.disable_write_tracking();
+        restored.import_state(m.export_state());
+        assert!(!restored.write_tracking_enabled());
     }
 }

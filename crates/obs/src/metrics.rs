@@ -88,6 +88,12 @@ impl Metrics {
         self
     }
 
+    /// Gauge value by name, if present. The outer `Option` is presence;
+    /// the inner is the gauge's own null encoding.
+    pub fn get_gauge(&self, name: &str) -> Option<Option<f64>> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
     /// Histogram snapshot by name, if present.
     pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms

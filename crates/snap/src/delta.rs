@@ -1,0 +1,469 @@
+//! The `VAXDLT1` incremental-delta wire format and the snapshot chain
+//! built on it (DESIGN.md §16).
+//!
+//! A delta carries everything a full snapshot does *except* the memory
+//! image: in place of the full zero-RLE memory section it records only
+//! the pages written since the previous link of the chain, as sorted,
+//! non-overlapping extents of consecutive dirty pages. Capture consumes
+//! [`vax_mem::PhysMemory::take_dirty_pages`] — the draining seam the
+//! write tracker exposes — so producing a delta is `O(dirty)`, not
+//! `O(memory)`.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic    "VAXDLT1\0"            8 bytes
+//! version  u32                    currently 1
+//! length   u64                    payload byte count
+//! payload  parent digest (u64)    FNV-1a 64 of the complete predecessor
+//!                                 image bytes (base snapshot or prior
+//!                                 delta)
+//!          monitor config, scheduler, machine state
+//!          VM count + per-VM config/state/shadow
+//!          extent count (u32)
+//!          per extent: start pfn (u32) + pages (zero-page RLE)
+//! checksum u64                    FNV-1a 64 over the payload
+//! ```
+//!
+//! The parent digest makes the chain self-validating: [`restore_chain`]
+//! refuses a delta whose recorded digest does not match the bytes of the
+//! image it is being applied on top of, so a wrong base, a reordered
+//! chain, or a corrupted predecessor all surface as errors before any
+//! state is touched. Decoding enforces the same structural caps and the
+//! same aggregate materialization budget as `VAXSNAP1` decode: extent
+//! sizes are validated against the configured memory and charged against
+//! the budget *before* any allocation, so a hostile few-KB delta cannot
+//! claim gigabytes.
+
+use crate::error::SnapshotError;
+use crate::format::{
+    charge, read_machine, read_monitor_config, read_scheduler, read_shadow, read_vm,
+    read_vm_config, write_machine, write_monitor_config, write_scheduler, write_shadow, write_vm,
+    write_vm_config, MAX_TOTAL_BYTES, MAX_VMS, PAGE,
+};
+use crate::image::{capture, rebuild, MemSource, MonitorImage, VmImage};
+use crate::wire::{fnv1a64, Reader, Writer};
+use vax_vmm::Monitor;
+
+/// The delta file magic (NUL-padded to the same width as `VAXSNAP1`).
+pub const DELTA_MAGIC: &[u8; 8] = b"VAXDLT1\0";
+/// The delta format version this build writes and the only one it reads.
+pub const DELTA_VERSION: u32 = 1;
+
+/// The digest [`restore_chain`] links images by: FNV-1a 64 over the
+/// complete byte image (header, payload, and checksum) of a base
+/// snapshot or a delta. Feed it the bytes [`crate::snapshot_monitor`] or
+/// [`snapshot_delta`] returned to name that image as the parent of the
+/// next delta.
+pub fn snapshot_digest(bytes: &[u8]) -> u64 {
+    fnv1a64(bytes)
+}
+
+/// A run of consecutive pages written since the previous chain link.
+#[derive(Debug, Clone)]
+pub struct DeltaExtent {
+    /// First page number of the run (machine-physical, 512-byte pages).
+    pub start_pfn: u32,
+    /// The run's contents; length is a non-zero multiple of the page
+    /// size.
+    pub data: Vec<u8>,
+}
+
+impl DeltaExtent {
+    fn pages(&self) -> u32 {
+        (self.data.len() / PAGE) as u32
+    }
+}
+
+/// A decoded delta: the full non-memory monitor state at capture time,
+/// plus the dirty-page extents that patch the predecessor's memory
+/// forward.
+#[derive(Debug, Clone)]
+pub struct DeltaImage {
+    /// [`snapshot_digest`] of the predecessor image's bytes.
+    pub parent_digest: u64,
+    /// Complete monitor state minus memory ([`MonitorImage::memory`] is
+    /// empty).
+    pub image: MonitorImage,
+    /// Sorted, non-overlapping dirty-page runs.
+    pub extents: Vec<DeltaExtent>,
+}
+
+/// Frames and encodes a delta. Like [`crate::encode`], a pure function
+/// of the image: identical state and dirty set produce identical bytes.
+pub fn encode_delta(delta: &DeltaImage) -> Vec<u8> {
+    let mut p = Writer::new();
+    p.u64(delta.parent_digest);
+    write_monitor_config(&mut p, &delta.image.config);
+    write_scheduler(&mut p, &delta.image.sched);
+    write_machine(&mut p, &delta.image.machine);
+    p.u32(delta.image.vms.len() as u32);
+    for vm in &delta.image.vms {
+        write_vm_config(&mut p, &vm.config);
+        write_vm(&mut p, &vm.vm);
+        write_shadow(&mut p, &vm.shadow);
+    }
+    p.u32(delta.extents.len() as u32);
+    for e in &delta.extents {
+        p.u32(e.start_pfn);
+        p.rle_pages(&e.data, PAGE);
+    }
+    let payload = p.into_bytes();
+    let mut w = Writer::new();
+    w.bytes(DELTA_MAGIC);
+    w.u32(DELTA_VERSION);
+    w.u64(payload.len() as u64);
+    w.bytes(&payload);
+    w.u64(fnv1a64(&payload));
+    w.into_bytes()
+}
+
+/// Parses and fully validates a delta image. Untrusted input: framing,
+/// checksum, every discriminant, extent ordering and bounds, and the
+/// aggregate materialization budget are all checked — a malformed delta
+/// is an error, never a panic or an over-size allocation.
+pub fn decode_delta(bytes: &[u8]) -> Result<DeltaImage, SnapshotError> {
+    decode_delta_with_budget(bytes, MAX_TOTAL_BYTES)
+}
+
+/// [`decode_delta`] with an explicit materialization budget (test seam).
+pub(crate) fn decode_delta_with_budget(
+    bytes: &[u8],
+    budget: u64,
+) -> Result<DeltaImage, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    if r.take(8)? != DELTA_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != DELTA_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let len = usize::try_from(r.u64()?).map_err(|_| SnapshotError::Truncated)?;
+    let payload = r.take(len)?;
+    let expected = r.u64()?;
+    if !r.is_empty() {
+        return Err(SnapshotError::TrailingBytes);
+    }
+    let actual = fnv1a64(payload);
+    if actual != expected {
+        return Err(SnapshotError::Checksum { expected, actual });
+    }
+    let mut p = Reader::new(payload);
+    let mut remaining = budget;
+    let delta = read_delta_payload(&mut p, &mut remaining)?;
+    if !p.is_empty() {
+        return Err(SnapshotError::TrailingBytes);
+    }
+    Ok(delta)
+}
+
+fn read_delta_payload(
+    r: &mut Reader<'_>,
+    remaining: &mut u64,
+) -> Result<DeltaImage, SnapshotError> {
+    let parent_digest = r.u64()?;
+    let config = read_monitor_config(r)?;
+    let sched = read_scheduler(r)?;
+    let machine = read_machine(r, remaining)?;
+    let vm_count = r.u32()?;
+    if vm_count > MAX_VMS {
+        return Err(SnapshotError::Invalid {
+            what: "VM count over format cap",
+        });
+    }
+    if let Some(current) = sched.current {
+        if current >= vm_count as usize {
+            return Err(SnapshotError::Invalid {
+                what: "current VM index out of range",
+            });
+        }
+    }
+    let mut vms = Vec::new();
+    for _ in 0..vm_count {
+        let vm_config = read_vm_config(r)?;
+        let vm = read_vm(r, &vm_config, remaining)?;
+        let shadow = read_shadow(r, &vm_config)?;
+        vms.push(VmImage {
+            config: vm_config,
+            vm,
+            shadow,
+        });
+    }
+    let mem_pages = config.mem_bytes / PAGE as u32;
+    let extent_count = r.u32()?;
+    // Extents are non-empty and non-overlapping, so more of them than
+    // pages cannot be legal.
+    if extent_count > mem_pages {
+        return Err(SnapshotError::Invalid {
+            what: "delta extent count over memory size",
+        });
+    }
+    let mut extents = Vec::new();
+    // First page number not yet covered; enforces sorted + disjoint.
+    let mut next_free = 0u32;
+    for _ in 0..extent_count {
+        let start_pfn = r.u32()?;
+        if start_pfn < next_free || start_pfn >= mem_pages {
+            return Err(SnapshotError::Invalid {
+                what: "delta extents unsorted or out of range",
+            });
+        }
+        let pages = r.u32()?;
+        if pages == 0 || pages > mem_pages - start_pfn {
+            return Err(SnapshotError::Invalid {
+                what: "delta extent size out of range",
+            });
+        }
+        charge(remaining, u64::from(pages) * PAGE as u64)?;
+        let data = r.rle_body(pages as usize, PAGE, "delta extent")?;
+        next_free = start_pfn + pages;
+        extents.push(DeltaExtent { start_pfn, data });
+    }
+    Ok(DeltaImage {
+        parent_digest,
+        image: MonitorImage {
+            config,
+            sched,
+            machine,
+            memory: Vec::new(),
+            vms,
+        },
+        extents,
+    })
+}
+
+/// Patches `base` forward by one delta: the non-memory state is replaced
+/// wholesale (a delta carries it completely), and each extent overwrites
+/// its page run in the memory image.
+pub(crate) fn apply_delta(base: &mut MonitorImage, delta: DeltaImage) -> Result<(), SnapshotError> {
+    if delta.image.config.mem_bytes != base.config.mem_bytes {
+        return Err(SnapshotError::Invalid {
+            what: "delta memory size disagrees with base",
+        });
+    }
+    for e in &delta.extents {
+        let start = e.start_pfn as usize * PAGE;
+        let end = start
+            .checked_add(e.data.len())
+            .filter(|&end| end <= base.memory.len())
+            .ok_or(SnapshotError::Invalid {
+                what: "delta extent past end of memory",
+            })?;
+        base.memory[start..end].copy_from_slice(&e.data);
+    }
+    base.config = delta.image.config;
+    base.sched = delta.image.sched;
+    base.machine = delta.image.machine;
+    base.vms = delta.image.vms;
+    Ok(())
+}
+
+/// Captures a full snapshot to anchor a delta chain: identical bytes to
+/// [`crate::snapshot_monitor`], but also *drains* the dirty-page set,
+/// so the first [`snapshot_delta`] carries only pages written after
+/// this capture rather than everything written since tracking was
+/// enabled. Requires write tracking for the same reason
+/// `snapshot_delta` does.
+///
+/// # Errors
+///
+/// The conditions of [`snapshot_delta`]. The dirty set is not drained
+/// on error.
+pub fn snapshot_chain_base(monitor: &mut Monitor) -> Result<Vec<u8>, SnapshotError> {
+    if !monitor.machine().mem().write_tracking_enabled() {
+        return Err(SnapshotError::Unsupported {
+            what: "delta snapshot requires write tracking",
+        });
+    }
+    let bytes = crate::snapshot_monitor(monitor)?;
+    let _ = monitor.machine_mut().mem_mut().take_dirty_pages();
+    Ok(bytes)
+}
+
+/// Serializes the pages written since the previous chain link, plus the
+/// complete non-memory monitor state, into a `VAXDLT1` delta image —
+/// `O(dirty pages)`, not `O(memory)`.
+///
+/// `parent_digest` is [`snapshot_digest`] of the predecessor's bytes:
+/// the base snapshot for the first delta, the previous delta after that.
+/// The call *drains* the machine's dirty-page set, so the next delta
+/// picks up exactly where this one left off. The chain contract: write
+/// tracking must already be enabled when the base snapshot is taken
+/// (enable it, snapshot, run, delta, run, delta, …); a page written
+/// before tracking was enabled but after the base would silently go
+/// missing, which is why this function refuses to run without tracking.
+///
+/// # Errors
+///
+/// [`SnapshotError::Unsupported`] if write tracking is off (an empty
+/// delta would be produced no matter what the guest wrote — an error,
+/// not silent data loss) or capture hits a structural cap; the
+/// conditions of [`crate::snapshot_monitor`] otherwise. The dirty set
+/// is not drained on error.
+pub fn snapshot_delta(monitor: &mut Monitor, parent_digest: u64) -> Result<Vec<u8>, SnapshotError> {
+    if !monitor.machine().mem().write_tracking_enabled() {
+        return Err(SnapshotError::Unsupported {
+            what: "delta snapshot requires write tracking",
+        });
+    }
+    let image = capture(monitor, false)?;
+    let dirty = monitor.machine_mut().mem_mut().take_dirty_pages();
+    let mem = monitor.machine().mem();
+    let mut extents: Vec<DeltaExtent> = Vec::new();
+    for pfn in dirty {
+        let page = mem.page(pfn).ok_or(SnapshotError::Invalid {
+            what: "tracked page out of machine range",
+        })?;
+        match extents.last_mut() {
+            // take_dirty_pages is ascending, so runs of consecutive
+            // pages coalesce into one extent (one RLE stream each).
+            Some(e) if e.start_pfn + e.pages() == pfn => e.data.extend_from_slice(page),
+            _ => extents.push(DeltaExtent {
+                start_pfn: pfn,
+                data: page.to_vec(),
+            }),
+        }
+    }
+    Ok(encode_delta(&DeltaImage {
+        parent_digest,
+        image,
+        extents,
+    }))
+}
+
+/// Reconstructs a monitor from a base snapshot plus an ordered chain of
+/// deltas.
+///
+/// Digest linkage is enforced link by link: delta `i` must record the
+/// digest of the exact bytes of image `i-1` (the base for `i = 0`), so a
+/// wrong base, an out-of-order chain, or a corrupted link fails before
+/// any state is assembled. The result re-snapshots byte-equal to a full
+/// snapshot of the source monitor at the final delta's capture point —
+/// the bit-identity oracle the delta-chain fuzzer enforces on all three
+/// execution tiers.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] from decoding the base or a delta;
+/// `SnapshotError::Invalid` with `"delta chain digest mismatch"` when
+/// linkage fails.
+pub fn restore_chain<D: AsRef<[u8]>>(base: &[u8], deltas: &[D]) -> Result<Monitor, SnapshotError> {
+    let mut image = crate::format::decode(base)?;
+    let mut digest = fnv1a64(base);
+    for delta_bytes in deltas {
+        let delta_bytes = delta_bytes.as_ref();
+        let delta = decode_delta(delta_bytes)?;
+        if delta.parent_digest != digest {
+            return Err(SnapshotError::Invalid {
+                what: "delta chain digest mismatch",
+            });
+        }
+        apply_delta(&mut image, delta)?;
+        digest = fnv1a64(delta_bytes);
+    }
+    rebuild(image, MemSource::Image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vax_vmm::{MonitorConfig, VmConfig};
+
+    fn tracked_monitor() -> (Monitor, vax_vmm::VmId) {
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.enable_dirty_tracking();
+        let vm = m.create_vm("guest", VmConfig::default());
+        (m, vm)
+    }
+
+    #[test]
+    fn delta_requires_write_tracking() {
+        let mut m = Monitor::new(MonitorConfig::default());
+        m.create_vm("guest", VmConfig::default());
+        let err = snapshot_delta(&mut m, 0).expect_err("tracking off");
+        assert_eq!(err.what(), "delta snapshot requires write tracking");
+    }
+
+    #[test]
+    fn empty_delta_round_trips_and_chains() {
+        let (mut m, _) = tracked_monitor();
+        let base = crate::snapshot_monitor(&m).expect("base");
+        // Quiescent monitor: the delta may still carry pages create_vm
+        // wrote before the base; drain those first for a truly empty one.
+        let _ = snapshot_delta(&mut m, snapshot_digest(&base)).expect("drain");
+        let d = snapshot_delta(&mut m, snapshot_digest(&base)).expect("delta");
+        let decoded = decode_delta(&d).expect("decode");
+        assert!(decoded.extents.is_empty());
+        assert!(decoded.image.memory.is_empty());
+        assert!(
+            d.len() * 10 < base.len(),
+            "empty delta ({}) must be far smaller than base ({})",
+            d.len(),
+            base.len()
+        );
+        let restored = restore_chain(&base, &[d]).expect("chain");
+        assert!(restored.machine().mem().write_tracking_enabled());
+    }
+
+    #[test]
+    fn delta_budget_is_enforced_before_allocation() {
+        let (mut m, vm) = tracked_monitor();
+        let base = crate::snapshot_monitor(&m).expect("base");
+        m.vm_write_phys(vm, 0, &[0xabu8; 4096])
+            .expect("dirty some pages");
+        let d = snapshot_delta(&mut m, snapshot_digest(&base)).expect("delta");
+        assert!(decode_delta_with_budget(&d, MAX_TOTAL_BYTES).is_ok());
+        // A budget too small for the extents fails on the charge, not
+        // after a huge allocation.
+        let err = decode_delta_with_budget(&d, 512).expect_err("over budget");
+        assert_eq!(err.what(), "image over decode size budget");
+    }
+
+    #[test]
+    fn hostile_extent_encodings_are_rejected() {
+        let (mut m, vm) = tracked_monitor();
+        let base = crate::snapshot_monitor(&m).expect("base");
+        // Clear create_vm's own setup writes so exactly two runs remain.
+        let _ = m.machine_mut().mem_mut().take_dirty_pages();
+        m.vm_write_phys(vm, 0, &[1u8; 512]).expect("w");
+        m.vm_write_phys(vm, 2048, &[2u8; 512]).expect("w");
+        let good = snapshot_delta(&mut m, snapshot_digest(&base)).expect("delta");
+        let decoded = decode_delta(&good).expect("decode");
+        assert_eq!(decoded.extents.len(), 2, "two disjoint runs");
+
+        let reencode = |d: &DeltaImage| encode_delta(d);
+        // Unsorted extents.
+        let mut bad = decoded.clone();
+        bad.extents.swap(0, 1);
+        assert!(decode_delta(&reencode(&bad)).is_err());
+        // Overlapping extents.
+        let mut bad = decoded.clone();
+        bad.extents[1].start_pfn = bad.extents[0].start_pfn;
+        assert!(decode_delta(&reencode(&bad)).is_err());
+        // Extent past the end of configured memory.
+        let mut bad = decoded.clone();
+        bad.extents[1].start_pfn = bad.image.config.mem_bytes / PAGE as u32;
+        assert!(decode_delta(&reencode(&bad)).is_err());
+        // Header and checksum damage.
+        let mut t = good.clone();
+        t[0] = b'X';
+        assert!(matches!(decode_delta(&t), Err(SnapshotError::BadMagic)));
+        let mut t = good.clone();
+        t[8] = 99;
+        assert!(matches!(
+            decode_delta(&t),
+            Err(SnapshotError::UnsupportedVersion { found: 99 })
+        ));
+        let flip = good.len() - 9;
+        let mut t = good.clone();
+        t[flip] ^= 1;
+        assert!(matches!(
+            decode_delta(&t),
+            Err(SnapshotError::Checksum { .. })
+        ));
+        for cut in (0..good.len()).step_by(7) {
+            assert!(decode_delta(&good[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

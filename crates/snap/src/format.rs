@@ -37,15 +37,17 @@ use vax_vmm::{
 /// The file magic.
 pub const MAGIC: &[u8; 8] = b"VAXSNAP1";
 /// The format version this build writes and the only one it reads.
-pub const VERSION: u32 = 1;
+/// Version 2 added the machine's write-tracking enablement flag so an
+/// incremental-snapshot chain keeps producing deltas after a restore.
+pub const VERSION: u32 = 2;
 
-const PAGE: usize = 512;
+pub(crate) const PAGE: usize = 512;
 
 // Structural caps. Each bounds an allocation or a reconstruction cost
 // that a length prefix alone cannot (zero RLE runs and table capacities
 // expand beyond their encoded size).
-const MAX_MEM_BYTES: u32 = 1 << 30;
-const MAX_VMS: u32 = 256;
+pub(crate) const MAX_MEM_BYTES: u32 = 1 << 30;
+pub(crate) const MAX_VMS: u32 = 256;
 const MAX_TLB_SLOTS: u32 = 1 << 16;
 const MAX_NAME: usize = 256;
 const MAX_DIAG: usize = 256;
@@ -63,10 +65,10 @@ const MAX_TABLE_PAGES: u32 = 1 << 22;
 // (~129 GiB) one legal field at a time. [`validate_caps`] enforces the
 // same budget at capture, so a monitor that snapshots is a monitor that
 // restores.
-const MAX_TOTAL_BYTES: u64 = 2 * MAX_MEM_BYTES as u64;
+pub(crate) const MAX_TOTAL_BYTES: u64 = 2 * MAX_MEM_BYTES as u64;
 
 /// Deducts `bytes` of materialized decode output from the budget.
-fn charge(remaining: &mut u64, bytes: u64) -> Result<(), SnapshotError> {
+pub(crate) fn charge(remaining: &mut u64, bytes: u64) -> Result<(), SnapshotError> {
     if bytes > *remaining {
         return Err(SnapshotError::Invalid {
             what: "image over decode size budget",
@@ -275,7 +277,7 @@ fn read_payload(r: &mut Reader<'_>, remaining: &mut u64) -> Result<MonitorImage,
 
 // ---- monitor-level state ----
 
-fn write_monitor_config(w: &mut Writer, c: &MonitorConfig) {
+pub(crate) fn write_monitor_config(w: &mut Writer, c: &MonitorConfig) {
     w.u32(c.mem_bytes);
     w.u64(c.quantum);
     w.u64(c.wait_timeout);
@@ -301,7 +303,7 @@ fn write_monitor_config(w: &mut Writer, c: &MonitorConfig) {
     }
 }
 
-fn read_monitor_config(r: &mut Reader<'_>) -> Result<MonitorConfig, SnapshotError> {
+pub(crate) fn read_monitor_config(r: &mut Reader<'_>) -> Result<MonitorConfig, SnapshotError> {
     let mem_bytes = r.u32()?;
     if mem_bytes == 0 || mem_bytes % PAGE as u32 != 0 || mem_bytes > MAX_MEM_BYTES {
         return Err(SnapshotError::Invalid {
@@ -344,13 +346,13 @@ fn read_monitor_config(r: &mut Reader<'_>) -> Result<MonitorConfig, SnapshotErro
     })
 }
 
-fn write_scheduler(w: &mut Writer, s: &SchedulerState) {
+pub(crate) fn write_scheduler(w: &mut Writer, s: &SchedulerState) {
     w.opt_u32(s.current.map(|c| c as u32));
     w.u64(s.vmm_cycles);
     w.u64(s.world_switches);
 }
 
-fn read_scheduler(r: &mut Reader<'_>) -> Result<SchedulerState, SnapshotError> {
+pub(crate) fn read_scheduler(r: &mut Reader<'_>) -> Result<SchedulerState, SnapshotError> {
     Ok(SchedulerState {
         current: r.opt_u32("current VM")?.map(|c| c as usize),
         vmm_cycles: r.u64()?,
@@ -579,7 +581,7 @@ fn read_mmu(r: &mut Reader<'_>) -> Result<MmuState, SnapshotError> {
     })
 }
 
-fn write_machine(w: &mut Writer, m: &MachineState) {
+pub(crate) fn write_machine(w: &mut Writer, m: &MachineState) {
     for reg in m.regs {
         w.u32(reg);
     }
@@ -610,9 +612,13 @@ fn write_machine(w: &mut Writer, m: &MachineState) {
     w.u64(m.exit_stamp);
     write_counters(w, &m.counters);
     w.bool(m.halted);
+    w.bool(m.write_tracking);
 }
 
-fn read_machine(r: &mut Reader<'_>, remaining: &mut u64) -> Result<MachineState, SnapshotError> {
+pub(crate) fn read_machine(
+    r: &mut Reader<'_>,
+    remaining: &mut u64,
+) -> Result<MachineState, SnapshotError> {
     let mut regs = [0u32; 16];
     for reg in &mut regs {
         *reg = r.u32()?;
@@ -676,12 +682,13 @@ fn read_machine(r: &mut Reader<'_>, remaining: &mut u64) -> Result<MachineState,
         exit_stamp: r.u64()?,
         counters: read_counters(r)?,
         halted: r.bool("halted")?,
+        write_tracking: r.bool("write tracking")?,
     })
 }
 
 // ---- per-VM state ----
 
-fn write_vm_config(w: &mut Writer, c: &VmConfig) {
+pub(crate) fn write_vm_config(w: &mut Writer, c: &VmConfig) {
     w.u32(c.mem_pages);
     w.u32(c.shadow.s_capacity);
     w.u32(c.shadow.p0_capacity);
@@ -699,7 +706,7 @@ fn write_vm_config(w: &mut Writer, c: &VmConfig) {
     w.u32(c.vdisk_sectors);
 }
 
-fn read_vm_config(r: &mut Reader<'_>) -> Result<VmConfig, SnapshotError> {
+pub(crate) fn read_vm_config(r: &mut Reader<'_>) -> Result<VmConfig, SnapshotError> {
     let mem_pages = r.u32()?;
     if mem_pages == 0 || mem_pages > MAX_MEM_BYTES / PAGE as u32 {
         return Err(SnapshotError::Invalid {
@@ -872,7 +879,7 @@ fn read_vmm_error(r: &mut Reader<'_>) -> Result<VmmError, SnapshotError> {
     })
 }
 
-fn write_vm(w: &mut Writer, v: &Vm) {
+pub(crate) fn write_vm(w: &mut Writer, v: &Vm) {
     w.str(&v.name);
     w.u32(v.mem_base_pfn);
     w.u32(v.mem_pages);
@@ -974,7 +981,7 @@ fn write_vm(w: &mut Writer, v: &Vm) {
     }
 }
 
-fn read_vm(
+pub(crate) fn read_vm(
     r: &mut Reader<'_>,
     config: &VmConfig,
     remaining: &mut u64,
@@ -1145,7 +1152,7 @@ fn read_vm(
     })
 }
 
-fn write_shadow(w: &mut Writer, s: &ShadowCacheState) {
+pub(crate) fn write_shadow(w: &mut Writer, s: &ShadowCacheState) {
     // Slot count is implied by the VM config's cache_slots.
     for key in &s.keys {
         w.opt_u32(*key);
@@ -1159,7 +1166,10 @@ fn write_shadow(w: &mut Writer, s: &ShadowCacheState) {
     w.u64(s.invalidations);
 }
 
-fn read_shadow(r: &mut Reader<'_>, config: &VmConfig) -> Result<ShadowCacheState, SnapshotError> {
+pub(crate) fn read_shadow(
+    r: &mut Reader<'_>,
+    config: &VmConfig,
+) -> Result<ShadowCacheState, SnapshotError> {
     let slots = config.shadow.cache_slots;
     let mut keys = Vec::new();
     for _ in 0..slots {

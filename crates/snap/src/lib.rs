@@ -35,11 +35,16 @@
 //! assert_eq!(restored.vm_count(), 1);
 //! ```
 
+pub mod delta;
 pub mod error;
 pub mod format;
 pub mod image;
 pub mod wire;
 
+pub use delta::{
+    decode_delta, encode_delta, restore_chain, snapshot_chain_base, snapshot_delta,
+    snapshot_digest, DeltaExtent, DeltaImage, DELTA_MAGIC, DELTA_VERSION,
+};
 pub use error::SnapshotError;
 pub use format::{decode, encode, MAGIC, VERSION};
 pub use image::{capture, rebuild, MemSource, MonitorImage, VmImage};

@@ -261,6 +261,20 @@ impl<'a> Reader<'a> {
         if total != expect_pages {
             return Err(SnapshotError::Invalid { what });
         }
+        self.rle_body(total, page, what)
+    }
+
+    /// The run-coded body of an RLE stream whose page count (`total`) the
+    /// caller has already read and validated — the delta decoder's path,
+    /// where extent sizes come from the stream itself and must be checked
+    /// against caps and the materialization budget *before* this
+    /// allocates `total * page` bytes.
+    pub fn rle_body(
+        &mut self,
+        total: usize,
+        page: usize,
+        what: &'static str,
+    ) -> Result<Vec<u8>, SnapshotError> {
         let mut out = vec![0u8; total * page];
         let mut p = 0usize;
         while p < total {

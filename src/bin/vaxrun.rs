@@ -59,6 +59,12 @@ struct Options {
     jobs: usize,
     snapshot_out: Option<String>,
     restore: Option<String>,
+    /// Comma-separated base,delta,... chain for `--restore-chain`.
+    restore_chain: Option<String>,
+    /// Write an incremental delta (parent = last restored image) here.
+    snapshot_delta: Option<String>,
+    /// Arm dirty-page write tracking before the run.
+    track_dirty: bool,
     fork: usize,
     exec_tier: ExecTier,
     profile: bool,
@@ -71,9 +77,16 @@ fn usage() -> ExitCode {
         "usage: vaxrun [--vm] [--list] [--trace] [--base HEX] [--max-cycles N] \
          [--exec-tier interp|cache|trans] [--metrics-out FILE] [--trace-out FILE] \
          [--trace-depth N] [--profile] [--profile-out FILE] \
-         [--fleet M[@V]] [--jobs N] [--snapshot-out FILE] [--fork K] FILE.s\n       \
+         [--fleet M[@V]] [--jobs N] [--snapshot-out FILE] [--track-dirty] [--fork K] \
+         FILE.s\n       \
          vaxrun --restore FILE [--max-cycles N] [--snapshot-out FILE] [--fork K] \
-         [--metrics-out FILE]\n\n       --exec-tier selects how guest code executes: \
+         [--metrics-out FILE]\n       \
+         vaxrun --restore-chain BASE,D1,... [--track-dirty] [--snapshot-delta FILE] \
+         [--max-cycles N]\n\n       --track-dirty arms dirty-page write tracking before \
+         the run, so a\n       --snapshot-out image can anchor an incremental chain: \
+         restore it (or a\n       chain) with --restore-chain and write the next link \
+         with\n       --snapshot-delta — O(dirty pages), digest-linked to its \
+         parent.\n\n       --exec-tier selects how guest code executes: \
          'interp' (bytewise decode every\n       instruction), 'cache' (PA-keyed decode \
          cache, the default), or 'trans'\n       (decode cache + translated superblocks \
          for hot straight-line code). All\n       tiers produce bit-identical \
@@ -115,6 +128,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         jobs: 1,
         snapshot_out: None,
         restore: None,
+        restore_chain: None,
+        snapshot_delta: None,
+        track_dirty: false,
         fork: 0,
         exec_tier: ExecTier::default(),
         profile: false,
@@ -170,6 +186,9 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             "--snapshot-out" => opts.snapshot_out = Some(args.next().ok_or_else(usage)?),
             "--restore" => opts.restore = Some(args.next().ok_or_else(usage)?),
+            "--restore-chain" => opts.restore_chain = Some(args.next().ok_or_else(usage)?),
+            "--snapshot-delta" => opts.snapshot_delta = Some(args.next().ok_or_else(usage)?),
+            "--track-dirty" => opts.track_dirty = true,
             "--fork" => {
                 let v = args.next().ok_or_else(usage)?;
                 opts.fork = v.parse().map_err(|_| usage())?;
@@ -182,7 +201,15 @@ fn parse_args() -> Result<Options, ExitCode> {
             _ => return Err(usage()),
         }
     }
-    if opts.path.is_empty() && opts.restore.is_none() {
+    if opts.path.is_empty() && opts.restore.is_none() && opts.restore_chain.is_none() {
+        return Err(usage());
+    }
+    if opts.restore.is_some() && opts.restore_chain.is_some() {
+        eprintln!("vaxrun: --restore and --restore-chain are mutually exclusive");
+        return Err(usage());
+    }
+    if opts.snapshot_delta.is_some() && opts.restore.is_none() && opts.restore_chain.is_none() {
+        eprintln!("vaxrun: --snapshot-delta needs a parent image: use --restore/--restore-chain");
         return Err(usage());
     }
     Ok(opts)
@@ -207,7 +234,15 @@ fn write_metrics(path: &str, metrics: &Metrics) -> std::io::Result<()> {
 fn snapshot_duties(monitor: &mut Monitor, opts: &Options) -> Result<(u64, u64), ExitCode> {
     let mut snap_bytes = 0u64;
     if let Some(path) = &opts.snapshot_out {
-        match vax_snap::snapshot_monitor(monitor) {
+        // On a tracked monitor the full snapshot anchors a delta chain,
+        // so it drains the dirty set — the next --snapshot-delta ships
+        // only pages written after this image.
+        let result = if monitor.dirty_tracking_enabled() {
+            vax_snap::snapshot_chain_base(monitor)
+        } else {
+            vax_snap::snapshot_monitor(monitor)
+        };
+        match result {
             Ok(bytes) => {
                 snap_bytes = bytes.len() as u64;
                 if let Err(e) = std::fs::write(path, &bytes) {
@@ -241,24 +276,43 @@ fn snapshot_duties(monitor: &mut Monitor, opts: &Options) -> Result<(u64, u64), 
     Ok((snap_bytes, opts.fork as u64))
 }
 
-/// `--restore` mode: reconstruct a monitor from a snapshot file and
-/// resume it. No assembly source is involved — the guests, their
-/// memory, and the machine clock all come from the image.
-fn run_restored(opts: &Options, path: &str) -> ExitCode {
-    let bytes = match std::fs::read(path) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("vaxrun: {path}: {e}");
+/// `--restore`/`--restore-chain` mode: reconstruct a monitor from a
+/// snapshot file (plus any incremental deltas) and resume it. No
+/// assembly source is involved — the guests, their memory, and the
+/// machine clock all come from the images. With `--snapshot-delta`,
+/// the run's dirty pages are written as the chain's next link (parent
+/// = the last image restored here).
+fn run_restored(opts: &Options, paths: &[String]) -> ExitCode {
+    let mut images = Vec::new();
+    for path in paths {
+        match std::fs::read(path) {
+            Ok(b) => images.push(b),
+            Err(e) => {
+                eprintln!("vaxrun: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (base, deltas) = match images.split_first() {
+        Some(v) => v,
+        None => {
+            eprintln!("vaxrun: --restore-chain needs at least a base image");
             return ExitCode::FAILURE;
         }
     };
-    let mut monitor = match vax_snap::restore_monitor(&bytes) {
+    let mut monitor = match vax_snap::restore_chain(base, deltas) {
         Ok(m) => m,
         Err(e) => {
-            eprintln!("vaxrun: {path}: {e}");
+            eprintln!("vaxrun: {}: {e}", paths.join(","));
             return ExitCode::FAILURE;
         }
     };
+    // The digest the next delta must name as its parent: the last image
+    // of the chain as restored here.
+    let parent_digest = vax_snap::snapshot_digest(images.last().unwrap_or(&Vec::new()));
+    if opts.track_dirty {
+        monitor.enable_dirty_tracking();
+    }
     let exit = monitor.run(opts.max_cycles);
     let mut all_halted = exit == RunExit::AllHalted;
     let ids: Vec<_> = monitor.vm_ids().collect();
@@ -275,6 +329,23 @@ fn run_restored(opts: &Options, path: &str) -> ExitCode {
             eprintln!("-- vaxrun: {}: halt reason: {reason}", guest.name);
         }
     }
+    let mut delta_bytes = 0u64;
+    if let Some(dpath) = &opts.snapshot_delta {
+        match vax_snap::snapshot_delta(&mut monitor, parent_digest) {
+            Ok(bytes) => {
+                delta_bytes = bytes.len() as u64;
+                if let Err(e) = std::fs::write(dpath, &bytes) {
+                    eprintln!("vaxrun: {dpath}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("-- vaxrun: delta snapshot: {delta_bytes} bytes -> {dpath}");
+            }
+            Err(e) => {
+                eprintln!("vaxrun: --snapshot-delta: {e} (was the base taken with --track-dirty?)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let (snap_bytes, forks) = match snapshot_duties(&mut monitor, opts) {
         Ok(v) => v,
         Err(code) => return code,
@@ -283,6 +354,7 @@ fn run_restored(opts: &Options, path: &str) -> ExitCode {
         let mut metrics = monitor.metrics();
         metrics
             .bump("snapshot_bytes_written", snap_bytes)
+            .bump("snapshot_delta_bytes_written", delta_bytes)
             .bump("snapshot_forks", forks);
         if let Err(e) = write_metrics(mpath, &metrics) {
             eprintln!("vaxrun: {mpath}: {e}");
@@ -544,8 +616,12 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
     if let Some(path) = &opts.restore {
-        let path = path.clone();
-        return run_restored(&opts, &path);
+        let paths = vec![path.clone()];
+        return run_restored(&opts, &paths);
+    }
+    if let Some(chain) = &opts.restore_chain {
+        let paths: Vec<String> = chain.split(',').map(str::to_string).collect();
+        return run_restored(&opts, &paths);
     }
     let source = match std::fs::read_to_string(&opts.path) {
         Ok(s) => s,
@@ -581,6 +657,11 @@ fn main() -> ExitCode {
         }
         if opts.profile {
             monitor.enable_profiling(DEFAULT_SAMPLE_INTERVAL);
+        }
+        if opts.track_dirty {
+            // Armed before the guest loads, so a --snapshot-out base
+            // can anchor an incremental --snapshot-delta chain.
+            monitor.enable_dirty_tracking();
         }
         let vm = monitor.create_vm("vaxrun", VmConfig::default());
         if let Err(e) = monitor.vm_write_phys(vm, program.base, &program.bytes) {

@@ -217,9 +217,17 @@ fn profile_metrics_exposition() {
         .sum();
     assert_eq!(by_tier, counters.instructions);
     assert!(m.get_counter("profile_samples").unwrap_or(0) > 0);
-    assert!(m.get_counter("dirty_pages").unwrap_or(0) > 0);
-    assert!(
-        m.get_counter("touched_pages").unwrap_or(0) >= m.get_counter("dirty_pages").unwrap_or(0)
+    // Dirty/touched page counts are levels (they drop on a drain), so
+    // they export as gauges; only the event count is a counter.
+    let dirty = m.get_gauge("dirty_pages").flatten().unwrap_or(0.0);
+    let touched = m.get_gauge("touched_pages").flatten().unwrap_or(0.0);
+    assert!(dirty > 0.0);
+    assert!(touched >= dirty);
+    assert!(m.get_counter("dirty_page_events").unwrap_or(0) > 0);
+    assert_eq!(
+        m.get_counter("dirty_pages"),
+        None,
+        "dirty_pages must not be a counter — merge would sum drained levels"
     );
 
     // Prometheus exposition carries the profile families, annotated.
@@ -252,7 +260,11 @@ fn profile_metrics_merge_across_monitors() {
     let mb = b.metrics();
     let mut merged = ma.clone();
     merged.merge(&mb);
-    for name in ["profile_samples", "profile_cycles_cache", "dirty_pages"] {
+    for name in [
+        "profile_samples",
+        "profile_cycles_cache",
+        "dirty_page_events",
+    ] {
         assert_eq!(
             merged.get_counter(name),
             Some(ma.get_counter(name).unwrap_or(0) + mb.get_counter(name).unwrap_or(0)),
@@ -264,4 +276,41 @@ fn profile_metrics_merge_across_monitors() {
     let hb = mb.get_histogram("profile_page_cycles").unwrap();
     assert_eq!(fold.count(), ha.count() + hb.count());
     assert_eq!(fold.sum(), ha.sum() + hb.sum());
+}
+
+#[test]
+fn drained_dirty_levels_aggregate_correctly() {
+    // The original bug: dirty_pages/touched_pages were exported as
+    // counters, so fleet merge summed stale levels and a drain made the
+    // "counter" move backwards. As gauges they bypass counter merge and
+    // the fleet recomputes the level sum from live state.
+    let (a, _, _) = run_guest_profiled();
+    let (mut b, _, _) = run_guest_profiled();
+    let a_dirty = f64::from(a.machine().mem().dirty_page_count());
+    let b_before = b.machine().mem().dirty_page_count();
+    assert!(a_dirty > 0.0 && b_before > 0);
+    // Drain B (what a delta snapshot or a pre-copy round does): its
+    // level drops to zero, its event counter does not.
+    let drained = b.machine_mut().mem_mut().take_dirty_pages();
+    assert_eq!(drained.len() as u32, b_before);
+    let b_events = b.metrics().get_counter("dirty_page_events").unwrap();
+    assert!(b_events >= u64::from(b_before));
+
+    let mut fleet = vax_vmm::Fleet::new();
+    fleet.push(a);
+    fleet.push(b);
+    let agg = fleet.fleet_metrics();
+    // Level sum counts only what is dirty *now* — drained pages gone.
+    assert_eq!(agg.get_gauge("dirty_pages").flatten(), Some(a_dirty));
+    // Event counters still sum monotonically across the fleet.
+    assert!(agg.get_counter("dirty_page_events").unwrap() >= b_events);
+    // Merging the same registry twice must not double a level either:
+    // merge ignores gauges entirely.
+    let solo = fleet.per_monitor_metrics()[0].clone();
+    let mut doubled = solo.clone();
+    doubled.merge(&solo);
+    assert_eq!(
+        doubled.get_gauge("dirty_pages"),
+        solo.get_gauge("dirty_pages")
+    );
 }

@@ -262,3 +262,107 @@ fn vaxrun_usage_on_bad_flags() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+#[test]
+fn vaxrun_delta_chain_workflow() {
+    let dir = std::env::temp_dir().join("vaxrun_cli_delta_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A loop that keeps writing memory, so every segment dirties pages.
+    let prog = write_program(
+        &dir,
+        "chain.s",
+        "
+            movl #20000, r2
+        top:
+            addl2 #3, r3
+            movl r3, @#0x3000
+            sobgtr r2, top
+            halt
+        ",
+    );
+    let base = dir.join("base.snap");
+    let d1 = dir.join("d1.snap");
+    let d2 = dir.join("d2.snap");
+    let run = |args: &[&std::ffi::OsStr]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_vaxrun"))
+            .args(args)
+            .output()
+            .unwrap();
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    fn s(p: &std::path::Path) -> &std::ffi::OsStr {
+        p.as_os_str()
+    }
+    fn a(t: &str) -> std::ffi::OsString {
+        std::ffi::OsString::from(t)
+    }
+
+    // Base with tracking armed, two incremental links, full-chain
+    // resume. The intermediate runs stop mid-loop (BudgetExhausted), so
+    // vaxrun's not-yet-halted exit code is expected — the contract is
+    // that each image gets written.
+    let (_, err) = run(&[
+        &a("--vm"),
+        &a("--track-dirty"),
+        &a("--max-cycles"),
+        &a("50000"),
+        &a("--snapshot-out"),
+        s(&base),
+        s(prog.as_path()),
+    ]);
+    assert!(err.contains("snapshot:"), "{err}");
+    let chain1 = base.as_os_str().to_os_string();
+    let (_, err) = run(&[
+        &a("--restore-chain"),
+        &chain1,
+        &a("--max-cycles"),
+        &a("50000"),
+        &a("--snapshot-delta"),
+        s(&d1),
+    ]);
+    assert!(err.contains("delta snapshot:"), "{err}");
+    let mut chain2 = chain1.clone();
+    chain2.push(",");
+    chain2.push(&d1);
+    let (_, err) = run(&[
+        &a("--restore-chain"),
+        &chain2,
+        &a("--max-cycles"),
+        &a("50000"),
+        &a("--snapshot-delta"),
+        s(&d2),
+    ]);
+    assert!(err.contains("delta snapshot:"), "{err}");
+    let mut chain3 = chain2.clone();
+    chain3.push(",");
+    chain3.push(&d2);
+    let (ok, err) = run(&[&a("--restore-chain"), &chain3]);
+    assert!(ok, "{err}");
+    assert!(err.contains("ConsoleHalt"), "{err}");
+
+    // Deltas are an order of magnitude smaller than the base image.
+    let base_len = std::fs::metadata(&base).unwrap().len();
+    let d1_len = std::fs::metadata(&d1).unwrap().len();
+    assert!(d1_len * 10 <= base_len, "delta {d1_len} vs base {base_len}");
+
+    // A chain that skips a link is rejected, not silently wrong.
+    let mut skipped = base.as_os_str().to_os_string();
+    skipped.push(",");
+    skipped.push(&d2);
+    let (ok, err) = run(&[&a("--restore-chain"), &skipped]);
+    assert!(!ok);
+    assert!(err.contains("digest mismatch"), "{err}");
+
+    // --snapshot-delta without a restored parent is a usage error.
+    let (ok, err) = run(&[
+        &a("--vm"),
+        &a("--snapshot-delta"),
+        s(&d1),
+        s(prog.as_path()),
+    ]);
+    assert!(!ok);
+    assert!(err.contains("needs a parent image"), "{err}");
+}
