@@ -284,17 +284,42 @@ fn main() {
     let speedup = on.instrs_per_sec / off.instrs_per_sec;
     let trans_speedup = trans.instrs_per_sec / on.instrs_per_sec;
 
-    let mut msweep = best_tier_sweep(&mapped, reps, true, &[ExecTier::Interp, ExecTier::Cache]);
+    let mut msweep = best_tier_sweep(
+        &mapped,
+        reps,
+        true,
+        &[ExecTier::Interp, ExecTier::Cache, ExecTier::Trans],
+    );
+    let mtrans = msweep.pop().unwrap();
     let mon = msweep.pop().unwrap();
     let moff = msweep.pop().unwrap();
-    assert_eq!(
-        mon.simulated_cycles, moff.simulated_cycles,
-        "decode cache must not change simulated time"
+    for m in [&moff, &mtrans] {
+        assert_eq!(
+            m.instructions, mon.instructions,
+            "mapped workload must retire fully in every tier"
+        );
+        assert_eq!(
+            m.simulated_cycles, mon.simulated_cycles,
+            "execution tier must not change mapped simulated time"
+        );
+        assert_eq!(
+            m.tlb_hit_rate, mon.tlb_hit_rate,
+            "execution tier must not change TLB hit/miss counting"
+        );
+    }
+    assert!(
+        mtrans.trans_stats.blocks_executed > 0,
+        "trans tier must run superblocks on the mapped loop"
+    );
+    assert!(
+        mtrans.trans_stats.chain_hits > 0,
+        "mapped loop blocks must chain directly"
     );
     let mapped_rate = mon
         .tlb_hit_rate
         .expect("mapped workload must exercise the TLB");
     let mapped_speedup = mon.instrs_per_sec / moff.instrs_per_sec;
+    let mapped_trans_speedup = mtrans.instrs_per_sec / mon.instrs_per_sec;
 
     let vm = run_vm_mtpr(mtpr_iters);
 
@@ -338,6 +363,21 @@ fn main() {
         mon.instrs_per_sec
     );
     println!("  speedup:          {mapped_speedup:>12.2}x");
+    println!(
+        "  translated:       {:>12.0} instrs/sec ({mapped_trans_speedup:.2}x vs cache)",
+        mtrans.instrs_per_sec
+    );
+    println!(
+        "  superblocks: {} executed, {} chain follows, {} links severed, \
+         side exits: {} tlb-miss / {} prot / {} page-cross / {} smc",
+        mtrans.trans_stats.blocks_executed,
+        mtrans.trans_stats.chain_hits,
+        mtrans.trans_stats.chain_links_severed,
+        mtrans.trans_stats.side_exit_tlb_miss,
+        mtrans.trans_stats.side_exit_prot,
+        mtrans.trans_stats.side_exit_page_cross,
+        mtrans.trans_stats.side_exit_smc
+    );
     println!("  tlb hit rate:     {mapped_rate:>12.4}");
     println!("vm mtpr-ipl loop, {} exits traced", vm.mtpr_ipl_exits);
     println!(
@@ -373,7 +413,13 @@ fn main() {
          \"side_exit_interrupt\": {},\n      \"side_exit_bail\": {}\n    }}\n  }},\n  \
          \"mapped_loop\": {{\n    \"simulated_instructions\": {},\n    \
          \"simulated_cycles\": {},\n    \"instrs_per_sec_cache_on\": {:.0},\n    \
-         \"speedup\": {:.3},\n    \"tlb_hit_rate\": {}\n  }},\n  \
+         \"speedup\": {:.3},\n    \"tlb_hit_rate\": {},\n    \
+         \"exec_tier\": {{\n      \"interp\": {{ \"instrs_per_sec\": {:.0} }},\n      \
+         \"cache\": {{ \"instrs_per_sec\": {:.0} }},\n      \
+         \"trans\": {{\n        \"instrs_per_sec\": {:.0},\n        \
+         \"speedup_vs_cache\": {:.3},\n        \"blocks_executed\": {},\n        \
+         \"chain_hits\": {},\n        \"chain_links_severed\": {},\n        \
+         \"side_exit_tlb_miss\": {},\n        \"side_exit_smc\": {}\n      }}\n    }}\n  }},\n  \
          \"vm_mtpr_ipl\": {{\n    \"vm_exits\": {{\n      \"emulation_traps\": {},\n      \
          \"exception_exits\": {},\n      \"interrupt_exits\": {}\n    }},\n    \
          \"decode_cache_invalidations\": {},\n    \"mtpr_ipl_exits\": {},\n    \
@@ -405,6 +451,15 @@ fn main() {
         mon.instrs_per_sec,
         mapped_speedup,
         json_opt(mon.tlb_hit_rate),
+        moff.instrs_per_sec,
+        mon.instrs_per_sec,
+        mtrans.instrs_per_sec,
+        mapped_trans_speedup,
+        mtrans.trans_stats.blocks_executed,
+        mtrans.trans_stats.chain_hits,
+        mtrans.trans_stats.chain_links_severed,
+        mtrans.trans_stats.side_exit_tlb_miss,
+        mtrans.trans_stats.side_exit_smc,
         vm.emulation_traps,
         vm.exception_exits,
         vm.interrupt_exits,

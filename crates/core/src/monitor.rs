@@ -425,6 +425,14 @@ impl Monitor {
         m.counter("trans_uops_executed", ts.uops_executed);
         m.counter("trans_side_exit_interrupt", ts.side_exit_interrupt);
         m.counter("trans_side_exit_bail", ts.side_exit_bail);
+        m.counter("trans_side_exit_smc", ts.side_exit_smc);
+        m.counter("trans_side_exit_tlb_miss", ts.side_exit_tlb_miss);
+        m.counter("trans_side_exit_prot", ts.side_exit_prot);
+        m.counter("trans_side_exit_modify", ts.side_exit_modify);
+        m.counter("trans_side_exit_page_cross", ts.side_exit_page_cross);
+        m.counter("trans_side_exit_io", ts.side_exit_io);
+        m.counter("trans_chain_hits", ts.chain_hits);
+        m.counter("trans_chain_links_severed", ts.chain_links_severed);
         m.counter("trans_invalidations", ts.invalidations);
         if ts.blocks_translated > 0 {
             let mut h = Histogram::new();

@@ -437,7 +437,7 @@ impl Machine {
     /// accounting) plus protection check. `None` (unmapped, protected,
     /// or IO space) routes the decode to the bytewise path, which warms
     /// the TLB or raises the fault with the correct charges.
-    fn fetch_pa_probe(&self, va: VirtAddr, mode: AccessMode) -> Option<u32> {
+    pub(crate) fn fetch_pa_probe(&self, va: VirtAddr, mode: AccessMode) -> Option<u32> {
         let pa = if self.mmu.mapen() {
             let e = self.mmu.tlb().peek(va)?;
             if !e.prot.allows(mode, false) {

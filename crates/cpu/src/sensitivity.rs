@@ -17,7 +17,7 @@
 #![allow(clippy::unwrap_used)]
 
 use crate::event::{StepEvent, VmExit};
-use crate::machine::Machine;
+use crate::machine::{ExecTier, Machine};
 use vax_arch::opcode::SensitiveData;
 use vax_arch::{AccessMode, MachineVariant, Opcode, Protection, Psl, Pte, ScbVector, VmPsl};
 
@@ -186,9 +186,15 @@ fn prime(m: &mut Machine, op: Opcode) {
     }
 }
 
-/// Runs the scan for one opcode.
-fn scan_one(variant: MachineVariant, in_vm: bool, op: Opcode) -> SensitivityFinding {
+/// Runs the scan for one opcode under the given execution tier.
+fn scan_one(
+    variant: MachineVariant,
+    in_vm: bool,
+    op: Opcode,
+    tier: ExecTier,
+) -> SensitivityFinding {
     let mut m = harness(variant);
+    m.set_exec_tier(tier);
     encode_test_instruction(&mut m, op);
     prime(&mut m, op);
     if in_vm {
@@ -254,9 +260,22 @@ fn scan_one(variant: MachineVariant, in_vm: bool, op: Opcode) -> SensitivityFind
 ///
 /// Panics if `in_vm` is requested on a standard machine.
 pub fn scan_sensitivity(variant: MachineVariant, in_vm: bool) -> Vec<SensitivityFinding> {
+    scan_sensitivity_on(variant, in_vm, ExecTier::Cache)
+}
+
+/// [`scan_sensitivity`] under an explicit execution tier. The dynamic
+/// Table-1 classification is an architectural property, so it must not
+/// depend on how guest code executes — the mapped user-mode harness runs
+/// through the translated tier's dispatch gate like any other guest, and
+/// every tier must report identical outcomes.
+pub fn scan_sensitivity_on(
+    variant: MachineVariant,
+    in_vm: bool,
+    tier: ExecTier,
+) -> Vec<SensitivityFinding> {
     Opcode::ALL
         .iter()
-        .map(|&op| scan_one(variant, in_vm, op))
+        .map(|&op| scan_one(variant, in_vm, op, tier))
         .collect()
 }
 
@@ -348,6 +367,28 @@ mod tests {
             finding(&findings, Opcode::Brb).outcome,
             ScanOutcome::Retired
         );
+    }
+
+    #[test]
+    fn sensitivity_scan_is_tier_invariant() {
+        for (variant, in_vm) in [
+            (MachineVariant::Standard, false),
+            (MachineVariant::Modified, false),
+            (MachineVariant::Modified, true),
+        ] {
+            let oracle = scan_sensitivity_on(variant, in_vm, ExecTier::Interp);
+            for tier in [ExecTier::Cache, ExecTier::Trans] {
+                let got = scan_sensitivity_on(variant, in_vm, tier);
+                for (a, b) in oracle.iter().zip(got.iter()) {
+                    assert_eq!(a.opcode, b.opcode);
+                    assert_eq!(
+                        a.outcome, b.outcome,
+                        "{} classification changed under {tier:?} ({variant:?}, in_vm={in_vm})",
+                        a.opcode
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -120,6 +120,17 @@ impl Tlb {
         self.slot(va).and_then(|idx| self.entries[idx])
     }
 
+    /// Credits `n` hits without performing lookups. The translated
+    /// execution tier's inline fast path probes with [`Tlb::peek`]
+    /// (counter-free, so a pre-mutation bail leaves no trace) and then,
+    /// once a µop is certain to retire, replays here exactly the hit
+    /// traffic its interpreter oracle would have counted — keeping the
+    /// architectural TLB counters bit-identical across tiers.
+    #[inline]
+    pub fn record_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
     /// Inserts (or replaces) the entry for its page.
     pub fn insert(&mut self, entry: TlbEntry) {
         let idx = self.index(VirtAddr::new(entry.tag));

@@ -219,6 +219,20 @@ fn prom_help(name: &str) -> &'static str {
         "tlb_hit_rate" => "TLB hits over lookups, point-in-time",
         "decode_cache_hit_rate" => "Decode-cache hits over lookups, point-in-time",
         "superblock_length" => "Superblock lengths in uops at translate time",
+        "trans_blocks_translated" => "Superblocks lowered into the translation cache",
+        "trans_blocks_executed" => "Superblock dispatches through the translated tier",
+        "trans_uops_executed" => "Uops retired by the translated tier",
+        "trans_side_exit_interrupt" => "Superblocks cut short by a deliverable interrupt",
+        "trans_side_exit_bail" => "Fast-path bails to the interpreter of all causes",
+        "trans_side_exit_smc" => "Superblocks stopped by a retired store dirtying code",
+        "trans_side_exit_tlb_miss" => "Fast-path bails on a software-TLB miss",
+        "trans_side_exit_prot" => "Fast-path bails on a page-protection mismatch",
+        "trans_side_exit_modify" => "Fast-path bails on a write to a PTE with M clear",
+        "trans_side_exit_page_cross" => "Fast-path bails on a mapped page-crossing operand",
+        "trans_side_exit_io" => "Fast-path bails on an IO-space or unbacked reference",
+        "trans_chain_hits" => "Direct superblock-to-superblock chain follows",
+        "trans_chain_links_severed" => "Stale successor links severed after invalidation",
+        "trans_invalidations" => "Translation-cache invalidation events",
         "profile_samples" => "Profiler interval samples taken",
         "profile_overflow_cycles" => "Sampled cycles past the PC-bucket cap",
         "profile_events_dropped" => "Superblock lifecycle events dropped at cap",

@@ -807,6 +807,26 @@ fn main() -> ExitCode {
         m.cycles(),
         m.counters().instructions
     );
+    if m.exec_tier() == ExecTier::Trans {
+        let ts = m.trans_stats();
+        eprintln!(
+            "-- trans: {} superblocks executed ({} translated), {} chain follows, \
+             {} links severed",
+            ts.blocks_executed, ts.blocks_translated, ts.chain_hits, ts.chain_links_severed
+        );
+        eprintln!(
+            "-- trans side exits: {} interrupt, {} bail ({} tlb-miss, {} prot, \
+             {} modify, {} page-cross, {} io), {} smc",
+            ts.side_exit_interrupt,
+            ts.side_exit_bail,
+            ts.side_exit_tlb_miss,
+            ts.side_exit_prot,
+            ts.side_exit_modify,
+            ts.side_exit_page_cross,
+            ts.side_exit_io,
+            ts.side_exit_smc
+        );
+    }
     for (i, r) in (0..16)
         .map(|i| (i, m.reg(i)))
         .collect::<Vec<_>>()
@@ -848,6 +868,14 @@ fn main() -> ExitCode {
         metrics.counter("trans_uops_executed", ts.uops_executed);
         metrics.counter("trans_side_exit_interrupt", ts.side_exit_interrupt);
         metrics.counter("trans_side_exit_bail", ts.side_exit_bail);
+        metrics.counter("trans_side_exit_smc", ts.side_exit_smc);
+        metrics.counter("trans_side_exit_tlb_miss", ts.side_exit_tlb_miss);
+        metrics.counter("trans_side_exit_prot", ts.side_exit_prot);
+        metrics.counter("trans_side_exit_modify", ts.side_exit_modify);
+        metrics.counter("trans_side_exit_page_cross", ts.side_exit_page_cross);
+        metrics.counter("trans_side_exit_io", ts.side_exit_io);
+        metrics.counter("trans_chain_hits", ts.chain_hits);
+        metrics.counter("trans_chain_links_severed", ts.chain_links_severed);
         metrics.counter("trans_invalidations", ts.invalidations);
         metrics.gauge("tlb_hit_rate", c.tlb_hit_rate_opt());
         if let Some(p) = m.prof() {

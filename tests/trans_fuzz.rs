@@ -6,7 +6,7 @@
 //! observationally invisible.
 
 use proptest::prelude::*;
-use vax_arch::{MachineVariant, Psl};
+use vax_arch::{MachineVariant, Protection, Psl, Pte};
 use vax_cpu::{CpuCounters, ExecTier, Machine, StepEvent};
 use vax_vmm::{Monitor, MonitorConfig, VmConfig, VmStats};
 
@@ -28,6 +28,54 @@ fn run_bare(code: &[u8], tier: ExecTier, max_steps: u32) -> BareOutcome {
     let mut m = Machine::new(MachineVariant::Modified, 256 * 1024);
     m.set_exec_tier(tier);
     m.mem_mut().write_slice(0x1000, code).unwrap();
+    let mut psl = Psl::new();
+    psl.set_ipl(31);
+    m.set_psl(psl);
+    m.set_reg(14, 0x8000);
+    m.set_pc(0x1000);
+    for _ in 0..max_steps {
+        match m.step() {
+            StepEvent::Ok => {}
+            _ => break,
+        }
+    }
+    BareOutcome {
+        regs: std::array::from_fn(|i| m.reg(i)),
+        psl_raw: m.psl().raw(),
+        cycles: m.cycles(),
+        counters: m.counters(),
+        halted: m.halted(),
+    }
+}
+
+/// Runs `code` at VA 0x1000 under an identity P0/S map with memory
+/// management enabled, so every fetch and operand reference goes through
+/// address translation. Garbage code probes TLB misses, protection and
+/// length faults, and the translated tier's fast-path bail protocol with
+/// inputs no hand-written test would pick.
+fn run_mapped(code: &[u8], tier: ExecTier, max_steps: u32) -> BareOutcome {
+    const S_BASE: u32 = 0x8000_0000;
+    const P0_TABLE_PA: u32 = 0x2_0000;
+    const SPT_PA: u32 = 0x3_0000;
+    let mut m = Machine::new(MachineVariant::Modified, 256 * 1024);
+    m.set_exec_tier(tier);
+    m.mem_mut().write_slice(0x1000, code).unwrap();
+    for vpn in 0..512u32 {
+        let pte = Pte::build(vpn, Protection::Kw, true, true);
+        m.mem_mut().write_u32(SPT_PA + 4 * vpn, pte.raw()).unwrap();
+    }
+    for vpn in 0..256u32 {
+        let pte = Pte::build(vpn, Protection::Kw, true, true);
+        m.mem_mut()
+            .write_u32(P0_TABLE_PA + 4 * vpn, pte.raw())
+            .unwrap();
+    }
+    let mmu = m.mmu_mut();
+    mmu.set_sbr(SPT_PA);
+    mmu.set_slr(512);
+    mmu.set_p0br(S_BASE + P0_TABLE_PA);
+    mmu.set_p0lr(256);
+    mmu.set_mapen(true);
     let mut psl = Psl::new();
     psl.set_ipl(31);
     m.set_psl(psl);
@@ -79,6 +127,21 @@ proptest! {
         let oracle = run_bare(&code, ExecTier::Interp, 50_000);
         for tier in [ExecTier::Cache, ExecTier::Trans] {
             let got = run_bare(&code, tier, 50_000);
+            prop_assert_eq!(&got, &oracle, "{:?} diverged from interpreter", tier);
+        }
+    }
+
+    /// Raw random bytes on a *mapped* machine: the translated tier's
+    /// inline TLB fast path, pre-mutation bails, and TLB hit replay must
+    /// leave architectural state, cycles, and MMU counters bit-identical
+    /// with the interpreter walking the same page tables.
+    #[test]
+    fn random_bytes_are_tier_invariant_mapped(
+        code in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let oracle = run_mapped(&code, ExecTier::Interp, 50_000);
+        for tier in [ExecTier::Cache, ExecTier::Trans] {
+            let got = run_mapped(&code, tier, 50_000);
             prop_assert_eq!(&got, &oracle, "{:?} diverged from interpreter", tier);
         }
     }
